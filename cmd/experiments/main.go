@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	experiments -fig all            # every figure at the small profile
+//	experiments -fig 8              # Figure 8 only
+//	experiments -fig ablations      # the design-choice ablations
+//	experiments -fig 4 -profile paper -seed 3
+//
+// See DESIGN.md Section 4 for the experiment index and EXPERIMENTS.md for
+// recorded outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/experiments"
+)
+
+// renderer is anything a figure run returns.
+type renderer interface{ Render() string }
+
+func main() {
+	fig := flag.String("fig", "all", `figure to regenerate: 4..13, "all", or "ablations"`)
+	profile := flag.String("profile", "small", `experiment scale: "small" or "paper"`)
+	seed := flag.Int64("seed", 1, "workload seed")
+	supp := flag.Bool("supplementary", false, "also print acceptance/revenue/utilization tables for bar figures")
+	flag.Parse()
+
+	var p experiments.Profile
+	switch *profile {
+	case "small":
+		p = experiments.Small()
+	case "paper":
+		p = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	p.Seed = *seed
+
+	runs := map[string]func() (renderer, error){
+		"4":  func() (renderer, error) { return p.FigScale() },
+		"5":  func() (renderer, error) { return p.FigVendors() },
+		"6":  func() (renderer, error) { return p.FigCapacity() },
+		"7":  func() (renderer, error) { return p.FigTraces() },
+		"8":  func() (renderer, error) { return p.FigWorkload() },
+		"9":  func() (renderer, error) { return p.FigDeadlines() },
+		"10": func() (renderer, error) { return p.FigTruthfulness() },
+		"11": func() (renderer, error) { return p.FigRationality() },
+		"12": func() (renderer, error) { return p.FigRatio(experiments.DefaultRatioOptions()) },
+		"13": func() (renderer, error) { return p.FigRuntime() },
+	}
+	ablations := map[string]func() (renderer, error){
+		"dual-rule":   func() (renderer, error) { return p.AblationDualRule() },
+		"mask":        func() (renderer, error) { return p.AblationMask() },
+		"vendor":      func() (renderer, error) { return p.AblationVendorPolicy() },
+		"admission":   func() (renderer, error) { return p.AblationAdmission() },
+		"calibration": func() (renderer, error) { return p.AblationCalibration() },
+	}
+
+	var order []string
+	switch *fig {
+	case "all":
+		order = []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13"}
+	case "ablations":
+		order = []string{"dual-rule", "mask", "vendor", "admission", "calibration"}
+		runs = ablations
+	default:
+		if _, ok := runs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..13, all, ablations)\n", *fig)
+			os.Exit(2)
+		}
+		order = []string{*fig}
+	}
+
+	for _, id := range order {
+		start := time.Now()
+		res, err := runs[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if f, ok := res.(*experiments.BarFigure); ok && *supp {
+			fmt.Println(f.Supplementary())
+		}
+		fmt.Printf("  [%s profile, seed %d, %.1fs]\n\n", p.Name, p.Seed, time.Since(start).Seconds())
+		// The paper's headline numbers come from Figure 8's high-load row.
+		if id == "8" {
+			if f, ok := res.(*experiments.BarFigure); ok && len(f.Raw) == 3 {
+				fmt.Printf("headline (high workload): pdFTSP vs Titan %+.2f%%, vs EFT %+.2f%%, vs NTM %+.2f%%\n",
+					f.Improvement(2, "Titan"), f.Improvement(2, "EFT"), f.Improvement(2, "NTM"))
+				fmt.Println("paper reports: +48.99%, +151.57%, +184.94% at full scale")
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command tracegen emits a generated fine-tuning workload as JSON — the
+// task stream the schedulers consume — for inspection or for feeding
+// external tools.
+//
+// Usage:
+//
+//	tracegen -rate 5 -arrivals helios -slots 144 > trace.json
+//	tracegen -counts -rate 50    # per-slot arrival counts only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+)
+
+func main() {
+	rate := flag.Float64("rate", 5, "mean task arrivals per slot")
+	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson, mlaas, philly, helios")
+	deadlines := flag.String("deadlines", "medium", "deadline policy: tight, medium, slack")
+	slots := flag.Int("slots", timeslot.DefaultHorizonSlots, "horizon length in slots")
+	seed := flag.Int64("seed", 1, "generator seed")
+	countsOnly := flag.Bool("counts", false, "emit per-slot arrival counts instead of full tasks")
+	flag.Parse()
+
+	cfg := trace.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Horizon = timeslot.NewHorizon(*slots)
+	cfg.RatePerSlot = *rate
+	switch *arrivals {
+	case "poisson":
+		cfg.Arrivals = trace.Poisson
+	case "mlaas":
+		cfg.Arrivals = trace.MLaaSLike
+	case "philly":
+		cfg.Arrivals = trace.PhillyLike
+	case "helios":
+		cfg.Arrivals = trace.HeliosLike
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arrival process %q\n", *arrivals)
+		os.Exit(2)
+	}
+	switch *deadlines {
+	case "tight":
+		cfg.Deadlines = trace.TightDeadlines
+	case "medium":
+		cfg.Deadlines = trace.MediumDeadlines
+	case "slack":
+		cfg.Deadlines = trace.SlackDeadlines
+	default:
+		fmt.Fprintf(os.Stderr, "unknown deadline policy %q\n", *deadlines)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if *countsOnly {
+		counts, err := trace.ArrivalCounts(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := enc.Encode(counts); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tasks, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := enc.Encode(tasks); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

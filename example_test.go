@@ -1,0 +1,68 @@
+package pdftsp_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pdftsp/pdftsp"
+)
+
+// Example runs the minimal end-to-end flow: build a cluster, generate a
+// workload, schedule it with pdFTSP, and read the welfare accounting.
+func Example() {
+	model := pdftsp.GPT2Small()
+	h := pdftsp.NewHorizon(48)
+	cl, err := pdftsp.NewClusterWithPrice(h, model, pdftsp.FlatPrice(1),
+		pdftsp.NodeGroup{Spec: pdftsp.A100(), Count: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pdftsp.DefaultWorkload()
+	cfg.Horizon = h
+	cfg.RatePerSlot = 2
+	cfg.Seed = 7
+	cfg.PrepProb = 0
+	tasks, err := pdftsp.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := pdftsp.NewScheduler(cl, pdftsp.Calibrate(tasks, model, cl, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pdftsp.Run(cl, sch, tasks, pdftsp.RunConfig{Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Admitted+res.Rejected == len(tasks), res.Welfare > 0)
+	// Output: true true
+}
+
+// ExampleNewScheduler_offer prices a single arriving bid by hand: the
+// decision carries the plan, the surplus F(il), and the payment.
+func ExampleNewScheduler_offer() {
+	model := pdftsp.GPT2Small()
+	h := pdftsp.NewHorizon(24)
+	cl, _ := pdftsp.NewClusterWithPrice(h, model, pdftsp.FlatPrice(1),
+		pdftsp.NodeGroup{Spec: pdftsp.A100(), Count: 1})
+	sch, _ := pdftsp.NewScheduler(cl, pdftsp.SchedulerOptions{Alpha: 2, Beta: 10})
+	bid := pdftsp.Task{
+		ID: 0, Arrival: 1, Deadline: 10, DatasetSamples: 27000, Epochs: 1,
+		Work: 27, MemGB: 5, Rank: 8, Batch: 16, Bid: 50, TrueValue: 50,
+	}
+	d := sch.Offer(pdftsp.NewTaskEnv(&bid, cl, model, nil))
+	fmt.Println(d.Admitted, d.Payment, len(d.Schedule.Placements) > 0)
+	// Output: true 0 true
+}
+
+// ExampleGenerateWorkload shows deterministic workload generation.
+func ExampleGenerateWorkload() {
+	cfg := pdftsp.DefaultWorkload()
+	cfg.Horizon = pdftsp.NewHorizon(24)
+	cfg.RatePerSlot = 1
+	cfg.Seed = 5
+	a, _ := pdftsp.GenerateWorkload(cfg)
+	b, _ := pdftsp.GenerateWorkload(cfg)
+	fmt.Println(len(a) == len(b), len(a) > 0)
+	// Output: true true
+}

@@ -1,0 +1,43 @@
+// Microtrain: execute the multi-LoRA substrate for real — several tasks
+// share one frozen base weight matrix W0 and train only their own
+// low-rank adapters, with the base forward pass batched across all tasks
+// (Figure 2 of the paper), at laptop scale.
+//
+//	go run ./examples/microtrain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/pdftsp/pdftsp/internal/train"
+)
+
+func main() {
+	cfg := train.Config{DIn: 48, DOut: 32, Rank: 4, Alpha: 8, LR: 0.05}
+	mt, err := train.NewMultiTrainer(cfg, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("co-training 4 LoRA adapters over one shared frozen base layer")
+	for epoch := 0; epoch < 6; epoch++ {
+		var last train.StepResult
+		for step := 0; step < 50; step++ {
+			last = mt.Step(16)
+		}
+		fmt.Printf("epoch %d: losses %.4f %.4f %.4f %.4f (shared forward width %d)\n",
+			epoch, last.Losses[0], last.Losses[1], last.Losses[2], last.Losses[3],
+			last.SharedForwardCols)
+	}
+
+	if !mt.W0Frozen() {
+		log.Fatal("BUG: the shared base weights moved")
+	}
+	fmt.Println("\nshared base weights W0: bit-identical to initialization (frozen ✓)")
+	for i := 0; i < mt.NumTasks(); i++ {
+		rel := mt.GradCheck(i, 8, 1e-5)
+		fmt.Printf("task %d adapter gradients vs finite differences: max rel err %.2e\n", i, rel)
+	}
+}

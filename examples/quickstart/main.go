@@ -1,0 +1,56 @@
+// Quickstart: stand up a small GPU cluster, generate a day of LoRA
+// fine-tuning bids, and let the pdFTSP auction schedule and price them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pdftsp/pdftsp"
+)
+
+func main() {
+	model := pdftsp.GPT2Small()
+	h := pdftsp.Day()
+
+	// Six A100 nodes; capacities come from the LoRA throughput model.
+	cl, err := pdftsp.NewCluster(h, model, pdftsp.NodeGroup{Spec: pdftsp.A100(), Count: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Five labor vendors quote data pre-processing per task.
+	mkt, err := pdftsp.NewMarketplace(5, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A medium Poisson workload with the paper's dataset/epoch ranges.
+	cfg := pdftsp.DefaultWorkload()
+	cfg.RatePerSlot = 4
+	cfg.Seed = 42
+	tasks, err := pdftsp.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d fine-tuning bids over %d slots\n", len(tasks), h.T)
+
+	// The online primal-dual scheduler with Lemma-2 calibrated prices.
+	sch, err := pdftsp.NewScheduler(cl, pdftsp.Calibrate(tasks, model, cl, mkt))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := pdftsp.Run(cl, sch, tasks, pdftsp.RunConfig{Model: model, Market: mkt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("admitted %d/%d bids (%.1f%%)\n",
+		res.Admitted, res.Admitted+res.Rejected, 100*res.AcceptanceRate())
+	fmt.Printf("social welfare: %.2f (revenue %.2f, vendor spend %.2f, energy %.2f)\n",
+		res.Welfare, res.Revenue, res.VendorSpend, res.EnergySpend)
+	fmt.Printf("cluster compute utilization: %.1f%%\n", 100*res.Utilization)
+}

@@ -1,0 +1,3 @@
+module github.com/pdftsp/pdftsp
+
+go 1.22

@@ -1,0 +1,170 @@
+package pdftsp
+
+// End-to-end integration tests across the whole stack: determinism,
+// cross-algorithm welfare ordering, failure recovery through the facade,
+// and multi-zone routing.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/baseline"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/zones"
+)
+
+// integrationWorkload builds a moderately loaded shared scenario.
+func integrationWorkload(t *testing.T) ([]Task, ModelConfig, Horizon, *Marketplace) {
+	t.Helper()
+	model := GPT2Small()
+	h := NewHorizon(72)
+	cfg := DefaultWorkload()
+	cfg.Horizon = h
+	cfg.RatePerSlot = 4
+	cfg.Seed = 77
+	tasks, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := NewMarketplace(4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tasks, model, h, mkt
+}
+
+func runAlgo(t *testing.T, mk func(cl *Cluster, tasks []Task) (Scheduler, error)) *RunResult {
+	t.Helper()
+	tasks, model, h, mkt := integrationWorkload(t)
+	cl, err := NewCluster(h, model,
+		NodeGroup{Spec: A100(), Count: 2}, NodeGroup{Spec: A40(), Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := mk(cl, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cl, sched, tasks, RunConfig{Model: model, Market: mkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() *RunResult {
+		return runAlgo(t, func(cl *Cluster, tasks []Task) (Scheduler, error) {
+			return NewScheduler(cl, Calibrate(tasks, GPT2Small(), cl, nil))
+		})
+	}
+	a, b := run(), run()
+	if a.Welfare != b.Welfare || a.Admitted != b.Admitted || a.Revenue != b.Revenue {
+		t.Fatalf("non-deterministic runs: %v/%d/%v vs %v/%d/%v",
+			a.Welfare, a.Admitted, a.Revenue, b.Welfare, b.Admitted, b.Revenue)
+	}
+}
+
+func TestIntegrationWelfareOrdering(t *testing.T) {
+	pd := runAlgo(t, func(cl *Cluster, tasks []Task) (Scheduler, error) {
+		return NewScheduler(cl, Calibrate(tasks, GPT2Small(), cl, nil))
+	})
+	titan := runAlgo(t, func(cl *Cluster, tasks []Task) (Scheduler, error) {
+		return NewTitan(TitanOptions{Seed: 1, SolveBudget: 40 * time.Millisecond}), nil
+	})
+	eft := runAlgo(t, func(*Cluster, []Task) (Scheduler, error) { return NewEFT(), nil })
+	ntm := runAlgo(t, func(*Cluster, []Task) (Scheduler, error) { return NewNTM(1), nil })
+
+	// The evaluation's headline ordering at moderate load. Titan and
+	// pdFTSP can be close; EFT and NTM must trail.
+	if pd.Welfare <= eft.Welfare {
+		t.Errorf("pdFTSP %v not above EFT %v", pd.Welfare, eft.Welfare)
+	}
+	if pd.Welfare <= ntm.Welfare {
+		t.Errorf("pdFTSP %v not above NTM %v", pd.Welfare, ntm.Welfare)
+	}
+	if eft.Welfare <= ntm.Welfare {
+		t.Errorf("EFT %v not above NTM %v (multi-LoRA sharing)", eft.Welfare, ntm.Welfare)
+	}
+	if titan.Welfare <= ntm.Welfare {
+		t.Errorf("Titan %v not above NTM %v", titan.Welfare, ntm.Welfare)
+	}
+}
+
+func TestIntegrationAdaptiveCloseToOracle(t *testing.T) {
+	oracle := runAlgo(t, func(cl *Cluster, tasks []Task) (Scheduler, error) {
+		return NewScheduler(cl, Calibrate(tasks, GPT2Small(), cl, nil))
+	})
+	adaptive := runAlgo(t, func(cl *Cluster, tasks []Task) (Scheduler, error) {
+		return core.NewAdaptive(cl, core.Options{}, 1.3)
+	})
+	if adaptive.Welfare < 0.5*oracle.Welfare {
+		t.Fatalf("adaptive welfare %v collapsed versus oracle %v", adaptive.Welfare, oracle.Welfare)
+	}
+}
+
+func TestIntegrationTitanWithFailures(t *testing.T) {
+	tasks, model, h, mkt := integrationWorkload(t)
+	cl, err := NewCluster(h, model, NodeGroup{Spec: A100(), Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	titan := NewTitan(TitanOptions{Seed: 1, SolveBudget: 30 * time.Millisecond})
+	res, err := Run(cl, titan, tasks, RunConfig{
+		Model:  model,
+		Market: mkt,
+		Failures: []sim.Failure{
+			{Node: 0, From: 30, To: 50},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailuresInjected != 1 {
+		t.Fatal("failure not injected through batch scheduler path")
+	}
+	// Downed node truly empty during the outage.
+	for tt := 30; tt <= 50; tt++ {
+		if cl.UsedWork(0, tt) != 0 {
+			t.Fatalf("work remains on downed node at slot %d", tt)
+		}
+	}
+}
+
+func TestIntegrationZonesThroughStack(t *testing.T) {
+	_, _, h, mkt := integrationWorkload(t)
+	mkZone := func(model lora.ModelConfig) *zones.Zone {
+		cl, err := NewCluster(h, model, NodeGroup{Spec: A100(), Count: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Welfare-checked EFT: the plain baseline admits welfare-negative
+		// tasks by design, which would make total zone welfare sign-noisy.
+		var sched sim.Scheduler = baseline.NewEFT().WithWelfareCheck()
+		return &zones.Zone{Model: model, Cluster: cl, Scheduler: sched, Market: mkt}
+	}
+	r, err := zones.NewRouter(mkZone(GPT2Small()), mkZone(GPT2Medium()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := DefaultWorkload()
+	wcfg.Horizon = h
+	wcfg.RatePerSlot = 3
+	wcfg.Models = []TraceModelShare{
+		{Model: GPT2Small(), Weight: 0.5},
+		{Model: GPT2Medium(), Weight: 0.5},
+	}
+	tasks, err := GenerateWorkload(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := zones.Run(r, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unroutable != 0 || res.TotalWelfare <= 0 {
+		t.Fatalf("zones run broken: %+v", res)
+	}
+}

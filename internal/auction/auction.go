@@ -1,0 +1,144 @@
+// Package auction hosts the economic-property harnesses behind Figures 10
+// and 11 of the paper: counterfactual bid sweeps establishing truthfulness
+// (Theorem 3) and bid-versus-payment audits establishing individual
+// rationality (Theorem 4).
+//
+// Both harnesses replay a fixed background workload through a fresh
+// scheduler for every counterfactual, so the focal bid faces exactly the
+// same resource prices in every branch — the ceteris-paribus condition
+// the theorems quantify over.
+package auction
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// Offerer is the minimal scheduler surface the harness needs.
+type Offerer interface {
+	Offer(env *schedule.TaskEnv) schedule.Decision
+}
+
+// Scenario fixes everything except the focal bid.
+type Scenario struct {
+	// MakeCluster builds a fresh cluster (fresh ledger) per branch.
+	MakeCluster func() (*cluster.Cluster, error)
+	// MakeScheduler builds a fresh scheduler bound to the cluster.
+	MakeScheduler func(cl *cluster.Cluster) (Offerer, error)
+	// Background tasks are replayed, in order, before the focal bid.
+	Background []task.Task
+	// Focal is the bid under study; its Bid field is overridden by the
+	// sweep, its TrueValue is held fixed.
+	Focal task.Task
+	// Model and Market parameterize TaskEnv construction.
+	Model  lora.ModelConfig
+	Market *vendor.Marketplace
+}
+
+// RunFocal replays the background and then offers the focal task with the
+// given bid, returning its decision.
+func (s *Scenario) RunFocal(bid float64) (schedule.Decision, error) {
+	cl, err := s.MakeCluster()
+	if err != nil {
+		return schedule.Decision{}, err
+	}
+	sched, err := s.MakeScheduler(cl)
+	if err != nil {
+		return schedule.Decision{}, err
+	}
+	for i := range s.Background {
+		env := schedule.NewTaskEnv(&s.Background[i], cl, s.Model, s.Market)
+		sched.Offer(env)
+	}
+	focal := s.Focal
+	focal.Bid = bid
+	env := schedule.NewTaskEnv(&focal, cl, s.Model, s.Market)
+	return sched.Offer(env), nil
+}
+
+// SweepPoint is one counterfactual outcome of the truthfulness sweep.
+type SweepPoint struct {
+	Bid     float64
+	Won     bool
+	Payment float64
+	// Utility is v_i − p_i if the bid won, else 0 (Definition 1).
+	Utility float64
+}
+
+// TruthfulnessSweep evaluates the focal task's utility across bids, with
+// the true valuation fixed at Scenario.Focal.TrueValue (Figure 10).
+func TruthfulnessSweep(s *Scenario, bids []float64) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(bids))
+	for _, bid := range bids {
+		d, err := s.RunFocal(bid)
+		if err != nil {
+			return nil, err
+		}
+		pt := SweepPoint{Bid: bid, Won: d.Admitted, Payment: d.Payment}
+		if d.Admitted {
+			pt.Utility = s.Focal.TrueValue - d.Payment
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// VerifyTruthful checks Definition 2 on sweep output: no bid achieves
+// utility above the truthful bid's utility (within tol).
+func VerifyTruthful(points []SweepPoint, trueValue, truthfulUtility, tol float64) error {
+	for _, pt := range points {
+		if pt.Utility > truthfulUtility+tol {
+			return fmt.Errorf("auction: bid %v yields utility %v > truthful %v (v=%v)",
+				pt.Bid, pt.Utility, truthfulUtility, trueValue)
+		}
+	}
+	return nil
+}
+
+// IRPair is one winning bid's (bid, payment) pair for Figure 11.
+type IRPair struct {
+	TaskID  int
+	Bid     float64
+	Payment float64
+}
+
+// RationalityAudit samples n winning bids from a run's decisions and
+// returns their bid/payment pairs; callers assert Payment ≤ Bid.
+func RationalityAudit(decisions []schedule.Decision, tasks []task.Task, n int, seed int64) []IRPair {
+	var winners []IRPair
+	for i := range decisions {
+		if decisions[i].Admitted && i < len(tasks) {
+			winners = append(winners, IRPair{
+				TaskID:  tasks[i].ID,
+				Bid:     tasks[i].Bid,
+				Payment: decisions[i].Payment,
+			})
+		}
+	}
+	if n >= len(winners) {
+		return winners
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(winners), func(i, j int) { winners[i], winners[j] = winners[j], winners[i] })
+	winners = winners[:n]
+	sort.Slice(winners, func(i, j int) bool { return winners[i].TaskID < winners[j].TaskID })
+	return winners
+}
+
+// VerifyIR checks Definition 3 over the audit: every winner pays at most
+// its bid.
+func VerifyIR(pairs []IRPair, tol float64) error {
+	for _, p := range pairs {
+		if p.Payment > p.Bid+tol {
+			return fmt.Errorf("auction: task %d pays %v above its bid %v", p.TaskID, p.Payment, p.Bid)
+		}
+	}
+	return nil
+}

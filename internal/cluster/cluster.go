@@ -1,0 +1,312 @@
+// Package cluster models the provider's GPU data center: the set of compute
+// nodes, their per-slot compute and memory capacities, the multi-LoRA base
+// model residency, the time-varying unit energy cost, and the committed
+// resource ledger that enforces constraints (4f) and (4g) of the paper.
+//
+// Compute is measured in integer "work units" (1 unit = 1,000 training
+// samples; see DESIGN.md Section 5), which keeps the Algorithm-2 dynamic
+// program exact. Memory is measured in GB as a float.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+// Node is one compute node k with capacities C_kp (work units per slot)
+// and C_km (GB).
+type Node struct {
+	// ID is the node index within its cluster.
+	ID int
+	// Spec is the GPU model installed on this node.
+	Spec gpu.Spec
+	// CapWork is C_kp: the maximum work units the node can process per
+	// slot, aggregated across all co-located LoRA tasks.
+	CapWork int
+	// CapMemGB is C_km: the total device memory in GB.
+	CapMemGB float64
+}
+
+// Cluster is the provider's set of nodes over a slotted horizon, plus the
+// committed-usage ledger.
+type Cluster struct {
+	nodes    []Node
+	horizon  timeslot.Horizon
+	baseGB   float64 // r_b: the shared pre-trained model replica per node
+	usedWork [][]int
+	usedMem  [][]float64
+	tasksOn  [][]int // number of distinct task-slots committed (for NTM and reporting)
+	unitCost [][]float64
+	// down marks (node, slot) cells unavailable due to injected failures;
+	// nil until the first SetDown call.
+	down [][]bool
+}
+
+// Config configures a new cluster.
+type Config struct {
+	// Horizon is the slotted time horizon.
+	Horizon timeslot.Horizon
+	// BaseModelGB is r_b, the memory held by the shared pre-trained model
+	// replica on every node that hosts at least one task.
+	BaseModelGB float64
+	// Price is the electricity price curve; nil means the default diurnal
+	// curve.
+	Price gpu.PriceCurve
+}
+
+// New builds a cluster from the given nodes. Node IDs are reassigned to
+// their slice positions. It returns an error if any node is invalid or if
+// the base model cannot fit on some node.
+func New(cfg Config, nodes []Node) (*Cluster, error) {
+	if cfg.Horizon.T <= 0 {
+		return nil, fmt.Errorf("cluster: horizon must have positive T, got %d", cfg.Horizon.T)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.BaseModelGB < 0 {
+		return nil, fmt.Errorf("cluster: negative base model size %v", cfg.BaseModelGB)
+	}
+	price := cfg.Price
+	if price == nil {
+		price = gpu.DefaultDiurnal()
+	}
+	c := &Cluster{
+		nodes:   make([]Node, len(nodes)),
+		horizon: cfg.Horizon,
+		baseGB:  cfg.BaseModelGB,
+	}
+	copy(c.nodes, nodes)
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		n.ID = i
+		if err := n.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		if n.CapWork <= 0 {
+			return nil, fmt.Errorf("cluster: node %d has non-positive compute capacity %d", i, n.CapWork)
+		}
+		if n.CapMemGB <= cfg.BaseModelGB {
+			return nil, fmt.Errorf("cluster: node %d memory %v cannot hold base model %v and any task",
+				i, n.CapMemGB, cfg.BaseModelGB)
+		}
+	}
+	K, T := len(c.nodes), cfg.Horizon.T
+	c.usedWork = make([][]int, K)
+	c.usedMem = make([][]float64, K)
+	c.tasksOn = make([][]int, K)
+	c.unitCost = make([][]float64, K)
+	workBack := make([]int, K*T)
+	memBack := make([]float64, K*T)
+	cntBack := make([]int, K*T)
+	costBack := make([]float64, K*T)
+	for k := 0; k < K; k++ {
+		c.usedWork[k], workBack = workBack[:T:T], workBack[T:]
+		c.usedMem[k], memBack = memBack[:T:T], memBack[T:]
+		c.tasksOn[k], cntBack = cntBack[:T:T], cntBack[T:]
+		c.unitCost[k], costBack = costBack[:T:T], costBack[T:]
+		for t := 0; t < T; t++ {
+			// e_ikt = (s_ik / C_kp) * hourlyRate * mult(t) * slot hours
+			//       = s_ik * unitCost[k][t].
+			c.unitCost[k][t] = gpu.OpCostPerSlot(c.nodes[k].Spec, price, cfg.Horizon, t) /
+				float64(c.nodes[k].CapWork)
+		}
+	}
+	return c, nil
+}
+
+// Uniform builds n identical nodes with the given spec and capacities.
+func Uniform(n int, spec gpu.Spec, capWork int, capMemGB float64) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, Spec: spec, CapWork: capWork, CapMemGB: capMemGB}
+	}
+	return nodes
+}
+
+// NumNodes returns K.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Horizon returns the cluster's time horizon.
+func (c *Cluster) Horizon() timeslot.Horizon { return c.horizon }
+
+// Node returns node k by value.
+func (c *Cluster) Node(k int) Node { return c.nodes[k] }
+
+// Nodes returns a copy of the node list.
+func (c *Cluster) Nodes() []Node {
+	out := make([]Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// BaseModelGB returns r_b.
+func (c *Cluster) BaseModelGB() float64 { return c.baseGB }
+
+// TaskMemCap returns the memory available to tasks on node k, i.e.
+// C_km − r_b per constraint (4g).
+func (c *Cluster) TaskMemCap(k int) float64 { return c.nodes[k].CapMemGB - c.baseGB }
+
+// UnitEnergyCost returns the dollar cost per work unit on node k at slot t.
+// Executing s_ik units costs s_ik times this value, the paper's e_ikt.
+func (c *Cluster) UnitEnergyCost(k, t int) float64 { return c.unitCost[k][t] }
+
+// EnergyCost returns e_ikt for a task running at work units per slot on
+// node k at slot t.
+func (c *Cluster) EnergyCost(k, t, workUnits int) float64 {
+	return float64(workUnits) * c.unitCost[k][t]
+}
+
+// UsedWork returns the committed work units on node k at slot t.
+func (c *Cluster) UsedWork(k, t int) int { return c.usedWork[k][t] }
+
+// UsedMem returns the committed task memory (GB, excluding the base model)
+// on node k at slot t.
+func (c *Cluster) UsedMem(k, t int) float64 { return c.usedMem[k][t] }
+
+// TasksOn returns how many committed task-slots occupy node k at slot t.
+func (c *Cluster) TasksOn(k, t int) int { return c.tasksOn[k][t] }
+
+// CanPlace reports whether node k at slot t can additionally host a task
+// consuming workUnits compute and memGB memory without violating (4f)/(4g).
+func (c *Cluster) CanPlace(k, t, workUnits int, memGB float64) bool {
+	if !c.horizon.Contains(t) || k < 0 || k >= len(c.nodes) {
+		return false
+	}
+	if c.IsDown(k, t) {
+		return false
+	}
+	if c.usedWork[k][t]+workUnits > c.nodes[k].CapWork {
+		return false
+	}
+	const eps = 1e-9
+	return c.usedMem[k][t]+memGB <= c.TaskMemCap(k)+eps
+}
+
+// RemainingWork returns the free compute capacity on node k at slot t.
+func (c *Cluster) RemainingWork(k, t int) int {
+	if c.IsDown(k, t) {
+		return 0
+	}
+	return c.nodes[k].CapWork - c.usedWork[k][t]
+}
+
+// RemainingMem returns the free task memory on node k at slot t.
+func (c *Cluster) RemainingMem(k, t int) float64 {
+	if c.IsDown(k, t) {
+		return 0
+	}
+	return c.TaskMemCap(k) - c.usedMem[k][t]
+}
+
+// SetDown marks node k unavailable for slots [from, to] (clipped to the
+// horizon). Failure injection uses it; CanPlace, RemainingWork, and
+// RemainingMem report the cell as full afterwards.
+func (c *Cluster) SetDown(k, from, to int) {
+	if k < 0 || k >= len(c.nodes) {
+		return
+	}
+	if c.down == nil {
+		c.down = make([][]bool, len(c.nodes))
+		back := make([]bool, len(c.nodes)*c.horizon.T)
+		for i := range c.down {
+			c.down[i], back = back[:c.horizon.T:c.horizon.T], back[c.horizon.T:]
+		}
+	}
+	w := (timeslot.Window{Start: from, End: to}).ClipTo(c.horizon)
+	for t := w.Start; t <= w.End && w.Len() > 0; t++ {
+		c.down[k][t] = true
+	}
+}
+
+// IsDown reports whether node k is failed at slot t.
+func (c *Cluster) IsDown(k, t int) bool {
+	return c.down != nil && c.horizon.Contains(t) && c.down[k][t]
+}
+
+// Commit reserves workUnits and memGB on node k at slot t. It does not
+// check capacity: Algorithm 1 deliberately lets the "almost-feasible"
+// bookkeeping exceed capacity for at most one task per (k,t) (Lemma 2), so
+// callers decide whether to check CanPlace first.
+func (c *Cluster) Commit(k, t, workUnits int, memGB float64) {
+	c.usedWork[k][t] += workUnits
+	c.usedMem[k][t] += memGB
+	c.tasksOn[k][t]++
+}
+
+// Release undoes a Commit with the same arguments.
+func (c *Cluster) Release(k, t, workUnits int, memGB float64) {
+	c.usedWork[k][t] -= workUnits
+	c.usedMem[k][t] -= memGB
+	c.tasksOn[k][t]--
+	if c.usedWork[k][t] < 0 || c.usedMem[k][t] < -1e-9 || c.tasksOn[k][t] < 0 {
+		panic(fmt.Sprintf("cluster: release below zero on node %d slot %d", k, t))
+	}
+}
+
+// Reset clears the committed ledger.
+func (c *Cluster) Reset() {
+	for k := range c.usedWork {
+		for t := range c.usedWork[k] {
+			c.usedWork[k][t] = 0
+			c.usedMem[k][t] = 0
+			c.tasksOn[k][t] = 0
+		}
+	}
+}
+
+// Clone returns a deep copy of the cluster, including the ledger. Schedulers
+// use clones for counterfactual runs (e.g., the truthfulness sweep).
+func (c *Cluster) Clone() *Cluster {
+	K, T := len(c.nodes), c.horizon.T
+	out := &Cluster{
+		nodes:   make([]Node, K),
+		horizon: c.horizon,
+		baseGB:  c.baseGB,
+	}
+	copy(out.nodes, c.nodes)
+	out.usedWork = make([][]int, K)
+	out.usedMem = make([][]float64, K)
+	out.tasksOn = make([][]int, K)
+	out.unitCost = make([][]float64, K)
+	for k := 0; k < K; k++ {
+		out.usedWork[k] = append(make([]int, 0, T), c.usedWork[k]...)
+		out.usedMem[k] = append(make([]float64, 0, T), c.usedMem[k]...)
+		out.tasksOn[k] = append(make([]int, 0, T), c.tasksOn[k]...)
+		out.unitCost[k] = append(make([]float64, 0, T), c.unitCost[k]...)
+	}
+	if c.down != nil {
+		out.down = make([][]bool, K)
+		for k := 0; k < K; k++ {
+			out.down[k] = append(make([]bool, 0, T), c.down[k]...)
+		}
+	}
+	return out
+}
+
+// TotalCapacityWork returns T * Σ_k C_kp, the knapsack capacity from the
+// paper's NP-hardness reduction (Theorem 1).
+func (c *Cluster) TotalCapacityWork() int {
+	sum := 0
+	for _, n := range c.nodes {
+		sum += n.CapWork
+	}
+	return sum * c.horizon.T
+}
+
+// Utilization returns the fraction of total compute capacity committed.
+func (c *Cluster) Utilization() float64 {
+	total, used := 0, 0
+	for k, n := range c.nodes {
+		total += n.CapWork * c.horizon.T
+		for t := 0; t < c.horizon.T; t++ {
+			used += c.usedWork[k][t]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Horizon:     timeslot.NewHorizon(12),
+		BaseModelGB: 2,
+		Price:       gpu.FlatPrice(1),
+	}, Uniform(3, gpu.A100, 40, 80))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	h := timeslot.NewHorizon(4)
+	nodes := Uniform(1, gpu.A100, 40, 80)
+	cases := []struct {
+		name  string
+		cfg   Config
+		nodes []Node
+	}{
+		{"zero horizon", Config{Horizon: timeslot.Horizon{T: 0}}, nodes},
+		{"no nodes", Config{Horizon: h}, nil},
+		{"negative base", Config{Horizon: h, BaseModelGB: -1}, nodes},
+		{"zero capacity", Config{Horizon: h}, Uniform(1, gpu.A100, 0, 80)},
+		{"base exceeds memory", Config{Horizon: h, BaseModelGB: 80}, nodes},
+		{"invalid spec", Config{Horizon: h}, []Node{{Spec: gpu.Spec{}, CapWork: 1, CapMemGB: 8}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg, c.nodes); err == nil {
+			t.Errorf("%s: New accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestNodeIDsReassigned(t *testing.T) {
+	c := testCluster(t)
+	for k := 0; k < c.NumNodes(); k++ {
+		if c.Node(k).ID != k {
+			t.Fatalf("node %d has ID %d", k, c.Node(k).ID)
+		}
+	}
+}
+
+func TestTaskMemCap(t *testing.T) {
+	c := testCluster(t)
+	if got := c.TaskMemCap(0); got != 78 {
+		t.Fatalf("TaskMemCap = %v, want 78", got)
+	}
+}
+
+func TestEnergyCostScalesWithWork(t *testing.T) {
+	c := testCluster(t)
+	// Full-load cost per slot: hourly rate times 1/6 h.
+	full := gpu.A100.HourlyRate() * (1.0 / 6.0)
+	if got := c.EnergyCost(0, 0, 40); math.Abs(got-full) > 1e-12 {
+		t.Fatalf("full-capacity energy = %v, want %v", got, full)
+	}
+	if got := c.EnergyCost(0, 0, 20); math.Abs(got-full/2) > 1e-12 {
+		t.Fatalf("half-capacity energy = %v, want %v", got, full/2)
+	}
+	if got := c.EnergyCost(0, 0, 0); got != 0 {
+		t.Fatalf("zero work should cost zero, got %v", got)
+	}
+}
+
+func TestCommitReleaseRoundTrip(t *testing.T) {
+	c := testCluster(t)
+	c.Commit(1, 5, 10, 4.0)
+	if c.UsedWork(1, 5) != 10 || c.UsedMem(1, 5) != 4.0 || c.TasksOn(1, 5) != 1 {
+		t.Fatal("commit not recorded")
+	}
+	if c.RemainingWork(1, 5) != 30 {
+		t.Fatalf("RemainingWork = %d, want 30", c.RemainingWork(1, 5))
+	}
+	c.Release(1, 5, 10, 4.0)
+	if c.UsedWork(1, 5) != 0 || c.UsedMem(1, 5) != 0 || c.TasksOn(1, 5) != 0 {
+		t.Fatal("release did not undo commit")
+	}
+}
+
+func TestReleaseBelowZeroPanics(t *testing.T) {
+	c := testCluster(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release below zero did not panic")
+		}
+	}()
+	c.Release(0, 0, 1, 0)
+}
+
+func TestCanPlace(t *testing.T) {
+	c := testCluster(t)
+	if !c.CanPlace(0, 0, 40, 78) {
+		t.Fatal("exact-fit placement should be allowed")
+	}
+	if c.CanPlace(0, 0, 41, 1) {
+		t.Fatal("over-compute placement should be rejected")
+	}
+	if c.CanPlace(0, 0, 1, 78.5) {
+		t.Fatal("over-memory placement should be rejected")
+	}
+	if c.CanPlace(-1, 0, 1, 1) || c.CanPlace(3, 0, 1, 1) || c.CanPlace(0, 12, 1, 1) || c.CanPlace(0, -1, 1, 1) {
+		t.Fatal("out-of-range node/slot should be rejected")
+	}
+	c.Commit(0, 0, 35, 70)
+	if c.CanPlace(0, 0, 10, 1) {
+		t.Fatal("placement beyond remaining compute should be rejected")
+	}
+	if !c.CanPlace(0, 0, 5, 8) {
+		t.Fatal("placement within remaining capacity should be allowed")
+	}
+}
+
+func TestResetClearsLedger(t *testing.T) {
+	c := testCluster(t)
+	c.Commit(2, 3, 7, 3.5)
+	c.Reset()
+	if c.UsedWork(2, 3) != 0 || c.UsedMem(2, 3) != 0 || c.TasksOn(2, 3) != 0 {
+		t.Fatal("Reset did not clear ledger")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := testCluster(t)
+	c.Commit(0, 1, 5, 2)
+	d := c.Clone()
+	d.Commit(0, 1, 5, 2)
+	if c.UsedWork(0, 1) != 5 {
+		t.Fatal("mutating clone changed original")
+	}
+	if d.UsedWork(0, 1) != 10 {
+		t.Fatal("clone did not copy ledger state")
+	}
+	if d.UnitEnergyCost(0, 1) != c.UnitEnergyCost(0, 1) {
+		t.Fatal("clone lost cost table")
+	}
+}
+
+func TestTotalCapacityWork(t *testing.T) {
+	c := testCluster(t)
+	if got := c.TotalCapacityWork(); got != 3*40*12 {
+		t.Fatalf("TotalCapacityWork = %d, want %d", got, 3*40*12)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := testCluster(t)
+	if u := c.Utilization(); u != 0 {
+		t.Fatalf("fresh cluster utilization = %v", u)
+	}
+	c.Commit(0, 0, 40, 1)
+	want := 40.0 / float64(3*40*12)
+	if u := c.Utilization(); math.Abs(u-want) > 1e-12 {
+		t.Fatalf("utilization = %v, want %v", u, want)
+	}
+}
+
+func TestCommitReleaseNeverNegativeProperty(t *testing.T) {
+	c := testCluster(t)
+	f := func(k, t uint8, w uint8, m uint8) bool {
+		kk, tt := int(k)%3, int(t)%12
+		work, mem := int(w%20), float64(m%10)
+		c.Commit(kk, tt, work, mem)
+		c.Release(kk, tt, work, mem)
+		return c.UsedWork(kk, tt) >= 0 && c.UsedMem(kk, tt) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalCostVariesOverDay(t *testing.T) {
+	c, err := New(Config{
+		Horizon:     timeslot.Day(),
+		BaseModelGB: 2,
+	}, Uniform(1, gpu.A40, 20, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UnitEnergyCost(0, 0) == c.UnitEnergyCost(0, 36) {
+		t.Fatal("default diurnal curve should vary unit cost over the day")
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+func TestSetDownBlocksPlacement(t *testing.T) {
+	c := testCluster(t) // 3 nodes, 12 slots
+	if c.IsDown(0, 5) {
+		t.Fatal("fresh cluster reports down")
+	}
+	c.SetDown(0, 4, 6)
+	for tt := 4; tt <= 6; tt++ {
+		if !c.IsDown(0, tt) {
+			t.Fatalf("slot %d not down", tt)
+		}
+		if c.CanPlace(0, tt, 1, 1) {
+			t.Fatalf("CanPlace allowed a downed cell at slot %d", tt)
+		}
+		if c.RemainingWork(0, tt) != 0 || c.RemainingMem(0, tt) != 0 {
+			t.Fatalf("downed cell reports remaining capacity at slot %d", tt)
+		}
+	}
+	// Neighboring slots and nodes unaffected.
+	if c.IsDown(0, 3) || c.IsDown(0, 7) || c.IsDown(1, 5) {
+		t.Fatal("down range leaked")
+	}
+	if !c.CanPlace(1, 5, 1, 1) {
+		t.Fatal("healthy node affected by another node's outage")
+	}
+}
+
+func TestSetDownClipsAndIgnoresBadInput(t *testing.T) {
+	c := testCluster(t)
+	c.SetDown(-1, 0, 5) // ignored
+	c.SetDown(9, 0, 5)  // ignored
+	c.SetDown(0, -3, 100)
+	if !c.IsDown(0, 0) || !c.IsDown(0, 11) {
+		t.Fatal("clipped range not applied")
+	}
+	if c.IsDown(0, 12) || c.IsDown(0, -1) {
+		t.Fatal("IsDown out of horizon should be false")
+	}
+}
+
+func TestCloneCopiesDownState(t *testing.T) {
+	c := testCluster(t)
+	c.SetDown(2, 1, 3)
+	d := c.Clone()
+	if !d.IsDown(2, 2) {
+		t.Fatal("clone lost down state")
+	}
+	d.SetDown(2, 8, 9)
+	if c.IsDown(2, 8) {
+		t.Fatal("clone down state aliased original")
+	}
+	// Cloning a cluster without any outage keeps down nil-cheap.
+	e := testCluster(t).Clone()
+	if e.IsDown(0, 0) {
+		t.Fatal("fresh clone reports down")
+	}
+}
+
+func TestDownCellStillAccountsExistingCommitments(t *testing.T) {
+	// A failure does not erase history: committed work before SetDown
+	// stays in the ledger (the failure handler releases it explicitly).
+	c, err := New(Config{
+		Horizon:     timeslot.NewHorizon(8),
+		BaseModelGB: 2,
+		Price:       gpu.FlatPrice(1),
+	}, Uniform(1, gpu.A100, 86, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Commit(0, 2, 20, 5)
+	c.SetDown(0, 2, 4)
+	if c.UsedWork(0, 2) != 20 {
+		t.Fatal("SetDown erased the ledger")
+	}
+	c.Release(0, 2, 20, 5)
+	if c.UsedWork(0, 2) != 0 {
+		t.Fatal("release on downed cell failed")
+	}
+}

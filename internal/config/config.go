@@ -1,0 +1,324 @@
+// Package config defines the JSON configuration format for simulation
+// runs — the declarative surface of cmd/pdftsp-sim. A config file pins
+// down the cluster composition, the workload, the marketplace, and the
+// scheduling algorithm, and Build turns it into ready-to-run objects.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/baseline"
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// NodeGroup is a homogeneous group of compute nodes.
+type NodeGroup struct {
+	// GPU names a catalog spec: "A100-80G", "A40-48G", "V100-32G".
+	GPU string `json:"gpu"`
+	// Count is the number of nodes in the group.
+	Count int `json:"count"`
+}
+
+// Workload configures trace generation.
+type Workload struct {
+	// Arrivals is "poisson", "mlaas", "philly", or "helios".
+	Arrivals string `json:"arrivals"`
+	// RatePerSlot is the mean arrivals per slot.
+	RatePerSlot float64 `json:"rate_per_slot"`
+	// Deadlines is "tight", "medium", or "slack".
+	Deadlines string `json:"deadlines"`
+	// PrepProb is the probability a task needs pre-processing.
+	PrepProb *float64 `json:"prep_prob,omitempty"`
+	// ValuePerUnit optionally overrides the [min,max] valuation range.
+	ValuePerUnit *[2]float64 `json:"value_per_unit,omitempty"`
+}
+
+// Algorithm selects and tunes a scheduler.
+type Algorithm struct {
+	// Name is "pdftsp", "pdftsp-adaptive", "titan", "eft", or "ntm".
+	Name string `json:"name"`
+	// MaskFullCells enables the capacity-aware DP extension (pdftsp).
+	MaskFullCells bool `json:"mask_full_cells,omitempty"`
+	// ChargeEnergy includes operational cost in payments (pdftsp).
+	ChargeEnergy bool `json:"charge_energy,omitempty"`
+	// DualRule is "paper", "additive", or "multiplicative" (pdftsp).
+	DualRule string `json:"dual_rule,omitempty"`
+	// Safety is the adaptive estimator's headroom (pdftsp-adaptive).
+	Safety float64 `json:"safety,omitempty"`
+	// TitanBudgetMS is the per-slot MILP budget (titan).
+	TitanBudgetMS int `json:"titan_budget_ms,omitempty"`
+}
+
+// Config is a complete simulation specification.
+type Config struct {
+	// Slots is the horizon length (default 144).
+	Slots int `json:"slots"`
+	// Seed drives all randomness.
+	Seed int64 `json:"seed"`
+	// Model is "gpt2-small" or "gpt2-medium".
+	Model string `json:"model"`
+	// Nodes lists the cluster composition.
+	Nodes []NodeGroup `json:"nodes"`
+	// Vendors is the labor-vendor count (default 5).
+	Vendors int `json:"vendors"`
+	// Workload configures arrivals.
+	Workload Workload `json:"workload"`
+	// Algorithm selects the scheduler.
+	Algorithm Algorithm `json:"algorithm"`
+	// Execute runs the scaled-down multi-LoRA training batch.
+	Execute bool `json:"execute,omitempty"`
+}
+
+// Default returns a runnable configuration.
+func Default() Config {
+	return Config{
+		Slots: timeslot.DefaultHorizonSlots,
+		Seed:  1,
+		Model: "gpt2-small",
+		Nodes: []NodeGroup{
+			{GPU: gpu.A100.Name, Count: 4},
+			{GPU: gpu.A40.Name, Count: 4},
+		},
+		Vendors: 5,
+		Workload: Workload{
+			Arrivals:    "poisson",
+			RatePerSlot: 5,
+			Deadlines:   "medium",
+		},
+		Algorithm: Algorithm{Name: "pdftsp"},
+	}
+}
+
+// Load reads a JSON config, rejecting unknown fields so typos fail loudly.
+func Load(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	return c, c.Validate()
+}
+
+// LoadFile reads a JSON config from disk.
+func LoadFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the config as indented JSON.
+func (c Config) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Validate checks the configuration before building.
+func (c Config) Validate() error {
+	if c.Slots <= 0 {
+		return fmt.Errorf("config: slots must be positive, got %d", c.Slots)
+	}
+	if _, err := c.model(); err != nil {
+		return err
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("config: no node groups")
+	}
+	for i, g := range c.Nodes {
+		if _, ok := gpu.ByName(g.GPU); !ok {
+			return fmt.Errorf("config: node group %d: unknown GPU %q", i, g.GPU)
+		}
+		if g.Count <= 0 {
+			return fmt.Errorf("config: node group %d: non-positive count %d", i, g.Count)
+		}
+	}
+	if c.Vendors < 0 {
+		return fmt.Errorf("config: negative vendor count %d", c.Vendors)
+	}
+	if _, err := arrivalKind(c.Workload.Arrivals); err != nil {
+		return err
+	}
+	if _, err := deadlinePolicy(c.Workload.Deadlines); err != nil {
+		return err
+	}
+	if c.Workload.RatePerSlot < 0 {
+		return fmt.Errorf("config: negative arrival rate %v", c.Workload.RatePerSlot)
+	}
+	switch c.Algorithm.Name {
+	case "pdftsp", "pdftsp-adaptive", "titan", "eft", "ntm":
+	default:
+		return fmt.Errorf("config: unknown algorithm %q", c.Algorithm.Name)
+	}
+	if _, err := dualRule(c.Algorithm.DualRule); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c Config) model() (lora.ModelConfig, error) {
+	switch c.Model {
+	case "", "gpt2-small":
+		return lora.GPT2Small(), nil
+	case "gpt2-medium":
+		return lora.GPT2Medium(), nil
+	default:
+		return lora.ModelConfig{}, fmt.Errorf("config: unknown model %q", c.Model)
+	}
+}
+
+func arrivalKind(s string) (trace.ArrivalKind, error) {
+	switch s {
+	case "", "poisson":
+		return trace.Poisson, nil
+	case "mlaas":
+		return trace.MLaaSLike, nil
+	case "philly":
+		return trace.PhillyLike, nil
+	case "helios":
+		return trace.HeliosLike, nil
+	default:
+		return 0, fmt.Errorf("config: unknown arrival process %q", s)
+	}
+}
+
+func deadlinePolicy(s string) (trace.DeadlinePolicy, error) {
+	switch s {
+	case "tight":
+		return trace.TightDeadlines, nil
+	case "", "medium":
+		return trace.MediumDeadlines, nil
+	case "slack":
+		return trace.SlackDeadlines, nil
+	default:
+		return 0, fmt.Errorf("config: unknown deadline policy %q", s)
+	}
+}
+
+func dualRule(s string) (core.DualRule, error) {
+	switch s {
+	case "", "paper":
+		return core.PaperRule, nil
+	case "additive":
+		return core.AdditiveOnly, nil
+	case "multiplicative":
+		return core.MultiplicativeOnly, nil
+	default:
+		return 0, fmt.Errorf("config: unknown dual rule %q", s)
+	}
+}
+
+// Built is the runnable realization of a Config.
+type Built struct {
+	Horizon   timeslot.Horizon
+	Model     lora.ModelConfig
+	Cluster   *cluster.Cluster
+	Market    *vendor.Marketplace
+	Tasks     []task.Task
+	Scheduler sim.Scheduler
+	SimConfig sim.Config
+}
+
+// Build realizes the configuration.
+func (c Config) Build() (*Built, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	h := timeslot.NewHorizon(c.Slots)
+	model, _ := c.model()
+
+	var nodes []cluster.Node
+	for _, g := range c.Nodes {
+		spec, _ := gpu.ByName(g.GPU)
+		nodes = append(nodes, cluster.Uniform(g.Count, spec,
+			lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	nVendors := c.Vendors
+	if nVendors == 0 {
+		nVendors = 5
+	}
+	mkt, err := vendor.Standard(nVendors, c.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+
+	tc := trace.DefaultConfig()
+	tc.Seed = c.Seed
+	tc.Horizon = h
+	tc.RatePerSlot = c.Workload.RatePerSlot
+	tc.Model = model
+	tc.Arrivals, _ = arrivalKind(c.Workload.Arrivals)
+	tc.Deadlines, _ = deadlinePolicy(c.Workload.Deadlines)
+	if c.Workload.PrepProb != nil {
+		tc.PrepProb = *c.Workload.PrepProb
+	}
+	if c.Workload.ValuePerUnit != nil {
+		tc.ValuePerUnitMin = c.Workload.ValuePerUnit[0]
+		tc.ValuePerUnitMax = c.Workload.ValuePerUnit[1]
+	}
+	tasks, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+
+	var sched sim.Scheduler
+	switch c.Algorithm.Name {
+	case "pdftsp":
+		opts := core.CalibrateDuals(tasks, model, cl, mkt)
+		opts.MaskFullCells = c.Algorithm.MaskFullCells
+		opts.ChargeEnergy = c.Algorithm.ChargeEnergy
+		opts.DualRule, _ = dualRule(c.Algorithm.DualRule)
+		sched, err = core.New(cl, opts)
+	case "pdftsp-adaptive":
+		safety := c.Algorithm.Safety
+		if safety == 0 {
+			safety = 1.3
+		}
+		opts := core.Options{
+			MaskFullCells: c.Algorithm.MaskFullCells,
+			ChargeEnergy:  c.Algorithm.ChargeEnergy,
+		}
+		opts.DualRule, _ = dualRule(c.Algorithm.DualRule)
+		sched, err = core.NewAdaptive(cl, opts, safety)
+	case "titan":
+		budget := time.Duration(c.Algorithm.TitanBudgetMS) * time.Millisecond
+		sched = baseline.NewTitan(baseline.TitanOptions{Seed: c.Seed, SolveBudget: budget})
+	case "eft":
+		sched = baseline.NewEFT()
+	case "ntm":
+		sched = baseline.NewNTM(c.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return &Built{
+		Horizon:   h,
+		Model:     model,
+		Cluster:   cl,
+		Market:    mkt,
+		Tasks:     tasks,
+		Scheduler: sched,
+		SimConfig: sim.Config{Model: model, Market: mkt, Execute: c.Execute},
+	}, nil
+}

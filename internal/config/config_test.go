@@ -1,0 +1,126 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/sim"
+)
+
+func TestDefaultValidatesAndBuilds(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	c.Slots = 24
+	c.Workload.RatePerSlot = 2
+	b, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cluster.NumNodes() != 8 {
+		t.Fatalf("built %d nodes, want 8", b.Cluster.NumNodes())
+	}
+	if b.Scheduler.Name() != "pdFTSP" {
+		t.Fatalf("scheduler %q", b.Scheduler.Name())
+	}
+	res, err := sim.Run(b.Cluster, b.Scheduler, b.Tasks, b.SimConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 {
+		t.Fatal("built simulation admitted nothing")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := Default()
+	c.Algorithm = Algorithm{Name: "pdftsp-adaptive", Safety: 1.5, DualRule: "additive"}
+	prep := 0.25
+	c.Workload.PrepProb = &prep
+	c.Workload.ValuePerUnit = &[2]float64{0.9, 1.3}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != c.Algorithm {
+		t.Fatalf("algorithm round trip: %+v vs %+v", got.Algorithm, c.Algorithm)
+	}
+	if *got.Workload.PrepProb != prep || *got.Workload.ValuePerUnit != *c.Workload.ValuePerUnit {
+		t.Fatal("workload round trip lost fields")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"slots": 10, "nodez": []}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	muts := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero slots", func(c *Config) { c.Slots = 0 }},
+		{"bad model", func(c *Config) { c.Model = "bert" }},
+		{"no nodes", func(c *Config) { c.Nodes = nil }},
+		{"bad gpu", func(c *Config) { c.Nodes[0].GPU = "H100" }},
+		{"zero count", func(c *Config) { c.Nodes[0].Count = 0 }},
+		{"negative vendors", func(c *Config) { c.Vendors = -1 }},
+		{"bad arrivals", func(c *Config) { c.Workload.Arrivals = "uniform" }},
+		{"bad deadlines", func(c *Config) { c.Workload.Deadlines = "loose" }},
+		{"negative rate", func(c *Config) { c.Workload.RatePerSlot = -1 }},
+		{"bad algorithm", func(c *Config) { c.Algorithm.Name = "fifo" }},
+		{"bad dual rule", func(c *Config) { c.Algorithm.DualRule = "geometric" }},
+	}
+	for _, m := range muts {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validated", m.name)
+		}
+	}
+}
+
+func TestBuildEveryAlgorithm(t *testing.T) {
+	for _, algo := range []string{"pdftsp", "pdftsp-adaptive", "titan", "eft", "ntm"} {
+		c := Default()
+		c.Slots = 12
+		c.Workload.RatePerSlot = 1
+		c.Algorithm.Name = algo
+		c.Algorithm.TitanBudgetMS = 20
+		b, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if _, err := sim.Run(b.Cluster, b.Scheduler, b.Tasks, b.SimConfig); err != nil {
+			t.Fatalf("%s run: %v", algo, err)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Default()
+	c.Slots = 12
+	c.Vendors = 0 // default 5
+	c.Model = ""  // default gpt2-small
+	c.Workload.Arrivals = ""
+	c.Workload.Deadlines = ""
+	b, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Market.NumVendors() != 5 {
+		t.Fatalf("default vendors = %d", b.Market.NumVendors())
+	}
+	if b.Model.Name != "gpt2-small" {
+		t.Fatalf("default model = %q", b.Model.Name)
+	}
+}

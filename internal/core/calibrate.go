@@ -1,0 +1,96 @@
+package core
+
+import (
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// CalibrateDuals derives the dual-update coefficients α and β for a
+// workload on a cluster.
+//
+// Lemma 2 of the paper uses α = max_i b_i/M_i and β = max_i b_i/r_i. Two
+// refinements make the same capacity-control argument hold while keeping
+// prices on the scale of *net* welfare density, which is what admission
+// actually trades against:
+//
+//   - The numerator is the task's best-case welfare increment b_il — bid
+//     minus the cheapest vendor quote (when pre-processing is required)
+//     minus the mean operational cost of its work — not the raw bid. A
+//     saturated cell must out-price a future task's net gain, and the
+//     gross bid overshoots it by the cost share (≈ 50% at the paper's
+//     margins), doubling the price ramp for no control benefit.
+//
+//   - β normalizes by the plan's memory-slot footprint r_i·minSlots_i
+//     instead of r_i alone: a plan occupies r_i GB for every slot it
+//     runs, so the memory price φ is charged |slots| times (equation
+//     (10)). The literal b_i/r_i prices memory out after one admission
+//     whenever r_i ≪ C_km.
+//
+// With homogeneous per-unit values these coincide with the paper's
+// coefficients up to the cost shift.
+func CalibrateDuals(tasks []task.Task, model lora.ModelConfig, cl *cluster.Cluster, mkt *vendor.Marketplace) Options {
+	const floor = 1e-6
+	h := cl.Horizon()
+
+	// Mean unit operational cost across nodes and slots.
+	meanUnit := 0.0
+	cells := 0
+	for k := 0; k < cl.NumNodes(); k++ {
+		for t := 0; t < h.T; t++ {
+			meanUnit += cl.UnitEnergyCost(k, t)
+			cells++
+		}
+	}
+	if cells > 0 {
+		meanUnit /= float64(cells)
+	}
+
+	// Fastest per-batch speed across the cluster's node types, cached.
+	speedCache := map[int]int{}
+	fastest := func(batch int) int {
+		if s, ok := speedCache[batch]; ok {
+			return s
+		}
+		best := 1
+		for k := 0; k < cl.NumNodes(); k++ {
+			if s := lora.TaskUnitsPerSlot(model, cl.Node(k).Spec, batch, h); s > best {
+				best = s
+			}
+		}
+		speedCache[batch] = best
+		return best
+	}
+
+	alpha, beta := floor, floor
+	for i := range tasks {
+		t := &tasks[i]
+		net := t.Bid - meanUnit*float64(t.Work)
+		if t.NeedsPrep && mkt != nil {
+			cheapest := -1.0
+			for _, q := range mkt.QuotesFor(t.ID) {
+				if cheapest < 0 || q.Price < cheapest {
+					cheapest = q.Price
+				}
+			}
+			if cheapest > 0 {
+				net -= cheapest
+			}
+		}
+		if net <= 0 {
+			continue
+		}
+		if a := net / float64(t.Work); a > alpha {
+			alpha = a
+		}
+		minSlots := (t.Work + fastest(t.Batch) - 1) / fastest(t.Batch)
+		if minSlots < 1 {
+			minSlots = 1
+		}
+		if b := net / (t.MemGB * float64(minSlots)); b > beta {
+			beta = b
+		}
+	}
+	return Options{Alpha: alpha, Beta: beta}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// testModel returns the shared model used by core tests.
+func testModel() lora.ModelConfig { return lora.GPT2Small() }
+
+func TestCalibrateDualsBasics(t *testing.T) {
+	cl := testCluster(t, 2)
+	mkt, err := vendor.Standard(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []task.Task{
+		*testTask(0),
+		*testTask(1),
+	}
+	tasks[1].Bid = 200
+	tasks[1].Work = 20
+	tasks[1].NeedsPrep = true
+	opts := CalibrateDuals(tasks, testModel(), cl, mkt)
+	if err := opts.Validate(); err != nil {
+		t.Fatalf("calibrated options invalid: %v", err)
+	}
+	// Raising the top bid raises alpha.
+	tasks[1].Bid = 400
+	opts2 := CalibrateDuals(tasks, testModel(), cl, mkt)
+	if opts2.Alpha <= opts.Alpha {
+		t.Fatalf("alpha did not grow with the top bid: %v vs %v", opts2.Alpha, opts.Alpha)
+	}
+}
+
+func TestCalibrateDualsAllNegativeStaysPositive(t *testing.T) {
+	cl := testCluster(t, 1)
+	tk := *testTask(0)
+	tk.Bid = 0.0001 // net value negative for every task
+	opts := CalibrateDuals([]task.Task{tk}, testModel(), cl, nil)
+	if opts.Alpha <= 0 || opts.Beta <= 0 {
+		t.Fatalf("degenerate workload must still give positive coefficients: %+v", opts)
+	}
+	if _, err := New(cl, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateDualsEmptyWorkload(t *testing.T) {
+	cl := testCluster(t, 1)
+	opts := CalibrateDuals(nil, testModel(), cl, nil)
+	if err := opts.Validate(); err != nil {
+		t.Fatalf("empty workload calibration invalid: %v", err)
+	}
+}
+
+func TestSchedulerAccessors(t *testing.T) {
+	cl := testCluster(t, 1)
+	s := newScheduler(t, cl, testOptions())
+	if s.Name() != "pdFTSP" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Options().Alpha != testOptions().Alpha {
+		t.Fatal("Options accessor wrong")
+	}
+	if s.Cluster() != cl {
+		t.Fatal("Cluster accessor wrong")
+	}
+	ad, err := NewAdaptive(cl, Options{}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Name() != "pdFTSP-adaptive" || ad.Inner() == nil {
+		t.Fatal("adaptive accessors wrong")
+	}
+}

@@ -1,0 +1,464 @@
+// Package core implements pdFTSP, the paper's primary contribution: the
+// online primal-dual algorithm that jointly schedules and prices
+// multi-LoRA fine-tuning tasks (Section 3).
+//
+// For every arriving task (bid), the Scheduler
+//
+//  1. runs the per-task schedule-selection dynamic program of Algorithm 2
+//     for each labor vendor, minimizing the price-adjusted execution cost
+//     of problem (12),
+//  2. computes the surplus F(il) of equation (10) for the best plan,
+//  3. admits the task iff F(il) > 0 and the capacity check of Algorithm 1
+//     line 8 passes, updating the dual resource prices λ_kt and φ_kt per
+//     equations (7)–(8) whenever F(il) > 0, and
+//  4. charges a winning bid the resource-price payment p_i of equation
+//     (14), which is independent of its bid — the source of truthfulness
+//     (Theorem 3) and individual rationality (Theorem 4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// DualRule selects how the dual prices grow. PaperRule is equations
+// (7)–(8); the others are ablations (DESIGN.md Section 6).
+type DualRule int
+
+// Dual update rules.
+const (
+	// PaperRule is the paper's combined multiplicative+additive update.
+	PaperRule DualRule = iota
+	// AdditiveOnly drops the multiplicative term.
+	AdditiveOnly
+	// MultiplicativeOnly drops the additive term, seeding an untouched
+	// price with the additive increment so prices can leave zero.
+	MultiplicativeOnly
+)
+
+// String implements fmt.Stringer.
+func (r DualRule) String() string {
+	switch r {
+	case PaperRule:
+		return "paper"
+	case AdditiveOnly:
+		return "additive"
+	case MultiplicativeOnly:
+		return "multiplicative"
+	default:
+		return fmt.Sprintf("DualRule(%d)", int(r))
+	}
+}
+
+// Options configures the scheduler.
+type Options struct {
+	// Alpha is the compute-price coefficient α of equation (7); per
+	// Lemma 2 it should be (at least) max_i b_i/M_i.
+	Alpha float64
+	// Beta is the memory-price coefficient β of equation (8); per
+	// Lemma 2 it should be (at least) max_i b_i/r_i.
+	Beta float64
+	// MaskFullCells, when set, makes the Algorithm-2 DP skip (k,t) cells
+	// that cannot host the task under the current ledger, instead of
+	// relying solely on Lemma-2 price saturation. Extension ablation.
+	MaskFullCells bool
+	// MaxCandidateNodes, when positive, restricts each offer's DP to the
+	// N least-loaded nodes of every GPU type (measured over the task's
+	// execution window). Zero scans all nodes — the paper's exact
+	// Algorithm 2. The restriction makes per-offer cost independent of
+	// cluster size, which the 200-node full-scale profile needs; nodes
+	// of one type are symmetric in capacity, so the least-loaded ones
+	// are where the exact DP would place work anyway.
+	MaxCandidateNodes int
+	// ChargeEnergy, when set, adds the plan's operational cost to the
+	// payment so that F(il) = b_i − p_i holds exactly (the paper's
+	// payment (14) omits the energy term). Extension ablation.
+	ChargeEnergy bool
+	// DualRule selects the dual price update; default PaperRule.
+	DualRule DualRule
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.Alpha <= 0 || o.Beta <= 0 {
+		return fmt.Errorf("core: alpha and beta must be positive, got %v/%v (Lemma 2)", o.Alpha, o.Beta)
+	}
+	return nil
+}
+
+// Scheduler is the pdFTSP online scheduler. It owns the dual state and
+// commits admitted plans into the cluster ledger. Not safe for concurrent
+// use: bids are processed sequentially, as in the paper's online model.
+type Scheduler struct {
+	cl   *cluster.Cluster
+	opts Options
+	// lambda[k][t] is λ_kt, the compute shadow price; phi[k][t] is φ_kt,
+	// the memory shadow price.
+	lambda, phi [][]float64
+	// DP scratch buffers, reused across offers (the scheduler is
+	// single-threaded by the online model, so reuse is safe).
+	dpBuf      []float64
+	parentKBuf []int32
+	parentWBuf []int32
+}
+
+// New creates a scheduler bound to the cluster. The cluster's ledger is
+// the scheduler's primal commitment state.
+func New(cl *cluster.Cluster, opts Options) (*Scheduler, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.DualRule < PaperRule || opts.DualRule > MultiplicativeOnly {
+		return nil, fmt.Errorf("core: unknown dual rule %d", opts.DualRule)
+	}
+	K, T := cl.NumNodes(), cl.Horizon().T
+	s := &Scheduler{cl: cl, opts: opts}
+	s.lambda = make([][]float64, K)
+	s.phi = make([][]float64, K)
+	lamBack := make([]float64, K*T)
+	phiBack := make([]float64, K*T)
+	for k := 0; k < K; k++ {
+		s.lambda[k], lamBack = lamBack[:T:T], lamBack[T:]
+		s.phi[k], phiBack = phiBack[:T:T], phiBack[T:]
+	}
+	return s, nil
+}
+
+// Name identifies the scheduler in experiment output.
+func (s *Scheduler) Name() string { return "pdFTSP" }
+
+// Options returns the scheduler's configuration.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// Lambda returns λ_kt after the bids processed so far.
+func (s *Scheduler) Lambda(k, t int) float64 { return s.lambda[k][t] }
+
+// Phi returns φ_kt after the bids processed so far.
+func (s *Scheduler) Phi(k, t int) float64 { return s.phi[k][t] }
+
+// Cluster returns the cluster the scheduler commits into.
+func (s *Scheduler) Cluster() *cluster.Cluster { return s.cl }
+
+// noPrepQuotes is the pseudo-marketplace for tasks without pre-processing:
+// one "vendor" with zero price and delay, standing for z_i· = 0.
+var noPrepQuotes = []vendor.Quote{{Vendor: schedule.NoVendor, Price: 0, DelaySlots: 0}}
+
+// Offer processes one arriving bid (Algorithm 1, loop body) and returns
+// the auction outcome. Admitted plans are committed into the cluster
+// ledger immediately.
+func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
+	d := schedule.Decision{TaskID: env.Task.ID, F: math.Inf(-1)}
+
+	quotes := env.Quotes
+	if !env.Task.NeedsPrep {
+		quotes = noPrepQuotes
+	} else if len(quotes) == 0 {
+		// The task demands pre-processing but no vendor exists;
+		// constraint (4a) is unsatisfiable.
+		d.Reason = schedule.ReasonNoSchedule
+		return d
+	}
+
+	// Algorithm 2: per vendor, find the cost-minimizing plan, then pick
+	// the vendor maximizing F(il_n).
+	candidates := s.candidateNodes(env)
+	best, bestF := s.bestSchedule(env, quotes, candidates)
+	if best == nil {
+		d.Reason = schedule.ReasonNoSchedule
+		return d
+	}
+	d.Schedule = best
+	d.F = bestF
+
+	if bestF <= 0 {
+		// Algorithm 1, line 13: reject; μ_i = 0, duals untouched.
+		d.Reason = schedule.ReasonSurplus
+		return d
+	}
+
+	// Payment (14) uses the pre-update marginal prices λ^(i-1), φ^(i-1).
+	maxLam, maxPhi := s.maxPrices(best)
+	payment := best.VendorPrice +
+		maxLam*float64(best.TotalWork(env)) +
+		maxPhi*best.TotalMem(env)
+	energy := best.EnergyCost(env)
+	if s.opts.ChargeEnergy {
+		payment += energy
+	}
+
+	// Algorithm 1, line 7: F(il) > 0 updates the duals even if the
+	// capacity check below rejects the task (the "almost-feasible"
+	// solution of Lemma 1 includes this task).
+	s.updateDuals(env, best)
+
+	// Algorithm 1, line 8: admit only if every placement truly fits.
+	if !s.fits(env, best) {
+		d.Reason = schedule.ReasonCapacity
+		return d
+	}
+	for _, p := range best.Placements {
+		s.cl.Commit(p.Node, p.Slot, env.Speed[p.Node], env.Task.MemGB)
+	}
+	d.Admitted = true
+	d.Payment = payment
+	d.VendorCost = best.VendorPrice
+	d.EnergyCost = energy
+	return d
+}
+
+// fits checks constraints (4f)/(4g) for every placement of the plan.
+func (s *Scheduler) fits(env *schedule.TaskEnv, plan *schedule.Schedule) bool {
+	for _, p := range plan.Placements {
+		if !s.cl.CanPlace(p.Node, p.Slot, env.Speed[p.Node], env.Task.MemGB) {
+			return false
+		}
+	}
+	return true
+}
+
+// maxPrices returns max_{(k,t)∈l} λ^(i-1)_kt and max φ^(i-1)_kt for the
+// plan — the marginal resource prices of equation (14).
+func (s *Scheduler) maxPrices(plan *schedule.Schedule) (maxLam, maxPhi float64) {
+	for _, p := range plan.Placements {
+		if l := s.lambda[p.Node][p.Slot]; l > maxLam {
+			maxLam = l
+		}
+		if f := s.phi[p.Node][p.Slot]; f > maxPhi {
+			maxPhi = f
+		}
+	}
+	return maxLam, maxPhi
+}
+
+// surplus computes F(il) per equation (10):
+// F = b_il − max λ · Σ s_kt(il) − max φ · Σ r_kt(il).
+func (s *Scheduler) surplus(env *schedule.TaskEnv, plan *schedule.Schedule) float64 {
+	maxLam, maxPhi := s.maxPrices(plan)
+	return plan.WelfareIncrement(env) -
+		maxLam*float64(plan.TotalWork(env)) -
+		maxPhi*plan.TotalMem(env)
+}
+
+// updateDuals applies equations (7)–(8) to the (k,t) cells of the plan.
+func (s *Scheduler) updateDuals(env *schedule.TaskEnv, plan *schedule.Schedule) {
+	bbar := plan.NormalizedWelfare(env)
+	for _, p := range plan.Placements {
+		k, t := p.Node, p.Slot
+		sk := float64(env.Speed[k])
+		capP := float64(s.cl.Node(k).CapWork)
+		rk := env.Task.MemGB
+		capM := s.cl.TaskMemCap(k)
+		switch s.opts.DualRule {
+		case AdditiveOnly:
+			s.lambda[k][t] += s.opts.Alpha * bbar * sk / capP
+			s.phi[k][t] += s.opts.Beta * bbar * rk / capM
+		case MultiplicativeOnly:
+			if s.lambda[k][t] == 0 {
+				s.lambda[k][t] = s.opts.Alpha * bbar * sk / capP
+			} else {
+				s.lambda[k][t] *= 1 + sk/capP
+			}
+			if s.phi[k][t] == 0 {
+				s.phi[k][t] = s.opts.Beta * bbar * rk / capM
+			} else {
+				s.phi[k][t] *= 1 + rk/capM
+			}
+		default: // PaperRule, equations (7) and (8)
+			s.lambda[k][t] = s.lambda[k][t]*(1+sk/capP) + s.opts.Alpha*bbar*sk/capP
+			s.phi[k][t] = s.phi[k][t]*(1+rk/capM) + s.opts.Beta*bbar*rk/capM
+		}
+	}
+}
+
+// candidateNodes returns the node set the DP scans: all nodes, or the
+// MaxCandidateNodes least-loaded per GPU type within the task's loosest
+// execution window.
+func (s *Scheduler) candidateNodes(env *schedule.TaskEnv) []int {
+	K := s.cl.NumNodes()
+	limit := s.opts.MaxCandidateNodes
+	if limit <= 0 || K <= limit {
+		all := make([]int, K)
+		for k := range all {
+			all[k] = k
+		}
+		return all
+	}
+	window := env.Task.ExecWindow(s.cl.Horizon(), 0)
+	type cand struct {
+		k    int
+		load int
+	}
+	byType := map[string][]cand{}
+	for k := 0; k < K; k++ {
+		if env.Speed[k] <= 0 {
+			continue
+		}
+		load := 0
+		for t := window.Start; t <= window.End && window.Len() > 0; t++ {
+			load += s.cl.UsedWork(k, t)
+		}
+		name := s.cl.Node(k).Spec.Name
+		byType[name] = append(byType[name], cand{k, load})
+	}
+	var out []int
+	for _, cs := range byType {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].load != cs[j].load {
+				return cs[i].load < cs[j].load
+			}
+			return cs[i].k < cs[j].k
+		})
+		n := limit
+		if n > len(cs) {
+			n = len(cs)
+		}
+		for _, c := range cs[:n] {
+			out = append(out, c.k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bestSchedule implements Algorithm 2: for each vendor quote, run the
+// findSchedule DP, evaluate F(il_n), and return the plan maximizing it.
+func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, candidates []int) (*schedule.Schedule, float64) {
+	var best *schedule.Schedule
+	bestF := math.Inf(-1)
+	for _, q := range quotes {
+		plan := s.findSchedule(env, q, candidates)
+		if plan == nil {
+			continue
+		}
+		if f := s.surplus(env, plan); f > bestF {
+			best, bestF = plan, f
+		}
+	}
+	if best == nil {
+		return nil, math.Inf(-1)
+	}
+	return best, bestF
+}
+
+// dpInf marks unreachable DP states.
+var dpInf = math.Inf(1)
+
+// findSchedule is the dynamic program of Algorithm 2 (problem (12)):
+// dp[τ][w] is the minimum price-adjusted cost of accumulating w work units
+// using the first τ slots of the execution window, with per-cell cost
+// Δ_kt = s_ik·λ_kt + r_i·φ_kt + e_ikt. It returns nil when the task cannot
+// accumulate M_i units inside the window.
+func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidates []int) *schedule.Schedule {
+	t := env.Task
+	h := s.cl.Horizon()
+	window := t.ExecWindow(h, q.DelaySlots)
+	L := window.Len()
+	if L == 0 {
+		return nil
+	}
+	W := t.Work
+
+	// dp, parentK, and parentW are (L+1)×(W+1); row τ covers slots
+	// window.Start .. window.Start+τ-1. Work accumulations beyond W
+	// saturate at W (the final slot may overshoot M_i). The backing
+	// arrays live on the scheduler and are reused across offers.
+	cells := (L + 1) * (W + 1)
+	if cap(s.dpBuf) < cells {
+		s.dpBuf = make([]float64, cells)
+		s.parentKBuf = make([]int32, cells)
+		s.parentWBuf = make([]int32, cells)
+	}
+	dpFlat := s.dpBuf[:cells]
+	pkFlat := s.parentKBuf[:cells]
+	pwFlat := s.parentWBuf[:cells]
+	dp := make([][]float64, L+1)
+	parentK := make([][]int32, L+1) // node index +1, 0 = idle
+	parentW := make([][]int32, L+1) // predecessor work level
+	for i := range dp {
+		dp[i] = dpFlat[i*(W+1) : (i+1)*(W+1)]
+		parentK[i] = pkFlat[i*(W+1) : (i+1)*(W+1)]
+		parentW[i] = pwFlat[i*(W+1) : (i+1)*(W+1)]
+		for w := range dp[i] {
+			dp[i][w] = dpInf
+			parentK[i][w] = 0
+			parentW[i][w] = 0
+		}
+	}
+	dp[0][0] = 0
+
+	for tau := 0; tau < L; tau++ {
+		slot := window.Start + tau
+		for w := 0; w <= W; w++ {
+			cur := dp[tau][w]
+			if cur == dpInf {
+				continue
+			}
+			// Idle this slot.
+			if cur < dp[tau+1][w] {
+				dp[tau+1][w] = cur
+				parentK[tau+1][w] = 0
+				parentW[tau+1][w] = int32(w)
+			}
+			if w == W {
+				continue // already done; idling forward is enough
+			}
+			for _, k := range candidates {
+				sk := env.Speed[k]
+				if sk <= 0 {
+					continue
+				}
+				if s.opts.MaskFullCells &&
+					!s.cl.CanPlace(k, slot, sk, t.MemGB) {
+					continue
+				}
+				delta := float64(sk)*s.lambda[k][slot] +
+					t.MemGB*s.phi[k][slot] +
+					s.cl.EnergyCost(k, slot, sk)
+				nw := w + sk
+				if nw > W {
+					nw = W
+				}
+				if c := cur + delta; c < dp[tau+1][nw] {
+					dp[tau+1][nw] = c
+					parentK[tau+1][nw] = int32(k + 1)
+					parentW[tau+1][nw] = int32(w)
+				}
+			}
+		}
+	}
+	if dp[L][W] == dpInf {
+		return nil
+	}
+
+	// Reconstruct placements by walking parents back from (L, W).
+	var rev []schedule.Placement
+	w := W
+	for tau := L; tau > 0; tau-- {
+		if p := parentK[tau][w]; p != 0 {
+			rev = append(rev, schedule.Placement{Node: int(p) - 1, Slot: window.Start + tau - 1})
+		}
+		w = int(parentW[tau][w])
+	}
+	// Reverse into slot order.
+	placements := make([]schedule.Placement, len(rev))
+	for i := range rev {
+		placements[len(rev)-1-i] = rev[i]
+	}
+	vendorIdx := q.Vendor
+	price, delay := q.Price, q.DelaySlots
+	if !t.NeedsPrep {
+		vendorIdx, price, delay = schedule.NoVendor, 0, 0
+	}
+	return &schedule.Schedule{
+		TaskID:      t.ID,
+		Vendor:      vendorIdx,
+		VendorPrice: price,
+		VendorDelay: delay,
+		Placements:  placements,
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pdftsp/pdftsp/internal/auction"
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// TruthfulnessResult is Figure 10: a focal bid's utility as a function of
+// its declared bid, with the true valuation fixed.
+type TruthfulnessResult struct {
+	TrueValue float64
+	Points    []auction.SweepPoint
+	// TruthfulUtility is the utility when bidding the true valuation.
+	TruthfulUtility float64
+}
+
+// Render prints the sweep.
+func (r *TruthfulnessResult) Render() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, pt := range r.Points {
+		xs[i], ys[i] = pt.Bid, pt.Utility
+	}
+	head := fmt.Sprintf("Figure 10: truthfulness (true valuation %.1f, truthful utility %.3f)", r.TrueValue, r.TruthfulUtility)
+	return report.Series(head, "bid", "utility", xs, ys)
+}
+
+// auctionScenario builds the shared Figure-10/11 setup: a medium workload
+// on a profile-scaled cluster with pdFTSP.
+func (p Profile) auctionScenario() (*auction.Scenario, error) {
+	tc := p.baseTrace()
+	background, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	mkt, err := vendor.Standard(5, p.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	makeCluster := func() (*cluster.Cluster, error) {
+		return buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+	}
+	cl0, err := makeCluster()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.CalibrateDuals(background, tc.Model, cl0, mkt)
+	// Route around committed load so the sweep exercises the pricing
+	// boundary rather than incidental capacity rejections.
+	opts.MaskFullCells = true
+	// The focal bid mirrors the paper's running example: scheduled late
+	// in the day against an already-priced cluster.
+	focal := mkTask(1_000_000, p.Horizon.T/2, p.Horizon.T/2+12, 30, 5, 0)
+	focal.TrueValue = 36 // ≈ value 1.2/unit, inside the generator's range
+	return &auction.Scenario{
+		MakeCluster: makeCluster,
+		MakeScheduler: func(cl *cluster.Cluster) (auction.Offerer, error) {
+			return core.New(cl, opts)
+		},
+		Background: background,
+		Focal:      focal,
+		Model:      tc.Model,
+		Market:     mkt,
+	}, nil
+}
+
+// FigTruthfulness reproduces Figure 10: sweep the focal bid from zero to
+// well above the true valuation and record the achieved utility.
+func (p Profile) FigTruthfulness() (*TruthfulnessResult, error) {
+	sc, err := p.auctionScenario()
+	if err != nil {
+		return nil, err
+	}
+	var bids []float64
+	for b := 0.0; b <= 2*sc.Focal.TrueValue; b += sc.Focal.TrueValue / 10 {
+		bids = append(bids, b)
+	}
+	points, err := auction.TruthfulnessSweep(sc, bids)
+	if err != nil {
+		return nil, err
+	}
+	truthful, err := sc.RunFocal(sc.Focal.TrueValue)
+	if err != nil {
+		return nil, err
+	}
+	res := &TruthfulnessResult{TrueValue: sc.Focal.TrueValue, Points: points}
+	if truthful.Admitted {
+		res.TruthfulUtility = sc.Focal.TrueValue - truthful.Payment
+	}
+	if err := auction.VerifyTruthful(points, sc.Focal.TrueValue, res.TruthfulUtility, 1e-9); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RationalityResult is Figure 11: sampled winning bids and their
+// payments, normalized by the largest sampled bid as the paper plots.
+type RationalityResult struct {
+	Pairs []auction.IRPair
+	// MaxBid normalizes the plot.
+	MaxBid float64
+}
+
+// Render prints the audit.
+func (r *RationalityResult) Render() string {
+	rows := make([]string, len(r.Pairs))
+	data := make([][]float64, len(r.Pairs))
+	for i, pr := range r.Pairs {
+		rows[i] = fmt.Sprintf("task %d", pr.TaskID)
+		data[i] = []float64{pr.Bid / r.MaxBid, pr.Payment / r.MaxBid}
+	}
+	return report.Table("Figure 11: individual rationality (normalized money)", "",
+		rows, []string{"bid", "payment"}, data, "%.3f")
+}
+
+// FigRationality reproduces Figure 11: run pdFTSP over the medium
+// workload and audit ten random winners' bids against their payments.
+func (p Profile) FigRationality() (*RationalityResult, error) {
+	tc := p.baseTrace()
+	tasks, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	mkt, err := vendor.Standard(5, p.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt, CollectDecisions: true})
+	if err != nil {
+		return nil, err
+	}
+	pairs := auction.RationalityAudit(res.Decisions, tasks, 10, p.Seed+3)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("experiments: no winners to audit")
+	}
+	if err := auction.VerifyIR(pairs, 1e-9); err != nil {
+		return nil, err
+	}
+	maxBid := 0.0
+	for _, pr := range pairs {
+		if pr.Bid > maxBid {
+			maxBid = pr.Bid
+		}
+	}
+	return &RationalityResult{Pairs: pairs, MaxBid: maxBid}, nil
+}

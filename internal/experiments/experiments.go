@@ -1,0 +1,311 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each Fig* function reproduces one figure and
+// returns a renderable result; cmd/experiments and the repository-root
+// benchmarks are thin wrappers around these entry points.
+//
+// Scale: the paper runs 50–200 nodes with 30–80 task arrivals per slot.
+// Those runs are reproducible here with Profile Paper(), but they take
+// tens of minutes on a laptop; the default Small() profile scales node
+// counts and arrival rates by the same factor (preserving per-node load,
+// which is what the figures exercise) so the whole suite completes in
+// minutes. EXPERIMENTS.md records Small()-profile outputs.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/baseline"
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/metrics"
+	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// Profile scales the paper's experiment sizes.
+type Profile struct {
+	// Name labels the profile in output.
+	Name string
+	// Scale multiplies the paper's node counts and arrival rates.
+	Scale float64
+	// Seed drives workload and marketplace generation.
+	Seed int64
+	// Seeds, when above 1, repeats every bar-figure setting with
+	// Seed+1000·s for s = 0..Seeds-1 and reports mean and standard
+	// deviation. Default 1 (single run, as the paper plots).
+	Seeds int
+	// TitanBudget is the per-slot MILP budget for the Titan baseline.
+	TitanBudget time.Duration
+	// Horizon is the slotted horizon (the paper's is one day).
+	Horizon timeslot.Horizon
+}
+
+// Small is the default profile: 10% of the paper's scale, same per-node
+// load.
+func Small() Profile {
+	return Profile{Name: "small", Scale: 0.1, Seed: 1, TitanBudget: 300 * time.Millisecond, Horizon: timeslot.Day()}
+}
+
+// Paper is the full-scale profile (slow: tens of minutes per figure).
+func Paper() Profile {
+	return Profile{Name: "paper", Scale: 1.0, Seed: 1, TitanBudget: 250 * time.Millisecond, Horizon: timeslot.Day()}
+}
+
+// nodes scales a paper node count, keeping at least two nodes.
+func (p Profile) nodes(paperCount int) int {
+	n := int(float64(paperCount)*p.Scale + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// rate scales a paper arrival rate, keeping it positive.
+func (p Profile) rate(paperRate float64) float64 {
+	r := paperRate * p.Scale
+	if r < 0.5 {
+		r = 0.5
+	}
+	return r
+}
+
+// Mix selects the cluster's GPU composition (Figure 6).
+type Mix int
+
+// Cluster mixes.
+const (
+	AllA100 Mix = iota
+	AllA40
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (m Mix) String() string {
+	switch m {
+	case AllA100:
+		return "A100"
+	case AllA40:
+		return "A40"
+	default:
+		return "hybrid"
+	}
+}
+
+// buildCluster assembles k nodes of the requested mix, with capacities
+// calibrated by the LoRA throughput model.
+func buildCluster(h timeslot.Horizon, k int, mix Mix, model lora.ModelConfig) (*cluster.Cluster, error) {
+	var nodes []cluster.Node
+	add := func(n int, spec gpu.Spec) {
+		nodes = append(nodes, cluster.Uniform(n, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	switch mix {
+	case AllA100:
+		add(k, gpu.A100)
+	case AllA40:
+		add(k, gpu.A40)
+	default:
+		add(k/2+k%2, gpu.A100)
+		add(k/2, gpu.A40)
+	}
+	return cluster.New(cluster.Config{
+		Horizon:     h,
+		BaseModelGB: lora.BaseMemoryGB(model),
+	}, nodes)
+}
+
+// Algos is the figure-standard algorithm order.
+var Algos = []string{"pdFTSP", "Titan", "EFT", "NTM"}
+
+// setting is one bar group: a cluster recipe plus a workload.
+type setting struct {
+	label   string
+	nodes   int
+	mix     Mix
+	traceC  trace.Config
+	vendors int
+}
+
+// runSetting executes all four algorithms on identical inputs and returns
+// their results keyed by algorithm name.
+func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
+	tasks, err := trace.Generate(s.traceC)
+	if err != nil {
+		return nil, err
+	}
+	nVendors := s.vendors
+	if nVendors <= 0 {
+		nVendors = 5
+	}
+	mkt, err := vendor.Standard(nVendors, p.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	model := s.traceC.Model
+	out := make(map[string]*sim.Result, len(Algos))
+	for _, name := range Algos {
+		cl, err := buildCluster(p.Horizon, s.nodes, s.mix, model)
+		if err != nil {
+			return nil, err
+		}
+		var sched sim.Scheduler
+		switch name {
+		case "pdFTSP":
+			sched, err = core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+			if err != nil {
+				return nil, err
+			}
+		case "Titan":
+			sched = baseline.NewTitan(baseline.TitanOptions{Seed: p.Seed, SolveBudget: p.TitanBudget})
+		case "EFT":
+			sched = baseline.NewEFT()
+		case "NTM":
+			sched = baseline.NewNTM(p.Seed)
+		}
+		res, err := sim.Run(cl, sched, tasks, sim.Config{Model: model, Market: mkt})
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", name, s.label, err)
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// BarFigure is the result shape of Figures 4–9: welfare per (group,
+// algorithm).
+type BarFigure struct {
+	ID, Title  string
+	Rows       []string
+	Algos      []string
+	Raw        [][]float64
+	Normalized [][]float64
+	// Std holds the per-cell standard deviation when Profile.Seeds > 1
+	// (nil for single-seed runs).
+	Std [][]float64
+	// Results keeps the full per-run accounting (of the base seed) for
+	// deeper inspection.
+	Results []map[string]*sim.Result
+}
+
+// runBarFigure executes a list of settings, optionally over several
+// seeds.
+func (p Profile) runBarFigure(id, title string, settings []setting) (*BarFigure, error) {
+	seeds := p.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	fig := &BarFigure{ID: id, Title: title, Algos: Algos}
+	for _, s := range settings {
+		sum := make([]float64, len(Algos))
+		sumSq := make([]float64, len(Algos))
+		var base map[string]*sim.Result
+		for sd := 0; sd < seeds; sd++ {
+			run := s
+			run.traceC.Seed = p.Seed + int64(sd)*1000
+			res, err := p.runSetting(run)
+			if err != nil {
+				return nil, err
+			}
+			if sd == 0 {
+				base = res
+			}
+			for j, a := range Algos {
+				w := res[a].Welfare
+				sum[j] += w
+				sumSq[j] += w * w
+			}
+		}
+		row := make([]float64, len(Algos))
+		std := make([]float64, len(Algos))
+		for j := range Algos {
+			row[j] = sum[j] / float64(seeds)
+			if seeds > 1 {
+				variance := sumSq[j]/float64(seeds) - row[j]*row[j]
+				if variance > 0 {
+					std[j] = math.Sqrt(variance)
+				}
+			}
+		}
+		fig.Rows = append(fig.Rows, s.label)
+		fig.Raw = append(fig.Raw, row)
+		if seeds > 1 {
+			fig.Std = append(fig.Std, std)
+		}
+		fig.Results = append(fig.Results, base)
+	}
+	fig.Normalized = metrics.NormalizeByMax(fig.Raw)
+	return fig, nil
+}
+
+// Render prints the figure as two tables (normalized, as the paper plots,
+// and raw welfare).
+func (f *BarFigure) Render() string {
+	out := report.Table(f.Title+" — normalized social welfare", "", f.Rows, f.Algos, f.Normalized, "%.3f") +
+		report.Table("raw social welfare", "", f.Rows, f.Algos, f.Raw, "%.1f")
+	if f.Std != nil {
+		out += report.Table("std dev over seeds", "", f.Rows, f.Algos, f.Std, "%.1f")
+	}
+	out += report.Bars("", f.Rows, f.Algos, f.Normalized, 40)
+	return out
+}
+
+// Supplementary renders the metrics the paper does not tabulate but a
+// release should: acceptance rate, auction revenue, and cluster
+// utilization per (group, algorithm).
+func (f *BarFigure) Supplementary() string {
+	pick := func(get func(r *sim.Result) float64) [][]float64 {
+		out := make([][]float64, len(f.Results))
+		for i, m := range f.Results {
+			out[i] = make([]float64, len(f.Algos))
+			for j, a := range f.Algos {
+				out[i][j] = get(m[a])
+			}
+		}
+		return out
+	}
+	return report.Table("acceptance rate", "", f.Rows, f.Algos,
+		pick(func(r *sim.Result) float64 { return r.AcceptanceRate() }), "%.3f") +
+		report.Table("auction revenue", "", f.Rows, f.Algos,
+			pick(func(r *sim.Result) float64 { return r.Revenue }), "%.1f") +
+		report.Table("compute utilization", "", f.Rows, f.Algos,
+			pick(func(r *sim.Result) float64 { return r.Utilization }), "%.3f")
+}
+
+// Improvement returns pdFTSP's percentage improvement over the named
+// algorithm in the given row (the paper's headline metric).
+func (f *BarFigure) Improvement(row int, algo string) float64 {
+	ai := -1
+	for j, a := range f.Algos {
+		if a == algo {
+			ai = j
+		}
+	}
+	if ai < 0 || row >= len(f.Raw) {
+		return 0
+	}
+	return metrics.ImprovementPct(f.Raw[row][0], f.Raw[row][ai])
+}
+
+// baseTrace returns the default workload config under the profile.
+func (p Profile) baseTrace() trace.Config {
+	tc := trace.DefaultConfig()
+	tc.Seed = p.Seed
+	tc.Horizon = p.Horizon
+	tc.RatePerSlot = p.rate(50) // the paper's medium workload
+	return tc
+}
+
+// mkTask is a tiny helper used by the economic figures.
+func mkTask(id, arrival, deadline, work int, mem, bid float64) task.Task {
+	return task.Task{
+		ID: id, Arrival: arrival, Deadline: deadline, DatasetSamples: work * lora.SamplesPerUnit,
+		Epochs: 1, Work: work, MemGB: mem, Rank: 8, Batch: 16, Bid: bid, TrueValue: bid,
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+// tiny returns a profile small enough for unit tests: a short horizon and
+// a few nodes, preserving the structure of every figure.
+func tiny() Profile {
+	return Profile{
+		Name:        "tiny",
+		Scale:       0.04, // 2/4/8 nodes, rates ~1.2-3.2
+		Seed:        1,
+		TitanBudget: 25 * time.Millisecond,
+		Horizon:     timeslot.NewHorizon(48),
+	}
+}
+
+func checkBarFigure(t *testing.T, fig *BarFigure, wantRows int) {
+	t.Helper()
+	if len(fig.Rows) != wantRows || len(fig.Raw) != wantRows {
+		t.Fatalf("%s: got %d rows, want %d", fig.ID, len(fig.Rows), wantRows)
+	}
+	maxNorm := 0.0
+	for i := range fig.Raw {
+		if len(fig.Raw[i]) != len(Algos) {
+			t.Fatalf("%s: row %d has %d algos", fig.ID, i, len(fig.Raw[i]))
+		}
+		for j := range fig.Raw[i] {
+			if fig.Normalized[i][j] > maxNorm {
+				maxNorm = fig.Normalized[i][j]
+			}
+		}
+		// pdFTSP is never the worst algorithm in any group.
+		pd := fig.Raw[i][0]
+		worst := pd
+		for _, v := range fig.Raw[i][1:] {
+			if v < worst {
+				worst = v
+			}
+		}
+		if pd == worst && pd < fig.Raw[i][1] {
+			t.Errorf("%s row %s: pdFTSP is strictly worst (%v)", fig.ID, fig.Rows[i], fig.Raw[i])
+		}
+	}
+	if maxNorm < 0.999 || maxNorm > 1.001 {
+		t.Fatalf("%s: normalization max = %v, want 1", fig.ID, maxNorm)
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "normalized") || !strings.Contains(out, "pdFTSP") {
+		t.Fatalf("%s: render incomplete:\n%s", fig.ID, out)
+	}
+}
+
+func TestFigScaleTiny(t *testing.T) {
+	fig, err := tiny().FigScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBarFigure(t, fig, 3)
+	// More nodes → more welfare for pdFTSP (Figure 4's monotonicity).
+	if !(fig.Raw[0][0] < fig.Raw[2][0]) {
+		t.Errorf("welfare did not grow with cluster size: %v", fig.Raw)
+	}
+}
+
+func TestFigWorkloadTiny(t *testing.T) {
+	fig, err := tiny().FigWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBarFigure(t, fig, 3)
+	// The paper's headline: improvements over the baselines exist in the
+	// high-workload row.
+	if imp := fig.Improvement(2, "NTM"); imp <= 0 {
+		t.Errorf("pdFTSP does not improve over NTM at high load: %v%%", imp)
+	}
+}
+
+func TestFigVendorsCapacityTracesDeadlinesTiny(t *testing.T) {
+	p := tiny()
+	for _, run := range []struct {
+		name string
+		fn   func() (*BarFigure, error)
+	}{
+		{"vendors", p.FigVendors},
+		{"capacity", p.FigCapacity},
+		{"traces", p.FigTraces},
+		{"deadlines", p.FigDeadlines},
+	} {
+		fig, err := run.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		checkBarFigure(t, fig, 3)
+	}
+}
+
+func TestFigCapacityOrdering(t *testing.T) {
+	fig, err := tiny().FigCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-A100 beats all-A40 for pdFTSP (stronger nodes, Figure 6).
+	if fig.Raw[0][0] <= fig.Raw[1][0] {
+		t.Errorf("A100 cluster welfare %v not above A40 %v", fig.Raw[0][0], fig.Raw[1][0])
+	}
+}
+
+func TestFigTruthfulnessTiny(t *testing.T) {
+	res, err := tiny().FigTruthfulness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	// There is a winning region and it reaches the truthful utility.
+	won := false
+	for _, pt := range res.Points {
+		if pt.Won {
+			won = true
+		}
+	}
+	if !won {
+		t.Fatal("no bid won in the sweep")
+	}
+	if !strings.Contains(res.Render(), "Figure 10") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigRationalityTiny(t *testing.T) {
+	res, err := tiny().FigRationality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no audit pairs")
+	}
+	for _, pr := range res.Pairs {
+		if pr.Payment > pr.Bid+1e-9 {
+			t.Fatalf("IR violated in figure: %+v", pr)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 11") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigRatioTiny(t *testing.T) {
+	opts := RatioOptions{
+		Horizons:    []int{24},
+		Rates:       []float64{0.15, 0.3},
+		Nodes:       2,
+		SolveNodes:  40,
+		SolveBudget: 20 * time.Second,
+	}
+	res, err := tiny().FigRatio(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratio) != 1 || len(res.Ratio[0]) != 2 {
+		t.Fatalf("ratio shape wrong: %v", res.Ratio)
+	}
+	for _, r := range res.Ratio[0] {
+		if r < 1 {
+			t.Fatalf("competitive ratio %v below 1", r)
+		}
+		if r > 25 {
+			t.Fatalf("competitive ratio %v implausibly large", r)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 12") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigRuntimeTiny(t *testing.T) {
+	res, err := tiny().FigRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PdFTSP) == 0 || len(res.Titan) == 0 {
+		t.Fatal("missing CDFs")
+	}
+	// Figure 13's point: pdFTSP schedules much faster than Titan.
+	if res.PdP50 >= res.TitanP50 {
+		t.Errorf("pdFTSP p50 %v not below Titan p50 %v", res.PdP50, res.TitanP50)
+	}
+	if !strings.Contains(res.Render(), "Figure 13") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	p := tiny()
+	for _, run := range []struct {
+		name string
+		fn   func() (*AblationResult, error)
+	}{
+		{"dual", p.AblationDualRule},
+		{"mask", p.AblationMask},
+		{"vendor", p.AblationVendorPolicy},
+		{"admission", p.AblationAdmission},
+		{"calibration", p.AblationCalibration},
+	} {
+		res, err := run.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if len(res.Welfare) != len(res.Variants) {
+			t.Fatalf("%s: shape mismatch", run.name)
+		}
+		if res.Render() == "" {
+			t.Fatalf("%s: empty render", run.name)
+		}
+	}
+}
+
+func TestAblationCalibrationPrefersCalibrated(t *testing.T) {
+	res, err := tiny().AblationCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated coefficients should not do worse than the
+	// paper-literal outlier-driven ones.
+	if res.Welfare[1] < res.Welfare[0] {
+		t.Errorf("calibrated duals (%v) underperform paper-literal (%v)", res.Welfare[1], res.Welfare[0])
+	}
+}
+
+func TestProfileScaling(t *testing.T) {
+	p := Small()
+	if p.nodes(50) != 5 || p.nodes(200) != 20 {
+		t.Fatalf("node scaling wrong: %d/%d", p.nodes(50), p.nodes(200))
+	}
+	if p.nodes(10) != 2 {
+		t.Fatal("node floor of 2 not applied")
+	}
+	if p.rate(50) != 5 {
+		t.Fatalf("rate scaling wrong: %v", p.rate(50))
+	}
+	if p.rate(1) != 0.5 {
+		t.Fatal("rate floor not applied")
+	}
+	if Paper().Scale != 1 {
+		t.Fatal("paper profile should be full scale")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if AllA100.String() != "A100" || AllA40.String() != "A40" || Hybrid.String() != "hybrid" {
+		t.Fatal("mix strings wrong")
+	}
+}
+
+func TestSupplementaryTable(t *testing.T) {
+	fig, err := tiny().FigCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Supplementary()
+	for _, want := range []string{"acceptance rate", "auction revenue", "compute utilization", "pdFTSP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("supplementary output missing %q:\n%s", want, out)
+		}
+	}
+	// Only the auction charges payments: baselines have zero revenue.
+	for _, m := range fig.Results {
+		if m["EFT"].Revenue != 0 || m["NTM"].Revenue != 0 {
+			t.Fatal("non-auction baseline reported revenue")
+		}
+		if m["pdFTSP"].Revenue < 0 {
+			t.Fatal("negative revenue")
+		}
+	}
+}
+
+func TestMultiSeedAveraging(t *testing.T) {
+	p := tiny()
+	p.Seeds = 2
+	fig, err := p.FigCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Std) != len(fig.Rows) {
+		t.Fatalf("std rows %d != %d", len(fig.Std), len(fig.Rows))
+	}
+	for i := range fig.Std {
+		for j := range fig.Std[i] {
+			if fig.Std[i][j] < 0 {
+				t.Fatal("negative std")
+			}
+		}
+	}
+	// Different seeds really produce different runs: some cell must have
+	// non-zero spread.
+	any := false
+	for i := range fig.Std {
+		for j := range fig.Std[i] {
+			if fig.Std[i][j] > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		t.Fatal("two seeds produced identical welfare everywhere")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/pdftsp/pdftsp/internal/trace"
+)
+
+// FigScale reproduces Figure 4: normalized social welfare versus data
+// center scale (50/100/200 compute nodes in the paper, scaled by the
+// profile), hybrid GPUs, medium workload.
+func (p Profile) FigScale() (*BarFigure, error) {
+	var settings []setting
+	for _, k := range []int{50, 100, 200} {
+		tc := p.baseTrace()
+		settings = append(settings, setting{
+			label:  strconv.Itoa(k),
+			nodes:  p.nodes(k),
+			mix:    Hybrid,
+			traceC: tc,
+		})
+	}
+	return p.runBarFigure("fig4", "Figure 4: impact of data center scale (paper node counts)", settings)
+}
+
+// FigVendors reproduces Figure 5: welfare versus the number of labor
+// vendors in the marketplace (3/5/10).
+func (p Profile) FigVendors() (*BarFigure, error) {
+	var settings []setting
+	for _, n := range []int{3, 5, 10} {
+		tc := p.baseTrace()
+		settings = append(settings, setting{
+			label:   strconv.Itoa(n),
+			nodes:   p.nodes(100),
+			mix:     Hybrid,
+			traceC:  tc,
+			vendors: n,
+		})
+	}
+	return p.runBarFigure("fig5", "Figure 5: impact of number of labor vendors", settings)
+}
+
+// FigCapacity reproduces Figure 6: welfare versus per-node capacity type
+// (all-A100 / all-A40 / hybrid).
+func (p Profile) FigCapacity() (*BarFigure, error) {
+	var settings []setting
+	for _, mix := range []Mix{AllA100, AllA40, Hybrid} {
+		tc := p.baseTrace()
+		settings = append(settings, setting{
+			label:  mix.String(),
+			nodes:  p.nodes(100),
+			mix:    mix,
+			traceC: tc,
+		})
+	}
+	return p.runBarFigure("fig6", "Figure 6: impact of per-node capacity", settings)
+}
+
+// FigTraces reproduces Figure 7: welfare under the three real-world-trace
+// shaped workloads (MLaaS / Philly / Helios).
+func (p Profile) FigTraces() (*BarFigure, error) {
+	var settings []setting
+	for _, kind := range []trace.ArrivalKind{trace.MLaaSLike, trace.PhillyLike, trace.HeliosLike} {
+		tc := p.baseTrace()
+		tc.Arrivals = kind
+		settings = append(settings, setting{
+			label:  kind.String(),
+			nodes:  p.nodes(100),
+			mix:    Hybrid,
+			traceC: tc,
+		})
+	}
+	return p.runBarFigure("fig7", "Figure 7: impact of real-world task traces", settings)
+}
+
+// FigWorkload reproduces Figure 8: welfare under light/medium/high
+// synthetic Poisson workloads (rates 30/50/80 in the paper).
+func (p Profile) FigWorkload() (*BarFigure, error) {
+	var settings []setting
+	labels := []string{"light", "medium", "high"}
+	for i, r := range []float64{30, 50, 80} {
+		tc := p.baseTrace()
+		tc.RatePerSlot = p.rate(r)
+		settings = append(settings, setting{
+			label:  labels[i],
+			nodes:  p.nodes(100),
+			mix:    Hybrid,
+			traceC: tc,
+		})
+	}
+	return p.runBarFigure("fig8", "Figure 8: impact of task dynamics (workload)", settings)
+}
+
+// FigDeadlines reproduces Figure 9: welfare under tight/medium/slack
+// deadline generation.
+func (p Profile) FigDeadlines() (*BarFigure, error) {
+	var settings []setting
+	for _, d := range []trace.DeadlinePolicy{trace.TightDeadlines, trace.MediumDeadlines, trace.SlackDeadlines} {
+		tc := p.baseTrace()
+		tc.Deadlines = d
+		settings = append(settings, setting{
+			label:  d.String(),
+			nodes:  p.nodes(100),
+			mix:    Hybrid,
+			traceC: tc,
+		})
+	}
+	return p.runBarFigure("fig9", "Figure 9: impact of task deadlines", settings)
+}

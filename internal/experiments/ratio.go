@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/metrics"
+	"github.com/pdftsp/pdftsp/internal/milp"
+	"github.com/pdftsp/pdftsp/internal/offline"
+	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// RatioResult is Figure 12: empirical competitive ratios across horizon
+// lengths and workload intensities.
+type RatioResult struct {
+	Horizons  []int
+	Workloads []string
+	// Ratio[h][w] = OPT bound / pdFTSP welfare.
+	Ratio [][]float64
+	// Exact[h][w] reports whether the offline solve proved optimality
+	// (otherwise the ratio uses the dual bound, a conservative
+	// overestimate).
+	Exact [][]bool
+}
+
+// Render prints the ratio matrix.
+func (r *RatioResult) Render() string {
+	rows := make([]string, len(r.Horizons))
+	for i, h := range r.Horizons {
+		rows[i] = "T=" + strconv.Itoa(h)
+	}
+	out := report.Table("Figure 12: empirical competitive ratio (OPT bound / online)", "",
+		rows, r.Workloads, r.Ratio, "%.3f")
+	return out
+}
+
+// RatioOptions sizes the Figure-12 instances. The offline optimum is a
+// MILP over the whole horizon, so instances stay deliberately small
+// (Section 5.2 computes OPT "via Gurobi solver" on small instances); the
+// branch-and-bound's dual bound makes larger instances conservative
+// rather than wrong.
+type RatioOptions struct {
+	// Horizons are the T values (the paper sweeps 50/100/150).
+	Horizons []int
+	// Rates are the per-slot arrival rates for the three workloads.
+	Rates []float64
+	// Nodes is the cluster size.
+	Nodes int
+	// SolveNodes budgets the branch-and-bound per instance.
+	SolveNodes int
+	// SolveBudget caps the wall-clock per instance.
+	SolveBudget time.Duration
+}
+
+// DefaultRatioOptions matches the paper's axes at a tractable size.
+func DefaultRatioOptions() RatioOptions {
+	return RatioOptions{
+		Horizons:    []int{50, 100, 150},
+		Rates:       []float64{0.15, 0.25, 0.4}, // small / medium / high
+		Nodes:       2,
+		SolveNodes:  60,
+		SolveBudget: 30 * time.Second,
+	}
+}
+
+// FigRatio reproduces Figure 12.
+func (p Profile) FigRatio(opts RatioOptions) (*RatioResult, error) {
+	if len(opts.Horizons) == 0 {
+		opts = DefaultRatioOptions()
+	}
+	res := &RatioResult{
+		Horizons:  opts.Horizons,
+		Workloads: []string{"small workload", "medium workload", "high workload"},
+	}
+	if len(opts.Rates) != len(res.Workloads) {
+		res.Workloads = res.Workloads[:len(opts.Rates)]
+	}
+	for _, T := range opts.Horizons {
+		h := timeslot.NewHorizon(T)
+		row := make([]float64, len(opts.Rates))
+		exact := make([]bool, len(opts.Rates))
+		for wi, rate := range opts.Rates {
+			tc := trace.DefaultConfig()
+			tc.Seed = p.Seed + int64(T)*100 + int64(wi)
+			tc.Horizon = h
+			tc.RatePerSlot = rate
+			tc.Deadlines = trace.TightDeadlines // keeps the MILP windows small
+			tasks, err := trace.Generate(tc)
+			if err != nil {
+				return nil, err
+			}
+			mkt, err := vendor.Standard(3, p.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			// Online pdFTSP.
+			onCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
+			if err != nil {
+				return nil, err
+			}
+			sched, err := core.New(onCl, core.CalibrateDuals(tasks, tc.Model, onCl, mkt))
+			if err != nil {
+				return nil, err
+			}
+			onRes, err := sim.Run(onCl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+			if err != nil {
+				return nil, err
+			}
+			// Offline optimum (or its dual bound).
+			offCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
+			if err != nil {
+				return nil, err
+			}
+			offRes, err := offline.Solve(offline.Instance{
+				Cluster: offCl, Tasks: tasks, Model: tc.Model, Market: mkt,
+			}, milp.Options{MaxNodes: opts.SolveNodes, TimeBudget: opts.SolveBudget, GapTol: 0.02})
+			if err != nil {
+				return nil, err
+			}
+			ratio, err := metrics.CompetitiveRatio(offRes.Bound, onRes.Welfare)
+			if err != nil {
+				return nil, err
+			}
+			row[wi] = ratio
+			exact[wi] = offRes.Status == milp.Optimal
+		}
+		res.Ratio = append(res.Ratio, row)
+		res.Exact = append(res.Exact, exact)
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/baseline"
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/metrics"
+	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// RuntimeResult is Figure 13: per-task scheduling latency CDFs of pdFTSP
+// versus Titan on the same workload and cluster.
+type RuntimeResult struct {
+	PdFTSP []metrics.CDFPoint
+	Titan  []metrics.CDFPoint
+	// Percentile summaries in seconds.
+	PdP50, PdP99, TitanP50, TitanP99 float64
+}
+
+// Render prints percentile summaries plus coarse CDF samples.
+func (r *RuntimeResult) Render() string {
+	head := report.KV("Figure 13: per-task scheduling latency (seconds)",
+		[]string{"pdFTSP p50", "pdFTSP p99", "Titan p50", "Titan p99"},
+		[]string{
+			fmt.Sprintf("%.6f", r.PdP50), fmt.Sprintf("%.6f", r.PdP99),
+			fmt.Sprintf("%.6f", r.TitanP50), fmt.Sprintf("%.6f", r.TitanP99),
+		})
+	sampled := func(cdf []metrics.CDFPoint) ([]float64, []float64) {
+		var xs, ys []float64
+		step := len(cdf) / 10
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(cdf); i += step {
+			xs = append(xs, cdf[i].X)
+			ys = append(ys, cdf[i].P)
+		}
+		return xs, ys
+	}
+	x1, y1 := sampled(r.PdFTSP)
+	x2, y2 := sampled(r.Titan)
+	return head +
+		report.Series("pdFTSP latency CDF", "seconds", "P", x1, y1) +
+		report.Series("Titan latency CDF", "seconds", "P", x2, y2)
+}
+
+// FigRuntime reproduces Figure 13 at the paper's 100-node point (scaled
+// by the profile): both schedulers process the same workload; Titan's
+// per-slot MILP time is averaged over the slot's tasks, exactly as in the
+// paper.
+func (p Profile) FigRuntime() (*RuntimeResult, error) {
+	tc := p.baseTrace()
+	tasks, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	mkt, err := vendor.Standard(5, p.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	collect := func(mk func(cl *cluster.Cluster) (sim.Scheduler, error)) ([]time.Duration, error) {
+		cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := mk(cl)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+		if err != nil {
+			return nil, err
+		}
+		return res.OfferLatency, nil
+	}
+	pdLat, err := collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
+		return core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))
+	})
+	if err != nil {
+		return nil, err
+	}
+	tiLat, err := collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
+		return baseline.NewTitan(baseline.TitanOptions{Seed: p.Seed, SolveBudget: p.TitanBudget}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	toF := func(ds []time.Duration) []float64 {
+		out := make([]float64, len(ds))
+		for i, d := range ds {
+			out[i] = d.Seconds()
+		}
+		return out
+	}
+	return &RuntimeResult{
+		PdFTSP:   metrics.LatencyCDF(pdLat),
+		Titan:    metrics.LatencyCDF(tiLat),
+		PdP50:    metrics.Percentile(toF(pdLat), 50),
+		PdP99:    metrics.Percentile(toF(pdLat), 99),
+		TitanP50: metrics.Percentile(toF(tiLat), 50),
+		TitanP99: metrics.Percentile(toF(tiLat), 99),
+	}, nil
+}

@@ -1,0 +1,139 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+func TestCatalogSpecsValid(t *testing.T) {
+	for name, s := range Catalog() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("catalog spec %s invalid: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("catalog key %q != spec name %q", name, s.Name)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	good := A100
+	bad := []Spec{
+		{},
+		{Name: "x", MemGB: -1, FP16TFLOPS: 1, MFU: 0.5, PowerKW: 1},
+		{Name: "x", MemGB: 1, FP16TFLOPS: 0, MFU: 0.5, PowerKW: 1},
+		{Name: "x", MemGB: 1, FP16TFLOPS: 1, MFU: 0, PowerKW: 1},
+		{Name: "x", MemGB: 1, FP16TFLOPS: 1, MFU: 1.5, PowerKW: 1},
+		{Name: "x", MemGB: 1, FP16TFLOPS: 1, MFU: 0.5, PowerKW: 0},
+		{Name: "x", MemGB: 1, FP16TFLOPS: 1, MFU: 0.5, PowerKW: 1, CapitalPerHour: -5},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("A100 should validate: %v", err)
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestA100FasterAndBiggerThanA40(t *testing.T) {
+	// The evaluation relies on the A100 dominating the A40 (Figure 6).
+	if A100.EffectiveFLOPS() <= A40.EffectiveFLOPS() {
+		t.Fatal("A100 should out-compute A40")
+	}
+	if A100.MemGB <= A40.MemGB {
+		t.Fatal("A100 should have more memory than A40")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("A100-80G"); !ok || s != A100 {
+		t.Fatalf("ByName(A100-80G) = %v, %v", s, ok)
+	}
+	if _, ok := ByName("H100"); ok {
+		t.Fatal("ByName(H100) should miss")
+	}
+}
+
+func TestFlatPrice(t *testing.T) {
+	h := timeslot.Day()
+	p := FlatPrice(0.1)
+	for _, tt := range []int{0, 10, 143} {
+		if got := p.PriceAt(h, tt); got != 0.1 {
+			t.Fatalf("FlatPrice at %d = %v", tt, got)
+		}
+	}
+}
+
+func TestHourlyRateDominatedByCapital(t *testing.T) {
+	// Capital should dominate the energy term for every catalog GPU, so
+	// that e_ikt lands on the same money scale as bids (Figure 10).
+	for name, s := range Catalog() {
+		if s.HourlyRate() < 10*s.PowerKW*meanElectricity {
+			t.Errorf("%s hourly rate %v not dominated by capital", name, s.HourlyRate())
+		}
+	}
+}
+
+func TestA100CostsMoreThanA40(t *testing.T) {
+	if A100.HourlyRate() <= A40.HourlyRate() {
+		t.Fatal("A100 should cost more per hour than A40")
+	}
+}
+
+func TestDiurnalPriceBoundsAndMean(t *testing.T) {
+	h := timeslot.Day()
+	p := DefaultDiurnal()
+	if math.Abs(p.Base-1) > 1e-12 {
+		t.Fatalf("default diurnal base = %v, want 1 (a multiplier)", p.Base)
+	}
+	lo, hi := p.Base*(1-p.Amplitude), p.Base*(1+p.Amplitude)
+	sum := 0.0
+	for tt := 0; tt < h.T; tt++ {
+		v := p.PriceAt(h, tt)
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("price at %d = %v outside [%v,%v]", tt, v, lo, hi)
+		}
+		sum += v
+	}
+	mean := sum / float64(h.T)
+	if math.Abs(mean-p.Base) > 1e-3*p.Base {
+		t.Fatalf("diurnal mean %v, want ~%v", mean, p.Base)
+	}
+}
+
+func TestDiurnalPriceVaries(t *testing.T) {
+	h := timeslot.Day()
+	p := DefaultDiurnal()
+	if p.PriceAt(h, 0) == p.PriceAt(h, 36) {
+		t.Fatal("diurnal price should vary across the day")
+	}
+}
+
+func TestDiurnalPriceAlwaysPositive(t *testing.T) {
+	h := timeslot.Day()
+	f := func(t16 uint16, amp uint8) bool {
+		p := DiurnalPrice{Base: 1, Amplitude: float64(amp%100) / 101.0, Phase: 0.25}
+		return p.PriceAt(h, int(t16)) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCostPerSlot(t *testing.T) {
+	h := timeslot.Day()
+	got := OpCostPerSlot(A100, FlatPrice(1), h, 0)
+	want := A100.HourlyRate() * (1.0 / 6.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("OpCostPerSlot = %v, want %v", got, want)
+	}
+	// Doubling the multiplier doubles the cost.
+	if got2 := OpCostPerSlot(A100, FlatPrice(2), h, 0); math.Abs(got2-2*want) > 1e-12 {
+		t.Fatalf("OpCostPerSlot with 2x multiplier = %v, want %v", got2, 2*want)
+	}
+}

@@ -1,0 +1,159 @@
+// Package lora models the arithmetic of LoRA fine-tuning on transformers:
+// parameter counts, adapter sizes, GPU memory footprints, and training
+// throughput. It is the calibration substrate that replaces the paper's
+// hardware profiling step (Section 5.1: "we finetune GPT-2 model using LoRA
+// on the NVIDIA A100(80GB) GPU and A40(48GB) GPU ... record the amount of
+// computation within a time slot ... under different batch size values").
+//
+// The scheduler consumes only the resulting numbers: the shared base-model
+// memory r_b, the per-task memory r_i, the per-task throughput s_ik, and
+// the node aggregate capacity C_kp. This package derives all of them from
+// a transformer configuration plus a GPU spec sheet; see DESIGN.md §3 for
+// the substitution rationale and §5 for units.
+package lora
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+// SamplesPerUnit is the work-unit quantization: 1 work unit = 1,000
+// training samples. All schedulers operate on integer work units.
+const SamplesPerUnit = 1000
+
+// ModelConfig describes a decoder-only transformer to be fine-tuned.
+type ModelConfig struct {
+	Name   string
+	Layers int // number of transformer blocks
+	Hidden int // model width d
+	Heads  int // attention heads
+	Vocab  int // vocabulary size
+	SeqLen int // training sequence length
+}
+
+// GPT2Small is the GPT-2 124M configuration used in the paper's profiling.
+func GPT2Small() ModelConfig {
+	return ModelConfig{Name: "gpt2-small", Layers: 12, Hidden: 768, Heads: 12, Vocab: 50257, SeqLen: 1024}
+}
+
+// GPT2Medium is the GPT-2 355M configuration (extension beyond the paper).
+func GPT2Medium() ModelConfig {
+	return ModelConfig{Name: "gpt2-medium", Layers: 24, Hidden: 1024, Heads: 16, Vocab: 50257, SeqLen: 1024}
+}
+
+// Validate reports whether the configuration is usable.
+func (m ModelConfig) Validate() error {
+	if m.Layers <= 0 || m.Hidden <= 0 || m.Heads <= 0 || m.Vocab <= 0 || m.SeqLen <= 0 {
+		return fmt.Errorf("lora: model %q has non-positive dimension", m.Name)
+	}
+	if m.Hidden%m.Heads != 0 {
+		return fmt.Errorf("lora: model %q hidden %d not divisible by heads %d", m.Name, m.Hidden, m.Heads)
+	}
+	return nil
+}
+
+// BaseParams returns the frozen parameter count: per block, attention
+// (4·H²) plus MLP (8·H²), plus the embedding table.
+func (m ModelConfig) BaseParams() int64 {
+	h := int64(m.Hidden)
+	block := 12 * h * h
+	return int64(m.Layers)*block + int64(m.Vocab)*h
+}
+
+// AdapterParams returns the trainable LoRA parameter count at the given
+// rank: adapters on the attention query and value projections (the LoRA
+// paper's default), each contributing A∈R^{r×H} and B∈R^{H×r}.
+func (m ModelConfig) AdapterParams(rank int) int64 {
+	if rank <= 0 {
+		return 0
+	}
+	perLayer := int64(2) * 2 * int64(m.Hidden) * int64(rank)
+	return int64(m.Layers) * perLayer
+}
+
+// FLOPsPerSample returns the training FLOPs for one sample of SeqLen
+// tokens, using the standard 6·N FLOPs-per-token rule for training (the
+// frozen weights still require forward and input-gradient passes; only the
+// weight-gradient pass is restricted to the adapters, a small saving we
+// fold into the GPU MFU).
+func (m ModelConfig) FLOPsPerSample() float64 {
+	return 6 * float64(m.BaseParams()) * float64(m.SeqLen)
+}
+
+// Memory model constants (bytes). These are ordinary fp16 training
+// footprints with selective activation checkpointing; the absolute values
+// were chosen so the resulting r_b (~2 GB) and r_i (1–10 GB) sit in the
+// ranges the paper's GPT-2 profiling yields.
+const (
+	bytesPerBaseParam    = 2  // fp16 frozen weights
+	bytesPerAdapterParam = 16 // fp32 weight + grad + Adam m,v
+	bytesPerActivation   = 32 // per (token × hidden × layer) activation footprint
+	baseRuntimeGB        = 1.5
+	taskRuntimeGB        = 0.5
+)
+
+// BaseMemoryGB returns r_b: the GB held by the shared pre-trained model
+// replica on a node (weights plus runtime buffers).
+func BaseMemoryGB(m ModelConfig) float64 {
+	return float64(m.BaseParams())*bytesPerBaseParam/1e9 + baseRuntimeGB
+}
+
+// TaskMemoryGB returns r_i for a task fine-tuning with the given LoRA rank
+// and per-device batch size: adapter parameters with optimizer state, plus
+// activations, plus fixed per-task runtime buffers.
+func TaskMemoryGB(m ModelConfig, rank, batch int) float64 {
+	adapters := float64(m.AdapterParams(rank)) * bytesPerAdapterParam / 1e9
+	acts := float64(batch) * float64(m.SeqLen) * float64(m.Hidden) *
+		float64(m.Layers) * bytesPerActivation / 1e9
+	return adapters + acts + taskRuntimeGB
+}
+
+// batchHalfSaturation is the batch size at which a single LoRA task reaches
+// half of the GPU's full fine-tuning MFU. Small per-task batches underuse
+// the device — which is exactly why multi-LoRA co-location (Figure 2 of
+// the paper) pays off: co-located tasks fill the gap up to the aggregate
+// capacity.
+const batchHalfSaturation = 32
+
+// SamplesPerSecond returns a single task's training throughput on GPU g at
+// the given batch size.
+func SamplesPerSecond(m ModelConfig, g gpu.Spec, batch int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	share := float64(batch) / float64(batch+batchHalfSaturation)
+	return g.EffectiveFLOPS() * share / m.FLOPsPerSample()
+}
+
+// AggregateSamplesPerSecond returns the node-level throughput when enough
+// co-located multi-LoRA tasks saturate the GPU (the basis for C_kp).
+func AggregateSamplesPerSecond(m ModelConfig, g gpu.Spec) float64 {
+	return g.EffectiveFLOPS() / m.FLOPsPerSample()
+}
+
+// UnitsPerSlot converts a samples/second throughput into integer work
+// units per slot (floor, ≥ 0).
+func UnitsPerSlot(samplesPerSecond float64, h timeslot.Horizon) int {
+	d := h.SlotDuration
+	if d == 0 {
+		d = timeslot.DefaultSlotDuration
+	}
+	u := samplesPerSecond * d.Seconds() / SamplesPerUnit
+	if u < 0 {
+		return 0
+	}
+	return int(math.Floor(u))
+}
+
+// TaskUnitsPerSlot returns s_ik in work units for one task on GPU g.
+func TaskUnitsPerSlot(m ModelConfig, g gpu.Spec, batch int, h timeslot.Horizon) int {
+	return UnitsPerSlot(SamplesPerSecond(m, g, batch), h)
+}
+
+// NodeCapUnits returns C_kp in work units for a node with GPU g.
+func NodeCapUnits(m ModelConfig, g gpu.Spec, h timeslot.Horizon) int {
+	return UnitsPerSlot(AggregateSamplesPerSecond(m, g), h)
+}

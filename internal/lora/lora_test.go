@@ -1,0 +1,197 @@
+package lora
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+func TestGPT2SmallParamCount(t *testing.T) {
+	m := GPT2Small()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := m.BaseParams()
+	// GPT-2 small is ~124M parameters; the block+embedding model should
+	// land within 10%.
+	if p < 110e6 || p > 140e6 {
+		t.Fatalf("GPT-2 small params = %d, want ~124M", p)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []ModelConfig{
+		{Name: "zero"},
+		{Name: "heads", Layers: 2, Hidden: 10, Heads: 3, Vocab: 10, SeqLen: 8},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("config %q validated", m.Name)
+		}
+	}
+}
+
+func TestAdapterParamsTinyVersusBase(t *testing.T) {
+	m := GPT2Small()
+	a := m.AdapterParams(8)
+	// LoRA's whole point: adapters are orders of magnitude smaller.
+	if a <= 0 || a*100 > m.BaseParams() {
+		t.Fatalf("adapter params %d not ≪ base %d", a, m.BaseParams())
+	}
+	if m.AdapterParams(0) != 0 || m.AdapterParams(-1) != 0 {
+		t.Fatal("non-positive rank should have zero adapter params")
+	}
+}
+
+func TestAdapterParamsMonotoneInRank(t *testing.T) {
+	m := GPT2Small()
+	f := func(r uint8) bool {
+		rank := int(r%64) + 1
+		return m.AdapterParams(rank+1) > m.AdapterParams(rank)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseMemoryRealistic(t *testing.T) {
+	rb := BaseMemoryGB(GPT2Small())
+	if rb < 1.5 || rb > 3 {
+		t.Fatalf("r_b = %v GB, want ~2 GB for GPT-2 small", rb)
+	}
+}
+
+func TestTaskMemoryMonotoneInBatchAndRank(t *testing.T) {
+	m := GPT2Small()
+	f := func(b, r uint8) bool {
+		batch := int(b%63) + 1
+		rank := int(r%63) + 1
+		return TaskMemoryGB(m, rank, batch+1) > TaskMemoryGB(m, rank, batch) &&
+			TaskMemoryGB(m, rank+1, batch) > TaskMemoryGB(m, rank, batch)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskMemoryRange(t *testing.T) {
+	m := GPT2Small()
+	lo := TaskMemoryGB(m, 4, 4)
+	hi := TaskMemoryGB(m, 64, 64)
+	if lo < 0.5 || lo > 3 {
+		t.Fatalf("small task memory %v GB outside plausible range", lo)
+	}
+	if hi < 10 || hi > 40 {
+		t.Fatalf("large task memory %v GB outside plausible range", hi)
+	}
+	// A40 (48GB) must be able to host at least a small task next to the
+	// base model, or the heterogeneous experiments degenerate.
+	if lo+BaseMemoryGB(m) > gpu.A40.MemGB {
+		t.Fatal("smallest task does not fit on an A40")
+	}
+}
+
+func TestThroughputOrdering(t *testing.T) {
+	m := GPT2Small()
+	// A100 beats A40 at every batch size (basis of Figure 6).
+	for _, batch := range []int{4, 8, 16, 32, 64} {
+		if SamplesPerSecond(m, gpu.A100, batch) <= SamplesPerSecond(m, gpu.A40, batch) {
+			t.Fatalf("A100 not faster than A40 at batch %d", batch)
+		}
+	}
+	// Throughput increases with batch but stays below the aggregate.
+	prev := 0.0
+	agg := AggregateSamplesPerSecond(m, gpu.A100)
+	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		s := SamplesPerSecond(m, gpu.A100, batch)
+		if s <= prev {
+			t.Fatalf("throughput not increasing at batch %d", batch)
+		}
+		if s >= agg {
+			t.Fatalf("single task throughput %v exceeds aggregate %v", s, agg)
+		}
+		prev = s
+	}
+	if SamplesPerSecond(m, gpu.A100, 0) != 0 {
+		t.Fatal("zero batch should have zero throughput")
+	}
+}
+
+func TestMultiLoRAHeadroom(t *testing.T) {
+	// The multi-LoRA claim: one task leaves headroom for co-located tasks.
+	m := GPT2Small()
+	single := SamplesPerSecond(m, gpu.A100, 16)
+	agg := AggregateSamplesPerSecond(m, gpu.A100)
+	if agg < 2*single {
+		t.Fatalf("aggregate %v leaves no room for multi-LoRA (single=%v)", agg, single)
+	}
+}
+
+func TestUnitsPerSlotScale(t *testing.T) {
+	m := GPT2Small()
+	h := timeslot.Day()
+	cap100 := NodeCapUnits(m, gpu.A100, h)
+	cap40 := NodeCapUnits(m, gpu.A40, h)
+	if cap100 <= cap40 {
+		t.Fatalf("A100 node cap %d not above A40 %d", cap100, cap40)
+	}
+	// Calibration sanity: node capacity should be tens of units per
+	// ten-minute slot so that 5–100-unit tasks span multiple slots.
+	if cap100 < 20 || cap100 > 400 {
+		t.Fatalf("A100 node cap %d units/slot outside plausible range", cap100)
+	}
+	s := TaskUnitsPerSlot(m, gpu.A100, 16, h)
+	if s <= 0 || s >= cap100 {
+		t.Fatalf("task units/slot %d outside (0, %d)", s, cap100)
+	}
+}
+
+func TestUnitsPerSlotFloorsAndClamps(t *testing.T) {
+	h := timeslot.Day()
+	if UnitsPerSlot(-5, h) != 0 {
+		t.Fatal("negative throughput should clamp to 0")
+	}
+	if UnitsPerSlot(0.9/600*SamplesPerUnit, h) != 0 {
+		t.Fatal("sub-unit throughput should floor to 0")
+	}
+	// Zero slot duration falls back to the default rather than dividing
+	// by zero.
+	if UnitsPerSlot(10, timeslot.Horizon{T: 4}) < 0 {
+		t.Fatal("zero-duration horizon mishandled")
+	}
+}
+
+func TestGPT2MediumBiggerThanSmall(t *testing.T) {
+	if GPT2Medium().BaseParams() <= GPT2Small().BaseParams() {
+		t.Fatal("gpt2-medium should have more parameters than small")
+	}
+	if err := GPT2Medium().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	m := GPT2Small()
+	h := timeslot.Day()
+	rows := Profile(m, []gpu.Spec{gpu.A100, gpu.A40}, []int{4, 16}, h)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.SamplesPerSec <= 0 || r.UnitsPerSlot < 0 || r.TaskMemGB <= 0 || r.NodeCapUnits <= 0 {
+			t.Fatalf("degenerate profile row: %+v", r)
+		}
+		if r.UnitsPerSlot >= r.NodeCapUnits {
+			t.Fatalf("single task saturates the node in row %+v", r)
+		}
+	}
+	out := FormatProfile(m, rows)
+	for _, want := range []string{"gpt2-small", "A100-80G", "A40-48G", "units/slot"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}

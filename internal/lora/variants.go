@@ -1,0 +1,121 @@
+package lora
+
+import "fmt"
+
+// Quantization selects the precision of the frozen base weights. The
+// paper's future work points at "paradigms beyond LoRA"; QLoRA (its
+// reference [2]) keeps the base in 8- or 4-bit precision, shrinking the
+// per-node replica r_b and therefore freeing memory capacity (4g) for
+// more co-located adapters.
+type Quantization int
+
+// Base-weight precisions.
+const (
+	FP16 Quantization = iota // 2 bytes/param (the default model)
+	Int8                     // 1 byte/param
+	NF4                      // 0.5 bytes/param + quantile tables
+)
+
+// String implements fmt.Stringer.
+func (q Quantization) String() string {
+	switch q {
+	case FP16:
+		return "fp16"
+	case Int8:
+		return "int8"
+	case NF4:
+		return "nf4"
+	default:
+		return fmt.Sprintf("Quantization(%d)", int(q))
+	}
+}
+
+// bytesPerParam returns the storage per frozen parameter.
+func (q Quantization) bytesPerParam() float64 {
+	switch q {
+	case Int8:
+		return 1
+	case NF4:
+		// 4-bit weights plus ~3% overhead for absmax/quantile metadata.
+		return 0.515
+	default:
+		return bytesPerBaseParam
+	}
+}
+
+// BaseMemoryGBQuant returns r_b under the given base quantization. FP16
+// matches BaseMemoryGB exactly.
+func BaseMemoryGBQuant(m ModelConfig, q Quantization) float64 {
+	return float64(m.BaseParams())*q.bytesPerParam()/1e9 + baseRuntimeGB
+}
+
+// AdapterKind selects the parameter-efficient fine-tuning method. The
+// scheduler only cares about the induced parameter and memory counts.
+type AdapterKind int
+
+// Adapter methods.
+const (
+	// PlainLoRA is the paper's default: A∈R^{r×H}, B∈R^{H×r} on the
+	// attention query and value projections.
+	PlainLoRA AdapterKind = iota
+	// DoRA (the paper's reference [15]) adds a learned magnitude vector
+	// per adapted weight matrix on top of the LoRA pair.
+	DoRA
+	// AdaLoRA (the paper's reference [29]) allocates a rank budget
+	// adaptively; we model its worst case of 1.5× the nominal rank.
+	AdaLoRA
+)
+
+// String implements fmt.Stringer.
+func (k AdapterKind) String() string {
+	switch k {
+	case PlainLoRA:
+		return "lora"
+	case DoRA:
+		return "dora"
+	case AdaLoRA:
+		return "adalora"
+	default:
+		return fmt.Sprintf("AdapterKind(%d)", int(k))
+	}
+}
+
+// AdapterParamsKind returns the trainable parameter count for the method.
+func AdapterParamsKind(m ModelConfig, rank int, kind AdapterKind) int64 {
+	base := m.AdapterParams(rank)
+	switch kind {
+	case DoRA:
+		// One magnitude scalar per output dimension of each of the two
+		// adapted matrices per layer.
+		return base + int64(m.Layers)*2*int64(m.Hidden)
+	case AdaLoRA:
+		return m.AdapterParams(rank + (rank+1)/2)
+	default:
+		return base
+	}
+}
+
+// TaskMemoryGBKind is TaskMemoryGB with an explicit adapter method: the
+// activation and runtime terms are method-independent, only the trainable
+// parameter state changes.
+func TaskMemoryGBKind(m ModelConfig, rank, batch int, kind AdapterKind) float64 {
+	plain := TaskMemoryGB(m, rank, batch)
+	delta := float64(AdapterParamsKind(m, rank, kind)-m.AdapterParams(rank)) *
+		bytesPerAdapterParam / 1e9
+	return plain + delta
+}
+
+// QuantizationGain reports how many extra co-located tasks of footprint
+// taskGB a node with memGB device memory gains by quantizing the base
+// replica from FP16 to q.
+func QuantizationGain(m ModelConfig, memGB, taskGB float64, q Quantization) int {
+	if taskGB <= 0 {
+		return 0
+	}
+	before := int((memGB - BaseMemoryGB(m)) / taskGB)
+	after := int((memGB - BaseMemoryGBQuant(m, q)) / taskGB)
+	if after < before {
+		return 0
+	}
+	return after - before
+}

@@ -1,0 +1,89 @@
+package lora
+
+import (
+	"testing"
+)
+
+func TestQuantizationShrinksBase(t *testing.T) {
+	m := GPT2Small()
+	fp16 := BaseMemoryGBQuant(m, FP16)
+	int8 := BaseMemoryGBQuant(m, Int8)
+	nf4 := BaseMemoryGBQuant(m, NF4)
+	if fp16 != BaseMemoryGB(m) {
+		t.Fatalf("FP16 quant %v != default %v", fp16, BaseMemoryGB(m))
+	}
+	if !(nf4 < int8 && int8 < fp16) {
+		t.Fatalf("quantization ordering wrong: nf4=%v int8=%v fp16=%v", nf4, int8, fp16)
+	}
+	// The runtime floor keeps even NF4 above the fixed overhead.
+	if nf4 <= baseRuntimeGB {
+		t.Fatalf("nf4 base %v below runtime floor %v", nf4, baseRuntimeGB)
+	}
+}
+
+func TestQuantizationStrings(t *testing.T) {
+	if FP16.String() != "fp16" || Int8.String() != "int8" || NF4.String() != "nf4" ||
+		Quantization(9).String() == "" {
+		t.Fatal("quantization strings wrong")
+	}
+	if PlainLoRA.String() != "lora" || DoRA.String() != "dora" || AdaLoRA.String() != "adalora" ||
+		AdapterKind(9).String() == "" {
+		t.Fatal("adapter kind strings wrong")
+	}
+}
+
+func TestAdapterKindsOrdering(t *testing.T) {
+	m := GPT2Small()
+	for _, rank := range []int{4, 8, 16, 64} {
+		plain := AdapterParamsKind(m, rank, PlainLoRA)
+		dora := AdapterParamsKind(m, rank, DoRA)
+		ada := AdapterParamsKind(m, rank, AdaLoRA)
+		if plain != m.AdapterParams(rank) {
+			t.Fatalf("plain LoRA kind diverges at rank %d", rank)
+		}
+		if dora <= plain {
+			t.Fatalf("DoRA should add magnitude params at rank %d", rank)
+		}
+		if ada <= plain {
+			t.Fatalf("AdaLoRA worst case should exceed nominal at rank %d", rank)
+		}
+	}
+}
+
+func TestTaskMemoryGBKind(t *testing.T) {
+	m := GPT2Small()
+	plain := TaskMemoryGBKind(m, 8, 16, PlainLoRA)
+	if plain != TaskMemoryGB(m, 8, 16) {
+		t.Fatal("plain kind should match base task memory")
+	}
+	dora := TaskMemoryGBKind(m, 8, 16, DoRA)
+	if dora <= plain {
+		t.Fatal("DoRA task memory should exceed plain LoRA")
+	}
+	// The delta is small: adapters are tiny either way.
+	if dora-plain > 0.1 {
+		t.Fatalf("DoRA delta %v GB implausibly large", dora-plain)
+	}
+}
+
+func TestQuantizationGain(t *testing.T) {
+	m := GPT2Small()
+	// On a 24 GB part with 5 GB tasks, 4-bit quantization should free at
+	// least a fraction of a task slot; on huge memory the gain rounds to
+	// small integers but never negative.
+	for _, mem := range []float64{24, 48, 80} {
+		g := QuantizationGain(m, mem, 5, NF4)
+		if g < 0 {
+			t.Fatalf("negative gain at %v GB", mem)
+		}
+	}
+	if QuantizationGain(m, 48, 0, NF4) != 0 {
+		t.Fatal("zero task footprint should yield zero gain")
+	}
+	// Larger models gain more absolute memory back.
+	small := BaseMemoryGB(GPT2Small()) - BaseMemoryGBQuant(GPT2Small(), NF4)
+	medium := BaseMemoryGB(GPT2Medium()) - BaseMemoryGBQuant(GPT2Medium(), NF4)
+	if medium <= small {
+		t.Fatal("bigger model should reclaim more memory from quantization")
+	}
+}

@@ -1,0 +1,142 @@
+// Package metrics provides the statistics used by the evaluation figures:
+// means, percentiles, latency CDFs (Figure 13), max-normalization of
+// welfare matrices (Figures 4–9), and empirical competitive ratios
+// (Figure 12).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) with linear
+// interpolation. It sorts a copy of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value (seconds for latency CDFs)
+	P float64 // cumulative probability in [0,1]
+}
+
+// LatencyCDF converts latency samples to an empirical CDF in seconds
+// (every sample becomes a point, sorted ascending).
+func LatencyCDF(latencies []time.Duration) []CDFPoint {
+	if len(latencies) == 0 {
+		return nil
+	}
+	xs := make([]float64, len(latencies))
+	for i, d := range latencies {
+		xs[i] = d.Seconds()
+	}
+	sort.Float64s(xs)
+	points := make([]CDFPoint, len(xs))
+	for i, x := range xs {
+		points[i] = CDFPoint{X: x, P: float64(i+1) / float64(len(xs))}
+	}
+	return points
+}
+
+// CDFAt evaluates an empirical CDF at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range cdf {
+		if pt.X <= x {
+			p = pt.P
+		} else {
+			break
+		}
+	}
+	return p
+}
+
+// NormalizeByMax divides every entry by the global maximum, yielding the
+// normalized social welfare the paper's bar charts plot. A zero or
+// negative maximum returns the input unchanged.
+func NormalizeByMax(data [][]float64) [][]float64 {
+	maxV := math.Inf(-1)
+	for _, row := range data {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		out[i] = append([]float64(nil), row...)
+		if maxV > 0 {
+			for j := range out[i] {
+				out[i][j] /= maxV
+			}
+		}
+	}
+	return out
+}
+
+// ImprovementPct returns (a−b)/b·100, the paper's "improves social
+// welfare by X%" metric. It returns +Inf for non-positive b with
+// positive a, and 0 when both are non-positive.
+func ImprovementPct(a, b float64) float64 {
+	if b <= 0 {
+		if a > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return (a - b) / b * 100
+}
+
+// CompetitiveRatio returns OPT/online, clamped below at 1 (an online
+// algorithm cannot beat the optimum; apparent ratios under 1 arise only
+// from bound slack or numeric noise). A non-positive online welfare with
+// positive OPT yields +Inf.
+func CompetitiveRatio(opt, online float64) (float64, error) {
+	if opt < 0 {
+		return 0, fmt.Errorf("metrics: negative OPT %v", opt)
+	}
+	if online <= 0 {
+		if opt == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	r := opt / online
+	if r < 1 {
+		r = 1
+	}
+	return r, nil
+}

@@ -1,0 +1,42 @@
+package milp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzKnapsackMatchesExhaustive decodes tiny knapsacks from fuzz bytes
+// and cross-checks branch-and-bound against exhaustive enumeration.
+func FuzzKnapsackMatchesExhaustive(f *testing.F) {
+	f.Add([]byte{5, 10, 20, 30, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 9, 9, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int(data[0]%6) + 1
+		if len(data) < 1+2*n+1 {
+			return
+		}
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = float64(data[1+i]%50) + 1
+			weights[i] = float64(data[1+n+i]%20) + 1
+		}
+		capacity := float64(data[1+2*n] % 60)
+		res, err := Solve(knapsack(values, weights, capacity), Options{})
+		if err != nil {
+			t.Fatalf("Solve errored: %v", err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("status %v on a %d-item knapsack", res.Status, n)
+		}
+		want := exhaustiveKnapsack(values, weights, capacity)
+		if math.Abs(res.Objective-want) > 1e-6 {
+			t.Fatalf("milp %v, exhaustive %v (v=%v w=%v cap=%v)",
+				res.Objective, want, values, weights, capacity)
+		}
+	})
+}

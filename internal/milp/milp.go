@@ -1,0 +1,376 @@
+// Package milp implements a branch-and-bound solver for mixed 0-1 integer
+// linear programs on top of internal/lp. Together they replace the Gurobi
+// dependency of the paper's evaluation: the Titan baseline solves a MILP
+// every slot, and the empirical competitive ratio (Figure 12) needs the
+// offline optimum of problem (4).
+//
+// The solver is an anytime best-first branch-and-bound: it keeps the best
+// incumbent and the best dual bound, and respects node and wall-clock
+// budgets, returning Feasible (incumbent + bound) when stopped early —
+// the same protocol one uses with a time-limited commercial solver.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/lp"
+)
+
+// Problem is a maximization LP plus a set of variables restricted to {0,1}.
+type Problem struct {
+	// LP is the relaxation; binary bounds x_j ≤ 1 are added by Solve
+	// automatically for every Binary variable.
+	LP lp.Problem
+	// Binary lists the variable indices constrained to {0,1}.
+	Binary []int
+}
+
+// Status is the outcome of a solve.
+type Status int8
+
+// Statuses.
+const (
+	// Optimal: the incumbent is provably optimal.
+	Optimal Status = iota
+	// Feasible: budget exhausted with an incumbent; Bound caps the gap.
+	Feasible
+	// Infeasible: no 0-1 assignment satisfies the constraints.
+	Infeasible
+	// BoundOnly: budget exhausted before any incumbent was found; only
+	// the dual bound is meaningful.
+	BoundOnly
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case BoundOnly:
+		return "bound-only"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps explored branch-and-bound nodes; 0 means 10,000.
+	MaxNodes int
+	// TimeBudget caps wall-clock time; 0 means no limit.
+	TimeBudget time.Duration
+	// IntEps is the integrality tolerance; 0 means 1e-6.
+	IntEps float64
+	// GapTol stops the search once the incumbent is within this relative
+	// gap of the best bound (like a MIP gap limit); 0 means prove
+	// optimality.
+	GapTol float64
+	// WarmStart optionally seeds the incumbent with a known feasible
+	// point (len NumVars). Infeasible or non-integral warm starts are
+	// ignored; a valid one lets the search prune immediately, the same
+	// role a MIP start plays in commercial solvers.
+	WarmStart []float64
+	// LP tunes the relaxation solver.
+	LP lp.Options
+}
+
+// Result reports the solve.
+type Result struct {
+	Status    Status
+	Objective float64   // incumbent objective (valid unless BoundOnly/Infeasible)
+	Bound     float64   // best valid upper bound on the optimum
+	X         []float64 // incumbent point
+	Nodes     int       // explored nodes
+}
+
+// node is one open branch-and-bound node.
+type node struct {
+	fixes []fix
+	bound float64
+}
+
+type fix struct {
+	v   int
+	val int8 // 0 or 1
+}
+
+// nodeHeap is a max-heap on bound (best-first search).
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch-and-bound.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if err := p.LP.Validate(); err != nil {
+		return nil, err
+	}
+	for _, v := range p.Binary {
+		if v < 0 || v >= p.LP.NumVars {
+			return nil, fmt.Errorf("milp: binary index %d out of range", v)
+		}
+	}
+	intEps := opts.IntEps
+	if intEps == 0 {
+		intEps = 1e-6
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 10000
+	}
+	deadline := time.Time{}
+	if opts.TimeBudget > 0 {
+		deadline = time.Now().Add(opts.TimeBudget)
+	}
+
+	// Base problem: the relaxation plus x_j ≤ 1 for binaries.
+	base := lp.Problem{
+		NumVars:     p.LP.NumVars,
+		Objective:   p.LP.Objective,
+		Constraints: make([]lp.Constraint, len(p.LP.Constraints), len(p.LP.Constraints)+len(p.Binary)),
+	}
+	copy(base.Constraints, p.LP.Constraints)
+	for _, v := range p.Binary {
+		base.AddConstraint(lp.LE, 1, lp.Term{Var: v, Coef: 1})
+	}
+
+	res := &Result{Status: BoundOnly, Objective: math.Inf(-1), Bound: math.Inf(1)}
+	solveNode := func(n *node) (*lp.Solution, error) {
+		prob := lp.Problem{
+			NumVars:     base.NumVars,
+			Objective:   base.Objective,
+			Constraints: make([]lp.Constraint, len(base.Constraints), len(base.Constraints)+len(n.fixes)),
+		}
+		copy(prob.Constraints, base.Constraints)
+		for _, f := range n.fixes {
+			prob.AddConstraint(lp.EQ, float64(f.val), lp.Term{Var: f.v, Coef: 1})
+		}
+		return lp.Solve(&prob, opts.LP)
+	}
+
+	open := &nodeHeap{}
+	root := &node{bound: math.Inf(1)}
+	heap.Push(open, root)
+	// unresolved tracks the largest bound among nodes whose relaxation
+	// could not be solved (LP iteration limit); they still cap Bound.
+	unresolved := math.Inf(-1)
+
+	// A user-provided warm start seeds the incumbent first.
+	if obj, ok := checkWarmStart(&base, p.Binary, opts.WarmStart, intEps); ok {
+		res.Objective = obj
+		res.X = append([]float64(nil), opts.WarmStart...)
+		res.Status = Feasible
+	}
+
+	// Seed the incumbent with a fix-and-dive heuristic: repeatedly fix
+	// the most fractional binary (ceiling first, floor on infeasibility)
+	// and re-solve. Scheduling LPs have wide fractional plateaus where
+	// pure best-first search finds no integral point for a long time;
+	// the dive gives the search something to prune against. Without an
+	// incumbent the whole solve is wasted, so the dive is allowed to
+	// overrun the wall-clock budget by up to the budget again (a bounded
+	// grace; tight budgets on slow machines would otherwise return
+	// nothing at all).
+	diveBudget := maxNodes/4 + 8
+	if diveBudget > maxNodes {
+		diveBudget = maxNodes
+	}
+	diveDeadline := deadline
+	if !deadline.IsZero() {
+		diveDeadline = deadline.Add(opts.TimeBudget)
+	}
+	if x, obj, ok := dive(solveNode, p.Binary, intEps, diveBudget, diveDeadline, &res.Nodes); ok && obj > res.Objective {
+		res.Objective = obj
+		res.X = x
+		res.Status = Feasible
+	}
+
+	for open.Len() > 0 {
+		if res.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		n := heap.Pop(open).(*node)
+		if n.bound <= res.Objective+1e-9 {
+			continue // pruned by incumbent
+		}
+		if opts.GapTol > 0 && !math.IsInf(res.Objective, -1) &&
+			n.bound-res.Objective <= opts.GapTol*math.Max(1, math.Abs(res.Objective)) {
+			// Best-first: n.bound is the largest remaining bound, so the
+			// incumbent is within the requested gap of the optimum.
+			heap.Push(open, n)
+			break
+		}
+		sol, err := solveNode(n)
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes++
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, fmt.Errorf("milp: relaxation unbounded; binaries must bound the objective")
+		case lp.IterLimit:
+			// Unresolved: keep the inherited bound alive, do not branch
+			// further on this node to avoid spinning.
+			if n.bound > unresolved {
+				unresolved = n.bound
+			}
+			continue
+		}
+		if sol.Objective <= res.Objective+1e-9 {
+			continue
+		}
+		// Find the most fractional binary.
+		branch := -1
+		worst := intEps
+		for _, v := range p.Binary {
+			f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+			if f > worst {
+				worst = f
+				branch = v
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			res.Objective = sol.Objective
+			res.X = append([]float64(nil), sol.X...)
+			res.Status = Feasible
+			continue
+		}
+		for _, val := range []int8{1, 0} {
+			child := &node{
+				fixes: append(append(make([]fix, 0, len(n.fixes)+1), n.fixes...), fix{branch, val}),
+				bound: sol.Objective,
+			}
+			heap.Push(open, child)
+		}
+	}
+
+	// Best remaining open bound caps the optimum.
+	best := res.Objective
+	if unresolved > best {
+		best = unresolved
+	}
+	for _, n := range *open {
+		if n.bound > best {
+			best = n.bound
+		}
+	}
+	if open.Len() == 0 && math.IsInf(unresolved, -1) {
+		// Search exhausted.
+		if math.IsInf(res.Objective, -1) {
+			return &Result{Status: Infeasible, Bound: math.Inf(-1), Nodes: res.Nodes}, nil
+		}
+		res.Status = Optimal
+		res.Bound = res.Objective
+		return res, nil
+	}
+	res.Bound = best
+	if math.IsInf(res.Objective, -1) {
+		res.Status = BoundOnly
+	}
+	return res, nil
+}
+
+// checkWarmStart validates a candidate point against every constraint of
+// the base problem (which already includes the binary upper bounds) and
+// integrality of the binaries, returning its objective when feasible.
+func checkWarmStart(base *lp.Problem, binaries []int, x []float64, intEps float64) (float64, bool) {
+	if x == nil || len(x) != base.NumVars {
+		return 0, false
+	}
+	const feasEps = 1e-6
+	for _, v := range x {
+		if v < -feasEps {
+			return 0, false
+		}
+	}
+	for _, j := range binaries {
+		if f := math.Abs(x[j] - math.Round(x[j])); f > intEps {
+			return 0, false
+		}
+	}
+	for _, c := range base.Constraints {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch c.Sense {
+		case lp.LE:
+			if lhs > c.RHS+feasEps {
+				return 0, false
+			}
+		case lp.GE:
+			if lhs < c.RHS-feasEps {
+				return 0, false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > feasEps {
+				return 0, false
+			}
+		}
+	}
+	obj := 0.0
+	for j, cj := range base.Objective {
+		obj += cj * x[j]
+	}
+	return obj, true
+}
+
+// dive runs the fix-and-dive primal heuristic: solve the relaxation, fix
+// the most fractional binary to its ceiling (falling back to the floor if
+// that is infeasible), and repeat until the solution is integral or the
+// budget runs out. Returns the integral point if found.
+func dive(solveNode func(*node) (*lp.Solution, error), binaries []int, intEps float64, budget int, deadline time.Time, nodes *int) ([]float64, float64, bool) {
+	n := &node{}
+	for step := 0; step < budget; step++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, 0, false
+		}
+		sol, err := solveNode(n)
+		*nodes++
+		if err != nil || sol.Status == lp.Unbounded || sol.Status == lp.IterLimit {
+			return nil, 0, false
+		}
+		if sol.Status == lp.Infeasible {
+			// Flip the last fix from 1 to 0 once; if that was already 0,
+			// the dive is stuck.
+			if len(n.fixes) == 0 || n.fixes[len(n.fixes)-1].val == 0 {
+				return nil, 0, false
+			}
+			n.fixes[len(n.fixes)-1].val = 0
+			continue
+		}
+		branch, worst := -1, intEps
+		for _, v := range binaries {
+			if f := math.Abs(sol.X[v] - math.Round(sol.X[v])); f > worst {
+				worst = f
+				branch = v
+			}
+		}
+		if branch < 0 {
+			return append([]float64(nil), sol.X...), sol.Objective, true
+		}
+		// Ceiling first: covering constraints (the common cause of
+		// fractional plateaus) need 1s.
+		n.fixes = append(n.fixes, fix{branch, 1})
+	}
+	return nil, 0, false
+}

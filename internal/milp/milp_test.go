@@ -1,0 +1,321 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/lp"
+)
+
+// knapsack builds max Σ v_i x_i s.t. Σ w_i x_i ≤ cap, x binary.
+func knapsack(values, weights []float64, capacity float64) *Problem {
+	n := len(values)
+	p := &Problem{
+		LP:     lp.Problem{NumVars: n, Objective: values},
+		Binary: make([]int, n),
+	}
+	terms := make([]lp.Term, n)
+	for i := 0; i < n; i++ {
+		p.Binary[i] = i
+		terms[i] = lp.Term{Var: i, Coef: weights[i]}
+	}
+	p.LP.AddConstraint(lp.LE, capacity, terms...)
+	return p
+}
+
+// exhaustiveKnapsack brute-forces the 0-1 optimum.
+func exhaustiveKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		v, w := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestKnapsackMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*9
+			weights[i] = 1 + rng.Float64()*5
+		}
+		capacity := 2 + rng.Float64()*10
+		res, err := Solve(knapsack(values, weights, capacity), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		want := exhaustiveKnapsack(values, weights, capacity)
+		if math.Abs(res.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: milp %v, exhaustive %v", trial, res.Objective, want)
+		}
+		if res.Bound < res.Objective-1e-9 {
+			t.Fatalf("trial %d: bound %v below objective %v", trial, res.Bound, res.Objective)
+		}
+		// Incumbent really is binary and feasible.
+		w := 0.0
+		for i, x := range res.X {
+			r := math.Round(x)
+			if math.Abs(x-r) > 1e-6 || (r != 0 && r != 1) {
+				t.Fatalf("trial %d: x[%d] = %v not binary", trial, i, x)
+			}
+			w += weights[i] * r
+		}
+		if w > capacity+1e-6 {
+			t.Fatalf("trial %d: incumbent overweight", trial)
+		}
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	p := &Problem{LP: lp.Problem{NumVars: 1, Objective: []float64{1}}, Binary: []int{0}}
+	p.LP.AddConstraint(lp.GE, 2, lp.Term{Var: 0, Coef: 1}) // x ≥ 2 but x ≤ 1
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 4u + y s.t. y ≤ 2u, y ≤ 1.5, u binary → u=1, y=1.5, obj 5.5.
+	p := &Problem{LP: lp.Problem{NumVars: 2, Objective: []float64{4, 1}}, Binary: []int{0}}
+	p.LP.AddConstraint(lp.LE, 0, lp.Term{Var: 1, Coef: 1}, lp.Term{Var: 0, Coef: -2})
+	p.LP.AddConstraint(lp.LE, 1.5, lp.Term{Var: 1, Coef: 1})
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-5.5) > 1e-6 {
+		t.Fatalf("status %v obj %v, want optimal 5.5", res.Status, res.Objective)
+	}
+}
+
+func TestNodeBudgetReturnsAnytimeAnswer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 24
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = 1 + rng.Float64()*9
+		weights[i] = 1 + rng.Float64()*5
+	}
+	p := knapsack(values, weights, 20)
+	res, err := Solve(p, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes > 3 {
+		t.Fatalf("explored %d nodes over budget 3", res.Nodes)
+	}
+	if res.Status == Optimal {
+		t.Fatal("3 nodes cannot prove optimality on a 24-item knapsack")
+	}
+	// Bound must still be a valid upper bound: compare to true optimum
+	// from an unbudgeted solve.
+	full, err := Solve(p, Options{MaxNodes: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound < full.Objective-1e-6 {
+		t.Fatalf("budgeted bound %v below true optimum %v", res.Bound, full.Objective)
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 30
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = 1 + rng.Float64()*9
+		weights[i] = 1 + rng.Float64()*5
+	}
+	p := knapsack(values, weights, 30)
+	start := time.Now()
+	res, err := Solve(p, Options{TimeBudget: 30 * time.Millisecond, MaxNodes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("time budget grossly exceeded")
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no nodes explored within time budget")
+	}
+}
+
+func TestBadBinaryIndex(t *testing.T) {
+	p := &Problem{LP: lp.Problem{NumVars: 1, Objective: []float64{1}}, Binary: []int{4}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("out-of-range binary index accepted")
+	}
+}
+
+func TestAllZeroOptimum(t *testing.T) {
+	// Negative values: best is to take nothing.
+	p := knapsack([]float64{-1, -2}, []float64{1, 1}, 10)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective) > 1e-9 {
+		t.Fatalf("status %v obj %v, want optimal 0", res.Status, res.Objective)
+	}
+}
+
+// scheduleShaped builds a covering-style MILP with a wide fractional
+// plateau (the structure that stalls pure best-first search).
+func scheduleShaped(tasks, slots int) *Problem {
+	n := tasks*slots + tasks
+	prob := &Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+	prob.Binary = make([]int, n)
+	for j := range prob.Binary {
+		prob.Binary[j] = j
+	}
+	for i := 0; i < tasks; i++ {
+		u := tasks*slots + i
+		prob.LP.Objective[u] = 40 + float64(i)
+		cover := []lp.Term{{Var: u, Coef: -25}}
+		for t := 0; t < slots; t++ {
+			x := i*slots + t
+			prob.LP.Objective[x] = -1.5
+			cover = append(cover, lp.Term{Var: x, Coef: 14})
+		}
+		prob.LP.AddConstraint(lp.GE, 0, cover...)
+	}
+	for t := 0; t < slots; t++ {
+		var cap []lp.Term
+		for i := 0; i < tasks; i++ {
+			cap = append(cap, lp.Term{Var: i*slots + t, Coef: 14})
+		}
+		prob.LP.AddConstraint(lp.LE, 30, cap...)
+	}
+	return prob
+}
+
+func TestGapTolStopsEarlyOnPlateau(t *testing.T) {
+	prob := scheduleShaped(6, 8)
+	strict, err := Solve(prob, Options{MaxNodes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Solve(prob, Options{MaxNodes: 400, GapTol: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Status == BoundOnly || loose.X == nil {
+		t.Fatalf("gap-tolerant solve found no incumbent: %v", loose.Status)
+	}
+	if loose.Nodes > strict.Nodes {
+		t.Fatalf("gap tolerance explored more nodes (%d) than strict (%d)", loose.Nodes, strict.Nodes)
+	}
+	// The loose incumbent really is within the declared gap of its bound.
+	if loose.Bound-loose.Objective > 0.25*mathMax(1, loose.Objective)+1e-6 {
+		t.Fatalf("gap exceeded: bound %v incumbent %v", loose.Bound, loose.Objective)
+	}
+	// And never better than the strict incumbent's bound.
+	if loose.Objective > strict.Bound+1e-6 {
+		t.Fatal("loose incumbent above strict bound")
+	}
+}
+
+func mathMax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestDiveSeedsIncumbentOnPlateau(t *testing.T) {
+	// Even with a tiny node budget, the dive heuristic should produce an
+	// incumbent on the plateau-shaped instance.
+	res, err := Solve(scheduleShaped(5, 8), Options{MaxNodes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X == nil {
+		t.Fatalf("no incumbent with dive enabled: %v", res.Status)
+	}
+	if res.Objective <= 0 {
+		t.Fatalf("plateau incumbent objective %v not positive", res.Objective)
+	}
+}
+
+func TestWarmStartSeedsIncumbent(t *testing.T) {
+	values := []float64{5, 4, 3}
+	weights := []float64{4, 3, 2}
+	p := knapsack(values, weights, 5)
+	// Feasible warm start: take items 1 and 2 (weight 5, value 7).
+	res, err := Solve(p, Options{MaxNodes: 1, WarmStart: []float64{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X == nil || res.Objective < 7-1e-9 {
+		t.Fatalf("warm start not adopted: obj=%v status=%v", res.Objective, res.Status)
+	}
+}
+
+func TestWarmStartRejected(t *testing.T) {
+	values := []float64{5, 4}
+	weights := []float64{4, 3}
+	p := knapsack(values, weights, 5)
+	bad := [][]float64{
+		{1, 1},   // overweight
+		{0.5, 0}, // fractional binary
+		{-1, 0},  // negative
+		{1},      // wrong length
+		{2, 0},   // violates binary bound
+	}
+	for i, ws := range bad {
+		res, err := Solve(p, Options{WarmStart: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Infeasible warm starts are ignored; the solve still reaches
+		// the true optimum (value 5, take item 0 with weight 4).
+		if res.Status != Optimal || res.Objective < 5-1e-9 {
+			t.Fatalf("case %d: status %v obj %v", i, res.Status, res.Objective)
+		}
+	}
+}
+
+func TestWarmStartWithEqualityConstraints(t *testing.T) {
+	// max x0+x1 s.t. x0 + x1 = 1.
+	p := &Problem{LP: lp.Problem{NumVars: 2, Objective: []float64{1, 1}}, Binary: []int{0, 1}}
+	p.LP.AddConstraint(lp.EQ, 1, lp.Term{Var: 0, Coef: 1}, lp.Term{Var: 1, Coef: 1})
+	res, err := Solve(p, Options{WarmStart: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-1) > 1e-9 {
+		t.Fatalf("status %v obj %v", res.Status, res.Objective)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Feasible.String() != "feasible" ||
+		Infeasible.String() != "infeasible" || BoundOnly.String() != "bound-only" ||
+		Status(9).String() == "" {
+		t.Fatal("status strings wrong")
+	}
+}

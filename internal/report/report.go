@@ -1,0 +1,134 @@
+// Package report renders experiment results as aligned ASCII tables and
+// series, one renderer per figure shape of the paper's evaluation.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a row-major matrix with row and column labels. Rows are
+// the x-axis groups of a figure (e.g., cluster sizes), columns are the
+// algorithms.
+func Table(title, corner string, rows, cols []string, data [][]float64, format string) string {
+	if format == "" {
+		format = "%.3f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+
+	width := len(corner)
+	for _, r := range rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colW := make([]int, len(cols))
+	cells := make([][]string, len(rows))
+	for i := range rows {
+		cells[i] = make([]string, len(cols))
+		for j := range cols {
+			v := ""
+			if i < len(data) && j < len(data[i]) {
+				v = fmt.Sprintf(format, data[i][j])
+			}
+			cells[i][j] = v
+		}
+	}
+	for j, c := range cols {
+		colW[j] = len(c)
+		for i := range rows {
+			if len(cells[i][j]) > colW[j] {
+				colW[j] = len(cells[i][j])
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "  %-*s", width, corner)
+	for j, c := range cols {
+		fmt.Fprintf(&b, "  %*s", colW[j], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range rows {
+		fmt.Fprintf(&b, "  %-*s", width, r)
+		for j := range cols {
+			fmt.Fprintf(&b, "  %*s", colW[j], cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series renders label → (x, y) pairs, one line per point, for
+// line-shaped figures (truthfulness sweep, CDFs).
+func Series(title string, xLabel, yLabel string, xs, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  %14s  %14s\n", title, xLabel, yLabel)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  %14.4f  %14.4f\n", xs[i], ys[i])
+	}
+	return b.String()
+}
+
+// Bars renders grouped horizontal bars for normalized values in [0,1] —
+// the terminal rendition of the paper's bar charts. Each row is one
+// x-axis group; each series within it is one algorithm.
+func Bars(title string, rows, series []string, norm [][]float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelW := 0
+	for _, s := range series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for i, r := range rows {
+		fmt.Fprintf(&b, "  %s\n", r)
+		if i >= len(norm) {
+			continue
+		}
+		for j, s := range series {
+			if j >= len(norm[i]) {
+				continue
+			}
+			v := norm[i][j]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			n := int(v*float64(width) + 0.5)
+			fmt.Fprintf(&b, "    %-*s %s%s %.3f\n", labelW, s,
+				strings.Repeat("█", n), strings.Repeat("·", width-n), norm[i][j])
+		}
+	}
+	return b.String()
+}
+
+// KV renders a simple key/value block.
+func KV(title string, keys []string, vals []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := 0
+	for _, k := range keys {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	n := len(keys)
+	if len(vals) < n {
+		n = len(vals)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  %-*s  %s\n", w, keys[i], vals[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	out := Table("Figure X", "nodes", []string{"50", "100"}, []string{"pdFTSP", "EFT"},
+		[][]float64{{1, 0.5}, {0.9, 0.4}}, "%.2f")
+	if !strings.Contains(out, "Figure X") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "pdFTSP") || !strings.Contains(lines[1], "EFT") {
+		t.Fatal("missing column headers")
+	}
+	if !strings.Contains(lines[2], "50") || !strings.Contains(lines[2], "1.00") {
+		t.Fatalf("row 50 wrong: %q", lines[2])
+	}
+	// Columns align: header and data rows have equal length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestTableDefaultsAndRaggedData(t *testing.T) {
+	out := Table("T", "", []string{"a"}, []string{"x", "y"}, [][]float64{{1}}, "")
+	if !strings.Contains(out, "1.000") {
+		t.Fatalf("default format not applied: %s", out)
+	}
+	// Missing cells render empty rather than panicking.
+	if strings.Contains(out, "NaN") {
+		t.Fatal("ragged data rendered NaN")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("Sweep", "bid", "utility", []float64{1, 2}, []float64{0, 5})
+	if !strings.Contains(out, "bid") || !strings.Contains(out, "utility") {
+		t.Fatal("missing axis labels")
+	}
+	if !strings.Contains(out, "5.0000") {
+		t.Fatal("missing data point")
+	}
+	// Mismatched lengths truncate to the shorter.
+	out = Series("S", "x", "y", []float64{1, 2, 3}, []float64{1})
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("expected 1 data row:\n%s", out)
+	}
+}
+
+func TestKV(t *testing.T) {
+	out := KV("Info", []string{"alpha", "b"}, []string{"1.5", "2"})
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Fatal("missing kv content")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("Figure 8", []string{"light", "high"}, []string{"pdFTSP", "EFT"},
+		[][]float64{{1, 0.5}, {0.8, 0.25}}, 20)
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "light") {
+		t.Fatal("missing labels")
+	}
+	// Full bar for 1.0, half bar for 0.5.
+	if !strings.Contains(out, strings.Repeat("█", 20)) {
+		t.Fatal("missing full bar")
+	}
+	if !strings.Contains(out, strings.Repeat("█", 10)+strings.Repeat("·", 10)) {
+		t.Fatal("missing half bar")
+	}
+	// Values outside [0,1] clamp rather than panic.
+	out = Bars("X", []string{"a"}, []string{"s"}, [][]float64{{1.7}}, 0)
+	if !strings.Contains(out, strings.Repeat("█", 40)) {
+		t.Fatal("clamping or default width broken")
+	}
+	// Ragged input tolerated.
+	_ = Bars("X", []string{"a", "b"}, []string{"s", "t"}, [][]float64{{0.5}}, 10)
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/baseline"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+func TestEventLogOneLinePerTask(t *testing.T) {
+	tasks, tc := smallWorkload(t)
+	cl := simCluster(t, 3, tc.Horizon)
+	mkt, _ := vendor.Standard(3, 2)
+	var buf bytes.Buffer
+	res, err := Run(cl, baseline.NewEFT(), tasks, Config{Model: tc.Model, Market: mkt, EventLog: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	admitted := 0
+	for sc.Scan() {
+		lines++
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if ev.Admitted {
+			admitted++
+			if len(ev.Placements) == 0 {
+				t.Fatalf("admitted event without placements: %+v", ev)
+			}
+			if !strings.Contains(ev.Placements[0], ":") {
+				t.Fatalf("placement encoding wrong: %q", ev.Placements[0])
+			}
+		} else if ev.Reason == "" {
+			t.Fatalf("rejected event without reason: %+v", ev)
+		}
+	}
+	if lines != len(tasks) {
+		t.Fatalf("%d log lines for %d tasks", lines, len(tasks))
+	}
+	if admitted != res.Admitted {
+		t.Fatalf("log admitted %d, result %d", admitted, res.Admitted)
+	}
+}
+
+// failingWriter errors after n bytes.
+type failingWriter struct{ left int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestEventLogWriteErrorSurfaces(t *testing.T) {
+	tasks, tc := smallWorkload(t)
+	cl := simCluster(t, 3, tc.Horizon)
+	mkt, _ := vendor.Standard(3, 2)
+	_, err := Run(cl, baseline.NewEFT(), tasks, Config{
+		Model: tc.Model, Market: mkt, EventLog: &failingWriter{left: 100},
+	})
+	if err == nil {
+		t.Fatal("event log write failure not surfaced")
+	}
+}
+
+func TestNilEventLogIsFree(t *testing.T) {
+	if err := (*eventLogger)(nil).log(nil, nil); err != nil {
+		t.Fatal("nil logger should be a no-op")
+	}
+}

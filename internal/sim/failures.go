@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/task"
+)
+
+// Failure takes one node down for an inclusive slot range. Failures become
+// known online, at the beginning of slot From: committed plans touching
+// the node during the outage lose those placements, and the provider
+// re-plans the remaining work through the same scheduler. A task whose
+// remaining work cannot be replanned before its deadline fails, and its
+// bid is refunded (the welfare contribution is reversed; costs already
+// sunk stay spent).
+type Failure struct {
+	Node     int
+	From, To int
+}
+
+// failureState tracks what failure handling needs during a run.
+type failureState struct {
+	cl      *cluster.Cluster
+	pending []Failure
+	next    int
+	// records maps task ID to its live commitment.
+	records map[int]*commitRecord
+	// contIDs allocates fresh IDs for continuation bids so vendor quotes
+	// and dual bookkeeping never collide with real tasks.
+	contID int
+}
+
+// commitRecord is one admitted task's live plan.
+type commitRecord struct {
+	task    task.Task
+	env     *schedule.TaskEnv
+	plan    []schedule.Placement
+	payment float64
+	index   int // position in the input workload (for decision updates)
+}
+
+// newFailureState validates and orders the failures.
+func newFailureState(fs []Failure, cl *cluster.Cluster) (*failureState, error) {
+	if len(fs) == 0 {
+		return nil, nil
+	}
+	numNodes, horizon := cl.NumNodes(), cl.Horizon().T
+	sorted := append([]Failure(nil), fs...)
+	for i, f := range sorted {
+		if f.Node < 0 || f.Node >= numNodes {
+			return nil, fmt.Errorf("sim: failure %d on unknown node %d", i, f.Node)
+		}
+		if f.From < 0 || f.To < f.From || f.From >= horizon {
+			return nil, fmt.Errorf("sim: failure %d has bad range [%d,%d]", i, f.From, f.To)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	return &failureState{
+		cl:      cl,
+		pending: sorted,
+		records: map[int]*commitRecord{},
+		contID:  1 << 30,
+	}, nil
+}
+
+// track remembers an admitted plan for possible recovery.
+func (fs *failureState) track(idx int, env *schedule.TaskEnv, d *schedule.Decision) {
+	if fs == nil || !d.Admitted {
+		return
+	}
+	fs.records[env.Task.ID] = &commitRecord{
+		task:    *env.Task,
+		env:     env,
+		plan:    append([]schedule.Placement(nil), d.Schedule.Placements...),
+		payment: d.Payment,
+		index:   idx,
+	}
+}
+
+// applyUpTo processes every failure with From ≤ now (beginning-of-slot
+// semantics) and returns the welfare adjustments.
+func (fs *failureState) applyUpTo(now int, sched Scheduler, res *Result) {
+	if fs == nil {
+		return
+	}
+	for fs.next < len(fs.pending) && fs.pending[fs.next].From <= now {
+		fs.apply(fs.pending[fs.next], sched, res)
+		fs.next++
+	}
+}
+
+// apply handles a single failure.
+func (fs *failureState) apply(f Failure, sched Scheduler, res *Result) {
+	res.FailuresInjected++
+	// The outage becomes visible to every subsequent planning decision.
+	cl := fs.cl
+	cl.SetDown(f.Node, f.From, f.To)
+
+	for id, rec := range fs.records {
+		if !fs.hit(rec, f) {
+			continue
+		}
+		// Release every future placement and measure executed work.
+		executed := 0
+		var released []schedule.Placement
+		var kept []schedule.Placement
+		for _, p := range rec.plan {
+			if p.Slot < f.From {
+				executed += rec.env.Speed[p.Node]
+				kept = append(kept, p)
+				continue
+			}
+			released = append(released, p)
+		}
+		releasedEnergy := 0.0
+		for _, p := range released {
+			cl.Release(p.Node, p.Slot, rec.env.Speed[p.Node], rec.task.MemGB)
+			releasedEnergy += cl.EnergyCost(p.Node, p.Slot, rec.env.Speed[p.Node])
+		}
+		res.Welfare += releasedEnergy
+		res.EnergySpend -= releasedEnergy
+
+		remaining := rec.task.Work - executed
+		if remaining <= 0 {
+			// Already sufficiently fine-tuned; nothing to recover.
+			rec.plan = kept
+			continue
+		}
+
+		// Re-plan the remainder as a fresh prep-free bid arriving now.
+		cont := rec.task
+		cont.ID = fs.contID
+		fs.contID++
+		cont.Arrival = f.From
+		cont.Work = remaining
+		cont.NeedsPrep = false
+		env := &schedule.TaskEnv{
+			Task:    &cont,
+			Cluster: cl,
+			Speed:   rec.env.Speed,
+		}
+		d := sched.Offer(env)
+		if d.Admitted {
+			res.RecoveredTasks++
+			res.Welfare -= d.EnergyCost
+			res.EnergySpend += d.EnergyCost
+			rec.task = cont
+			rec.task.Work = remaining
+			rec.env = env
+			rec.plan = append(kept, d.Schedule.Placements...)
+			continue
+		}
+		// Unrecoverable: refund the bid and the payment, reverse the
+		// welfare claim; sunk vendor and energy costs stay spent.
+		res.FailedTasks++
+		res.Welfare -= rec.task.Bid
+		res.RefundedValue += rec.task.Bid
+		res.Revenue -= rec.payment
+		if res.Decisions != nil && rec.index < len(res.Decisions) {
+			res.Decisions[rec.index].Admitted = false
+			res.Decisions[rec.index].Reason = "failed-node"
+		}
+		delete(fs.records, id)
+	}
+}
+
+// hit reports whether the record's plan intersects the outage.
+func (fs *failureState) hit(rec *commitRecord, f Failure) bool {
+	for _, p := range rec.plan {
+		if p.Node == f.Node && p.Slot >= f.From && p.Slot <= f.To {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+// Package sim is the trace-driven simulation engine: it replays a workload
+// against a cluster and a scheduler, slot by slot in arrival order, and
+// accounts social welfare exactly as the objective (4) of the paper —
+// Σ b_i u_i − Σ q_in z_in − Σ e_ikt x_ikt — along with revenue, cost, and
+// latency breakdowns for the evaluation figures.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/train"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// Scheduler is the contract every algorithm implements: respond to one
+// arriving bid, immediately and irrevocably (the paper's online model).
+type Scheduler interface {
+	Name() string
+	Offer(env *schedule.TaskEnv) schedule.Decision
+}
+
+// BatchScheduler is implemented by algorithms that plan all of a slot's
+// arrivals jointly (Titan solves one MILP per slot). The simulator prefers
+// BatchOffer when available and amortizes the measured latency over the
+// batch, matching the paper's Figure 13 methodology ("we average the
+// Gurobi solver's runtime over the number of tasks").
+type BatchScheduler interface {
+	Scheduler
+	BatchOffer(envs []*schedule.TaskEnv) []schedule.Decision
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Model is the shared pre-trained model (drives s_ik and r_b).
+	Model lora.ModelConfig
+	// Market is the labor-vendor marketplace; nil only if no task needs
+	// pre-processing.
+	Market *vendor.Marketplace
+	// Execute, when set, really trains a scaled-down multi-LoRA batch
+	// for a sample of admitted tasks at the end of the run, exercising
+	// the weight-sharing substrate (internal/train).
+	Execute bool
+	// CollectDecisions keeps every Decision in the result (memory-heavy
+	// for large workloads; required by the pricing figures).
+	CollectDecisions bool
+	// Failures injects node outages; each becomes visible at the
+	// beginning of its From slot and triggers recovery re-planning for
+	// the committed plans it breaks. pdFTSP recovers best with
+	// Options.MaskFullCells set, so its DP routes around downed nodes.
+	Failures []Failure
+	// EventLog, when non-nil, receives one JSON line per auction
+	// decision — the run's audit trail.
+	EventLog io.Writer
+}
+
+// Result is the accounting of one run.
+type Result struct {
+	// Scheduler is the algorithm name.
+	Scheduler string
+	// Welfare is the realized social welfare (objective (4)).
+	Welfare float64
+	// Revenue is Σ p_i over winning bids (zero for non-auction
+	// baselines).
+	Revenue float64
+	// VendorSpend is Σ q_in z_in paid to labor vendors.
+	VendorSpend float64
+	// EnergySpend is Σ e_ikt x_ikt.
+	EnergySpend float64
+	// Admitted and Rejected count bids.
+	Admitted, Rejected int
+	// RejectReasons tallies rejections by Decision.Reason.
+	RejectReasons map[string]int
+	// OfferLatency holds the per-task scheduling latency (batch latency
+	// is divided evenly across the batch).
+	OfferLatency []time.Duration
+	// Utilization is the final fraction of cluster compute committed.
+	Utilization float64
+	// Decisions holds per-task outcomes when CollectDecisions is set,
+	// indexed like the input tasks.
+	Decisions []schedule.Decision
+	// TrainLossEarly/Late report the optional micro-training execution.
+	TrainLossEarly, TrainLossLate float64
+	// Failure-injection accounting (zero unless Config.Failures is set).
+	FailuresInjected int
+	RecoveredTasks   int
+	FailedTasks      int
+	RefundedValue    float64
+}
+
+// AcceptanceRate returns admitted / total.
+func (r *Result) AcceptanceRate() float64 {
+	total := r.Admitted + r.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Admitted) / float64(total)
+}
+
+// Run replays tasks (already sorted by arrival) through the scheduler.
+// The cluster's ledger must be fresh; Run commits into it via the
+// scheduler.
+func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*Result, error) {
+	if cl == nil || sched == nil {
+		return nil, fmt.Errorf("sim: nil cluster or scheduler")
+	}
+	h := cl.Horizon()
+	res := &Result{
+		Scheduler:     sched.Name(),
+		RejectReasons: map[string]int{},
+	}
+	if cfg.CollectDecisions {
+		res.Decisions = make([]schedule.Decision, len(tasks))
+	}
+	failures, err := newFailureState(cfg.Failures, cl)
+	if err != nil {
+		return nil, err
+	}
+	events := newEventLogger(cfg.EventLog)
+	batcher, isBatch := sched.(BatchScheduler)
+
+	var logErr error
+	record := func(idx int, env *schedule.TaskEnv, d schedule.Decision, lat time.Duration) {
+		if err := events.log(env.Task, &d); err != nil && logErr == nil {
+			logErr = err
+		}
+		res.OfferLatency = append(res.OfferLatency, lat)
+		if cfg.CollectDecisions {
+			res.Decisions[idx] = d
+		}
+		if d.Admitted {
+			res.Admitted++
+			res.Welfare += env.Task.Bid - d.VendorCost - d.EnergyCost
+			res.Revenue += d.Payment
+			res.VendorSpend += d.VendorCost
+			res.EnergySpend += d.EnergyCost
+		} else {
+			res.Rejected++
+			reason := d.Reason
+			if reason == "" {
+				reason = "unspecified"
+			}
+			res.RejectReasons[reason]++
+		}
+	}
+
+	prevArrival := -1
+	for i := 0; i < len(tasks); {
+		tk := &tasks[i]
+		if tk.Arrival < prevArrival {
+			return nil, fmt.Errorf("sim: tasks not sorted by arrival (task %d)", tk.ID)
+		}
+		prevArrival = tk.Arrival
+		if err := tk.Validate(h); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		// Outages that begin at or before this slot surface now, before
+		// the slot's bids are considered.
+		failures.applyUpTo(tk.Arrival, sched, res)
+		// Group the whole slot for batch schedulers.
+		j := i + 1
+		for isBatch && j < len(tasks) && tasks[j].Arrival == tk.Arrival {
+			j++
+		}
+		if isBatch {
+			envs := make([]*schedule.TaskEnv, 0, j-i)
+			for m := i; m < j; m++ {
+				envs = append(envs, schedule.NewTaskEnv(&tasks[m], cl, cfg.Model, cfg.Market))
+			}
+			start := time.Now()
+			ds := batcher.BatchOffer(envs)
+			per := time.Since(start) / time.Duration(len(envs))
+			for m := range ds {
+				record(i+m, envs[m], ds[m], per)
+				failures.track(i+m, envs[m], &ds[m])
+			}
+			i = j
+			continue
+		}
+		env := schedule.NewTaskEnv(tk, cl, cfg.Model, cfg.Market)
+		start := time.Now()
+		d := sched.Offer(env)
+		record(i, env, d, time.Since(start))
+		failures.track(i, env, &d)
+		i++
+	}
+	// Outages after the last arrival still break committed plans.
+	failures.applyUpTo(h.T-1, sched, res)
+	if logErr != nil {
+		return nil, fmt.Errorf("sim: event log: %w", logErr)
+	}
+	res.Utilization = cl.Utilization()
+
+	if cfg.Execute && res.Admitted > 0 {
+		early, late, err := executeSample(res.Admitted)
+		if err != nil {
+			return nil, err
+		}
+		res.TrainLossEarly, res.TrainLossLate = early, late
+	}
+	return res, nil
+}
+
+// executeSample runs a scaled-down multi-LoRA training batch standing in
+// for the admitted tasks: up to four co-located adapters sharing one
+// frozen base, a few dozen steps. It returns mean early/late losses.
+func executeSample(admitted int) (early, late float64, err error) {
+	n := admitted
+	if n > 4 {
+		n = 4
+	}
+	mt, err := train.NewMultiTrainer(train.DefaultConfig(), n, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return 0, 0, err
+	}
+	e, l := mt.Train(60, 8)
+	for i := 0; i < n; i++ {
+		early += e[i] / float64(n)
+		late += l[i] / float64(n)
+	}
+	if !mt.W0Frozen() {
+		return 0, 0, fmt.Errorf("sim: execution mutated shared base weights")
+	}
+	return early, late, nil
+}

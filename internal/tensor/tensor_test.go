@@ -1,0 +1,205 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", shape[0], shape[1])
+				}
+			}()
+			New(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestFromSliceChecksLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSetClone(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("At/Set round trip failed")
+	}
+	c := m.Clone()
+	c.Set(1, 2, 9)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMatMulSmallKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !dst.Equalish(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", dst.Data, want.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched MatMul did not panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+// naiveMul is the reference ijk triple loop.
+func naiveMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestParallelMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Big enough to cross the parallel threshold.
+	a := New(97, 53).Randn(rng, 1)
+	b := New(53, 61).Randn(rng, 1)
+	dst := New(97, 61)
+	MatMul(dst, a, b)
+	if !dst.Equalish(naiveMul(a, b), 1e-9) {
+		t.Fatal("parallel MatMul disagrees with naive reference")
+	}
+}
+
+func TestMatMulTAMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(17, 9).Randn(rng, 1)
+	b := New(17, 13).Randn(rng, 1)
+	got := New(9, 13)
+	MatMulTA(got, a, b)
+	want := New(9, 13)
+	MatMul(want, a.Transpose(), b)
+	if !got.Equalish(want, 1e-9) {
+		t.Fatal("MatMulTA != Transpose+MatMul")
+	}
+}
+
+func TestMatMulTBMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(11, 7).Randn(rng, 1)
+	b := New(19, 7).Randn(rng, 1)
+	got := New(11, 19)
+	MatMulTB(got, a, b)
+	want := New(11, 19)
+	MatMul(want, a, b.Transpose())
+	if !got.Equalish(want, 1e-9) {
+		t.Fatal("MatMulTB != MatMul with explicit transpose")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		m := New(rows, cols).Randn(rng, 1)
+		return m.Transpose().Transpose().Equalish(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	o := FromSlice(1, 3, []float64{1, 1, 1})
+	m.AddScaled(o, -2)
+	want := FromSlice(1, 3, []float64{-1, 0, 1})
+	if !m.Equalish(want, 0) {
+		t.Fatalf("AddScaled = %v", m.Data)
+	}
+	m.Scale(3)
+	want = FromSlice(1, 3, []float64{-3, 0, 3})
+	if !m.Equalish(want, 0) {
+		t.Fatalf("Scale = %v", m.Data)
+	}
+}
+
+func TestSubAndMSE(t *testing.T) {
+	a := FromSlice(1, 2, []float64{3, 5})
+	b := FromSlice(1, 2, []float64{1, 1})
+	d := New(1, 2)
+	Sub(d, a, b)
+	if !d.Equalish(FromSlice(1, 2, []float64{2, 4}), 0) {
+		t.Fatalf("Sub = %v", d.Data)
+	}
+	if got := MSE(a, b); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MSE = %v, want 10", got)
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4})
+	if got := m.Frobenius(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v, want 5", got)
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := New(4, 4).Randn(rand.New(rand.NewSource(42)), 1)
+	b := New(4, 4).Randn(rand.New(rand.NewSource(42)), 1)
+	if !a.Equalish(b, 0) {
+		t.Fatal("same seed should give same matrix")
+	}
+}
+
+func TestMatMulLinearityProperty(t *testing.T) {
+	// (alpha*a)·b == alpha*(a·b)
+	f := func(seed int64, alphaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := float64(alphaRaw%7) - 3
+		a := New(5, 4).Randn(rng, 1)
+		b := New(4, 6).Randn(rng, 1)
+		left := New(5, 6)
+		sa := a.Clone()
+		sa.Scale(alpha)
+		MatMul(left, sa, b)
+		right := New(5, 6)
+		MatMul(right, a, b)
+		right.Scale(alpha)
+		return left.Equalish(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(128, 128).Randn(rng, 1)
+	y := New(128, 128).Randn(rng, 1)
+	dst := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	muts := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero horizon", func(c *Config) { c.Horizon = timeslot.Horizon{} }},
+		{"negative rate", func(c *Config) { c.RatePerSlot = -1 }},
+		{"bad prep prob", func(c *Config) { c.PrepProb = 1.5 }},
+		{"zero value min", func(c *Config) { c.ValuePerUnitMin = 0 }},
+		{"inverted value range", func(c *Config) { c.ValuePerUnitMax = c.ValuePerUnitMin / 2 }},
+		{"bad model", func(c *Config) { c.Model = lora.ModelConfig{} }},
+		{"cutoff outside horizon", func(c *Config) { c.ArrivalCutoff = c.Horizon.T }},
+	}
+	for _, m := range muts {
+		cfg := DefaultConfig()
+		m.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validated", m.name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RatePerSlot = 5
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestGenerateTasksValidAndSorted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RatePerSlot = 8
+	tasks, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) == 0 {
+		t.Fatal("no tasks generated")
+	}
+	prevArrival := -1
+	for i := range tasks {
+		tk := &tasks[i]
+		if err := tk.Validate(cfg.Horizon); err != nil {
+			t.Fatalf("generated invalid task: %v", err)
+		}
+		if tk.ID != i {
+			t.Fatalf("IDs not dense: task %d has ID %d", i, tk.ID)
+		}
+		if tk.Arrival < prevArrival {
+			t.Fatal("tasks not sorted by arrival")
+		}
+		prevArrival = tk.Arrival
+		if tk.Work < 5 || tk.Work > 100 {
+			t.Fatalf("work %d outside [5,100] units", tk.Work)
+		}
+		if tk.DatasetSamples < 5000 || tk.DatasetSamples > 20000 {
+			t.Fatalf("dataset %d outside [5k,20k]", tk.DatasetSamples)
+		}
+		if tk.Epochs < 1 || tk.Epochs > 5 {
+			t.Fatalf("epochs %d outside [1,5]", tk.Epochs)
+		}
+		if tk.Bid <= 0 || tk.TrueValue != tk.Bid {
+			t.Fatalf("bad bid/value: %v/%v", tk.Bid, tk.TrueValue)
+		}
+		if tk.Deadline >= cfg.Horizon.T {
+			t.Fatalf("deadline %d beyond horizon", tk.Deadline)
+		}
+	}
+}
+
+func TestArrivalCountsRespectCutoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RatePerSlot = 10
+	counts, err := ArrivalCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := cfg.Horizon.T * 85 / 100 // default cutoff
+	for t2 := cut; t2 < cfg.Horizon.T; t2++ {
+		if counts[t2] != 0 {
+			t.Fatalf("arrivals after cutoff at slot %d", t2)
+		}
+	}
+}
+
+func TestArrivalRateMatchesMean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RatePerSlot = 20
+	cfg.Horizon = timeslot.NewHorizon(1000)
+	cfg.ArrivalCutoff = 999
+	counts, err := ArrivalCounts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	mean := float64(sum) / 1000
+	if math.Abs(mean-20) > 1.5 {
+		t.Fatalf("Poisson mean %v, want ~20", mean)
+	}
+}
+
+func TestTraceShapesDiffer(t *testing.T) {
+	// The three trace-like generators must produce distinguishable
+	// shapes; compare peak-to-trough ratios of smoothed arrival curves.
+	peakTrough := func(kind ArrivalKind) float64 {
+		cfg := DefaultConfig()
+		cfg.Arrivals = kind
+		cfg.RatePerSlot = 30
+		cfg.ArrivalCutoff = cfg.Horizon.T - 1
+		counts, err := ArrivalCounts(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Smooth over 12-slot (2-hour) windows.
+		win := 12
+		peak, trough := 0.0, math.Inf(1)
+		for s := 0; s+win <= len(counts); s += win {
+			sum := 0.0
+			for _, c := range counts[s : s+win] {
+				sum += float64(c)
+			}
+			if sum > peak {
+				peak = sum
+			}
+			if sum < trough {
+				trough = sum
+			}
+		}
+		if trough == 0 {
+			trough = 1
+		}
+		return peak / trough
+	}
+	poissonPT := peakTrough(Poisson)
+	heliosPT := peakTrough(HeliosLike)
+	if heliosPT < 2*poissonPT {
+		t.Fatalf("helios peak/trough %v not clearly above poisson %v", heliosPT, poissonPT)
+	}
+	if mlaasPT := peakTrough(MLaaSLike); mlaasPT <= poissonPT {
+		t.Fatalf("mlaas peak/trough %v not above poisson %v", mlaasPT, poissonPT)
+	}
+}
+
+func TestPhillyBurstsHeavierThanPoisson(t *testing.T) {
+	maxCount := func(kind ArrivalKind) int {
+		cfg := DefaultConfig()
+		cfg.Arrivals = kind
+		cfg.RatePerSlot = 20
+		cfg.Seed = 99
+		counts, err := ArrivalCounts(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 0
+		for _, c := range counts {
+			if c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	if maxCount(PhillyLike) <= maxCount(Poisson) {
+		t.Fatal("philly-like trace should spike above poisson peak")
+	}
+}
+
+func TestDeadlinePoliciesOrdered(t *testing.T) {
+	meanSlack := func(p DeadlinePolicy) float64 {
+		cfg := DefaultConfig()
+		cfg.Deadlines = p
+		cfg.RatePerSlot = 10
+		tasks, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for i := range tasks {
+			s += float64(tasks[i].Deadline - tasks[i].Arrival)
+		}
+		return s / float64(len(tasks))
+	}
+	tight, medium, slack := meanSlack(TightDeadlines), meanSlack(MediumDeadlines), meanSlack(SlackDeadlines)
+	if !(tight < medium && medium < slack) {
+		t.Fatalf("deadline slack not ordered: tight=%v medium=%v slack=%v", tight, medium, slack)
+	}
+}
+
+func TestPrepProbabilityRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrepProb = 0
+	tasks, _ := Generate(cfg)
+	for i := range tasks {
+		if tasks[i].NeedsPrep {
+			t.Fatal("PrepProb=0 generated a prep task")
+		}
+	}
+	cfg.PrepProb = 1
+	tasks, _ = Generate(cfg)
+	for i := range tasks {
+		if !tasks[i].NeedsPrep {
+			t.Fatal("PrepProb=1 generated a non-prep task")
+		}
+	}
+}
+
+func TestAlphaBeta(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RatePerSlot = 10
+	tasks, _ := Generate(cfg)
+	alpha, beta := AlphaBeta(tasks)
+	if alpha <= 0 || beta <= 0 {
+		t.Fatalf("alpha/beta not positive: %v/%v", alpha, beta)
+	}
+	for i := range tasks {
+		if tasks[i].Bid/float64(tasks[i].Work) > alpha+1e-12 {
+			t.Fatal("alpha not an upper bound")
+		}
+		if tasks[i].Bid/tasks[i].MemGB > beta+1e-12 {
+			t.Fatal("beta not an upper bound")
+		}
+	}
+}
+
+func TestKindAndPolicyStrings(t *testing.T) {
+	if Poisson.String() != "poisson" || MLaaSLike.String() != "mlaas" ||
+		PhillyLike.String() != "philly" || HeliosLike.String() != "helios" {
+		t.Fatal("ArrivalKind strings wrong")
+	}
+	if TightDeadlines.String() != "tight" || MediumDeadlines.String() != "medium" ||
+		SlackDeadlines.String() != "slack" {
+		t.Fatal("DeadlinePolicy strings wrong")
+	}
+	if ArrivalKind(99).String() == "" || DeadlinePolicy(99).String() == "" {
+		t.Fatal("unknown enum should still stringify")
+	}
+}

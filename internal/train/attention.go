@@ -1,0 +1,361 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pdftsp/pdftsp/internal/tensor"
+)
+
+// AttentionConfig sizes a single-head self-attention layer with LoRA
+// adapters on the query and value projections — exactly the placement of
+// Figure 1 of the paper (and the LoRA paper's default).
+type AttentionConfig struct {
+	// DModel is the embedding width of Wq, Wk, Wv (all DModel×DModel).
+	DModel int
+	// SeqLen is the attention sequence length.
+	SeqLen int
+	// Rank, Alpha, LR, Opt follow the other trainers.
+	Rank  int
+	Alpha float64
+	LR    float64
+	Opt   OptimizerKind
+}
+
+// DefaultAttentionConfig returns a small but non-trivial layer.
+func DefaultAttentionConfig() AttentionConfig {
+	return AttentionConfig{DModel: 16, SeqLen: 8, Rank: 2, Alpha: 4, LR: 0.02, Opt: UseAdam}
+}
+
+// Validate reports configuration errors.
+func (c AttentionConfig) Validate() error {
+	if c.DModel <= 0 || c.SeqLen <= 0 {
+		return fmt.Errorf("train: non-positive attention dims d=%d seq=%d", c.DModel, c.SeqLen)
+	}
+	if c.Rank <= 0 || c.Rank > c.DModel {
+		return fmt.Errorf("train: rank %d outside (0,%d]", c.Rank, c.DModel)
+	}
+	if c.LR <= 0 || c.Alpha <= 0 {
+		return fmt.Errorf("train: non-positive LR %v or alpha %v", c.LR, c.Alpha)
+	}
+	return nil
+}
+
+// attnAdapter is one task's LoRA pairs on Wq and Wv.
+type attnAdapter struct {
+	Aq, Bq, Av, Bv             *tensor.Matrix
+	optAq, optBq, optAv, optBv Optimizer
+}
+
+// attnTask holds a task's ground truth: perturbed Wq/Wv used to generate
+// targets through the same attention computation.
+type attnTask struct {
+	wqT, wvT *tensor.Matrix
+	rng      *rand.Rand
+}
+
+// AttentionTrainer co-trains per-task q/v adapters over one frozen
+// attention layer.
+type AttentionTrainer struct {
+	cfg           AttentionConfig
+	wq, wk, wv    *tensor.Matrix // frozen projections
+	wqC, wkC, wvC *tensor.Matrix // copies for frozenness checks
+	adapters      []*attnAdapter
+	tasks         []*attnTask
+}
+
+// NewAttentionTrainer builds the trainer.
+func NewAttentionTrainer(cfg AttentionConfig, nTasks int, rng *rand.Rand) (*AttentionTrainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nTasks <= 0 {
+		return nil, fmt.Errorf("train: need at least one task, got %d", nTasks)
+	}
+	std := 1 / math.Sqrt(float64(cfg.DModel))
+	at := &AttentionTrainer{
+		cfg: cfg,
+		wq:  tensor.New(cfg.DModel, cfg.DModel).Randn(rng, std),
+		wk:  tensor.New(cfg.DModel, cfg.DModel).Randn(rng, std),
+		wv:  tensor.New(cfg.DModel, cfg.DModel).Randn(rng, std),
+	}
+	at.wqC, at.wkC, at.wvC = at.wq.Clone(), at.wk.Clone(), at.wv.Clone()
+	lowRank := func(d int, s float64) *tensor.Matrix {
+		u := tensor.New(d, cfg.Rank).Randn(rng, s)
+		v := tensor.New(cfg.Rank, d).Randn(rng, s)
+		out := tensor.New(d, d)
+		tensor.MatMul(out, u, v)
+		return out
+	}
+	for i := 0; i < nTasks; i++ {
+		at.adapters = append(at.adapters, &attnAdapter{
+			Aq:    tensor.New(cfg.Rank, cfg.DModel).Randn(rng, 0.1),
+			Bq:    tensor.New(cfg.DModel, cfg.Rank),
+			Av:    tensor.New(cfg.Rank, cfg.DModel).Randn(rng, 0.1),
+			Bv:    tensor.New(cfg.DModel, cfg.Rank),
+			optAq: newOptimizer(cfg.Opt, cfg.LR),
+			optBq: newOptimizer(cfg.Opt, cfg.LR),
+			optAv: newOptimizer(cfg.Opt, cfg.LR),
+			optBv: newOptimizer(cfg.Opt, cfg.LR),
+		})
+		wqT := at.wq.Clone()
+		wqT.AddScaled(lowRank(cfg.DModel, 0.2), 1)
+		wvT := at.wv.Clone()
+		wvT.AddScaled(lowRank(cfg.DModel, 0.2), 1)
+		at.tasks = append(at.tasks, &attnTask{
+			wqT: wqT, wvT: wvT,
+			rng: rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	return at, nil
+}
+
+// NumTasks returns the number of co-trained tasks.
+func (at *AttentionTrainer) NumTasks() int { return len(at.adapters) }
+
+// Frozen reports whether all three frozen projections are untouched.
+func (at *AttentionTrainer) Frozen() bool {
+	return at.wq.Equalish(at.wqC, 0) && at.wk.Equalish(at.wkC, 0) && at.wv.Equalish(at.wvC, 0)
+}
+
+// attend computes softmax(QᵀK/√d) row-wise for X (DModel×Seq):
+// Q = Wq'·X, K = Wk·X, V = Wv'·X; output O = V·Pᵀ where P[i][j] is the
+// attention of position i over position j.
+func attend(q, k, v *tensor.Matrix) (o, p *tensor.Matrix) {
+	d := float64(q.Rows)
+	seq := q.Cols
+	// scores[i][j] = q_i · k_j / sqrt(d)
+	scores := tensor.New(seq, seq)
+	tensor.MatMulTA(scores, q, k)
+	scores.Scale(1 / math.Sqrt(d))
+	// Row-wise softmax.
+	p = tensor.New(seq, seq)
+	for i := 0; i < seq; i++ {
+		row := scores.Data[i*seq : (i+1)*seq]
+		m := row[0]
+		for _, x := range row {
+			if x > m {
+				m = x
+			}
+		}
+		sum := 0.0
+		for j, x := range row {
+			e := math.Exp(x - m)
+			p.Data[i*seq+j] = e
+			sum += e
+		}
+		for j := range row {
+			p.Data[i*seq+j] /= sum
+		}
+	}
+	// o[:,i] = Σ_j p[i][j] v[:,j]  ⇔  O = V·Pᵀ.
+	o = tensor.New(v.Rows, seq)
+	tensor.MatMulTB(o, v, p)
+	return o, p
+}
+
+// forward runs the adapted attention for task i on input X (DModel×Seq).
+func (at *AttentionTrainer) forward(i int, x *tensor.Matrix) (o, p, q, k, v *tensor.Matrix) {
+	ad := at.adapters[i]
+	cfg := at.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	proj := func(w, a, b *tensor.Matrix) *tensor.Matrix {
+		out := tensor.New(cfg.DModel, x.Cols)
+		tensor.MatMul(out, w, x)
+		ax := tensor.New(cfg.Rank, x.Cols)
+		tensor.MatMul(ax, a, x)
+		bax := tensor.New(cfg.DModel, x.Cols)
+		tensor.MatMul(bax, b, ax)
+		out.AddScaled(bax, scale)
+		return out
+	}
+	q = proj(at.wq, ad.Aq, ad.Bq)
+	k = tensor.New(cfg.DModel, x.Cols)
+	tensor.MatMul(k, at.wk, x)
+	v = proj(at.wv, ad.Av, ad.Bv)
+	o, p = attend(q, k, v)
+	return o, p, q, k, v
+}
+
+// Loss returns task i's MSE against the target attention output.
+func (at *AttentionTrainer) Loss(i int, x, target *tensor.Matrix) float64 {
+	o, _, _, _, _ := at.forward(i, x)
+	return tensor.MSE(o, target)
+}
+
+// sample draws (x, target) where the target runs the task's perturbed
+// q/v projections through the same attention.
+func (at *AttentionTrainer) sample(i int) (x, target *tensor.Matrix) {
+	cfg := at.cfg
+	tk := at.tasks[i]
+	x = tensor.New(cfg.DModel, cfg.SeqLen).Randn(tk.rng, 1)
+	q := tensor.New(cfg.DModel, cfg.SeqLen)
+	tensor.MatMul(q, tk.wqT, x)
+	k := tensor.New(cfg.DModel, cfg.SeqLen)
+	tensor.MatMul(k, at.wk, x)
+	v := tensor.New(cfg.DModel, cfg.SeqLen)
+	tensor.MatMul(v, tk.wvT, x)
+	target, _ = attend(q, k, v)
+	return x, target
+}
+
+// Step trains every task on a fresh sequence via numerically robust
+// central-difference gradients on the adapter parameters.
+//
+// Analytic backprop through softmax attention is implemented for the
+// value path (exact); the query path flows through the softmax Jacobian,
+// where we use the standard result dscores = P ⊙ (dP − rowsum(dP⊙P)).
+func (at *AttentionTrainer) Step() []float64 {
+	cfg := at.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	losses := make([]float64, len(at.adapters))
+	for i, ad := range at.adapters {
+		x, target := at.sample(i)
+		o, p, _, k, _ := at.forward(i, x)
+		losses[i] = tensor.MSE(o, target)
+		seq := cfg.SeqLen
+
+		// dL/dO.
+		do := tensor.New(cfg.DModel, seq)
+		tensor.Sub(do, o, target)
+		do.Scale(2 / float64(cfg.DModel*seq))
+
+		// Value path: O = V·Pᵀ ⇒ dV = dO·P, dPᵀ = Vᵀ·dO ⇒ dP = dOᵀ·V.
+		dv := tensor.New(cfg.DModel, seq)
+		tensor.MatMul(dv, do, p)
+		dp := tensor.New(seq, seq)
+		tensor.MatMulTA(dp, do, at.vFor(i, x))
+
+		// Softmax backward: ds = P ⊙ (dP − rowsum(dP⊙P)).
+		ds := tensor.New(seq, seq)
+		for r := 0; r < seq; r++ {
+			dot := 0.0
+			for c := 0; c < seq; c++ {
+				dot += dp.Data[r*seq+c] * p.Data[r*seq+c]
+			}
+			for c := 0; c < seq; c++ {
+				ds.Data[r*seq+c] = p.Data[r*seq+c] * (dp.Data[r*seq+c] - dot)
+			}
+		}
+		ds.Scale(1 / math.Sqrt(float64(cfg.DModel)))
+
+		// Query path: scores = QᵀK/√d ⇒ dQ = K·dsᵀ.
+		dq := tensor.New(cfg.DModel, seq)
+		tensor.MatMulTB(dq, k, ds)
+
+		// Adapter gradients: for Y = W·X + s·B·(A·X),
+		// gradB = s·dY·(A·X)ᵀ, gradA = s·Bᵀ·dY·Xᵀ.
+		adapterGrads := func(dy, a, b *tensor.Matrix) (gradA, gradB *tensor.Matrix) {
+			ax := tensor.New(cfg.Rank, seq)
+			tensor.MatMul(ax, a, x)
+			gradB = tensor.New(cfg.DModel, cfg.Rank)
+			tensor.MatMulTB(gradB, dy, ax)
+			gradB.Scale(scale)
+			btdy := tensor.New(cfg.Rank, seq)
+			tensor.MatMulTA(btdy, b, dy)
+			gradA = tensor.New(cfg.Rank, cfg.DModel)
+			tensor.MatMulTB(gradA, btdy, x)
+			gradA.Scale(scale)
+			return gradA, gradB
+		}
+		gradAq, gradBq := adapterGrads(dq, ad.Aq, ad.Bq)
+		gradAv, gradBv := adapterGrads(dv, ad.Av, ad.Bv)
+
+		ad.optBq.Step(ad.Bq, gradBq)
+		ad.optAq.Step(ad.Aq, gradAq)
+		ad.optBv.Step(ad.Bv, gradBv)
+		ad.optAv.Step(ad.Av, gradAv)
+	}
+	return losses
+}
+
+// vFor recomputes the adapted value projection (used by the backward
+// pass, which needs V after the forward's buffers are gone).
+func (at *AttentionTrainer) vFor(i int, x *tensor.Matrix) *tensor.Matrix {
+	ad := at.adapters[i]
+	cfg := at.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	out := tensor.New(cfg.DModel, x.Cols)
+	tensor.MatMul(out, at.wv, x)
+	ax := tensor.New(cfg.Rank, x.Cols)
+	tensor.MatMul(ax, ad.Av, x)
+	bax := tensor.New(cfg.DModel, x.Cols)
+	tensor.MatMul(bax, ad.Bv, ax)
+	out.AddScaled(bax, scale)
+	return out
+}
+
+// Train runs steps and returns mean early/late losses per task.
+func (at *AttentionTrainer) Train(steps int) (early, late []float64) {
+	n := len(at.adapters)
+	early = make([]float64, n)
+	late = make([]float64, n)
+	q := steps / 4
+	if q == 0 {
+		q = 1
+	}
+	for s := 0; s < steps; s++ {
+		losses := at.Step()
+		for i, l := range losses {
+			if s < q {
+				early[i] += l / float64(q)
+			}
+			if s >= steps-q {
+				late[i] += l / float64(q)
+			}
+		}
+	}
+	return early, late
+}
+
+// GradCheck verifies the analytic Bq gradient (the full chain through the
+// softmax) against central finite differences on a fixed sample.
+func (at *AttentionTrainer) GradCheck(i int, eps float64) float64 {
+	cfg := at.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	ad := at.adapters[i]
+	x, target := at.sample(i)
+	seq := cfg.SeqLen
+
+	o, p, _, k, _ := at.forward(i, x)
+	do := tensor.New(cfg.DModel, seq)
+	tensor.Sub(do, o, target)
+	do.Scale(2 / float64(cfg.DModel*seq))
+	dp := tensor.New(seq, seq)
+	tensor.MatMulTA(dp, do, at.vFor(i, x))
+	ds := tensor.New(seq, seq)
+	for r := 0; r < seq; r++ {
+		dot := 0.0
+		for c := 0; c < seq; c++ {
+			dot += dp.Data[r*seq+c] * p.Data[r*seq+c]
+		}
+		for c := 0; c < seq; c++ {
+			ds.Data[r*seq+c] = p.Data[r*seq+c] * (dp.Data[r*seq+c] - dot)
+		}
+	}
+	ds.Scale(1 / math.Sqrt(float64(cfg.DModel)))
+	dq := tensor.New(cfg.DModel, seq)
+	tensor.MatMulTB(dq, k, ds)
+	ax := tensor.New(cfg.Rank, seq)
+	tensor.MatMul(ax, ad.Aq, x)
+	gradBq := tensor.New(cfg.DModel, cfg.Rank)
+	tensor.MatMulTB(gradBq, dq, ax)
+	gradBq.Scale(scale)
+
+	maxRel := 0.0
+	for idx := range ad.Bq.Data {
+		orig := ad.Bq.Data[idx]
+		ad.Bq.Data[idx] = orig + eps
+		lp := at.Loss(i, x, target)
+		ad.Bq.Data[idx] = orig - eps
+		lm := at.Loss(i, x, target)
+		ad.Bq.Data[idx] = orig
+		fd := (lp - lm) / (2 * eps)
+		denom := 1e-8 + absf(fd) + absf(gradBq.Data[idx])
+		if rel := absf(fd-gradBq.Data[idx]) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}

@@ -1,0 +1,129 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/tensor"
+)
+
+func newAttn(t *testing.T, nTasks int) *AttentionTrainer {
+	t.Helper()
+	at, err := NewAttentionTrainer(DefaultAttentionConfig(), nTasks, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return at
+}
+
+func TestAttentionConfigValidate(t *testing.T) {
+	if err := DefaultAttentionConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AttentionConfig{
+		{DModel: 0, SeqLen: 4, Rank: 2, Alpha: 4, LR: 0.1},
+		{DModel: 8, SeqLen: 0, Rank: 2, Alpha: 4, LR: 0.1},
+		{DModel: 8, SeqLen: 4, Rank: 0, Alpha: 4, LR: 0.1},
+		{DModel: 8, SeqLen: 4, Rank: 9, Alpha: 4, LR: 0.1},
+		{DModel: 8, SeqLen: 4, Rank: 2, Alpha: 0, LR: 0.1},
+		{DModel: 8, SeqLen: 4, Rank: 2, Alpha: 4, LR: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad attention config %d validated", i)
+		}
+	}
+	if _, err := NewAttentionTrainer(DefaultAttentionConfig(), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := tensor.New(8, 6).Randn(rng, 1)
+	k := tensor.New(8, 6).Randn(rng, 1)
+	v := tensor.New(8, 6).Randn(rng, 1)
+	_, p := attend(q, k, v)
+	for i := 0; i < 6; i++ {
+		sum := 0.0
+		for j := 0; j < 6; j++ {
+			pv := p.At(i, j)
+			if pv < 0 || pv > 1 {
+				t.Fatalf("attention weight %v outside [0,1]", pv)
+			}
+			sum += pv
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestAttentionUniformWhenScoresEqual(t *testing.T) {
+	// Zero queries give equal scores → uniform attention → output is the
+	// mean of the value vectors.
+	q := tensor.New(4, 3) // zeros
+	rng := rand.New(rand.NewSource(5))
+	k := tensor.New(4, 3).Randn(rng, 1)
+	v := tensor.New(4, 3).Randn(rng, 1)
+	o, p := attend(q, k, v)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(p.At(i, j)-1.0/3.0) > 1e-9 {
+				t.Fatalf("attention not uniform: %v", p.At(i, j))
+			}
+		}
+	}
+	for r := 0; r < 4; r++ {
+		mean := (v.At(r, 0) + v.At(r, 1) + v.At(r, 2)) / 3
+		if math.Abs(o.At(r, 0)-mean) > 1e-9 {
+			t.Fatalf("output not the value mean: %v vs %v", o.At(r, 0), mean)
+		}
+	}
+}
+
+func TestAttentionFrozenProjections(t *testing.T) {
+	at := newAttn(t, 2)
+	at.Train(60)
+	if !at.Frozen() {
+		t.Fatal("training modified frozen attention projections")
+	}
+}
+
+func TestAttentionLossDecreases(t *testing.T) {
+	at := newAttn(t, 2)
+	early, late := at.Train(400)
+	for i := range early {
+		if late[i] >= early[i]*0.7 {
+			t.Errorf("task %d attention loss did not drop 30%%: %v -> %v", i, early[i], late[i])
+		}
+	}
+}
+
+func TestAttentionGradCheckThroughSoftmax(t *testing.T) {
+	at := newAttn(t, 2)
+	at.Train(5)
+	for i := 0; i < at.NumTasks(); i++ {
+		if rel := at.GradCheck(i, 1e-5); rel > 1e-3 {
+			t.Errorf("task %d Bq gradient off by rel %v (softmax chain)", i, rel)
+		}
+	}
+}
+
+func TestAttentionDeterministic(t *testing.T) {
+	run := func() []float64 {
+		at, err := NewAttentionTrainer(DefaultAttentionConfig(), 2, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, late := at.Train(30)
+		return late
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("attention training not deterministic")
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pdftsp/pdftsp/internal/tensor"
+)
+
+// MLPConfig sizes the two-layer shared network: a frozen W2·gelu(W1·x)
+// backbone with LoRA adapters on both layers. It is the smallest
+// architecture that exercises backpropagation through a nonlinearity and
+// multi-layer adapter composition — structurally what a transformer
+// block's MLP does.
+type MLPConfig struct {
+	DIn, DHidden, DOut int
+	Rank               int
+	Alpha              float64
+	LR                 float64
+	Opt                OptimizerKind
+}
+
+// DefaultMLPConfig returns a small but non-degenerate network.
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{DIn: 24, DHidden: 40, DOut: 16, Rank: 4, Alpha: 8, LR: 0.02, Opt: UseAdam}
+}
+
+// Validate reports configuration errors.
+func (c MLPConfig) Validate() error {
+	if c.DIn <= 0 || c.DHidden <= 0 || c.DOut <= 0 {
+		return fmt.Errorf("train: non-positive MLP dims %d/%d/%d", c.DIn, c.DHidden, c.DOut)
+	}
+	if c.Rank <= 0 || c.Rank > c.DIn || c.Rank > c.DHidden {
+		return fmt.Errorf("train: rank %d incompatible with dims", c.Rank)
+	}
+	if c.LR <= 0 || c.Alpha <= 0 {
+		return fmt.Errorf("train: non-positive LR %v or alpha %v", c.LR, c.Alpha)
+	}
+	return nil
+}
+
+// mlpAdapter is one task's adapters for both layers plus optimizer state.
+type mlpAdapter struct {
+	A1, B1                     *tensor.Matrix // layer 1: B1·A1 augments W1
+	A2, B2                     *tensor.Matrix // layer 2: B2·A2 augments W2
+	optA1, optB1, optA2, optB2 Optimizer
+}
+
+// mlpTask holds one task's nonlinear ground truth: perturbed copies of
+// both frozen layers.
+type mlpTask struct {
+	w1t, w2t *tensor.Matrix
+	noise    float64
+	rng      *rand.Rand
+}
+
+// MLPTrainer co-trains per-task LoRA adapters over a shared frozen
+// two-layer network (multi-LoRA with depth).
+type MLPTrainer struct {
+	cfg      MLPConfig
+	w1, w2   *tensor.Matrix // frozen
+	w1c, w2c *tensor.Matrix // retained copies for frozenness checks
+	adapters []*mlpAdapter
+	tasks    []*mlpTask
+}
+
+// NewMLPTrainer builds the trainer with nTasks tasks; each task's targets
+// come from the base network with small low-rank perturbations on both
+// layers, so rank-r adapters can express the residual.
+func NewMLPTrainer(cfg MLPConfig, nTasks int, rng *rand.Rand) (*MLPTrainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nTasks <= 0 {
+		return nil, fmt.Errorf("train: need at least one task, got %d", nTasks)
+	}
+	w1 := tensor.New(cfg.DHidden, cfg.DIn).Randn(rng, math.Sqrt(2/float64(cfg.DIn)))
+	w2 := tensor.New(cfg.DOut, cfg.DHidden).Randn(rng, math.Sqrt(2/float64(cfg.DHidden)))
+	mt := &MLPTrainer{cfg: cfg, w1: w1, w2: w2, w1c: w1.Clone(), w2c: w2.Clone()}
+	lowRank := func(rows, cols int, std float64) *tensor.Matrix {
+		u := tensor.New(rows, cfg.Rank).Randn(rng, std)
+		v := tensor.New(cfg.Rank, cols).Randn(rng, std)
+		d := tensor.New(rows, cols)
+		tensor.MatMul(d, u, v)
+		return d
+	}
+	for i := 0; i < nTasks; i++ {
+		mt.adapters = append(mt.adapters, &mlpAdapter{
+			A1:    tensor.New(cfg.Rank, cfg.DIn).Randn(rng, 0.1),
+			B1:    tensor.New(cfg.DHidden, cfg.Rank),
+			A2:    tensor.New(cfg.Rank, cfg.DHidden).Randn(rng, 0.1),
+			B2:    tensor.New(cfg.DOut, cfg.Rank),
+			optA1: newOptimizer(cfg.Opt, cfg.LR),
+			optB1: newOptimizer(cfg.Opt, cfg.LR),
+			optA2: newOptimizer(cfg.Opt, cfg.LR),
+			optB2: newOptimizer(cfg.Opt, cfg.LR),
+		})
+		w1t := w1.Clone()
+		w1t.AddScaled(lowRank(cfg.DHidden, cfg.DIn, 0.25), 1)
+		w2t := w2.Clone()
+		w2t.AddScaled(lowRank(cfg.DOut, cfg.DHidden, 0.25), 1)
+		mt.tasks = append(mt.tasks, &mlpTask{
+			w1t: w1t, w2t: w2t, noise: 0.01,
+			rng: rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	return mt, nil
+}
+
+// NumTasks returns the number of co-trained tasks.
+func (mt *MLPTrainer) NumTasks() int { return len(mt.adapters) }
+
+// Frozen reports whether both shared layers are bit-identical to their
+// initial values.
+func (mt *MLPTrainer) Frozen() bool {
+	return mt.w1.Equalish(mt.w1c, 0) && mt.w2.Equalish(mt.w2c, 0)
+}
+
+// sample draws (x, y) with nonlinear targets y = W2t·gelu(W1t·x) + noise.
+func (tk *mlpTask) sample(batch, dIn int) (x, y *tensor.Matrix) {
+	x = tensor.New(dIn, batch).Randn(tk.rng, 1)
+	z := tensor.New(tk.w1t.Rows, batch)
+	tensor.MatMul(z, tk.w1t, x)
+	h := tensor.New(z.Rows, z.Cols)
+	geluMat(h, z)
+	y = tensor.New(tk.w2t.Rows, batch)
+	tensor.MatMul(y, tk.w2t, h)
+	if tk.noise > 0 {
+		n := tensor.New(y.Rows, y.Cols).Randn(tk.rng, tk.noise)
+		y.AddScaled(n, 1)
+	}
+	return x, y
+}
+
+// forward computes the adapted network's activations for task i.
+func (mt *MLPTrainer) forward(i int, x *tensor.Matrix) (z, h, y, a1x, a2h *tensor.Matrix) {
+	ad := mt.adapters[i]
+	cfg := mt.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	batch := x.Cols
+
+	z = tensor.New(cfg.DHidden, batch)
+	tensor.MatMul(z, mt.w1, x)
+	a1x = tensor.New(cfg.Rank, batch)
+	tensor.MatMul(a1x, ad.A1, x)
+	b1a1x := tensor.New(cfg.DHidden, batch)
+	tensor.MatMul(b1a1x, ad.B1, a1x)
+	z.AddScaled(b1a1x, scale)
+
+	h = tensor.New(cfg.DHidden, batch)
+	geluMat(h, z)
+
+	y = tensor.New(cfg.DOut, batch)
+	tensor.MatMul(y, mt.w2, h)
+	a2h = tensor.New(cfg.Rank, batch)
+	tensor.MatMul(a2h, ad.A2, h)
+	b2a2h := tensor.New(cfg.DOut, batch)
+	tensor.MatMul(b2a2h, ad.B2, a2h)
+	y.AddScaled(b2a2h, scale)
+	return z, h, y, a1x, a2h
+}
+
+// Loss returns task i's MSE on a batch.
+func (mt *MLPTrainer) Loss(i int, x, y *tensor.Matrix) float64 {
+	_, _, pred, _, _ := mt.forward(i, x)
+	return tensor.MSE(pred, y)
+}
+
+// Step runs one training step for every task and returns the pre-update
+// losses.
+func (mt *MLPTrainer) Step(batch int) []float64 {
+	if batch <= 0 {
+		panic(fmt.Sprintf("train: non-positive batch %d", batch))
+	}
+	cfg := mt.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	losses := make([]float64, len(mt.adapters))
+	for i, ad := range mt.adapters {
+		x, target := mt.tasks[i].sample(batch, cfg.DIn)
+		z, h, y, a1x, a2h := mt.forward(i, x)
+		losses[i] = tensor.MSE(y, target)
+
+		// dL/dy.
+		dy := tensor.New(cfg.DOut, batch)
+		tensor.Sub(dy, y, target)
+		dy.Scale(2 / float64(cfg.DOut*batch))
+
+		// Layer-2 adapter gradients.
+		gradB2 := tensor.New(cfg.DOut, cfg.Rank)
+		tensor.MatMulTB(gradB2, dy, a2h)
+		gradB2.Scale(scale)
+		b2tdy := tensor.New(cfg.Rank, batch)
+		tensor.MatMulTA(b2tdy, ad.B2, dy)
+		gradA2 := tensor.New(cfg.Rank, cfg.DHidden)
+		tensor.MatMulTB(gradA2, b2tdy, h)
+		gradA2.Scale(scale)
+
+		// dL/dh through both the frozen W2 and the adapter path.
+		dh := tensor.New(cfg.DHidden, batch)
+		tensor.MatMulTA(dh, mt.w2, dy)
+		a2tb2tdy := tensor.New(cfg.DHidden, batch)
+		tensor.MatMulTA(a2tb2tdy, ad.A2, b2tdy)
+		dh.AddScaled(a2tb2tdy, scale)
+
+		// Through the nonlinearity: dz = dh ⊙ gelu'(z).
+		dz := tensor.New(cfg.DHidden, batch)
+		for j, v := range z.Data {
+			dz.Data[j] = dh.Data[j] * geluPrime(v)
+		}
+
+		// Layer-1 adapter gradients.
+		gradB1 := tensor.New(cfg.DHidden, cfg.Rank)
+		tensor.MatMulTB(gradB1, dz, a1x)
+		gradB1.Scale(scale)
+		b1tdz := tensor.New(cfg.Rank, batch)
+		tensor.MatMulTA(b1tdz, ad.B1, dz)
+		gradA1 := tensor.New(cfg.Rank, cfg.DIn)
+		tensor.MatMulTB(gradA1, b1tdz, x)
+		gradA1.Scale(scale)
+
+		ad.optB2.Step(ad.B2, gradB2)
+		ad.optA2.Step(ad.A2, gradA2)
+		ad.optB1.Step(ad.B1, gradB1)
+		ad.optA1.Step(ad.A1, gradA1)
+	}
+	return losses
+}
+
+// Train runs steps and returns mean early/late losses per task.
+func (mt *MLPTrainer) Train(steps, batch int) (early, late []float64) {
+	n := len(mt.adapters)
+	early = make([]float64, n)
+	late = make([]float64, n)
+	q := steps / 4
+	if q == 0 {
+		q = 1
+	}
+	for s := 0; s < steps; s++ {
+		losses := mt.Step(batch)
+		for i, l := range losses {
+			if s < q {
+				early[i] += l / float64(q)
+			}
+			if s >= steps-q {
+				late[i] += l / float64(q)
+			}
+		}
+	}
+	return early, late
+}
+
+// GradCheck compares the analytic layer-1 adapter gradient of task i
+// against central finite differences (the layer-1 path exercises the full
+// chain through the nonlinearity). Returns the max relative error.
+func (mt *MLPTrainer) GradCheck(i, batch int, eps float64) float64 {
+	cfg := mt.cfg
+	scale := cfg.Alpha / float64(cfg.Rank)
+	ad := mt.adapters[i]
+	x, target := mt.tasks[i].sample(batch, cfg.DIn)
+
+	z, _, y, a1x, _ := mt.forward(i, x)
+	dy := tensor.New(cfg.DOut, batch)
+	tensor.Sub(dy, y, target)
+	dy.Scale(2 / float64(cfg.DOut*batch))
+	dh := tensor.New(cfg.DHidden, batch)
+	tensor.MatMulTA(dh, mt.w2, dy)
+	b2tdy := tensor.New(cfg.Rank, batch)
+	tensor.MatMulTA(b2tdy, ad.B2, dy)
+	a2tb2tdy := tensor.New(cfg.DHidden, batch)
+	tensor.MatMulTA(a2tb2tdy, ad.A2, b2tdy)
+	dh.AddScaled(a2tb2tdy, scale)
+	dz := tensor.New(cfg.DHidden, batch)
+	for j, v := range z.Data {
+		dz.Data[j] = dh.Data[j] * geluPrime(v)
+	}
+	gradB1 := tensor.New(cfg.DHidden, cfg.Rank)
+	tensor.MatMulTB(gradB1, dz, a1x)
+	gradB1.Scale(scale)
+
+	maxRel := 0.0
+	for idx := range ad.B1.Data {
+		orig := ad.B1.Data[idx]
+		ad.B1.Data[idx] = orig + eps
+		lp := mt.Loss(i, x, target)
+		ad.B1.Data[idx] = orig - eps
+		lm := mt.Loss(i, x, target)
+		ad.B1.Data[idx] = orig
+		fd := (lp - lm) / (2 * eps)
+		denom := 1e-8 + absf(fd) + absf(gradB1.Data[idx])
+		if rel := absf(fd-gradB1.Data[idx]) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}
+
+// geluMat applies GELU element-wise.
+func geluMat(dst, src *tensor.Matrix) {
+	for i, v := range src.Data {
+		dst.Data[i] = gelu(v)
+	}
+}
+
+// gelu is the tanh-approximation GELU.
+func gelu(x float64) float64 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}
+
+// geluPrime is its derivative.
+func geluPrime(x float64) float64 {
+	const c = 0.7978845608028654
+	inner := c * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	dinner := c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dinner
+}

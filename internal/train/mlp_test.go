@@ -1,0 +1,125 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newMLP(t *testing.T, nTasks int) *MLPTrainer {
+	t.Helper()
+	mt, err := NewMLPTrainer(DefaultMLPConfig(), nTasks, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mt
+}
+
+func TestMLPConfigValidate(t *testing.T) {
+	if err := DefaultMLPConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MLPConfig{
+		{DIn: 0, DHidden: 8, DOut: 4, Rank: 2, Alpha: 8, LR: 0.1},
+		{DIn: 8, DHidden: 8, DOut: 4, Rank: 0, Alpha: 8, LR: 0.1},
+		{DIn: 8, DHidden: 8, DOut: 4, Rank: 16, Alpha: 8, LR: 0.1},
+		{DIn: 8, DHidden: 8, DOut: 4, Rank: 2, Alpha: 0, LR: 0.1},
+		{DIn: 8, DHidden: 8, DOut: 4, Rank: 2, Alpha: 8, LR: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad MLP config %d validated", i)
+		}
+	}
+	if _, err := NewMLPTrainer(DefaultMLPConfig(), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestMLPBothLayersStayFrozen(t *testing.T) {
+	mt := newMLP(t, 2)
+	mt.Train(80, 8)
+	if !mt.Frozen() {
+		t.Fatal("training modified a shared frozen layer")
+	}
+}
+
+func TestMLPLossDecreases(t *testing.T) {
+	mt := newMLP(t, 3)
+	early, late := mt.Train(400, 16)
+	for i := range early {
+		if late[i] >= early[i]*0.7 {
+			t.Errorf("task %d MLP loss did not drop 30%%: %v -> %v", i, early[i], late[i])
+		}
+	}
+}
+
+func TestMLPGradCheckThroughNonlinearity(t *testing.T) {
+	mt := newMLP(t, 2)
+	mt.Train(5, 8) // move adapters off their zero init
+	for i := 0; i < mt.NumTasks(); i++ {
+		if rel := mt.GradCheck(i, 6, 1e-5); rel > 5e-4 {
+			t.Errorf("task %d layer-1 gradient off by rel %v", i, rel)
+		}
+	}
+}
+
+func TestMLPStepPanicsOnBadBatch(t *testing.T) {
+	mt := newMLP(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step(0) did not panic")
+		}
+	}()
+	mt.Step(0)
+}
+
+func TestGeluProperties(t *testing.T) {
+	// gelu(0) = 0; gelu(x) → x for large x; gelu(x) → 0 for very
+	// negative x; derivative matches finite differences.
+	if gelu(0) != 0 {
+		t.Fatalf("gelu(0) = %v", gelu(0))
+	}
+	if math.Abs(gelu(10)-10) > 1e-6 {
+		t.Fatalf("gelu(10) = %v, want ~10", gelu(10))
+	}
+	if math.Abs(gelu(-10)) > 1e-6 {
+		t.Fatalf("gelu(-10) = %v, want ~0", gelu(-10))
+	}
+	for _, x := range []float64{-3, -1, -0.2, 0.3, 1.7, 4} {
+		const eps = 1e-6
+		fd := (gelu(x+eps) - gelu(x-eps)) / (2 * eps)
+		if math.Abs(fd-geluPrime(x)) > 1e-6 {
+			t.Fatalf("geluPrime(%v) = %v, finite diff %v", x, geluPrime(x), fd)
+		}
+	}
+}
+
+func TestMLPDeterministicPerSeed(t *testing.T) {
+	run := func() []float64 {
+		mt, err := NewMLPTrainer(DefaultMLPConfig(), 2, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, late := mt.Train(30, 8)
+		return late
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MLP training not deterministic")
+		}
+	}
+}
+
+func BenchmarkMLPStep(b *testing.B) {
+	mt, err := NewMLPTrainer(DefaultMLPConfig(), 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Step(16)
+	}
+}

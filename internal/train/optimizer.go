@@ -1,0 +1,81 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pdftsp/pdftsp/internal/tensor"
+)
+
+// Optimizer applies a gradient step to one parameter matrix. Each adapter
+// matrix gets its own optimizer instance so state never crosses tasks.
+type Optimizer interface {
+	// Step updates param in place given its gradient.
+	Step(param, grad *tensor.Matrix)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(param, grad *tensor.Matrix) {
+	param.AddScaled(grad, -o.LR)
+}
+
+// Adam is the optimizer LoRA fine-tuning uses in practice; its first and
+// second moment buffers are exactly the per-parameter optimizer state the
+// memory model in internal/lora charges (16 bytes/param = weight + grad +
+// m + v at fp32).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t    int
+	m, v *tensor.Matrix
+}
+
+// NewAdam returns Adam with the standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(param, grad *tensor.Matrix) {
+	if o.m == nil {
+		o.m = tensor.New(param.Rows, param.Cols)
+		o.v = tensor.New(param.Rows, param.Cols)
+	}
+	if o.m.Rows != param.Rows || o.m.Cols != param.Cols {
+		panic(fmt.Sprintf("train: Adam state %dx%d reused for %dx%d param",
+			o.m.Rows, o.m.Cols, param.Rows, param.Cols))
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i := range param.Data {
+		g := grad.Data[i]
+		o.m.Data[i] = o.Beta1*o.m.Data[i] + (1-o.Beta1)*g
+		o.v.Data[i] = o.Beta2*o.v.Data[i] + (1-o.Beta2)*g*g
+		mhat := o.m.Data[i] / c1
+		vhat := o.v.Data[i] / c2
+		param.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+	}
+}
+
+// OptimizerKind selects the trainer's optimizer.
+type OptimizerKind int
+
+// Optimizer kinds.
+const (
+	UseSGD OptimizerKind = iota
+	UseAdam
+)
+
+// newOptimizer builds a fresh optimizer for one parameter matrix.
+func newOptimizer(kind OptimizerKind, lr float64) Optimizer {
+	if kind == UseAdam {
+		return NewAdam(lr)
+	}
+	return &SGD{LR: lr}
+}

@@ -1,0 +1,105 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/tensor"
+)
+
+func TestSGDStep(t *testing.T) {
+	p := tensor.FromSlice(1, 2, []float64{1, 2})
+	g := tensor.FromSlice(1, 2, []float64{0.5, -0.5})
+	(&SGD{LR: 0.1}).Step(p, g)
+	if math.Abs(p.Data[0]-0.95) > 1e-12 || math.Abs(p.Data[1]-2.05) > 1e-12 {
+		t.Fatalf("SGD step wrong: %v", p.Data)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = ||x - target||² with gradients 2(x-target).
+	target := tensor.FromSlice(1, 3, []float64{1, -2, 3})
+	x := tensor.New(1, 3)
+	opt := NewAdam(0.1)
+	g := tensor.New(1, 3)
+	for i := 0; i < 500; i++ {
+		tensor.Sub(g, x, target)
+		g.Scale(2)
+		opt.Step(x, g)
+	}
+	if !x.Equalish(target, 1e-3) {
+		t.Fatalf("Adam did not converge: %v", x.Data)
+	}
+}
+
+func TestAdamFasterThanSGDOnIllConditioned(t *testing.T) {
+	// f(x) = 100 x0² + x1²: plain SGD with a safe LR crawls on x1; Adam's
+	// per-coordinate scaling does not.
+	run := func(opt Optimizer) float64 {
+		x := tensor.FromSlice(1, 2, []float64{1, 1})
+		g := tensor.New(1, 2)
+		for i := 0; i < 200; i++ {
+			g.Data[0] = 200 * x.Data[0]
+			g.Data[1] = 2 * x.Data[1]
+			opt.Step(x, g)
+		}
+		return 100*x.Data[0]*x.Data[0] + x.Data[1]*x.Data[1]
+	}
+	sgd := run(&SGD{LR: 0.004}) // max stable LR ~ 2/200
+	adam := run(NewAdam(0.05))
+	if adam >= sgd {
+		t.Fatalf("Adam (%v) not better than SGD (%v) on ill-conditioned quadratic", adam, sgd)
+	}
+}
+
+func TestAdamStateShapePanic(t *testing.T) {
+	opt := NewAdam(0.1)
+	p := tensor.New(2, 2)
+	opt.Step(p, tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-changing Adam reuse did not panic")
+		}
+	}()
+	opt.Step(tensor.New(3, 3), tensor.New(3, 3))
+}
+
+func TestMultiTrainerWithAdam(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Opt = UseAdam
+	cfg.LR = 0.01
+	mt, err := NewMultiTrainer(cfg, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late := mt.Train(300, 16)
+	for i := range early {
+		if late[i] >= early[i]*0.5 {
+			t.Errorf("task %d under Adam did not halve loss: %v -> %v", i, early[i], late[i])
+		}
+	}
+	if !mt.W0Frozen() {
+		t.Fatal("Adam training moved frozen base weights")
+	}
+}
+
+func TestOptimizerStatePerAdapter(t *testing.T) {
+	// Each adapter matrix owns its optimizer: the Adam moments of one
+	// task must not leak into another.
+	cfg := DefaultConfig()
+	cfg.Opt = UseAdam
+	mt, err := NewMultiTrainer(cfg, 2, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := mt.Adapter(0).optA.(*Adam)
+	a1 := mt.Adapter(1).optA.(*Adam)
+	if a0 == a1 {
+		t.Fatal("adapters share an optimizer instance")
+	}
+	mt.Step(8)
+	if a0.t != 1 || a1.t != 1 {
+		t.Fatalf("optimizer step counts wrong: %d/%d", a0.t, a1.t)
+	}
+}

@@ -1,0 +1,312 @@
+// Package train implements an executable multi-LoRA trainer: several
+// fine-tuning tasks share one frozen base weight matrix W0 and each task
+// trains only its own low-rank adapter ΔW = B·A (Figures 1 and 2 of the
+// paper). The trainer really runs forward/backward passes and SGD updates
+// on internal/tensor matrices, at a reduced scale, which proves the
+// weight-sharing code path the scheduler's memory model assumes.
+//
+// The model is a single dense layer h = W0·x + (α/r)·B·(A·x); each task's
+// synthetic dataset is drawn from its own ground-truth linear map, so the
+// adapters must diverge from each other while W0 stays frozen.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pdftsp/pdftsp/internal/tensor"
+)
+
+// Config sizes the shared layer.
+type Config struct {
+	// DIn and DOut are the layer input/output widths.
+	DIn, DOut int
+	// Rank is the LoRA rank r (shared by all tasks for simplicity).
+	Rank int
+	// Alpha is the LoRA scaling numerator; the effective scale is Alpha/Rank.
+	Alpha float64
+	// LR is the learning rate applied to adapters.
+	LR float64
+	// Opt selects the optimizer (UseSGD default, UseAdam for the
+	// production-realistic choice whose state the memory model charges).
+	Opt OptimizerKind
+}
+
+// DefaultConfig returns a small but non-trivial layer.
+func DefaultConfig() Config {
+	return Config{DIn: 32, DOut: 24, Rank: 4, Alpha: 8, LR: 0.05}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DIn <= 0 || c.DOut <= 0 {
+		return fmt.Errorf("train: non-positive layer dims %dx%d", c.DOut, c.DIn)
+	}
+	if c.Rank <= 0 || c.Rank > c.DIn || c.Rank > c.DOut {
+		return fmt.Errorf("train: rank %d outside (0, min(%d,%d)]", c.Rank, c.DIn, c.DOut)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("train: non-positive learning rate %v", c.LR)
+	}
+	if c.Alpha <= 0 {
+		return fmt.Errorf("train: non-positive alpha %v", c.Alpha)
+	}
+	return nil
+}
+
+// Adapter holds one task's trainable LoRA matrices and their optimizer
+// state.
+type Adapter struct {
+	// A is r×DIn, initialized N(0, σ²) per the LoRA paper.
+	A *tensor.Matrix
+	// B is DOut×r, initialized to zero per the LoRA paper, so the
+	// adapter starts as the identity update ΔW = 0.
+	B *tensor.Matrix
+
+	optA, optB Optimizer
+}
+
+// TaskData is one task's synthetic regression stream: targets come from a
+// hidden ground-truth map y = Wtrue·x plus noise.
+type TaskData struct {
+	Wtrue *tensor.Matrix
+	Noise float64
+	rng   *rand.Rand
+}
+
+// Sample draws a batch of (x, y) with x ~ N(0,1).
+func (d *TaskData) Sample(batch, dIn int) (x, y *tensor.Matrix) {
+	x = tensor.New(dIn, batch).Randn(d.rng, 1)
+	y = tensor.New(d.Wtrue.Rows, batch)
+	tensor.MatMul(y, d.Wtrue, x)
+	if d.Noise > 0 {
+		n := tensor.New(y.Rows, y.Cols).Randn(d.rng, d.Noise)
+		y.AddScaled(n, 1)
+	}
+	return x, y
+}
+
+// MultiTrainer trains several adapters against one shared frozen W0.
+type MultiTrainer struct {
+	cfg      Config
+	w0       *tensor.Matrix
+	w0Copy   *tensor.Matrix // retained to assert frozenness
+	adapters []*Adapter
+	data     []*TaskData
+}
+
+// NewMultiTrainer builds a trainer with nTasks tasks. Each task receives
+// its own ground-truth target map, so adapters must learn different
+// updates while sharing W0.
+func NewMultiTrainer(cfg Config, nTasks int, rng *rand.Rand) (*MultiTrainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nTasks <= 0 {
+		return nil, fmt.Errorf("train: need at least one task, got %d", nTasks)
+	}
+	w0 := tensor.New(cfg.DOut, cfg.DIn).Randn(rng, 0.3)
+	mt := &MultiTrainer{cfg: cfg, w0: w0, w0Copy: w0.Clone()}
+	for i := 0; i < nTasks; i++ {
+		ad := &Adapter{
+			A:    tensor.New(cfg.Rank, cfg.DIn).Randn(rng, 0.1),
+			B:    tensor.New(cfg.DOut, cfg.Rank), // zeros
+			optA: newOptimizer(cfg.Opt, cfg.LR),
+			optB: newOptimizer(cfg.Opt, cfg.LR),
+		}
+		// Ground truth = base plus a task-specific low-rank-ish delta,
+		// so a rank-r adapter can actually fit it.
+		delta := tensor.New(cfg.DOut, cfg.DIn)
+		u := tensor.New(cfg.DOut, cfg.Rank).Randn(rng, 0.5)
+		v := tensor.New(cfg.Rank, cfg.DIn).Randn(rng, 0.5)
+		tensor.MatMul(delta, u, v)
+		wTrue := w0.Clone()
+		wTrue.AddScaled(delta, 1)
+		mt.adapters = append(mt.adapters, ad)
+		mt.data = append(mt.data, &TaskData{
+			Wtrue: wTrue,
+			Noise: 0.01,
+			rng:   rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	return mt, nil
+}
+
+// NumTasks returns the number of co-trained tasks.
+func (mt *MultiTrainer) NumTasks() int { return len(mt.adapters) }
+
+// Adapter returns task i's adapter (for inspection in tests).
+func (mt *MultiTrainer) Adapter(i int) *Adapter { return mt.adapters[i] }
+
+// W0Frozen reports whether the shared base weights are bit-identical to
+// their initial value — the central multi-LoRA invariant.
+func (mt *MultiTrainer) W0Frozen() bool { return mt.w0.Equalish(mt.w0Copy, 0) }
+
+// Forward computes h = W0·x + (α/r)·B·(A·x) for task i.
+func (mt *MultiTrainer) Forward(i int, x *tensor.Matrix) *tensor.Matrix {
+	ad := mt.adapters[i]
+	h := tensor.New(mt.cfg.DOut, x.Cols)
+	tensor.MatMul(h, mt.w0, x)
+	ax := tensor.New(mt.cfg.Rank, x.Cols)
+	tensor.MatMul(ax, ad.A, x)
+	bax := tensor.New(mt.cfg.DOut, x.Cols)
+	tensor.MatMul(bax, ad.B, ax)
+	h.AddScaled(bax, mt.cfg.Alpha/float64(mt.cfg.Rank))
+	return h
+}
+
+// Loss returns the MSE loss of task i on batch (x, y).
+func (mt *MultiTrainer) Loss(i int, x, y *tensor.Matrix) float64 {
+	return tensor.MSE(mt.Forward(i, x), y)
+}
+
+// StepResult reports one batched multi-LoRA step.
+type StepResult struct {
+	// Losses holds each task's pre-update batch loss.
+	Losses []float64
+	// SharedForwardCols is the width of the single batched W0 matmul that
+	// served every task — the multi-LoRA sharing at work.
+	SharedForwardCols int
+}
+
+// Step runs one batched multi-LoRA training step: every task contributes a
+// batch, the shared W0 forward runs once over the concatenation (Figure 2),
+// then each task's adapter path and gradients are computed per task, and
+// SGD updates only the adapters.
+func (mt *MultiTrainer) Step(batch int) StepResult {
+	if batch <= 0 {
+		panic(fmt.Sprintf("train: non-positive batch %d", batch))
+	}
+	n := len(mt.adapters)
+	xs := make([]*tensor.Matrix, n)
+	ys := make([]*tensor.Matrix, n)
+	// Concatenate all task batches column-wise: X = [x_1 | x_2 | ... ].
+	bigX := tensor.New(mt.cfg.DIn, batch*n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = mt.data[i].Sample(batch, mt.cfg.DIn)
+		for r := 0; r < mt.cfg.DIn; r++ {
+			copy(bigX.Data[r*bigX.Cols+i*batch:r*bigX.Cols+(i+1)*batch],
+				xs[i].Data[r*batch:(r+1)*batch])
+		}
+	}
+	// One shared base forward for every co-located task.
+	bigH0 := tensor.New(mt.cfg.DOut, batch*n)
+	tensor.MatMul(bigH0, mt.w0, bigX)
+
+	res := StepResult{Losses: make([]float64, n), SharedForwardCols: batch * n}
+	scale := mt.cfg.Alpha / float64(mt.cfg.Rank)
+	for i := 0; i < n; i++ {
+		ad := mt.adapters[i]
+		// Slice task i's columns out of the shared forward result.
+		h := tensor.New(mt.cfg.DOut, batch)
+		for r := 0; r < mt.cfg.DOut; r++ {
+			copy(h.Data[r*batch:(r+1)*batch],
+				bigH0.Data[r*bigH0.Cols+i*batch:r*bigH0.Cols+(i+1)*batch])
+		}
+		ax := tensor.New(mt.cfg.Rank, batch)
+		tensor.MatMul(ax, ad.A, xs[i])
+		bax := tensor.New(mt.cfg.DOut, batch)
+		tensor.MatMul(bax, ad.B, ax)
+		h.AddScaled(bax, scale)
+
+		// MSE loss and gradient dL/dh = 2(h-y)/(DOut*batch).
+		res.Losses[i] = tensor.MSE(h, ys[i])
+		dh := tensor.New(mt.cfg.DOut, batch)
+		tensor.Sub(dh, h, ys[i])
+		dh.Scale(2 / float64(mt.cfg.DOut*batch))
+
+		// Backward through the adapter path only; W0 is frozen.
+		//   gradB = scale · dh · (A·x)ᵀ
+		//   gradA = scale · Bᵀ · dh · xᵀ
+		gradB := tensor.New(mt.cfg.DOut, mt.cfg.Rank)
+		tensor.MatMulTB(gradB, dh, ax)
+		gradB.Scale(scale)
+		btdh := tensor.New(mt.cfg.Rank, batch)
+		tensor.MatMulTA(btdh, ad.B, dh)
+		gradA := tensor.New(mt.cfg.Rank, mt.cfg.DIn)
+		tensor.MatMulTB(gradA, btdh, xs[i])
+		gradA.Scale(scale)
+
+		ad.optB.Step(ad.B, gradB)
+		ad.optA.Step(ad.A, gradA)
+	}
+	return res
+}
+
+// Train runs steps batched multi-LoRA steps and returns each task's mean
+// loss over the first and last quarter of training, for convergence
+// assertions.
+func (mt *MultiTrainer) Train(steps, batch int) (early, late []float64) {
+	n := len(mt.adapters)
+	early = make([]float64, n)
+	late = make([]float64, n)
+	q := steps / 4
+	if q == 0 {
+		q = 1
+	}
+	for s := 0; s < steps; s++ {
+		res := mt.Step(batch)
+		for i, l := range res.Losses {
+			if s < q {
+				early[i] += l / float64(q)
+			}
+			if s >= steps-q {
+				late[i] += l / float64(q)
+			}
+		}
+	}
+	return early, late
+}
+
+// GradCheck compares the analytic adapter gradients of task i against
+// central finite differences on a fixed batch, returning the maximum
+// relative error. Tests use it to certify the backward pass.
+func (mt *MultiTrainer) GradCheck(i, batch int, eps float64) float64 {
+	x, y := mt.data[i].Sample(batch, mt.cfg.DIn)
+	ad := mt.adapters[i]
+	scale := mt.cfg.Alpha / float64(mt.cfg.Rank)
+
+	// Analytic gradients (same math as Step).
+	h := mt.Forward(i, x)
+	dh := tensor.New(mt.cfg.DOut, batch)
+	tensor.Sub(dh, h, y)
+	dh.Scale(2 / float64(mt.cfg.DOut*batch))
+	ax := tensor.New(mt.cfg.Rank, batch)
+	tensor.MatMul(ax, ad.A, x)
+	gradB := tensor.New(mt.cfg.DOut, mt.cfg.Rank)
+	tensor.MatMulTB(gradB, dh, ax)
+	gradB.Scale(scale)
+	btdh := tensor.New(mt.cfg.Rank, batch)
+	tensor.MatMulTA(btdh, ad.B, dh)
+	gradA := tensor.New(mt.cfg.Rank, mt.cfg.DIn)
+	tensor.MatMulTB(gradA, btdh, x)
+	gradA.Scale(scale)
+
+	maxRel := 0.0
+	check := func(param *tensor.Matrix, grad *tensor.Matrix) {
+		for idx := range param.Data {
+			orig := param.Data[idx]
+			param.Data[idx] = orig + eps
+			lp := mt.Loss(i, x, y)
+			param.Data[idx] = orig - eps
+			lm := mt.Loss(i, x, y)
+			param.Data[idx] = orig
+			fd := (lp - lm) / (2 * eps)
+			denom := 1e-8 + absf(fd) + absf(grad.Data[idx])
+			rel := absf(fd-grad.Data[idx]) / denom
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	check(ad.B, gradB)
+	check(ad.A, gradA)
+	return maxRel
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

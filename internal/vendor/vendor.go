@@ -1,0 +1,127 @@
+// Package vendor models the data pre-processing marketplace of the paper
+// (Section 2.1): a set of N third-party labor vendors, each of which
+// quotes a price q_in and a processing delay h_in for pre-processing task
+// i's dataset. The provider must select exactly one vendor for each
+// admitted task that requests pre-processing, and pre-processing must
+// finish before fine-tuning starts (constraint (4c)).
+package vendor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Quote is one vendor's offer for one task: the price charged and the
+// number of slots the pre-processing takes.
+type Quote struct {
+	// Vendor is the quoting vendor's index in the marketplace.
+	Vendor int
+	// Price is q_in in money units.
+	Price float64
+	// DelaySlots is h_in: slots between task arrival and pre-processed
+	// data availability.
+	DelaySlots int
+}
+
+// Profile describes one vendor's pricing behavior: quotes are drawn per
+// task around the vendor's base price/delay, modeling per-dataset
+// variation (labeling effort scales with dataset size and cleanliness).
+type Profile struct {
+	// Name identifies the vendor.
+	Name string
+	// BasePrice is the vendor's central price in money units.
+	BasePrice float64
+	// PriceJitter is the relative half-width of the per-task price swing.
+	PriceJitter float64
+	// BaseDelay is the vendor's central delay in slots.
+	BaseDelay int
+	// DelayJitter is the maximum additional delay in slots.
+	DelayJitter int
+}
+
+// Marketplace is the set of labor vendors available to the provider.
+type Marketplace struct {
+	profiles []Profile
+	seed     int64
+}
+
+// New creates a marketplace with the given vendor profiles. Quotes are
+// generated deterministically from the seed and the task ID.
+func New(profiles []Profile, seed int64) (*Marketplace, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("vendor: marketplace needs at least one vendor")
+	}
+	for i, p := range profiles {
+		if p.BasePrice < 0 || p.PriceJitter < 0 || p.BaseDelay < 0 || p.DelayJitter < 0 {
+			return nil, fmt.Errorf("vendor: profile %d (%s) has negative parameter", i, p.Name)
+		}
+	}
+	ps := make([]Profile, len(profiles))
+	copy(ps, profiles)
+	return &Marketplace{profiles: ps, seed: seed}, nil
+}
+
+// Standard returns a marketplace of n vendors spanning the
+// fast-and-expensive to slow-and-cheap spectrum, seeded deterministically.
+func Standard(n int, seed int64) (*Marketplace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vendor: need a positive vendor count, got %d", n)
+	}
+	profiles := make([]Profile, n)
+	for i := range profiles {
+		// Vendor 0 is the fastest and most expensive; later vendors
+		// trade delay for price.
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		profiles[i] = Profile{
+			Name:        fmt.Sprintf("vendor-%d", i),
+			BasePrice:   12 - 8*frac, // 12 .. 4
+			PriceJitter: 0.25,
+			BaseDelay:   1 + int(4*frac), // 1 .. 5 slots
+			DelayJitter: 1,
+		}
+	}
+	return New(profiles, seed)
+}
+
+// NumVendors returns N.
+func (m *Marketplace) NumVendors() int { return len(m.profiles) }
+
+// Profiles returns a copy of the vendor profiles.
+func (m *Marketplace) Profiles() []Profile {
+	out := make([]Profile, len(m.profiles))
+	copy(out, m.profiles)
+	return out
+}
+
+// QuotesFor returns every vendor's quote {q_in, h_in} for the given task
+// ID. Quotes are a pure function of (marketplace seed, task ID), so
+// counterfactual re-runs of the auction see identical marketplaces.
+func (m *Marketplace) QuotesFor(taskID int) []Quote {
+	quotes := make([]Quote, len(m.profiles))
+	for n, p := range m.profiles {
+		// Derive a per-(task, vendor) RNG so quote generation does not
+		// depend on call order.
+		r := rand.New(rand.NewSource(m.seedFor(taskID, n)))
+		price := p.BasePrice * (1 + p.PriceJitter*(2*r.Float64()-1))
+		delay := p.BaseDelay
+		if p.DelayJitter > 0 {
+			delay += r.Intn(p.DelayJitter + 1)
+		}
+		quotes[n] = Quote{Vendor: n, Price: price, DelaySlots: delay}
+	}
+	return quotes
+}
+
+// seedFor mixes the marketplace seed with the task and vendor indices so
+// that quotes are a pure function of (seed, taskID, vendor).
+func (m *Marketplace) seedFor(taskID, vendorIdx int) int64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	h ^= uint64(taskID+1) * 0xbf58476d1ce4e5b9
+	h ^= uint64(vendorIdx+1) * 0x94d049bb133111eb
+	h ^= uint64(m.seed)
+	h *= 0xd6e8feb86659fd93
+	return int64(h >> 1)
+}

@@ -1,0 +1,125 @@
+package vendor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("empty marketplace accepted")
+	}
+	bad := []Profile{{Name: "x", BasePrice: -1}}
+	if _, err := New(bad, 1); err == nil {
+		t.Fatal("negative price profile accepted")
+	}
+	if _, err := Standard(0, 1); err == nil {
+		t.Fatal("Standard(0) accepted")
+	}
+}
+
+func TestStandardSpansPriceDelaySpectrum(t *testing.T) {
+	m, err := Standard(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVendors() != 5 {
+		t.Fatalf("NumVendors = %d, want 5", m.NumVendors())
+	}
+	ps := m.Profiles()
+	// Fastest vendor is the most expensive; slowest is the cheapest.
+	if ps[0].BasePrice <= ps[4].BasePrice {
+		t.Fatal("vendor 0 should be more expensive than vendor 4")
+	}
+	if ps[0].BaseDelay >= ps[4].BaseDelay {
+		t.Fatal("vendor 0 should be faster than vendor 4")
+	}
+}
+
+func TestStandardSingleVendor(t *testing.T) {
+	m, err := Standard(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := m.QuotesFor(3)
+	if len(qs) != 1 || qs[0].Price <= 0 || qs[0].DelaySlots < 0 {
+		t.Fatalf("bad single-vendor quotes: %+v", qs)
+	}
+}
+
+func TestQuotesDeterministicAndOrderIndependent(t *testing.T) {
+	m, err := Standard(4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.QuotesFor(10)
+	// Interleave queries for other tasks; quote for task 10 must not move.
+	m.QuotesFor(11)
+	m.QuotesFor(12)
+	b := m.QuotesFor(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("quote drifted: %+v vs %+v", a[i], b[i])
+		}
+	}
+	// A marketplace rebuilt with the same seed gives the same quotes.
+	m2, _ := Standard(4, 99)
+	c := m2.QuotesFor(10)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("quote not reproducible across instances: %+v vs %+v", a[i], c[i])
+		}
+	}
+}
+
+func TestQuotesDifferAcrossSeeds(t *testing.T) {
+	m1, _ := Standard(3, 1)
+	m2, _ := Standard(3, 2)
+	a, b := m1.QuotesFor(5), m2.QuotesFor(5)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical quotes")
+	}
+}
+
+func TestQuotesWithinProfileBounds(t *testing.T) {
+	m, err := Standard(6, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.Profiles()
+	f := func(id uint16) bool {
+		for n, q := range m.QuotesFor(int(id)) {
+			p := ps[n]
+			lo := p.BasePrice * (1 - p.PriceJitter)
+			hi := p.BasePrice * (1 + p.PriceJitter)
+			if q.Price < lo-1e-9 || q.Price > hi+1e-9 {
+				return false
+			}
+			if q.DelaySlots < p.BaseDelay || q.DelaySlots > p.BaseDelay+p.DelayJitter {
+				return false
+			}
+			if q.Vendor != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesIsACopy(t *testing.T) {
+	m, _ := Standard(2, 5)
+	ps := m.Profiles()
+	ps[0].BasePrice = -999
+	if m.Profiles()[0].BasePrice == -999 {
+		t.Fatal("Profiles leaked internal state")
+	}
+}

@@ -1,0 +1,150 @@
+// Package zones implements the multi-model data center the paper sketches
+// in Section 2.1: "Different 'zones' within the cloud data center can be
+// set up for tasks fine-tuning different pre-trained models." Each zone
+// owns a cluster whose nodes hold one shared pre-trained model replica,
+// plus its own scheduler; a Router dispatches each arriving bid to the
+// zone of the model it fine-tunes.
+//
+// Because the paper's formulation (and therefore the pdFTSP analysis) is
+// per-model, zones compose without touching the core algorithm: each
+// zone's auction runs independently, and the data center's social welfare
+// is the sum over zones.
+package zones
+
+import (
+	"fmt"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// Zone is one model-scoped slice of the data center.
+type Zone struct {
+	// Model is the pre-trained model every task in this zone fine-tunes;
+	// Model.Name is the routing key.
+	Model lora.ModelConfig
+	// Cluster holds the zone's nodes (base model replica accounted).
+	Cluster *cluster.Cluster
+	// Scheduler is the zone's admission/scheduling algorithm.
+	Scheduler sim.Scheduler
+	// Market is the zone's labor-vendor marketplace (may be shared
+	// between zones; quotes are per-task, so sharing is safe).
+	Market *vendor.Marketplace
+}
+
+// Router dispatches bids to zones by model name.
+type Router struct {
+	zones       map[string]*Zone
+	order       []string
+	defaultZone string
+}
+
+// NewRouter builds a router over the given zones. The first zone is the
+// default for tasks with an empty ModelName.
+func NewRouter(zs ...*Zone) (*Router, error) {
+	if len(zs) == 0 {
+		return nil, fmt.Errorf("zones: no zones")
+	}
+	r := &Router{zones: make(map[string]*Zone, len(zs))}
+	for i, z := range zs {
+		if z == nil || z.Cluster == nil || z.Scheduler == nil {
+			return nil, fmt.Errorf("zones: zone %d incomplete", i)
+		}
+		if err := z.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("zones: zone %d: %w", i, err)
+		}
+		name := z.Model.Name
+		if _, dup := r.zones[name]; dup {
+			return nil, fmt.Errorf("zones: duplicate zone for model %q", name)
+		}
+		r.zones[name] = z
+		r.order = append(r.order, name)
+	}
+	r.defaultZone = zs[0].Model.Name
+	return r, nil
+}
+
+// Zone returns the zone for a model name ("" selects the default).
+func (r *Router) Zone(modelName string) (*Zone, bool) {
+	if modelName == "" {
+		modelName = r.defaultZone
+	}
+	z, ok := r.zones[modelName]
+	return z, ok
+}
+
+// ZoneNames returns the zone keys in registration order.
+func (r *Router) ZoneNames() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Offer routes one bid to its zone and returns the zone's decision. A bid
+// for an unknown model is rejected (no zone hosts its base weights).
+func (r *Router) Offer(t *task.Task) (schedule.Decision, string) {
+	z, ok := r.Zone(t.ModelName)
+	if !ok {
+		return schedule.Decision{
+			TaskID: t.ID,
+			Reason: schedule.ReasonNoSchedule,
+		}, ""
+	}
+	env := schedule.NewTaskEnv(t, z.Cluster, z.Model, z.Market)
+	return z.Scheduler.Offer(env), z.Model.Name
+}
+
+// Result aggregates a multi-zone run.
+type Result struct {
+	// PerZone maps model name to that zone's welfare accounting.
+	PerZone map[string]*ZoneStats
+	// Unroutable counts bids whose model no zone hosts.
+	Unroutable int
+	// TotalWelfare is the data center's social welfare.
+	TotalWelfare float64
+}
+
+// ZoneStats is one zone's accounting.
+type ZoneStats struct {
+	Admitted, Rejected int
+	Welfare            float64
+	Revenue            float64
+}
+
+// Run replays a mixed-model workload (sorted by arrival) through the
+// router.
+func Run(r *Router, tasks []task.Task) (*Result, error) {
+	if r == nil {
+		return nil, fmt.Errorf("zones: nil router")
+	}
+	res := &Result{PerZone: make(map[string]*ZoneStats, len(r.zones))}
+	for _, name := range r.order {
+		res.PerZone[name] = &ZoneStats{}
+	}
+	prev := -1
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Arrival < prev {
+			return nil, fmt.Errorf("zones: tasks not sorted by arrival (task %d)", t.ID)
+		}
+		prev = t.Arrival
+		d, zoneName := r.Offer(t)
+		if zoneName == "" {
+			res.Unroutable++
+			continue
+		}
+		zs := res.PerZone[zoneName]
+		if d.Admitted {
+			zs.Admitted++
+			w := t.Bid - d.VendorCost - d.EnergyCost
+			zs.Welfare += w
+			zs.Revenue += d.Payment
+			res.TotalWelfare += w
+		} else {
+			zs.Rejected++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package pdftsp
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface the way the
+// README quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	model := GPT2Small()
+	h := NewHorizon(48)
+	cl, err := NewCluster(h, model, NodeGroup{Spec: A100(), Count: 2}, NodeGroup{Spec: A40(), Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := NewMarketplace(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultWorkload()
+	cfg.Horizon = h
+	cfg.RatePerSlot = 3
+	tasks, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(cl, Calibrate(tasks, model, cl, mkt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cl, sch, tasks, RunConfig{Model: model, Market: mkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 || res.Welfare <= 0 {
+		t.Fatalf("facade run produced no welfare: %+v", res)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	model := GPT2Small()
+	h := NewHorizon(24)
+	cfg := DefaultWorkload()
+	cfg.Horizon = h
+	cfg.RatePerSlot = 2
+	tasks, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := NewMarketplace(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{NewEFT(), NewNTM(1), NewTitan(TitanOptions{Seed: 1, SolveBudget: DefaultTitanBudget / 10})} {
+		cl, err := NewCluster(h, model, NodeGroup{Spec: A100(), Count: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cl, s, tasks, RunConfig{Model: model, Market: mkt})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Admitted == 0 {
+			t.Fatalf("%s admitted nothing", s.Name())
+		}
+	}
+}
+
+func TestFacadeSingleOffer(t *testing.T) {
+	model := GPT2Small()
+	h := Day()
+	cl, err := NewClusterWithPrice(h, model, FlatPrice(1), NodeGroup{Spec: A100(), Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := NewScheduler(cl, SchedulerOptions{Alpha: 2, Beta: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := Task{
+		ID: 0, Arrival: 3, Deadline: 20, DatasetSamples: 9000, Epochs: 3,
+		Work: 27, MemGB: 5, Rank: 8, Batch: 16, Bid: 60, TrueValue: 60,
+	}
+	d := sch.Offer(NewTaskEnv(&tk, cl, model, nil))
+	if !d.Admitted {
+		t.Fatalf("single offer rejected: %s", d.Reason)
+	}
+	if err := d.Schedule.Validate(NewTaskEnv(&tk, cl, model, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if DiurnalPrice() == nil || V100().Name == "" || GPT2Medium().Layers == 0 {
+		t.Fatal("catalog helpers broken")
+	}
+}
