@@ -1,0 +1,38 @@
+# Standard checks and benchmark tracking. The repository is stdlib-only,
+# so every target needs nothing but a Go toolchain.
+
+GO ?= go
+LABEL ?= dev
+
+.PHONY: build test test-short race vet bench bench-snapshot check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# test-short skips the minutes-long node-bound determinism figures.
+test-short:
+	$(GO) test -short ./...
+
+# race covers every package that runs experiment jobs concurrently
+# (worker pool, figure fan-outs, auction sweeps, the scheduler they
+# drive). Short mode keeps the node-bound Titan figures out of the
+# 10-20x race slowdown; the full determinism suite runs under `make test`.
+race:
+	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/
+
+vet:
+	$(GO) vet ./...
+
+# bench prints the tracked suite without recording it.
+bench:
+	$(GO) test -bench 'OfferPdFTSP|CalibrateDuals|TraceGenerate' -benchmem -run '^$$' .
+
+# bench-snapshot records BENCH_$(LABEL).json for cross-commit comparison:
+#   make bench-snapshot LABEL=pr2
+bench-snapshot:
+	$(GO) run ./cmd/bench -label $(LABEL)
+
+check: build vet test race

@@ -16,12 +16,11 @@ import (
 	"testing"
 	"time"
 
-	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/benchsuite"
 	"github.com/pdftsp/pdftsp/internal/experiments"
 	"github.com/pdftsp/pdftsp/internal/lp"
 	"github.com/pdftsp/pdftsp/internal/milp"
 	"github.com/pdftsp/pdftsp/internal/timeslot"
-	"github.com/pdftsp/pdftsp/internal/trace"
 	"github.com/pdftsp/pdftsp/internal/vendor"
 )
 
@@ -117,81 +116,21 @@ func BenchmarkAblationCalibration(b *testing.B) {
 	benchFigure(b, func(p experiments.Profile) error { _, err := p.AblationCalibration(); return err })
 }
 
-// Micro-benchmarks for the algorithmic hot paths.
+// Micro-benchmarks for the algorithmic hot paths. The bodies live in
+// internal/benchsuite so `go test -bench` and `go run ./cmd/bench`
+// (snapshot tracking) measure the same code.
 
 // BenchmarkOfferPdFTSP measures one Algorithm-1 iteration (DP + duals +
 // pricing) on a warm cluster — the per-task latency of Figure 13's fast
 // curve.
-func BenchmarkOfferPdFTSP(b *testing.B) {
-	model := GPT2Small()
-	h := Day()
-	cl, err := NewCluster(h, model,
-		NodeGroup{Spec: A100(), Count: 5}, NodeGroup{Spec: A40(), Count: 5})
-	if err != nil {
-		b.Fatal(err)
-	}
-	mkt, err := NewMarketplace(5, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := DefaultWorkload()
-	cfg.RatePerSlot = 3
-	tasks, err := GenerateWorkload(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sch, err := NewScheduler(cl, Calibrate(tasks, model, cl, mkt))
-	if err != nil {
-		b.Fatal(err)
-	}
-	// Warm the prices with a slice of the workload.
-	for i := 0; i < len(tasks)/2; i++ {
-		sch.Offer(NewTaskEnv(&tasks[i], cl, model, mkt))
-	}
-	rest := tasks[len(tasks)/2:]
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tk := rest[i%len(rest)]
-		tk.ID += 1_000_000 + i // fresh identity per offer
-		sch.Offer(NewTaskEnv(&tk, cl, model, mkt))
-	}
-}
+func BenchmarkOfferPdFTSP(b *testing.B) { benchsuite.OfferPdFTSP(b) }
 
 // BenchmarkCalibrateDuals measures the Lemma-2 coefficient derivation.
-func BenchmarkCalibrateDuals(b *testing.B) {
-	model := GPT2Small()
-	cl, err := NewCluster(Day(), model, NodeGroup{Spec: A100(), Count: 10})
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := DefaultWorkload()
-	cfg.RatePerSlot = 10
-	tasks, err := GenerateWorkload(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	mkt, _ := NewMarketplace(5, 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.CalibrateDuals(tasks, model, cl, mkt)
-	}
-}
+func BenchmarkCalibrateDuals(b *testing.B) { benchsuite.CalibrateDuals(b) }
 
 // BenchmarkTraceGenerate measures workload generation for a paper-scale
 // day (rate 50).
-func BenchmarkTraceGenerate(b *testing.B) {
-	cfg := trace.DefaultConfig()
-	cfg.RatePerSlot = 50
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := trace.Generate(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkTraceGenerate(b *testing.B) { benchsuite.TraceGenerate(b) }
 
 // BenchmarkSimplexScheduleLP measures the LP core on a Titan-slot-shaped
 // instance.

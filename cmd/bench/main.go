@@ -1,0 +1,109 @@
+// Command bench runs the tracked benchmark suite (internal/benchsuite)
+// outside the test harness and records a machine-readable snapshot, so
+// performance changes can be compared across commits:
+//
+//	go run ./cmd/bench -label seed          # writes BENCH_seed.json
+//	go run ./cmd/bench -label pr1 -benchtime 2s
+//	go run ./cmd/bench -run Offer           # only matching benchmarks
+//
+// The snapshot captures ns/op, B/op and allocs/op for every benchmark
+// plus the host shape (CPU count, GOMAXPROCS) needed to interpret the
+// wall-clock numbers of the parallel-engine benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/benchsuite"
+)
+
+// Result is one benchmark's measurement in the snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the BENCH_<label>.json schema.
+type Snapshot struct {
+	Label      string   `json:"label"`
+	Created    string   `json:"created"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "dev", "snapshot label; output file is BENCH_<label>.json")
+	out := flag.String("out", ".", "directory the snapshot is written to")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement time (testing -benchtime syntax)")
+	run := flag.String("run", "", "only run benchmarks whose name contains this substring")
+	flag.Parse()
+
+	// testing.Benchmark honours the -test.benchtime flag, which only
+	// exists after testing.Init registers it.
+	testing.Init()
+	if err := flag.CommandLine.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+
+	snap := Snapshot{
+		Label:      *label,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchtime:  *benchtime,
+	}
+
+	fmt.Printf("%-30s %12s %14s %12s %12s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op")
+	for _, bm := range benchsuite.Suite() {
+		if *run != "" && !strings.Contains(bm.Name, *run) {
+			continue
+		}
+		r := testing.Benchmark(bm.Func)
+		res := Result{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
+		fmt.Printf("%-30s %12d %14.0f %12d %12d\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no benchmarks matched -run %q\n", *run)
+		os.Exit(1)
+	}
+
+	path := filepath.Join(*out, "BENCH_"+*label+".json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (gomaxprocs=%d, cpus=%d)\n", path, snap.GOMAXPROCS, snap.NumCPU)
+}

@@ -6,6 +6,12 @@
 //	experiments -fig 8              # Figure 8 only
 //	experiments -fig ablations      # the design-choice ablations
 //	experiments -fig 4 -profile paper -seed 3
+//	experiments -fig all -parallel 1    # force the sequential engine
+//
+// Every figure fans its independent experiment settings (sweep points,
+// schedulers, seeds, counterfactual bids) out across -parallel workers;
+// results are identical at every parallelism level. The default 0 uses
+// one worker per CPU.
 //
 // See DESIGN.md Section 4 for the experiment index and EXPERIMENTS.md for
 // recorded outputs.
@@ -27,6 +33,7 @@ func main() {
 	fig := flag.String("fig", "all", `figure to regenerate: 4..13, "all", or "ablations"`)
 	profile := flag.String("profile", "small", `experiment scale: "small" or "paper"`)
 	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = one per CPU, 1 = sequential)")
 	supp := flag.Bool("supplementary", false, "also print acceptance/revenue/utilization tables for bar figures")
 	flag.Parse()
 
@@ -41,6 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 	p.Seed = *seed
+	p.Parallelism = *parallel
 
 	runs := map[string]func() (renderer, error){
 		"4":  func() (renderer, error) { return p.FigScale() },

@@ -16,6 +16,7 @@ import (
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
 	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/runner"
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/task"
 	"github.com/pdftsp/pdftsp/internal/vendor"
@@ -40,6 +41,12 @@ type Scenario struct {
 	// Model and Market parameterize TaskEnv construction.
 	Model  lora.ModelConfig
 	Market *vendor.Marketplace
+	// Parallelism bounds the workers TruthfulnessSweep fans its
+	// counterfactual bid branches out on: 1 forces the sequential path,
+	// 0 uses one worker per CPU. Every branch replays the background on
+	// its own fresh cluster and scheduler, so the sweep is identical at
+	// every parallelism level.
+	Parallelism int
 }
 
 // RunFocal replays the background and then offers the focal task with the
@@ -73,21 +80,22 @@ type SweepPoint struct {
 }
 
 // TruthfulnessSweep evaluates the focal task's utility across bids, with
-// the true valuation fixed at Scenario.Focal.TrueValue (Figure 10).
+// the true valuation fixed at Scenario.Focal.TrueValue (Figure 10). The
+// counterfactual branches are embarrassingly parallel — each replays the
+// background workload on its own cluster — and fan out across
+// Scenario.Parallelism workers.
 func TruthfulnessSweep(s *Scenario, bids []float64) ([]SweepPoint, error) {
-	points := make([]SweepPoint, 0, len(bids))
-	for _, bid := range bids {
-		d, err := s.RunFocal(bid)
+	return runner.Map(runner.Parallelism(s.Parallelism), len(bids), func(i int) (SweepPoint, error) {
+		d, err := s.RunFocal(bids[i])
 		if err != nil {
-			return nil, err
+			return SweepPoint{}, err
 		}
-		pt := SweepPoint{Bid: bid, Won: d.Admitted, Payment: d.Payment}
+		pt := SweepPoint{Bid: bids[i], Won: d.Admitted, Payment: d.Payment}
 		if d.Admitted {
 			pt.Utility = s.Focal.TrueValue - d.Payment
 		}
-		points = append(points, pt)
-	}
-	return points, nil
+		return pt, nil
+	})
 }
 
 // VerifyTruthful checks Definition 2 on sweep output: no bid achieves
@@ -111,10 +119,20 @@ type IRPair struct {
 
 // RationalityAudit samples n winning bids from a run's decisions and
 // returns their bid/payment pairs; callers assert Payment ≤ Bid.
-func RationalityAudit(decisions []schedule.Decision, tasks []task.Task, n int, seed int64) []IRPair {
+//
+// Invariant: decisions[i] must be the outcome of tasks[i] — the audit
+// pairs them positionally, which is how sim.Run with CollectDecisions
+// indexes its Decisions slice. A length mismatch means the caller paired
+// a decision log with the wrong task list, so it is reported as an error
+// rather than silently truncating the audit.
+func RationalityAudit(decisions []schedule.Decision, tasks []task.Task, n int, seed int64) ([]IRPair, error) {
+	if len(decisions) != len(tasks) {
+		return nil, fmt.Errorf("auction: %d decisions paired with %d tasks; the audit requires decisions[i] to be the outcome of tasks[i]",
+			len(decisions), len(tasks))
+	}
 	var winners []IRPair
 	for i := range decisions {
-		if decisions[i].Admitted && i < len(tasks) {
+		if decisions[i].Admitted {
 			winners = append(winners, IRPair{
 				TaskID:  tasks[i].ID,
 				Bid:     tasks[i].Bid,
@@ -123,13 +141,13 @@ func RationalityAudit(decisions []schedule.Decision, tasks []task.Task, n int, s
 		}
 	}
 	if n >= len(winners) {
-		return winners
+		return winners, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(winners), func(i, j int) { winners[i], winners[j] = winners[j], winners[i] })
 	winners = winners[:n]
 	sort.Slice(winners, func(i, j int) bool { return winners[i].TaskID < winners[j].TaskID })
-	return winners
+	return winners, nil
 }
 
 // VerifyIR checks Definition 3 over the audit: every winner pays at most

@@ -131,7 +131,10 @@ func TestRationalityAuditAndVerifyIR(t *testing.T) {
 		env := schedule.NewTaskEnv(&sc.Background[i], cl, sc.Model, sc.Market)
 		decisions[i] = sched.Offer(env)
 	}
-	pairs := RationalityAudit(decisions, sc.Background, 10, 1)
+	pairs, err := RationalityAudit(decisions, sc.Background, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pairs) == 0 {
 		t.Fatal("no winners audited")
 	}
@@ -142,7 +145,10 @@ func TestRationalityAuditAndVerifyIR(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Sampling more than available returns all winners.
-	all := RationalityAudit(decisions, sc.Background, 1<<30, 1)
+	all, err := RationalityAudit(decisions, sc.Background, 1<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 0
 	for _, d := range decisions {
 		if d.Admitted {
@@ -151,6 +157,11 @@ func TestRationalityAuditAndVerifyIR(t *testing.T) {
 	}
 	if len(all) != want {
 		t.Fatalf("audit of all winners returned %d, want %d", len(all), want)
+	}
+	// A decision log paired with the wrong task list is an error, not a
+	// silent truncation.
+	if _, err := RationalityAudit(decisions, sc.Background[:len(sc.Background)-1], 10, 1); err == nil {
+		t.Fatal("length mismatch not reported")
 	}
 }
 

@@ -1,0 +1,189 @@
+// Package benchsuite defines the named benchmark suite tracked across
+// PRs: the algorithmic hot paths (one Algorithm-1 offer, dual
+// calibration, workload generation) and one full evaluation figure at
+// both parallelism extremes. The root bench_test.go wraps these for
+// `go test -bench`, and cmd/bench runs them standalone to emit a
+// BENCH_<label>.json snapshot, so the same code path produces both the
+// interactive and the recorded numbers.
+package benchsuite
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/experiments"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// Bench is one named benchmark of the tracked suite.
+type Bench struct {
+	Name string
+	Func func(b *testing.B)
+}
+
+// Suite returns the tracked benchmarks in reporting order.
+func Suite() []Bench {
+	return []Bench{
+		{Name: "OfferPdFTSP", Func: OfferPdFTSP},
+		{Name: "CalibrateDuals", Func: CalibrateDuals},
+		{Name: "TraceGenerate", Func: TraceGenerate},
+		{Name: "FigWorkload/sequential", Func: FigWorkloadSequential},
+		{Name: "FigWorkload/parallel", Func: FigWorkloadParallel},
+		{Name: "FigTruthfulness/sequential", Func: FigTruthfulnessSequential},
+		{Name: "FigTruthfulness/parallel", Func: FigTruthfulnessParallel},
+	}
+}
+
+// benchCluster builds the ten-node hybrid cluster the micro-benchmarks
+// run on, with capacities calibrated by the LoRA throughput model.
+func benchCluster(b *testing.B, h timeslot.Horizon, model lora.ModelConfig) *cluster.Cluster {
+	b.Helper()
+	var nodes []cluster.Node
+	for _, spec := range []gpu.Spec{gpu.A100, gpu.A40} {
+		nodes = append(nodes, cluster.Uniform(5, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// OfferPdFTSP measures one Algorithm-1 iteration (DP + duals + pricing)
+// on a warm ten-node cluster — the per-task latency of Figure 13's fast
+// curve and the repository's primary hot-path benchmark.
+func OfferPdFTSP(b *testing.B) {
+	model := lora.GPT2Small()
+	h := timeslot.Day()
+	cl := benchCluster(b, h, model)
+	mkt, err := vendor.Standard(5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.RatePerSlot = 3
+	tasks, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the prices with a slice of the workload.
+	for i := 0; i < len(tasks)/2; i++ {
+		sch.Offer(schedule.NewTaskEnv(&tasks[i], cl, model, mkt))
+	}
+	rest := tasks[len(tasks)/2:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := rest[i%len(rest)]
+		tk.ID += 1_000_000 + i // fresh identity per offer
+		sch.Offer(schedule.NewTaskEnv(&tk, cl, model, mkt))
+	}
+}
+
+// CalibrateDuals measures the Lemma-2 coefficient derivation.
+func CalibrateDuals(b *testing.B) {
+	model := lora.GPT2Small()
+	h := timeslot.Day()
+	nodes := cluster.Uniform(10, gpu.A100, lora.NodeCapUnits(model, gpu.A100, h), gpu.A100.MemGB)
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.RatePerSlot = 10
+	tasks, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkt, err := vendor.Standard(5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CalibrateDuals(tasks, model, cl, mkt)
+	}
+}
+
+// TraceGenerate measures workload generation for a paper-scale day
+// (rate 50).
+func TraceGenerate(b *testing.B) {
+	cfg := trace.DefaultConfig()
+	cfg.RatePerSlot = 50
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchFigureProfile is the bench-sized experiment profile, shared with
+// the root figure benchmarks: a full figure regenerates in roughly a
+// second.
+func BenchFigureProfile(parallelism int) experiments.Profile {
+	return experiments.Profile{
+		Name:        "bench",
+		Scale:       0.04,
+		Seed:        1,
+		TitanBudget: 20 * time.Millisecond,
+		Horizon:     timeslot.NewHorizon(48),
+		Parallelism: parallelism,
+	}
+}
+
+// figWorkload regenerates Figure 8 (12 independent scheduler runs: three
+// workloads × four algorithms) at the given parallelism.
+func figWorkload(b *testing.B, parallelism int) {
+	p := BenchFigureProfile(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.FigWorkload(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FigWorkloadSequential is the Figure-8 regeneration on the sequential
+// engine (Parallelism=1).
+func FigWorkloadSequential(b *testing.B) { figWorkload(b, 1) }
+
+// FigWorkloadParallel is the same figure on one worker per CPU; the
+// ratio to FigWorkloadSequential is the experiment engine's wall-clock
+// speedup on this machine.
+func FigWorkloadParallel(b *testing.B) { figWorkload(b, 0) }
+
+// figTruthfulness regenerates Figure 10 (21 counterfactual replays of
+// the background workload) at the given parallelism.
+func figTruthfulness(b *testing.B, parallelism int) {
+	p := BenchFigureProfile(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.FigTruthfulness(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FigTruthfulnessSequential is the Figure-10 sweep on the sequential
+// engine.
+func FigTruthfulnessSequential(b *testing.B) { figTruthfulness(b, 1) }
+
+// FigTruthfulnessParallel is the same sweep with its per-bid branches
+// fanned out across one worker per CPU.
+func FigTruthfulnessParallel(b *testing.B) { figTruthfulness(b, 0) }

@@ -93,7 +93,8 @@ func (o Options) Validate() error {
 
 // Scheduler is the pdFTSP online scheduler. It owns the dual state and
 // commits admitted plans into the cluster ledger. Not safe for concurrent
-// use: bids are processed sequentially, as in the paper's online model.
+// use: bids are processed sequentially, as in the paper's online model
+// (parallel experiment runs give every goroutine its own Scheduler).
 type Scheduler struct {
 	cl   *cluster.Cluster
 	opts Options
@@ -105,6 +106,32 @@ type Scheduler struct {
 	dpBuf      []float64
 	parentKBuf []int32
 	parentWBuf []int32
+	// Row headers over the flat buffers, reused so findSchedule performs
+	// no per-offer allocations.
+	dpRows []float64Rows
+	// Per-slot candidate scratch: node id (+1), speed s_ik, and the
+	// w-independent cell cost Δ_kt, filled once per (slot, offer).
+	candID    []int32
+	candSpeed []int32
+	candDelta []float64
+	// candidateNodes scratch.
+	allNodes []int
+	candLoad []candLoad
+	candOut  []int
+	// Placement double-buffer: findSchedule writes the current quote's
+	// plan into planBuf[planCur]; bestSchedule flips planCur when it
+	// adopts a plan as the incumbent best so the next quote's DP cannot
+	// overwrite it. Only the final winner is cloned to a fresh slice.
+	planBuf [2][]schedule.Placement
+	planCur int
+}
+
+// float64Rows groups one DP row triple so a single scratch slice carries
+// all three headers.
+type float64Rows struct {
+	dp      []float64
+	parentK []int32
+	parentW []int32
 }
 
 // New creates a scheduler bound to the cluster. The cluster's ledger is
@@ -275,52 +302,77 @@ func (s *Scheduler) updateDuals(env *schedule.TaskEnv, plan *schedule.Schedule) 
 	}
 }
 
+// candLoad is one candidateNodes entry: a node, its GPU type, and its
+// committed load over the task's execution window.
+type candLoad struct {
+	name string
+	load int
+	k    int
+}
+
+// byTypeLoad sorts candidates by (GPU type, load, node id) so that a
+// single pass can take the first MaxCandidateNodes of every type — the
+// same selection the previous per-type bucketing produced, without the
+// per-offer map and bucket slices.
+type byTypeLoad []candLoad
+
+func (c byTypeLoad) Len() int      { return len(c) }
+func (c byTypeLoad) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c byTypeLoad) Less(i, j int) bool {
+	if c[i].name != c[j].name {
+		return c[i].name < c[j].name
+	}
+	if c[i].load != c[j].load {
+		return c[i].load < c[j].load
+	}
+	return c[i].k < c[j].k
+}
+
 // candidateNodes returns the node set the DP scans: all nodes, or the
 // MaxCandidateNodes least-loaded per GPU type within the task's loosest
-// execution window.
+// execution window. The returned slice is scheduler-owned scratch, valid
+// until the next call.
 func (s *Scheduler) candidateNodes(env *schedule.TaskEnv) []int {
 	K := s.cl.NumNodes()
 	limit := s.opts.MaxCandidateNodes
 	if limit <= 0 || K <= limit {
-		all := make([]int, K)
-		for k := range all {
-			all[k] = k
+		if s.allNodes == nil {
+			s.allNodes = make([]int, K)
+			for k := range s.allNodes {
+				s.allNodes[k] = k
+			}
 		}
-		return all
+		return s.allNodes
 	}
 	window := env.Task.ExecWindow(s.cl.Horizon(), 0)
-	type cand struct {
-		k    int
-		load int
-	}
-	byType := map[string][]cand{}
+	hasWindow := window.Len() > 0
+	cands := s.candLoad[:0]
 	for k := 0; k < K; k++ {
 		if env.Speed[k] <= 0 {
 			continue
 		}
 		load := 0
-		for t := window.Start; t <= window.End && window.Len() > 0; t++ {
-			load += s.cl.UsedWork(k, t)
-		}
-		name := s.cl.Node(k).Spec.Name
-		byType[name] = append(byType[name], cand{k, load})
-	}
-	var out []int
-	for _, cs := range byType {
-		sort.Slice(cs, func(i, j int) bool {
-			if cs[i].load != cs[j].load {
-				return cs[i].load < cs[j].load
+		if hasWindow {
+			for t := window.Start; t <= window.End; t++ {
+				load += s.cl.UsedWork(k, t)
 			}
-			return cs[i].k < cs[j].k
-		})
-		n := limit
-		if n > len(cs) {
-			n = len(cs)
 		}
-		for _, c := range cs[:n] {
-			out = append(out, c.k)
+		cands = append(cands, candLoad{name: s.cl.Node(k).Spec.Name, load: load, k: k})
+	}
+	s.candLoad = cands
+	sort.Sort(byTypeLoad(cands))
+	out := s.candOut[:0]
+	taken, prev := 0, ""
+	for i := range cands {
+		if cands[i].name != prev {
+			prev, taken = cands[i].name, 0
+		}
+		if taken < limit {
+			out = append(out, cands[i].k)
+			taken++
 		}
 	}
+	s.candOut = out
 	sort.Ints(out)
 	return out
 }
@@ -328,21 +380,26 @@ func (s *Scheduler) candidateNodes(env *schedule.TaskEnv) []int {
 // bestSchedule implements Algorithm 2: for each vendor quote, run the
 // findSchedule DP, evaluate F(il_n), and return the plan maximizing it.
 func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, candidates []int) (*schedule.Schedule, float64) {
-	var best *schedule.Schedule
+	var best schedule.Schedule
+	found := false
 	bestF := math.Inf(-1)
 	for _, q := range quotes {
-		plan := s.findSchedule(env, q, candidates)
-		if plan == nil {
+		plan, ok := s.findSchedule(env, q, candidates)
+		if !ok {
 			continue
 		}
-		if f := s.surplus(env, plan); f > bestF {
-			best, bestF = plan, f
+		if f := s.surplus(env, &plan); f > bestF {
+			best, bestF, found = plan, f, true
+			// Protect the incumbent's scratch buffer from the next DP.
+			s.planCur ^= 1
 		}
 	}
-	if best == nil {
+	if !found {
 		return nil, math.Inf(-1)
 	}
-	return best, bestF
+	out := best
+	out.Placements = append([]schedule.Placement(nil), best.Placements...)
+	return &out, bestF
 }
 
 // dpInf marks unreachable DP states.
@@ -351,114 +408,139 @@ var dpInf = math.Inf(1)
 // findSchedule is the dynamic program of Algorithm 2 (problem (12)):
 // dp[τ][w] is the minimum price-adjusted cost of accumulating w work units
 // using the first τ slots of the execution window, with per-cell cost
-// Δ_kt = s_ik·λ_kt + r_i·φ_kt + e_ikt. It returns nil when the task cannot
-// accumulate M_i units inside the window.
-func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidates []int) *schedule.Schedule {
+// Δ_kt = s_ik·λ_kt + r_i·φ_kt + e_ikt. It reports false when the task
+// cannot accumulate M_i units inside the window. The returned plan's
+// Placements alias scheduler scratch (planBuf[planCur]); callers that
+// keep the plan past the next findSchedule call must flip planCur or
+// clone the slice (see bestSchedule).
+func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidates []int) (schedule.Schedule, bool) {
 	t := env.Task
 	h := s.cl.Horizon()
 	window := t.ExecWindow(h, q.DelaySlots)
 	L := window.Len()
 	if L == 0 {
-		return nil
+		return schedule.Schedule{}, false
 	}
 	W := t.Work
 
 	// dp, parentK, and parentW are (L+1)×(W+1); row τ covers slots
 	// window.Start .. window.Start+τ-1. Work accumulations beyond W
 	// saturate at W (the final slot may overshoot M_i). The backing
-	// arrays live on the scheduler and are reused across offers.
+	// arrays and the row headers over them live on the scheduler and are
+	// reused across offers; only dp needs clearing — parent cells are
+	// always written before the back-walk reads them, because the walk
+	// visits only cells the forward pass reached this offer.
 	cells := (L + 1) * (W + 1)
 	if cap(s.dpBuf) < cells {
 		s.dpBuf = make([]float64, cells)
 		s.parentKBuf = make([]int32, cells)
 		s.parentWBuf = make([]int32, cells)
 	}
-	dpFlat := s.dpBuf[:cells]
-	pkFlat := s.parentKBuf[:cells]
-	pwFlat := s.parentWBuf[:cells]
-	dp := make([][]float64, L+1)
-	parentK := make([][]int32, L+1) // node index +1, 0 = idle
-	parentW := make([][]int32, L+1) // predecessor work level
-	for i := range dp {
-		dp[i] = dpFlat[i*(W+1) : (i+1)*(W+1)]
-		parentK[i] = pkFlat[i*(W+1) : (i+1)*(W+1)]
-		parentW[i] = pwFlat[i*(W+1) : (i+1)*(W+1)]
-		for w := range dp[i] {
-			dp[i][w] = dpInf
-			parentK[i][w] = 0
-			parentW[i][w] = 0
-		}
+	if cap(s.dpRows) < L+1 {
+		s.dpRows = make([]float64Rows, L+1)
 	}
-	dp[0][0] = 0
+	dpFlat := s.dpBuf[:cells]
+	for i := range dpFlat {
+		dpFlat[i] = dpInf
+	}
+	rows := s.dpRows[:L+1]
+	for i := range rows {
+		rows[i].dp = dpFlat[i*(W+1) : (i+1)*(W+1)]
+		rows[i].parentK = s.parentKBuf[i*(W+1) : (i+1)*(W+1)] // node index +1, 0 = idle
+		rows[i].parentW = s.parentWBuf[i*(W+1) : (i+1)*(W+1)] // predecessor work level
+	}
+	rows[0].dp[0] = 0
+
+	if cap(s.candID) < len(candidates) {
+		s.candID = make([]int32, len(candidates))
+		s.candSpeed = make([]int32, len(candidates))
+		s.candDelta = make([]float64, len(candidates))
+	}
 
 	for tau := 0; tau < L; tau++ {
 		slot := window.Start + tau
+		// Δ_kt = s_ik·λ_kt + r_i·φ_kt + e_ikt does not depend on the
+		// accumulated work w: compute it once per (slot, candidate)
+		// instead of once per DP cell.
+		nc := 0
+		for _, k := range candidates {
+			sk := env.Speed[k]
+			if sk <= 0 {
+				continue
+			}
+			if s.opts.MaskFullCells &&
+				!s.cl.CanPlace(k, slot, sk, t.MemGB) {
+				continue
+			}
+			s.candID[nc] = int32(k + 1)
+			s.candSpeed[nc] = int32(sk)
+			s.candDelta[nc] = float64(sk)*s.lambda[k][slot] +
+				t.MemGB*s.phi[k][slot] +
+				s.cl.EnergyCost(k, slot, sk)
+			nc++
+		}
+		candID := s.candID[:nc]
+		candSpeed := s.candSpeed[:nc]
+		candDelta := s.candDelta[:nc]
+		curRow := rows[tau].dp
+		nextRow := rows[tau+1].dp
+		pkRow := rows[tau+1].parentK
+		pwRow := rows[tau+1].parentW
 		for w := 0; w <= W; w++ {
-			cur := dp[tau][w]
+			cur := curRow[w]
 			if cur == dpInf {
 				continue
 			}
 			// Idle this slot.
-			if cur < dp[tau+1][w] {
-				dp[tau+1][w] = cur
-				parentK[tau+1][w] = 0
-				parentW[tau+1][w] = int32(w)
+			if cur < nextRow[w] {
+				nextRow[w] = cur
+				pkRow[w] = 0
+				pwRow[w] = int32(w)
 			}
 			if w == W {
 				continue // already done; idling forward is enough
 			}
-			for _, k := range candidates {
-				sk := env.Speed[k]
-				if sk <= 0 {
-					continue
-				}
-				if s.opts.MaskFullCells &&
-					!s.cl.CanPlace(k, slot, sk, t.MemGB) {
-					continue
-				}
-				delta := float64(sk)*s.lambda[k][slot] +
-					t.MemGB*s.phi[k][slot] +
-					s.cl.EnergyCost(k, slot, sk)
-				nw := w + sk
+			for j := range candDelta {
+				nw := w + int(candSpeed[j])
 				if nw > W {
 					nw = W
 				}
-				if c := cur + delta; c < dp[tau+1][nw] {
-					dp[tau+1][nw] = c
-					parentK[tau+1][nw] = int32(k + 1)
-					parentW[tau+1][nw] = int32(w)
+				if c := cur + candDelta[j]; c < nextRow[nw] {
+					nextRow[nw] = c
+					pkRow[nw] = candID[j]
+					pwRow[nw] = int32(w)
 				}
 			}
 		}
 	}
-	if dp[L][W] == dpInf {
-		return nil
+	if rows[L].dp[W] == dpInf {
+		return schedule.Schedule{}, false
 	}
 
-	// Reconstruct placements by walking parents back from (L, W).
-	var rev []schedule.Placement
+	// Reconstruct placements by walking parents back from (L, W) into the
+	// scratch buffer (reverse order), then reverse in place.
+	placements := s.planBuf[s.planCur][:0]
 	w := W
 	for tau := L; tau > 0; tau-- {
-		if p := parentK[tau][w]; p != 0 {
-			rev = append(rev, schedule.Placement{Node: int(p) - 1, Slot: window.Start + tau - 1})
+		if p := rows[tau].parentK[w]; p != 0 {
+			placements = append(placements, schedule.Placement{Node: int(p) - 1, Slot: window.Start + tau - 1})
 		}
-		w = int(parentW[tau][w])
+		w = int(rows[tau].parentW[w])
 	}
-	// Reverse into slot order.
-	placements := make([]schedule.Placement, len(rev))
-	for i := range rev {
-		placements[len(rev)-1-i] = rev[i]
+	for i, j := 0, len(placements)-1; i < j; i, j = i+1, j-1 {
+		placements[i], placements[j] = placements[j], placements[i]
 	}
+	s.planBuf[s.planCur] = placements
 	vendorIdx := q.Vendor
 	price, delay := q.Price, q.DelaySlots
 	if !t.NeedsPrep {
 		vendorIdx, price, delay = schedule.NoVendor, 0, 0
 	}
-	return &schedule.Schedule{
+	return schedule.Schedule{
 		TaskID:      t.ID,
 		Vendor:      vendorIdx,
 		VendorPrice: price,
 		VendorDelay: delay,
 		Placements:  placements,
-	}
+	}, true
 }

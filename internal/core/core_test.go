@@ -448,10 +448,10 @@ func TestDPOptimalAgainstBruteForce(t *testing.T) {
 		}
 		tk.Work = 20 + rng.Intn(60)
 		env := envFor(t, tk, cl, nil)
-		plan := s.findSchedule(env, vendor.Quote{Vendor: schedule.NoVendor}, s.candidateNodes(env))
+		plan, ok := s.findSchedule(env, vendor.Quote{Vendor: schedule.NoVendor}, s.candidateNodes(env))
 		window := tk.ExecWindow(cl.Horizon(), 0)
 		bfCost, bfFound := bruteForceBest(env, s, window)
-		if plan == nil {
+		if !ok {
 			if bfFound {
 				t.Fatalf("trial %d: DP found nothing, brute force cost %v", trial, bfCost)
 			}
@@ -542,7 +542,9 @@ func TestCandidateNodePruning(t *testing.T) {
 		cl.Commit(1, tt, 50, 10)
 	}
 	env := envFor(t, testTask(0), cl, nil)
-	cands := s.candidateNodes(env)
+	// candidateNodes returns scheduler-owned scratch; clone before the
+	// Offer below reuses it.
+	cands := append([]int(nil), s.candidateNodes(env)...)
 	if len(cands) != 2 {
 		t.Fatalf("candidates = %v, want 2 least-loaded nodes", cands)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/core"
 	"github.com/pdftsp/pdftsp/internal/metrics"
 	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/runner"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/task"
 	"github.com/pdftsp/pdftsp/internal/trace"
@@ -33,7 +34,9 @@ func (a *AblationResult) Render() string {
 }
 
 // runVariants evaluates scheduler factories on the identical medium
-// workload and cluster recipe.
+// workload and cluster recipe. The workload and marketplace are shared
+// read-only; every variant owns a fresh cluster and scheduler, so the
+// variants fan out across the profile's workers.
 func (p Profile) runVariants(id, title string, names []string,
 	factories []func(cl *cluster.Cluster, tasks []taskList, mkt *vendor.Marketplace) (sim.Scheduler, error)) (*AblationResult, error) {
 	tc := p.baseTrace()
@@ -45,22 +48,25 @@ func (p Profile) runVariants(id, title string, names []string,
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationResult{ID: id, Title: title, Variants: names}
-	for i, mk := range factories {
+	welfare, err := runner.Map(p.workers(), len(factories), func(i int) (float64, error) {
 		cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		sched, err := mk(cl, tasks, mkt)
+		sched, err := factories[i](cl, tasks, mkt)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		out, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
 		if err != nil {
-			return nil, fmt.Errorf("%s variant %s: %w", id, names[i], err)
+			return 0, fmt.Errorf("%s variant %s: %w", id, names[i], err)
 		}
-		res.Welfare = append(res.Welfare, out.Welfare)
+		return out.Welfare, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &AblationResult{ID: id, Title: title, Variants: names, Welfare: welfare}
 	norm := metrics.NormalizeByMax([][]float64{res.Welfare})
 	res.Normalized = norm[0]
 	return res, nil

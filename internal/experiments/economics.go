@@ -64,10 +64,11 @@ func (p Profile) auctionScenario() (*auction.Scenario, error) {
 		MakeScheduler: func(cl *cluster.Cluster) (auction.Offerer, error) {
 			return core.New(cl, opts)
 		},
-		Background: background,
-		Focal:      focal,
-		Model:      tc.Model,
-		Market:     mkt,
+		Background:  background,
+		Focal:       focal,
+		Model:       tc.Model,
+		Market:      mkt,
+		Parallelism: p.Parallelism,
 	}, nil
 }
 
@@ -144,7 +145,10 @@ func (p Profile) FigRationality() (*RationalityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pairs := auction.RationalityAudit(res.Decisions, tasks, 10, p.Seed+3)
+	pairs, err := auction.RationalityAudit(res.Decisions, tasks, 10, p.Seed+3)
+	if err != nil {
+		return nil, err
+	}
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("experiments: no winners to audit")
 	}

@@ -23,6 +23,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/lora"
 	"github.com/pdftsp/pdftsp/internal/metrics"
 	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/runner"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/task"
 	"github.com/pdftsp/pdftsp/internal/timeslot"
@@ -42,8 +43,23 @@ type Profile struct {
 	// Seed+1000·s for s = 0..Seeds-1 and reports mean and standard
 	// deviation. Default 1 (single run, as the paper plots).
 	Seeds int
+	// Parallelism bounds the worker pool every figure fans its
+	// independent experiment settings out on: 1 forces the sequential
+	// path, 0 (the default) uses one worker per CPU. Each parallel job
+	// owns its own cluster, scheduler, RNG, and marketplace, so results
+	// are identical to Parallelism=1 regardless of the setting (the
+	// Titan baseline's wall-clock MILP budget is the one nondeterministic
+	// input, and it is nondeterministic even sequentially; see
+	// TestParallelDeterminism for the budget-free guarantee).
+	Parallelism int
 	// TitanBudget is the per-slot MILP budget for the Titan baseline.
 	TitanBudget time.Duration
+	// TitanNodes caps the branch-and-bound nodes of each Titan MILP
+	// solve; 0 keeps Titan's default (2000). A small node cap combined
+	// with a generous TitanBudget makes Titan node-bound rather than
+	// wall-clock-bound — and therefore fully deterministic — which the
+	// determinism tests rely on.
+	TitanNodes int
 	// Horizon is the slotted horizon (the paper's is one day).
 	Horizon timeslot.Horizon
 }
@@ -58,6 +74,9 @@ func Small() Profile {
 func Paper() Profile {
 	return Profile{Name: "paper", Scale: 1.0, Seed: 1, TitanBudget: 250 * time.Millisecond, Horizon: timeslot.Day()}
 }
+
+// workers resolves the profile's parallelism knob.
+func (p Profile) workers() int { return runner.Parallelism(p.Parallelism) }
 
 // nodes scales a paper node count, keeping at least two nodes.
 func (p Profile) nodes(paperCount int) int {
@@ -134,7 +153,9 @@ type setting struct {
 }
 
 // runSetting executes all four algorithms on identical inputs and returns
-// their results keyed by algorithm name.
+// their results keyed by algorithm name. The task list and marketplace are
+// generated once and shared read-only; each algorithm owns a fresh cluster
+// and scheduler, so the four runs fan out across the profile's workers.
 func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 	tasks, err := trace.Generate(s.traceC)
 	if err != nil {
@@ -149,8 +170,8 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 		return nil, err
 	}
 	model := s.traceC.Model
-	out := make(map[string]*sim.Result, len(Algos))
-	for _, name := range Algos {
+	results, err := runner.Map(p.workers(), len(Algos), func(i int) (*sim.Result, error) {
+		name := Algos[i]
 		cl, err := buildCluster(p.Horizon, s.nodes, s.mix, model)
 		if err != nil {
 			return nil, err
@@ -163,7 +184,7 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 				return nil, err
 			}
 		case "Titan":
-			sched = baseline.NewTitan(baseline.TitanOptions{Seed: p.Seed, SolveBudget: p.TitanBudget})
+			sched = baseline.NewTitan(baseline.TitanOptions{Seed: p.Seed, SolveBudget: p.TitanBudget, MaxNodes: p.TitanNodes})
 		case "EFT":
 			sched = baseline.NewEFT()
 		case "NTM":
@@ -173,7 +194,14 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", name, s.label, err)
 		}
-		out[name] = res
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*sim.Result, len(Algos))
+	for i, name := range Algos {
+		out[name] = results[i]
 	}
 	return out, nil
 }
@@ -195,27 +223,29 @@ type BarFigure struct {
 }
 
 // runBarFigure executes a list of settings, optionally over several
-// seeds.
+// seeds. Every (setting, seed) pair is an independent job — its own
+// workload, marketplace, clusters, and schedulers — fanned out across the
+// profile's workers; aggregation happens afterwards in job order, so the
+// figure is identical at every parallelism level.
 func (p Profile) runBarFigure(id, title string, settings []setting) (*BarFigure, error) {
 	seeds := p.Seeds
 	if seeds < 1 {
 		seeds = 1
 	}
+	jobs, err := runner.Map(p.workers(), len(settings)*seeds, func(i int) (map[string]*sim.Result, error) {
+		run := settings[i/seeds]
+		run.traceC.Seed = p.Seed + int64(i%seeds)*1000
+		return p.runSetting(run)
+	})
+	if err != nil {
+		return nil, err
+	}
 	fig := &BarFigure{ID: id, Title: title, Algos: Algos}
-	for _, s := range settings {
+	for si, s := range settings {
 		sum := make([]float64, len(Algos))
 		sumSq := make([]float64, len(Algos))
-		var base map[string]*sim.Result
 		for sd := 0; sd < seeds; sd++ {
-			run := s
-			run.traceC.Seed = p.Seed + int64(sd)*1000
-			res, err := p.runSetting(run)
-			if err != nil {
-				return nil, err
-			}
-			if sd == 0 {
-				base = res
-			}
+			res := jobs[si*seeds+sd]
 			for j, a := range Algos {
 				w := res[a].Welfare
 				sum[j] += w
@@ -238,7 +268,7 @@ func (p Profile) runBarFigure(id, title string, settings []setting) (*BarFigure,
 		if seeds > 1 {
 			fig.Std = append(fig.Std, std)
 		}
-		fig.Results = append(fig.Results, base)
+		fig.Results = append(fig.Results, jobs[si*seeds])
 	}
 	fig.Normalized = metrics.NormalizeByMax(fig.Raw)
 	return fig, nil

@@ -9,6 +9,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/milp"
 	"github.com/pdftsp/pdftsp/internal/offline"
 	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/runner"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/timeslot"
 	"github.com/pdftsp/pdftsp/internal/trace"
@@ -68,7 +69,15 @@ func DefaultRatioOptions() RatioOptions {
 	}
 }
 
-// FigRatio reproduces Figure 12.
+// ratioCell is one (horizon, workload) outcome of the Figure-12 sweep.
+type ratioCell struct {
+	ratio float64
+	exact bool
+}
+
+// FigRatio reproduces Figure 12. Every (horizon, workload) cell — an
+// online pdFTSP run plus an offline MILP solve — is an independent job,
+// fanned out across the profile's workers.
 func (p Profile) FigRatio(opts RatioOptions) (*RatioResult, error) {
 	if len(opts.Horizons) == 0 {
 		opts = DefaultRatioOptions()
@@ -80,54 +89,63 @@ func (p Profile) FigRatio(opts RatioOptions) (*RatioResult, error) {
 	if len(opts.Rates) != len(res.Workloads) {
 		res.Workloads = res.Workloads[:len(opts.Rates)]
 	}
-	for _, T := range opts.Horizons {
+	nRates := len(opts.Rates)
+	cells, err := runner.Map(p.workers(), len(opts.Horizons)*nRates, func(i int) (ratioCell, error) {
+		T := opts.Horizons[i/nRates]
+		wi := i % nRates
 		h := timeslot.NewHorizon(T)
-		row := make([]float64, len(opts.Rates))
-		exact := make([]bool, len(opts.Rates))
-		for wi, rate := range opts.Rates {
-			tc := trace.DefaultConfig()
-			tc.Seed = p.Seed + int64(T)*100 + int64(wi)
-			tc.Horizon = h
-			tc.RatePerSlot = rate
-			tc.Deadlines = trace.TightDeadlines // keeps the MILP windows small
-			tasks, err := trace.Generate(tc)
-			if err != nil {
-				return nil, err
-			}
-			mkt, err := vendor.Standard(3, p.Seed+7)
-			if err != nil {
-				return nil, err
-			}
-			// Online pdFTSP.
-			onCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
-			if err != nil {
-				return nil, err
-			}
-			sched, err := core.New(onCl, core.CalibrateDuals(tasks, tc.Model, onCl, mkt))
-			if err != nil {
-				return nil, err
-			}
-			onRes, err := sim.Run(onCl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
-			if err != nil {
-				return nil, err
-			}
-			// Offline optimum (or its dual bound).
-			offCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
-			if err != nil {
-				return nil, err
-			}
-			offRes, err := offline.Solve(offline.Instance{
-				Cluster: offCl, Tasks: tasks, Model: tc.Model, Market: mkt,
-			}, milp.Options{MaxNodes: opts.SolveNodes, TimeBudget: opts.SolveBudget, GapTol: 0.02})
-			if err != nil {
-				return nil, err
-			}
-			ratio, err := metrics.CompetitiveRatio(offRes.Bound, onRes.Welfare)
-			if err != nil {
-				return nil, err
-			}
-			row[wi] = ratio
-			exact[wi] = offRes.Status == milp.Optimal
+		tc := trace.DefaultConfig()
+		tc.Seed = p.Seed + int64(T)*100 + int64(wi)
+		tc.Horizon = h
+		tc.RatePerSlot = opts.Rates[wi]
+		tc.Deadlines = trace.TightDeadlines // keeps the MILP windows small
+		tasks, err := trace.Generate(tc)
+		if err != nil {
+			return ratioCell{}, err
+		}
+		mkt, err := vendor.Standard(3, p.Seed+7)
+		if err != nil {
+			return ratioCell{}, err
+		}
+		// Online pdFTSP.
+		onCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
+		if err != nil {
+			return ratioCell{}, err
+		}
+		sched, err := core.New(onCl, core.CalibrateDuals(tasks, tc.Model, onCl, mkt))
+		if err != nil {
+			return ratioCell{}, err
+		}
+		onRes, err := sim.Run(onCl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+		if err != nil {
+			return ratioCell{}, err
+		}
+		// Offline optimum (or its dual bound).
+		offCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
+		if err != nil {
+			return ratioCell{}, err
+		}
+		offRes, err := offline.Solve(offline.Instance{
+			Cluster: offCl, Tasks: tasks, Model: tc.Model, Market: mkt,
+		}, milp.Options{MaxNodes: opts.SolveNodes, TimeBudget: opts.SolveBudget, GapTol: 0.02})
+		if err != nil {
+			return ratioCell{}, err
+		}
+		ratio, err := metrics.CompetitiveRatio(offRes.Bound, onRes.Welfare)
+		if err != nil {
+			return ratioCell{}, err
+		}
+		return ratioCell{ratio: ratio, exact: offRes.Status == milp.Optimal}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for hi := range opts.Horizons {
+		row := make([]float64, nRates)
+		exact := make([]bool, nRates)
+		for wi := 0; wi < nRates; wi++ {
+			row[wi] = cells[hi*nRates+wi].ratio
+			exact[wi] = cells[hi*nRates+wi].exact
 		}
 		res.Ratio = append(res.Ratio, row)
 		res.Exact = append(res.Exact, exact)

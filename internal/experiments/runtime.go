@@ -9,6 +9,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/core"
 	"github.com/pdftsp/pdftsp/internal/metrics"
 	"github.com/pdftsp/pdftsp/internal/report"
+	"github.com/pdftsp/pdftsp/internal/runner"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/trace"
 	"github.com/pdftsp/pdftsp/internal/vendor"
@@ -21,6 +22,12 @@ type RuntimeResult struct {
 	Titan  []metrics.CDFPoint
 	// Percentile summaries in seconds.
 	PdP50, PdP99, TitanP50, TitanP99 float64
+	// Welfare and admission counts of the two underlying runs. Latencies
+	// are wall-clock and vary run to run; these fields are the
+	// deterministic part of the figure, which the parallel-determinism
+	// test audits.
+	PdWelfare, TitanWelfare   float64
+	PdAdmitted, TitanAdmitted int
 }
 
 // Render prints percentile summaries plus coarse CDF samples.
@@ -53,7 +60,9 @@ func (r *RuntimeResult) Render() string {
 // FigRuntime reproduces Figure 13 at the paper's 100-node point (scaled
 // by the profile): both schedulers process the same workload; Titan's
 // per-slot MILP time is averaged over the slot's tasks, exactly as in the
-// paper.
+// paper. The two scheduler branches fan out across the profile's workers;
+// for publication-grade latency measurements on a loaded machine run with
+// Parallelism=1 so the branches cannot contend for cores.
 func (p Profile) FigRuntime() (*RuntimeResult, error) {
 	tc := p.baseTrace()
 	tasks, err := trace.Generate(tc)
@@ -64,7 +73,7 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	collect := func(mk func(cl *cluster.Cluster) (sim.Scheduler, error)) ([]time.Duration, error) {
+	collect := func(mk func(cl *cluster.Cluster) (sim.Scheduler, error)) (*sim.Result, error) {
 		cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
 		if err != nil {
 			return nil, err
@@ -73,24 +82,22 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
-		if err != nil {
-			return nil, err
+		return sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+	}
+	branches, err := runner.Map(p.workers(), 2, func(i int) (*sim.Result, error) {
+		if i == 0 {
+			return collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
+				return core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))
+			})
 		}
-		return res.OfferLatency, nil
-	}
-	pdLat, err := collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
-		return core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))
+		return collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
+			return baseline.NewTitan(baseline.TitanOptions{Seed: p.Seed, SolveBudget: p.TitanBudget, MaxNodes: p.TitanNodes}), nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	tiLat, err := collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
-		return baseline.NewTitan(baseline.TitanOptions{Seed: p.Seed, SolveBudget: p.TitanBudget}), nil
-	})
-	if err != nil {
-		return nil, err
-	}
+	pd, ti := branches[0], branches[1]
 	toF := func(ds []time.Duration) []float64 {
 		out := make([]float64, len(ds))
 		for i, d := range ds {
@@ -99,11 +106,15 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 		return out
 	}
 	return &RuntimeResult{
-		PdFTSP:   metrics.LatencyCDF(pdLat),
-		Titan:    metrics.LatencyCDF(tiLat),
-		PdP50:    metrics.Percentile(toF(pdLat), 50),
-		PdP99:    metrics.Percentile(toF(pdLat), 99),
-		TitanP50: metrics.Percentile(toF(tiLat), 50),
-		TitanP99: metrics.Percentile(toF(tiLat), 99),
+		PdFTSP:        metrics.LatencyCDF(pd.OfferLatency),
+		Titan:         metrics.LatencyCDF(ti.OfferLatency),
+		PdP50:         metrics.Percentile(toF(pd.OfferLatency), 50),
+		PdP99:         metrics.Percentile(toF(pd.OfferLatency), 99),
+		TitanP50:      metrics.Percentile(toF(ti.OfferLatency), 50),
+		TitanP99:      metrics.Percentile(toF(ti.OfferLatency), 99),
+		PdWelfare:     pd.Welfare,
+		TitanWelfare:  ti.Welfare,
+		PdAdmitted:    pd.Admitted,
+		TitanAdmitted: ti.Admitted,
 	}, nil
 }

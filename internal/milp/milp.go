@@ -166,6 +166,22 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 	open := &nodeHeap{}
 	root := &node{bound: math.Inf(1)}
+	// Anchor the root bound before any budget can expire: without it, a
+	// wall-clock budget consumed by the dive (e.g. on a loaded or
+	// oversubscribed machine) would leave the unexplored root at +Inf
+	// and the result would report an infinite — useless — dual bound.
+	// The root relaxation is solved regardless of the deadline; the main
+	// loop re-solves it when popped, exactly as before.
+	switch sol, err := solveNode(root); {
+	case err != nil:
+		return nil, err
+	case sol.Status == lp.Infeasible:
+		return &Result{Status: Infeasible, Bound: math.Inf(-1)}, nil
+	case sol.Status == lp.Unbounded:
+		return nil, fmt.Errorf("milp: relaxation unbounded; binaries must bound the objective")
+	case sol.Status == lp.Optimal:
+		root.bound = sol.Objective
+	}
 	heap.Push(open, root)
 	// unresolved tracks the largest bound among nodes whose relaxation
 	// could not be solved (LP iteration limit); they still cap Bound.

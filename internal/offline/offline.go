@@ -32,6 +32,21 @@ type Instance struct {
 // MaxVariables guards against accidentally building an intractable model.
 const MaxVariables = 200000
 
+// sortedKeys returns a (k,t)-keyed map's keys in (k, then t) order.
+func sortedKeys[V any](idx map[[2]int]V) [][2]int {
+	keys := make([][2]int, 0, len(idx))
+	for kt := range idx {
+		keys = append(keys, kt)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	return keys
+}
+
 // Model is the built MILP plus the variable maps needed to decode it.
 type Model struct {
 	Prob *milp.Problem
@@ -127,26 +142,37 @@ func Build(inst Instance) (*Model, error) {
 		prob.Binary[j] = j
 	}
 
-	// Constraints per task.
+	// Constraints per task. Every map below is iterated in sorted key
+	// order: constraint and term order steer simplex pivoting, so with a
+	// binding node or iteration budget a randomized map order would make
+	// the dual bound — and hence Figure 12 — vary run to run.
 	for i := range inst.Tasks {
 		t := &inst.Tasks[i]
-		// (4a).
+		// (4a): quote order fixes the z term order.
 		if t.NeedsPrep {
 			geTerms := []lp.Term{{Var: m.UIdx[i], Coef: -1}}
 			leTerms := make([]lp.Term, 0, len(m.ZIdx[i]))
-			for _, zv := range m.ZIdx[i] {
+			for _, q := range m.Quotes[i] {
+				zv := m.ZIdx[i][q.Vendor]
 				geTerms = append(geTerms, lp.Term{Var: zv, Coef: 1})
 				leTerms = append(leTerms, lp.Term{Var: zv, Coef: 1})
 			}
 			prob.LP.AddConstraint(lp.GE, 0, geTerms...)
 			prob.LP.AddConstraint(lp.LE, 1, leTerms...)
 		}
+		kts := sortedKeys(m.XIdx[i])
 		// (4b) + (4c): per slot in the task's loosest window.
 		slotTerms := map[int][]lp.Term{}
-		for kt, xv := range m.XIdx[i] {
-			slotTerms[kt[1]] = append(slotTerms[kt[1]], lp.Term{Var: xv, Coef: 1})
+		var slots []int
+		for _, kt := range kts {
+			if len(slotTerms[kt[1]]) == 0 {
+				slots = append(slots, kt[1])
+			}
+			slotTerms[kt[1]] = append(slotTerms[kt[1]], lp.Term{Var: m.XIdx[i][kt], Coef: 1})
 		}
-		for tt, terms := range slotTerms {
+		sort.Ints(slots)
+		for _, tt := range slots {
+			terms := slotTerms[tt]
 			if t.NeedsPrep {
 				for _, q := range m.Quotes[i] {
 					if t.Arrival+q.DelaySlots > tt {
@@ -158,35 +184,34 @@ func Build(inst Instance) (*Model, error) {
 		}
 		// (4e): Σ s_ik x_ikt − M_i u_i ≥ 0.
 		eTerms := []lp.Term{{Var: m.UIdx[i], Coef: -float64(t.Work)}}
-		for kt, xv := range m.XIdx[i] {
-			eTerms = append(eTerms, lp.Term{Var: xv, Coef: float64(m.Speeds[i][kt[0]])})
+		for _, kt := range kts {
+			eTerms = append(eTerms, lp.Term{Var: m.XIdx[i][kt], Coef: float64(m.Speeds[i][kt[0]])})
 		}
 		prob.LP.AddConstraint(lp.GE, 0, eTerms...)
 		// Linking x ≤ u keeps rejected tasks from burning energy and
 		// tightens the relaxation.
-		for _, xv := range m.XIdx[i] {
+		for _, kt := range kts {
 			prob.LP.AddConstraint(lp.LE, 0,
-				lp.Term{Var: xv, Coef: 1}, lp.Term{Var: m.UIdx[i], Coef: -1})
+				lp.Term{Var: m.XIdx[i][kt], Coef: 1}, lp.Term{Var: m.UIdx[i], Coef: -1})
 		}
 	}
 
 	// (4f)/(4g): capacity rows only for (k,t) cells any task can touch.
-	type cell struct{ k, t int }
-	capTerms := map[cell][]lp.Term{}
-	memTerms := map[cell][]lp.Term{}
+	capTerms := map[[2]int][]lp.Term{}
+	memTerms := map[[2]int][]lp.Term{}
 	for i := range inst.Tasks {
 		t := &inst.Tasks[i]
-		for kt, xv := range m.XIdx[i] {
-			c := cell{kt[0], kt[1]}
-			capTerms[c] = append(capTerms[c], lp.Term{Var: xv, Coef: float64(m.Speeds[i][kt[0]])})
-			memTerms[c] = append(memTerms[c], lp.Term{Var: xv, Coef: t.MemGB})
+		for _, kt := range sortedKeys(m.XIdx[i]) {
+			xv := m.XIdx[i][kt]
+			capTerms[kt] = append(capTerms[kt], lp.Term{Var: xv, Coef: float64(m.Speeds[i][kt[0]])})
+			memTerms[kt] = append(memTerms[kt], lp.Term{Var: xv, Coef: t.MemGB})
 		}
 	}
-	for c, terms := range capTerms {
-		prob.LP.AddConstraint(lp.LE, float64(cl.Node(c.k).CapWork), terms...)
+	for _, c := range sortedKeys(capTerms) {
+		prob.LP.AddConstraint(lp.LE, float64(cl.Node(c[0]).CapWork), capTerms[c]...)
 	}
-	for c, terms := range memTerms {
-		prob.LP.AddConstraint(lp.LE, cl.TaskMemCap(c.k), terms...)
+	for _, c := range sortedKeys(memTerms) {
+		prob.LP.AddConstraint(lp.LE, cl.TaskMemCap(c[0]), memTerms[c]...)
 	}
 
 	m.Prob = prob

@@ -101,10 +101,16 @@ func (m *Marketplace) Profiles() []Profile {
 // counterfactual re-runs of the auction see identical marketplaces.
 func (m *Marketplace) QuotesFor(taskID int) []Quote {
 	quotes := make([]Quote, len(m.profiles))
+	// One RNG per call, re-seeded per vendor: Seed re-initializes the
+	// source to exactly the state NewSource would produce, so quotes stay
+	// a pure function of (marketplace seed, task ID, vendor) while the
+	// ~5 KB source is allocated once per call instead of once per vendor.
+	// A fresh RNG per call keeps the marketplace safe for concurrent use.
+	r := rand.New(rand.NewSource(0))
 	for n, p := range m.profiles {
-		// Derive a per-(task, vendor) RNG so quote generation does not
+		// Derive a per-(task, vendor) seed so quote generation does not
 		// depend on call order.
-		r := rand.New(rand.NewSource(m.seedFor(taskID, n)))
+		r.Seed(m.seedFor(taskID, n))
 		price := p.BasePrice * (1 + p.PriceJitter*(2*r.Float64()-1))
 		delay := p.BaseDelay
 		if p.DelayJitter > 0 {
