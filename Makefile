@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot check
+.PHONY: build test test-short race vet bench bench-snapshot check trace-smoke
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,11 @@ bench:
 #   make bench-snapshot LABEL=pr2
 bench-snapshot:
 	$(GO) run ./cmd/bench -label $(LABEL)
+
+# trace-smoke runs one audited, traced figure end to end and verifies the
+# trace reproduces the reported accounting.
+trace-smoke:
+	$(GO) run ./cmd/experiments -fig 8 -trace /tmp/pdftsp-smoke.jsonl -audit
+	$(GO) run ./cmd/trace -check -quiet /tmp/pdftsp-smoke.jsonl
 
 check: build vet test race

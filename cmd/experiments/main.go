@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/experiments"
+	"github.com/pdftsp/pdftsp/internal/obs"
 )
 
 // renderer is anything a figure run returns.
@@ -35,6 +36,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = one per CPU, 1 = sequential)")
 	supp := flag.Bool("supplementary", false, "also print acceptance/revenue/utilization tables for bar figures")
+	tracePath := flag.String("trace", "", "write a JSONL event trace of every run to this file (analyze with cmd/trace)")
+	audit := flag.Bool("audit", false, "validate auction invariants online; non-zero exit on any violation")
+	serve := flag.String("serve", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var p experiments.Profile
@@ -49,6 +53,36 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Parallelism = *parallel
+
+	var observers []obs.Observer
+	var jsonl *obs.JSONL
+	if *tracePath != "" {
+		var err error
+		jsonl, err = obs.NewJSONLFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(2)
+		}
+		defer jsonl.Close()
+		observers = append(observers, jsonl)
+	}
+	var auditor *obs.Audit
+	if *audit {
+		auditor = obs.NewAudit()
+		observers = append(observers, auditor)
+	}
+	if *serve != "" {
+		m := obs.NewMetrics()
+		m.Expose("pdftsp")
+		observers = append(observers, m)
+		addr, err := obs.Serve(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+	p.Observer = obs.Multi(observers...)
 
 	runs := map[string]func() (renderer, error){
 		"4":  func() (renderer, error) { return p.FigScale() },
@@ -106,5 +140,19 @@ func main() {
 				fmt.Println()
 			}
 		}
+	}
+
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if auditor != nil {
+		if err := auditor.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "audit: zero invariant violations")
 	}
 }

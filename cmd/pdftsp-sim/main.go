@@ -22,6 +22,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/gpu"
 	"github.com/pdftsp/pdftsp/internal/lora"
 	"github.com/pdftsp/pdftsp/internal/metrics"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/report"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/task"
@@ -48,8 +49,11 @@ func main() {
 	execute := flag.Bool("execute", false, "run a scaled-down multi-LoRA training batch for admitted tasks")
 	cfgPath := flag.String("config", "", "JSON config file (overrides all other flags)")
 	writeCfg := flag.Bool("writeconfig", false, "print the default JSON config and exit")
-	tracePath := flag.String("trace", "", "replay a JSON workload from cmd/tracegen instead of generating one")
+	workloadPath := flag.String("workload", "", "replay a JSON workload from cmd/tracegen instead of generating one")
 	eventPath := flag.String("events", "", "write a JSON-lines audit log of every decision to this file")
+	obsTrace := flag.String("trace", "", "write a JSONL event trace of the run to this file (analyze with cmd/trace)")
+	audit := flag.Bool("audit", false, "validate auction invariants online; non-zero exit on any violation")
+	serve := flag.String("serve", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)")
 	loraProfile := flag.Bool("loraprofile", false, "print the LoRA throughput/memory calibration table and exit")
 	flag.Parse()
 
@@ -66,6 +70,33 @@ func main() {
 		fmt.Print(lora.FormatProfile(m, rows))
 		return
 	}
+	var observers []obs.Observer
+	var jsonlSink *obs.JSONL
+	if *obsTrace != "" {
+		var err error
+		jsonlSink, err = obs.NewJSONLFile(*obsTrace)
+		if err != nil {
+			fail("trace: %v", err)
+		}
+		observers = append(observers, jsonlSink)
+	}
+	var auditor *obs.Audit
+	if *audit {
+		auditor = obs.NewAudit()
+		observers = append(observers, auditor)
+	}
+	if *serve != "" {
+		m := obs.NewMetrics()
+		m.Expose("pdftsp")
+		observers = append(observers, m)
+		addr, err := obs.Serve(*serve)
+		if err != nil {
+			fail("serve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+	observer := obs.Multi(observers...)
+
 	if *cfgPath != "" {
 		c, err := config.LoadFile(*cfgPath)
 		if err != nil {
@@ -75,7 +106,9 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
+		b.SimConfig.Observer = observer
 		runAndReport(b.Cluster, b.Scheduler, b.Tasks, b.SimConfig)
+		finishObs(jsonlSink, auditor)
 		return
 	}
 
@@ -109,10 +142,10 @@ func main() {
 	}
 	var tasks []task.Task
 	var err error
-	if *tracePath != "" {
-		f, ferr := os.Open(*tracePath)
+	if *workloadPath != "" {
+		f, ferr := os.Open(*workloadPath)
 		if ferr != nil {
-			fail("trace: %v", ferr)
+			fail("workload: %v", ferr)
 		}
 		tasks, err = trace.LoadTasks(f, h)
 		f.Close()
@@ -120,7 +153,7 @@ func main() {
 		tasks, err = trace.Generate(tc)
 	}
 	if err != nil {
-		fail("trace: %v", err)
+		fail("workload: %v", err)
 	}
 
 	var events *os.File
@@ -173,11 +206,28 @@ func main() {
 		fail("unknown algorithm %q", *algo)
 	}
 
-	simCfg := sim.Config{Model: model, Market: mkt, Execute: *execute}
+	simCfg := sim.Config{Model: model, Market: mkt, Execute: *execute, Observer: observer}
 	if events != nil {
 		simCfg.EventLog = events
 	}
 	runAndReport(cl, sched, tasks, simCfg)
+	finishObs(jsonlSink, auditor)
+}
+
+// finishObs flushes the JSONL trace and reports the audit verdict.
+func finishObs(j *obs.JSONL, a *obs.Audit) {
+	if j != nil {
+		if err := j.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+	}
+	if a != nil {
+		if err := a.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "audit: zero invariant violations")
+	}
 }
 
 // runAndReport executes the simulation and prints the accounting.

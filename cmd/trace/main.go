@@ -1,0 +1,72 @@
+// Command trace summarizes a JSONL event trace written by cmd/experiments
+// or cmd/pdftsp-sim with -trace: per-run accounting, the rejection-reason
+// histogram, cumulative welfare/revenue curves, and a node × time
+// utilization heat table.
+//
+// Usage:
+//
+//	trace run.jsonl             # human-readable summary
+//	trace -check run.jsonl      # also verify the trace reproduces each
+//	                            # run's reported welfare/admit counts
+//	trace -runs fig8 run.jsonl  # only runs whose label contains "fig8"
+//
+// -check recomputes every run's welfare, revenue, and admit/reject counts
+// from the per-decision events alone and compares them against the run's
+// own closing record; any mismatch means events were dropped or
+// double-counted and exits non-zero. Runs with injected node failures are
+// skipped (failure refunds adjust the reported welfare outside the
+// decision stream).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pdftsp/pdftsp/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "verify the trace reproduces each run's reported accounting")
+	runs := flag.String("runs", "", "only show runs whose run label contains this substring")
+	quiet := flag.Bool("quiet", false, "suppress the per-run report (useful with -check)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: trace [-check] [-quiet] [-runs substr] <trace.jsonl>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sum, err := obs.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *runs != "" {
+		kept := sum.Runs[:0]
+		for _, rs := range sum.Runs {
+			if strings.Contains(rs.Run, *runs) {
+				kept = append(kept, rs)
+			}
+		}
+		sum.Runs = kept
+	}
+
+	if !*quiet {
+		sum.WriteText(os.Stdout)
+	}
+	if *check {
+		checked, err := sum.Check()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "check FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("check OK: %d run(s) reproduce their reported welfare, revenue, and admit counts\n", checked)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/vendor"
 )
@@ -79,6 +80,7 @@ type Greedy struct {
 	exclusive    bool // true = no multi-LoRA co-location (NTM)
 	welfareCheck bool // true = reject plans with b_il ≤ 0 (ablation)
 	rng          *rand.Rand
+	obs          obs.Observer
 }
 
 // NewEFT builds the Earliest-Finish-Time baseline.
@@ -107,6 +109,32 @@ func (g *Greedy) WithWelfareCheck() *Greedy {
 // Name identifies the scheduler.
 func (g *Greedy) Name() string { return g.name }
 
+// SetObserver attaches an event observer (obs.Observable).
+func (g *Greedy) SetObserver(o obs.Observer) { g.obs = o }
+
+// emitVendor reports the single vendor/plan choice the greedy made. The
+// baselines have no dual prices, so Cost carries the plan's energy cost
+// and Surplus its raw welfare increment.
+func (g *Greedy) emitVendor(env *schedule.TaskEnv, q vendor.Quote, plan *schedule.Schedule) {
+	window := env.Task.ExecWindow(env.Cluster.Horizon(), q.DelaySlots)
+	e := obs.VendorEvent{
+		TaskID:      env.Task.ID,
+		Vendor:      q.Vendor,
+		Price:       q.Price,
+		DelaySlots:  q.DelaySlots,
+		WindowStart: window.Start,
+		WindowEnd:   window.End,
+		Candidates:  env.Cluster.NumNodes(),
+	}
+	if plan != nil {
+		e.Feasible = true
+		e.Cost = plan.EnergyCost(env)
+		e.Surplus = plan.WelfareIncrement(env)
+		e.Best = true
+	}
+	g.obs.OnVendor(&e)
+}
+
 // Offer implements the scheduler contract: plan greedily, admit if the
 // welfare increment is positive, commit to the ledger.
 func (g *Greedy) Offer(env *schedule.TaskEnv) schedule.Decision {
@@ -117,6 +145,9 @@ func (g *Greedy) Offer(env *schedule.TaskEnv) schedule.Decision {
 		return d
 	}
 	plan := g.plan(env, q)
+	if g.obs != nil {
+		g.emitVendor(env, q, plan)
+	}
 	if plan == nil {
 		d.Reason = schedule.ReasonNoSchedule
 		return d

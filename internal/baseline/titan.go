@@ -8,6 +8,7 @@ import (
 
 	"github.com/pdftsp/pdftsp/internal/lp"
 	"github.com/pdftsp/pdftsp/internal/milp"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/vendor"
 )
@@ -51,6 +52,7 @@ type TitanOptions struct {
 type Titan struct {
 	opts TitanOptions
 	rng  *rand.Rand
+	obs  obs.Observer
 }
 
 // NewTitan builds the baseline.
@@ -72,6 +74,9 @@ func NewTitan(opts TitanOptions) *Titan {
 
 // Name identifies the scheduler.
 func (t *Titan) Name() string { return "Titan" }
+
+// SetObserver attaches an event observer (obs.Observable).
+func (t *Titan) SetObserver(o obs.Observer) { t.obs = o }
 
 // Offer handles a single task by delegating to BatchOffer; the simulator
 // prefers BatchOffer so that same-slot arrivals share one MILP.
@@ -379,6 +384,30 @@ func (t *Titan) BatchOffer(envs []*schedule.TaskEnv) []schedule.Decision {
 	for i := range decisions {
 		if !decisions[i].Admitted && decisions[i].Reason == "" {
 			decisions[i].Reason = schedule.ReasonSurplus
+		}
+	}
+	if t.obs != nil {
+		for i, env := range envs {
+			if !feasible[i] {
+				continue
+			}
+			window := env.Task.ExecWindow(h, quotes[i].DelaySlots)
+			e := obs.VendorEvent{
+				TaskID:      env.Task.ID,
+				Vendor:      quotes[i].Vendor,
+				Price:       quotes[i].Price,
+				DelaySlots:  quotes[i].DelaySlots,
+				WindowStart: window.Start,
+				WindowEnd:   window.End,
+				Candidates:  cl.NumNodes(),
+			}
+			if plan := decisions[i].Schedule; plan != nil {
+				e.Feasible = true
+				e.Cost = plan.EnergyCost(env)
+				e.Surplus = plan.WelfareIncrement(env)
+				e.Best = decisions[i].Admitted
+			}
+			t.obs.OnVendor(&e)
 		}
 	}
 	return decisions

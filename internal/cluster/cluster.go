@@ -286,6 +286,28 @@ func (c *Cluster) Clone() *Cluster {
 	return out
 }
 
+// CheckLedger verifies the committed ledger against constraints (4f) and
+// (4g): no cell may hold more work than C_kp or more task memory than
+// C_km − r_b. Commit is deliberately unchecked (callers gate on
+// CanPlace), so this is the audit-layer backstop that catches a scheduler
+// committing past capacity.
+func (c *Cluster) CheckLedger() error {
+	const eps = 1e-9
+	for k := range c.nodes {
+		for t := 0; t < c.horizon.T; t++ {
+			if c.usedWork[k][t] > c.nodes[k].CapWork {
+				return fmt.Errorf("cluster: node %d slot %d committed %d work units, capacity %d",
+					k, t, c.usedWork[k][t], c.nodes[k].CapWork)
+			}
+			if c.usedMem[k][t] > c.TaskMemCap(k)+eps {
+				return fmt.Errorf("cluster: node %d slot %d committed %.6g GB, task capacity %.6g",
+					k, t, c.usedMem[k][t], c.TaskMemCap(k))
+			}
+		}
+	}
+	return nil
+}
+
 // TotalCapacityWork returns T * Σ_k C_kp, the knapsack capacity from the
 // paper's NP-hardness reduction (Theorem 1).
 func (c *Cluster) TotalCapacityWork() int {

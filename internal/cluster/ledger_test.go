@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckLedgerCleanAndLoaded(t *testing.T) {
+	c := testCluster(t) // 3 × A100, CapWork 40, 80 GB, base 2 GB
+	if err := c.CheckLedger(); err != nil {
+		t.Fatalf("fresh ledger flagged: %v", err)
+	}
+	c.Commit(0, 3, 40, 78) // exactly at both capacities
+	c.Commit(2, 7, 10, 5)
+	if err := c.CheckLedger(); err != nil {
+		t.Fatalf("at-capacity ledger flagged: %v", err)
+	}
+}
+
+func TestCheckLedgerCatchesOverCommit(t *testing.T) {
+	// Commit does no bounds checking by design (schedulers gate with
+	// CanPlace); CheckLedger is the safety net that catches a scheduler
+	// that skipped the gate.
+	c := testCluster(t)
+	c.Commit(1, 4, 41, 5) // one unit past CapWork = 40
+	err := c.CheckLedger()
+	if err == nil {
+		t.Fatal("work over-commit not detected")
+	}
+	if !strings.Contains(err.Error(), "work") {
+		t.Fatalf("error %q does not mention work", err)
+	}
+
+	c = testCluster(t)
+	c.Commit(1, 4, 10, 79) // past TaskMemCap = 78
+	err = c.CheckLedger()
+	if err == nil {
+		t.Fatal("memory over-commit not detected")
+	}
+	if !strings.Contains(err.Error(), "GB") {
+		t.Fatalf("error %q does not mention memory", err)
+	}
+}

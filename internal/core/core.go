@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/vendor"
 )
@@ -88,6 +89,9 @@ func (o Options) Validate() error {
 	if o.Alpha <= 0 || o.Beta <= 0 {
 		return fmt.Errorf("core: alpha and beta must be positive, got %v/%v (Lemma 2)", o.Alpha, o.Beta)
 	}
+	if o.DualRule < PaperRule || o.DualRule > MultiplicativeOnly {
+		return fmt.Errorf("core: unknown dual rule %d", o.DualRule)
+	}
 	return nil
 }
 
@@ -124,6 +128,9 @@ type Scheduler struct {
 	// overwrite it. Only the final winner is cloned to a fresh slice.
 	planBuf [2][]schedule.Placement
 	planCur int
+	// obs receives decision-path events (per-vendor DP outcomes, dual
+	// moves, payment breakdowns); nil keeps the hot path allocation-free.
+	obs obs.Observer
 }
 
 // float64Rows groups one DP row triple so a single scratch slice carries
@@ -139,9 +146,6 @@ type float64Rows struct {
 func New(cl *cluster.Cluster, opts Options) (*Scheduler, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
-	}
-	if opts.DualRule < PaperRule || opts.DualRule > MultiplicativeOnly {
-		return nil, fmt.Errorf("core: unknown dual rule %d", opts.DualRule)
 	}
 	K, T := cl.NumNodes(), cl.Horizon().T
 	s := &Scheduler{cl: cl, opts: opts}
@@ -170,6 +174,11 @@ func (s *Scheduler) Phi(k, t int) float64 { return s.phi[k][t] }
 
 // Cluster returns the cluster the scheduler commits into.
 func (s *Scheduler) Cluster() *cluster.Cluster { return s.cl }
+
+// SetObserver attaches an event observer (obs.Observable). A nil observer
+// disables emission entirely; every emission site is nil-guarded so the
+// offer hot path stays allocation-free when nobody listens.
+func (s *Scheduler) SetObserver(o obs.Observer) { s.obs = o }
 
 // noPrepQuotes is the pseudo-marketplace for tasks without pre-processing:
 // one "vendor" with zero price and delay, standing for z_i· = 0.
@@ -222,6 +231,7 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 	// capacity check below rejects the task (the "almost-feasible"
 	// solution of Lemma 1 includes this task).
 	s.updateDuals(env, best)
+	d.DualsUpdated = true
 
 	// Algorithm 1, line 8: admit only if every placement truly fits.
 	if !s.fits(env, best) {
@@ -235,6 +245,22 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 	d.Payment = payment
 	d.VendorCost = best.VendorPrice
 	d.EnergyCost = energy
+	if s.obs != nil {
+		energyTerm := 0.0
+		if s.opts.ChargeEnergy {
+			energyTerm = energy
+		}
+		s.obs.OnPayment(&obs.PaymentEvent{
+			TaskID:      env.Task.ID,
+			VendorTerm:  best.VendorPrice,
+			ComputeTerm: maxLam * float64(best.TotalWork(env)),
+			MemoryTerm:  maxPhi * best.TotalMem(env),
+			EnergyTerm:  energyTerm,
+			Total:       payment,
+			MaxLambda:   maxLam,
+			MaxPhi:      maxPhi,
+		})
+	}
 	return d
 }
 
@@ -280,6 +306,7 @@ func (s *Scheduler) updateDuals(env *schedule.TaskEnv, plan *schedule.Schedule) 
 		capP := float64(s.cl.Node(k).CapWork)
 		rk := env.Task.MemGB
 		capM := s.cl.TaskMemCap(k)
+		lamBefore, phiBefore := s.lambda[k][t], s.phi[k][t]
 		switch s.opts.DualRule {
 		case AdditiveOnly:
 			s.lambda[k][t] += s.opts.Alpha * bbar * sk / capP
@@ -298,6 +325,17 @@ func (s *Scheduler) updateDuals(env *schedule.TaskEnv, plan *schedule.Schedule) 
 		default: // PaperRule, equations (7) and (8)
 			s.lambda[k][t] = s.lambda[k][t]*(1+sk/capP) + s.opts.Alpha*bbar*sk/capP
 			s.phi[k][t] = s.phi[k][t]*(1+rk/capM) + s.opts.Beta*bbar*rk/capM
+		}
+		if s.obs != nil {
+			s.obs.OnDual(&obs.DualEvent{
+				TaskID:       env.Task.ID,
+				Node:         k,
+				Slot:         t,
+				LambdaBefore: lamBefore,
+				LambdaAfter:  s.lambda[k][t],
+				PhiBefore:    phiBefore,
+				PhiAfter:     s.phi[k][t],
+			})
 		}
 	}
 }
@@ -386,9 +424,39 @@ func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, c
 	for _, q := range quotes {
 		plan, ok := s.findSchedule(env, q, candidates)
 		if !ok {
+			if s.obs != nil {
+				window := env.Task.ExecWindow(s.cl.Horizon(), q.DelaySlots)
+				s.obs.OnVendor(&obs.VendorEvent{
+					TaskID:      env.Task.ID,
+					Vendor:      q.Vendor,
+					Price:       q.Price,
+					DelaySlots:  q.DelaySlots,
+					WindowStart: window.Start,
+					WindowEnd:   window.End,
+					Candidates:  len(candidates),
+				})
+			}
 			continue
 		}
-		if f := s.surplus(env, &plan); f > bestF {
+		f := s.surplus(env, &plan)
+		isBest := f > bestF
+		if s.obs != nil {
+			window := env.Task.ExecWindow(s.cl.Horizon(), q.DelaySlots)
+			s.obs.OnVendor(&obs.VendorEvent{
+				TaskID:      env.Task.ID,
+				Vendor:      q.Vendor,
+				Price:       q.Price,
+				DelaySlots:  q.DelaySlots,
+				WindowStart: window.Start,
+				WindowEnd:   window.End,
+				Candidates:  len(candidates),
+				Feasible:    true,
+				Cost:        s.planCost(env, &plan),
+				Surplus:     f,
+				Best:        isBest,
+			})
+		}
+		if isBest {
 			best, bestF, found = plan, f, true
 			// Protect the incumbent's scratch buffer from the next DP.
 			s.planCur ^= 1
@@ -400,6 +468,21 @@ func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, c
 	out := best
 	out.Placements = append([]schedule.Placement(nil), best.Placements...)
 	return &out, bestF
+}
+
+// planCost recomputes a plan's price-adjusted execution cost — the
+// Algorithm-2 DP objective Σ_(k,t) s_ik·λ_kt + r_i·φ_kt + e_ikt — for
+// trace emission. The DP minimizes exactly this sum, so the value equals
+// the winning dp[L][W] entry.
+func (s *Scheduler) planCost(env *schedule.TaskEnv, plan *schedule.Schedule) float64 {
+	total := 0.0
+	for _, p := range plan.Placements {
+		sk := env.Speed[p.Node]
+		total += float64(sk)*s.lambda[p.Node][p.Slot] +
+			env.Task.MemGB*s.phi[p.Node][p.Slot] +
+			s.cl.EnergyCost(p.Node, p.Slot, sk)
+	}
+	return total
 }
 
 // dpInf marks unreachable DP states.

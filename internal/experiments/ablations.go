@@ -57,7 +57,8 @@ func (p Profile) runVariants(id, title string, names []string,
 		if err != nil {
 			return 0, err
 		}
-		out, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+		out, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt,
+			Observer: p.Observer, RunLabel: id + "/" + names[i]})
 		if err != nil {
 			return 0, fmt.Errorf("%s variant %s: %w", id, names[i], err)
 		}

@@ -141,7 +141,8 @@ func (p Profile) FigRationality() (*RationalityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt, CollectDecisions: true})
+	res, err := sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt, CollectDecisions: true,
+		Observer: p.Observer, RunLabel: "fig11"})
 	if err != nil {
 		return nil, err
 	}

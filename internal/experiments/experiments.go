@@ -22,6 +22,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/gpu"
 	"github.com/pdftsp/pdftsp/internal/lora"
 	"github.com/pdftsp/pdftsp/internal/metrics"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/report"
 	"github.com/pdftsp/pdftsp/internal/runner"
 	"github.com/pdftsp/pdftsp/internal/sim"
@@ -62,6 +63,12 @@ type Profile struct {
 	TitanNodes int
 	// Horizon is the slotted horizon (the paper's is one day).
 	Horizon timeslot.Horizon
+	// Observer, when non-nil, receives every run's decision-path event
+	// stream (trace sink, metrics, or invariant audit — see internal/obs).
+	// Figures run their settings in parallel, so the observer must be
+	// safe for concurrent use; events carry per-run labels like
+	// "fig4/philly-100/seed1001" for demultiplexing.
+	Observer obs.Observer
 }
 
 // Small is the default profile: 10% of the paper's scale, same per-node
@@ -150,6 +157,9 @@ type setting struct {
 	mix     Mix
 	traceC  trace.Config
 	vendors int
+	// run labels this setting's events in the observer stream; empty
+	// falls back to label.
+	run string
 }
 
 // runSetting executes all four algorithms on identical inputs and returns
@@ -190,7 +200,11 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 		case "NTM":
 			sched = baseline.NewNTM(p.Seed)
 		}
-		res, err := sim.Run(cl, sched, tasks, sim.Config{Model: model, Market: mkt})
+		runLabel := s.run
+		if runLabel == "" {
+			runLabel = s.label
+		}
+		res, err := sim.Run(cl, sched, tasks, sim.Config{Model: model, Market: mkt, Observer: p.Observer, RunLabel: runLabel})
 		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", name, s.label, err)
 		}
@@ -235,6 +249,7 @@ func (p Profile) runBarFigure(id, title string, settings []setting) (*BarFigure,
 	jobs, err := runner.Map(p.workers(), len(settings)*seeds, func(i int) (map[string]*sim.Result, error) {
 		run := settings[i/seeds]
 		run.traceC.Seed = p.Seed + int64(i%seeds)*1000
+		run.run = fmt.Sprintf("%s/%s/seed%d", id, run.label, run.traceC.Seed)
 		return p.runSetting(run)
 	})
 	if err != nil {

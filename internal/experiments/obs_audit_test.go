@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/obs"
+)
+
+// TestAuditAcrossExperimentSuite attaches the invariant auditor to a
+// representative slice of the experiment suite — a scheduler bar figure, a
+// counterfactual-pricing figure, and the ablations — and requires zero
+// violations. This is the repo's standing end-to-end check that every
+// scheduler variant honors the auction invariants (Validate-clean plans,
+// IR payments, monotone duals, balanced payment terms) on real workloads.
+func TestAuditAcrossExperimentSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several figures")
+	}
+	p := tiny()
+	auditor := obs.NewAudit()
+	p.Observer = auditor
+
+	if _, err := p.FigWorkload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FigRationality(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AblationDualRule(); err != nil {
+		t.Fatal(err)
+	}
+	if err := auditor.Err(); err != nil {
+		t.Fatalf("invariant violations across the suite: %v", err)
+	}
+}
+
+// TestTraceObserverThreadSafety runs a figure with the JSONL observer
+// under the default worker parallelism: the shared sink must serialize
+// concurrent runs without dropping or interleaving events.
+func TestTraceObserverThreadSafety(t *testing.T) {
+	tmp := t.TempDir() + "/trace.jsonl"
+	jsonl, err := obs.NewJSONLFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tiny()
+	p.Observer = jsonl
+	if _, err := p.FigWorkload(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Runs) == 0 {
+		t.Fatal("trace holds no runs")
+	}
+	if checked, err := sum.Check(); err != nil {
+		t.Fatalf("parallel runs corrupted the trace: %v", err)
+	} else if checked != len(sum.Runs) {
+		t.Fatalf("checked %d of %d runs", checked, len(sum.Runs))
+	}
+	// Every run label carries the figure/setting/seed path.
+	for _, rs := range sum.Runs {
+		if rs.Run == "" || rs.Sched == "" {
+			t.Fatalf("run missing labels: %+v", rs)
+		}
+	}
+}

@@ -116,7 +116,8 @@ func (p Profile) FigRatio(opts RatioOptions) (*RatioResult, error) {
 		if err != nil {
 			return ratioCell{}, err
 		}
-		onRes, err := sim.Run(onCl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+		onRes, err := sim.Run(onCl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt,
+			Observer: p.Observer, RunLabel: "fig12/T" + strconv.Itoa(T) + "-w" + strconv.Itoa(wi)})
 		if err != nil {
 			return ratioCell{}, err
 		}

@@ -82,7 +82,8 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt})
+		return sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt,
+			Observer: p.Observer, RunLabel: "fig13"})
 	}
 	branches, err := runner.Map(p.workers(), 2, func(i int) (*sim.Result, error) {
 		if i == 0 {

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts an HTTP endpoint for live runs on addr (e.g.
+// "localhost:6060"), exposing the expvar metrics at /debug/vars and the
+// pprof profiles at /debug/pprof/. It returns the bound address (useful
+// with a ":0" port) and serves in a background goroutine until the
+// process exits. A dedicated mux keeps the globals off
+// http.DefaultServeMux.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		// The listener lives for the whole process; Serve only returns
+		// on close, and its error has nowhere useful to go.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -141,6 +141,36 @@ func (s *Schedule) Validate(env *TaskEnv) error {
 	if !t.NeedsPrep && s.Vendor != NoVendor {
 		return fmt.Errorf("schedule: task %d needs no pre-processing but vendor %d selected", t.ID, s.Vendor)
 	}
+	if s.Vendor != NoVendor {
+		if s.Vendor < 0 {
+			return fmt.Errorf("schedule: task %d has invalid vendor index %d", t.ID, s.Vendor)
+		}
+		// When the environment carries the marketplace quotes, the plan's
+		// vendor terms must match the quote it claims to use — otherwise a
+		// buggy scheduler could under-report q_in or h_in and the welfare
+		// and window accounting downstream would silently drift.
+		if len(env.Quotes) > 0 {
+			var q *vendor.Quote
+			for i := range env.Quotes {
+				if env.Quotes[i].Vendor == s.Vendor {
+					q = &env.Quotes[i]
+					break
+				}
+			}
+			if q == nil {
+				return fmt.Errorf("schedule: task %d selects vendor %d not among its %d quotes",
+					t.ID, s.Vendor, len(env.Quotes))
+			}
+			if s.VendorPrice != q.Price {
+				return fmt.Errorf("schedule: task %d vendor %d price %v != quoted %v",
+					t.ID, s.Vendor, s.VendorPrice, q.Price)
+			}
+			if s.VendorDelay != q.DelaySlots {
+				return fmt.Errorf("schedule: task %d vendor %d delay %d != quoted %d",
+					t.ID, s.Vendor, s.VendorDelay, q.DelaySlots)
+			}
+		}
+	}
 	if len(s.Placements) == 0 {
 		return fmt.Errorf("schedule: task %d has no placements", t.ID)
 	}
@@ -203,6 +233,13 @@ type Decision struct {
 	// Reason documents why a bid lost ("", "no-schedule", "surplus",
 	// "capacity").
 	Reason string
+	// DualsUpdated records that the scheduler moved the dual prices for
+	// this bid (F(il) > 0 reached the update step of Algorithm 1). It is
+	// true for every admitted bid, and — the Lemma-1 "almost-feasible"
+	// case — for a capacity rejection, which reprices the cells its best
+	// plan touched despite losing. It stays false for rejections that
+	// never reached the update step.
+	DualsUpdated bool
 }
 
 // Welfare returns the bid's contribution to social welfare: b_i − vendor −

@@ -8,11 +8,13 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
 	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/task"
 	"github.com/pdftsp/pdftsp/internal/train"
@@ -58,6 +60,15 @@ type Config struct {
 	// EventLog, when non-nil, receives one JSON line per auction
 	// decision — the run's audit trail.
 	EventLog io.Writer
+	// Observer, when non-nil, receives the run's full decision-path
+	// event stream: RunStart/Bid/Outcome/RunEnd from the engine plus
+	// Vendor/Dual/Payment from schedulers implementing obs.Observable.
+	// An observer shared across parallel runs must be safe for
+	// concurrent use.
+	Observer obs.Observer
+	// RunLabel names this run in emitted events (e.g.
+	// "fig4/philly-100/seed7"); empty is fine for single runs.
+	RunLabel string
 }
 
 // Result is the accounting of one run.
@@ -125,10 +136,55 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	events := newEventLogger(cfg.EventLog)
 	batcher, isBatch := sched.(BatchScheduler)
 
+	// The stamped observer labels every event with this run and
+	// scheduler; observable schedulers additionally emit their internal
+	// events (DP outcomes, dual moves, payments) through it. Recovery
+	// re-offers after failures bypass Bid/Outcome — the run's RunEnd
+	// carries the failure count so trace analyzers know the per-decision
+	// stream is not the whole story there.
+	o := obs.Stamp(cfg.Observer, cfg.RunLabel, sched.Name())
+	if ob, ok := sched.(obs.Observable); ok && o != nil {
+		ob.SetObserver(o)
+		defer ob.SetObserver(nil)
+	}
+	if o != nil {
+		capWork := make([]int, cl.NumNodes())
+		for k := range capWork {
+			capWork[k] = cl.Node(k).CapWork
+		}
+		o.OnRunStart(&obs.RunStartEvent{Nodes: cl.NumNodes(), Slots: h.T, CapWork: capWork})
+	}
+
 	var logErr error
 	record := func(idx int, env *schedule.TaskEnv, d schedule.Decision, lat time.Duration) {
 		if err := events.log(env.Task, &d); err != nil && logErr == nil {
 			logErr = err
+		}
+		if o != nil {
+			ev := obs.OutcomeEvent{
+				TaskID:       env.Task.ID,
+				Slot:         env.Task.Arrival,
+				Bid:          env.Task.Bid,
+				Admitted:     d.Admitted,
+				Reason:       d.Reason,
+				Payment:      d.Payment,
+				VendorCost:   d.VendorCost,
+				EnergyCost:   d.EnergyCost,
+				DualsUpdated: d.DualsUpdated,
+				Env:          env,
+				Decision:     &d,
+			}
+			// F is -Inf when no plan exists; keep the trace JSON-encodable.
+			if !math.IsInf(d.F, 0) {
+				ev.Surplus = d.F
+			}
+			if d.Admitted && d.Schedule != nil {
+				ev.Placements = make([]obs.Placement, len(d.Schedule.Placements))
+				for pi, p := range d.Schedule.Placements {
+					ev.Placements[pi] = obs.Placement{Node: p.Node, Slot: p.Slot, Work: env.Speed[p.Node]}
+				}
+			}
+			o.OnOutcome(&ev)
 		}
 		res.OfferLatency = append(res.OfferLatency, lat)
 		if cfg.CollectDecisions {
@@ -171,7 +227,11 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		if isBatch {
 			envs := make([]*schedule.TaskEnv, 0, j-i)
 			for m := i; m < j; m++ {
-				envs = append(envs, schedule.NewTaskEnv(&tasks[m], cl, cfg.Model, cfg.Market))
+				env := schedule.NewTaskEnv(&tasks[m], cl, cfg.Model, cfg.Market)
+				if o != nil {
+					o.OnBid(bidEvent(env))
+				}
+				envs = append(envs, env)
 			}
 			start := time.Now()
 			ds := batcher.BatchOffer(envs)
@@ -184,6 +244,9 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 			continue
 		}
 		env := schedule.NewTaskEnv(tk, cl, cfg.Model, cfg.Market)
+		if o != nil {
+			o.OnBid(bidEvent(env))
+		}
 		start := time.Now()
 		d := sched.Offer(env)
 		record(i, env, d, time.Since(start))
@@ -196,6 +259,19 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		return nil, fmt.Errorf("sim: event log: %w", logErr)
 	}
 	res.Utilization = cl.Utilization()
+	if o != nil {
+		o.OnRunEnd(&obs.RunEndEvent{
+			Welfare:     res.Welfare,
+			Revenue:     res.Revenue,
+			VendorSpend: res.VendorSpend,
+			EnergySpend: res.EnergySpend,
+			Admitted:    res.Admitted,
+			Rejected:    res.Rejected,
+			Utilization: res.Utilization,
+			Failures:    res.FailuresInjected,
+			Cluster:     cl,
+		})
+	}
 
 	if cfg.Execute && res.Admitted > 0 {
 		early, late, err := executeSample(res.Admitted)
@@ -205,6 +281,19 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		res.TrainLossEarly, res.TrainLossLate = early, late
 	}
 	return res, nil
+}
+
+// bidEvent builds the arrival event for one offered task.
+func bidEvent(env *schedule.TaskEnv) *obs.BidEvent {
+	return &obs.BidEvent{
+		TaskID:    env.Task.ID,
+		Slot:      env.Task.Arrival,
+		Bid:       env.Task.Bid,
+		Work:      env.Task.Work,
+		MemGB:     env.Task.MemGB,
+		NeedsPrep: env.Task.NeedsPrep,
+		Quotes:    len(env.Quotes),
+	}
 }
 
 // executeSample runs a scaled-down multi-LoRA training batch standing in
