@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot check trace-smoke
+.PHONY: build test test-short race vet bench bench-snapshot check trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ test-short:
 
 # race covers every package that runs experiment jobs concurrently
 # (worker pool, figure fan-outs, auction sweeps, the scheduler they
-# drive). Short mode keeps the node-bound Titan figures out of the
-# 10-20x race slowdown; the full determinism suite runs under `make test`.
+# drive, and the serving broker's concurrent bid intake). Short mode
+# keeps the node-bound Titan figures out of the 10-20x race slowdown;
+# the full determinism suite runs under `make test`.
 race:
-	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/
+	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/service/
 
 vet:
 	$(GO) vet ./...
@@ -41,4 +42,10 @@ trace-smoke:
 	$(GO) run ./cmd/experiments -fig 8 -trace /tmp/pdftsp-smoke.jsonl -audit
 	$(GO) run ./cmd/trace -check -quiet /tmp/pdftsp-smoke.jsonl
 
-check: build vet test race
+# serve-smoke boots the auction daemon on a loopback listener, fans a
+# calibration workload at it over concurrent HTTP POSTs, and verifies
+# the decisions, accounting, and final duals match a sequential replay.
+serve-smoke:
+	$(GO) run ./cmd/pdftspd -smoke
+
+check: build vet test race serve-smoke

@@ -18,9 +18,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/experiments"
@@ -53,6 +57,13 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Parallelism = *parallel
+
+	// ^C / SIGTERM cancels the worker pool and every in-flight run
+	// between offers — the same cooperative path the auction service
+	// drains through.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	p.Context = ctx
 
 	var observers []obs.Observer
 	var jsonl *obs.JSONL
@@ -123,6 +134,10 @@ func main() {
 		start := time.Now()
 		res, err := runs[id]()
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "figure %s canceled\n", id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", id, err)
 			os.Exit(1)
 		}

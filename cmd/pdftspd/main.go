@@ -1,0 +1,487 @@
+// Command pdftspd serves the pdFTSP auction as a long-lived broker: bids
+// arrive over HTTP, are batched per slot, and each client receives the
+// irrevocable auction decision when its arrival slot closes.
+//
+// Usage:
+//
+//	pdftspd -addr :8080 -nodes 8 -mix hybrid -slots 144
+//	pdftspd -virtual-clock               # slots advance via POST /v1/clock/step
+//	pdftspd -checkpoint state.json       # persist duals+ledger each slot
+//	pdftspd -checkpoint state.json -restore   # resume a crashed broker
+//	pdftspd -smoke                       # self-test: HTTP fan-in vs sim.Run
+//
+// Endpoints: POST /v1/bids, GET /v1/status, GET /v1/decisions/{id},
+// POST /v1/clock/step (virtual clock only), GET /healthz. SIGTERM drains
+// gracefully: held bids are refused (clients resubmit after restart), a
+// final checkpoint is written, and the run's RunEnd event is emitted.
+//
+// The scheduler's dual prices are calibrated against a synthetic workload
+// drawn from the -rate/-arrivals/-deadlines flags, mirroring how the
+// batch simulator calibrates against its real workload; a restored broker
+// must be launched with the same flags as the original.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "HTTP listen address")
+	nodes := flag.Int("nodes", 8, "number of compute nodes")
+	mix := flag.String("mix", "hybrid", "cluster mix: a100, a40, hybrid")
+	slots := flag.Int("slots", timeslot.DefaultHorizonSlots, "horizon length in slots")
+	rate := flag.Float64("rate", 5, "expected arrivals per slot (dual calibration)")
+	arrivals := flag.String("arrivals", "poisson", "calibration arrival process: poisson, mlaas, philly, helios")
+	deadlines := flag.String("deadlines", "medium", "calibration deadline policy: tight, medium, slack")
+	vendors := flag.Int("vendors", 5, "number of labor vendors")
+	seed := flag.Int64("seed", 1, "calibration workload seed")
+	virtual := flag.Bool("virtual-clock", false, "advance slots only via POST /v1/clock/step")
+	slotDur := flag.Duration("slot", 10*time.Second, "real-clock slot duration")
+	queue := flag.Int("queue", 1024, "bounded intake queue size (429 when full)")
+	ckpt := flag.String("checkpoint", "", "persist auction state to this JSON file as slots close")
+	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every n closed slots")
+	restore := flag.Bool("restore", false, "resume from -checkpoint before serving")
+	obsTrace := flag.String("trace", "", "write a JSONL event trace to this file (analyze with cmd/trace)")
+	audit := flag.Bool("audit", false, "validate auction invariants online; non-zero exit on any violation")
+	serveDebug := flag.String("serve", "", "serve live expvar metrics and pprof on this address")
+	smoke := flag.Bool("smoke", false, "run the in-process serve-smoke self-test and exit")
+	flag.Parse()
+
+	var observers []obs.Observer
+	var jsonlSink *obs.JSONL
+	if *obsTrace != "" {
+		var err error
+		jsonlSink, err = obs.NewJSONLFile(*obsTrace)
+		if err != nil {
+			fail("trace: %v", err)
+		}
+		observers = append(observers, jsonlSink)
+	}
+	var auditor *obs.Audit
+	if *audit {
+		auditor = obs.NewAudit()
+		observers = append(observers, auditor)
+	}
+	if *serveDebug != "" {
+		m := obs.NewMetrics()
+		m.Expose("pdftspd")
+		observers = append(observers, m)
+		a, err := obs.Serve(*serveDebug)
+		if err != nil {
+			fail("serve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", a)
+	}
+	observer := obs.Multi(observers...)
+
+	cfg := stackConfig{
+		nodes: *nodes, mix: *mix, slots: *slots, rate: *rate,
+		arrivals: *arrivals, deadlines: *deadlines, vendors: *vendors, seed: *seed,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fail("smoke: %v", err)
+		}
+		fmt.Println("serve-smoke: concurrent HTTP fan-in matches sequential sim.Run (welfare, payments, duals)")
+		finishObs(jsonlSink, auditor)
+		return
+	}
+
+	st, err := cfg.build()
+	if err != nil {
+		fail("%v", err)
+	}
+	broker, err := service.New(service.Options{
+		Cluster:         st.cl,
+		Scheduler:       st.sched,
+		Model:           st.model,
+		Market:          st.mkt,
+		QueueSize:       *queue,
+		VirtualClock:    *virtual,
+		SlotDuration:    *slotDur,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+		Observer:        observer,
+	})
+	if err != nil {
+		fail("broker: %v", err)
+	}
+	if *restore {
+		if *ckpt == "" {
+			fail("-restore requires -checkpoint")
+		}
+		ck, err := service.ReadCheckpoint(*ckpt)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := broker.Restore(ck); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
+	}
+	if err := broker.Start(); err != nil {
+		fail("broker: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: broker.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	clock := "real clock"
+	if *virtual {
+		clock = "virtual clock"
+	}
+	fmt.Fprintf(os.Stderr, "pdftspd serving on http://%s (%s, %d nodes, %d slots)\n",
+		ln.Addr(), clock, st.cl.NumNodes(), *slots)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "pdftspd: draining (held bids refused; clients resubmit after restart)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := broker.Drain(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	_ = srv.Shutdown(shutCtx)
+	finishObs(jsonlSink, auditor)
+}
+
+// finishObs flushes the JSONL trace and reports the audit verdict.
+func finishObs(j *obs.JSONL, a *obs.Audit) {
+	if j != nil {
+		if err := j.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+	}
+	if a != nil {
+		if err := a.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "audit: zero invariant violations")
+	}
+}
+
+// stackConfig captures the flags an auction stack is built from; the
+// smoke harness builds two identical stacks from one config.
+type stackConfig struct {
+	nodes, slots, vendors int
+	mix                   string
+	rate                  float64
+	arrivals, deadlines   string
+	seed                  int64
+}
+
+// stack is one fully wired auction: cluster, marketplace, calibrated
+// scheduler, and the calibration workload.
+type stack struct {
+	cl    *cluster.Cluster
+	sched *core.Scheduler
+	model lora.ModelConfig
+	mkt   *vendor.Marketplace
+	tasks []task.Task
+}
+
+// build wires a fresh stack; calling it twice with the same config yields
+// byte-identical twins (all generation is seed-deterministic).
+func (c stackConfig) build() (*stack, error) {
+	h := timeslot.NewHorizon(c.slots)
+	model := lora.GPT2Small()
+	tc := trace.DefaultConfig()
+	tc.Seed = c.seed
+	tc.Horizon = h
+	tc.RatePerSlot = c.rate
+	switch c.arrivals {
+	case "poisson":
+		tc.Arrivals = trace.Poisson
+	case "mlaas":
+		tc.Arrivals = trace.MLaaSLike
+	case "philly":
+		tc.Arrivals = trace.PhillyLike
+	case "helios":
+		tc.Arrivals = trace.HeliosLike
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q", c.arrivals)
+	}
+	switch c.deadlines {
+	case "tight":
+		tc.Deadlines = trace.TightDeadlines
+	case "medium":
+		tc.Deadlines = trace.MediumDeadlines
+	case "slack":
+		tc.Deadlines = trace.SlackDeadlines
+	default:
+		return nil, fmt.Errorf("unknown deadline policy %q", c.deadlines)
+	}
+	tasks, err := trace.Generate(tc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+
+	var specs []cluster.Node
+	add := func(n int, spec gpu.Spec) {
+		specs = append(specs, cluster.Uniform(n, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	switch c.mix {
+	case "a100":
+		add(c.nodes, gpu.A100)
+	case "a40":
+		add(c.nodes, gpu.A40)
+	case "hybrid":
+		add(c.nodes/2+c.nodes%2, gpu.A100)
+		add(c.nodes/2, gpu.A40)
+	default:
+		return nil, fmt.Errorf("unknown mix %q", c.mix)
+	}
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, specs)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	mkt, err := vendor.Standard(c.vendors, c.seed+7)
+	if err != nil {
+		return nil, fmt.Errorf("marketplace: %w", err)
+	}
+	sched, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	return &stack{cl: cl, sched: sched, model: model, mkt: mkt, tasks: tasks}, nil
+}
+
+// errSmoke tags self-test mismatches.
+var errSmoke = errors.New("mismatch")
+
+// runSmoke is the serve-smoke self-test: it starts a virtual-clock broker
+// on a loopback HTTP server, POSTs the calibration workload from eight
+// concurrent clients, steps the clock over the horizon via the HTTP
+// endpoint, and diffs every decision — and the final duals — against a
+// sequential sim.Run replay of the same workload on a twin stack.
+func runSmoke(cfg stackConfig) error {
+	// Smoke wants a quick horizon; shrink unless the user overrode.
+	if cfg.slots == timeslot.DefaultHorizonSlots {
+		cfg.slots = 24
+	}
+	if cfg.nodes == 8 {
+		cfg.nodes = 4
+	}
+	if cfg.rate == 5 {
+		cfg.rate = 3
+	}
+
+	serveStack, err := cfg.build()
+	if err != nil {
+		return err
+	}
+	replayStack, err := cfg.build()
+	if err != nil {
+		return err
+	}
+	tasks := serveStack.tasks
+
+	broker, err := service.New(service.Options{
+		Cluster:      serveStack.cl,
+		Scheduler:    serveStack.sched,
+		Model:        serveStack.model,
+		Market:       serveStack.mkt,
+		QueueSize:    len(tasks) + 8,
+		VirtualClock: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := broker.Start(); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: broker.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := smokeClient{base: base}
+	if err := client.check("GET", "/healthz", nil, nil); err != nil {
+		return err
+	}
+
+	// Every bid is its own concurrent client: POST /v1/bids blocks until
+	// the bid's slot closes, so each needs its own goroutine (a client
+	// POSTing sequentially would wait forever for a clock that only
+	// steps once all bids are in). All of them race into the broker
+	// while the clock holds at slot 0.
+	type reply struct {
+		idx  int
+		resp service.DecisionResponse
+		err  error
+	}
+	replies := make(chan reply, len(tasks))
+	for i := range tasks {
+		go func(i int) {
+			t := tasks[i]
+			req := service.BidRequest{
+				ID: &t.ID, Arrival: &t.Arrival, Deadline: t.Deadline,
+				Work: t.Work, MemGB: t.MemGB, Bid: t.Bid, NeedsPrep: t.NeedsPrep,
+				Rank: t.Rank, Batch: t.Batch,
+				DatasetSamples: t.DatasetSamples, Epochs: t.Epochs,
+			}
+			var resp service.DecisionResponse
+			err := client.check("POST", "/v1/bids", req, &resp)
+			replies <- reply{idx: i, resp: resp, err: err}
+		}(i)
+	}
+
+	// Wait until the broker holds every bid, then close the horizon. A
+	// reply arriving before the clock moves means an intake failure —
+	// surface it instead of polling forever.
+	deadline := time.Now().Add(30 * time.Second)
+	held := 0
+	for held < len(tasks) {
+		select {
+		case r := <-replies:
+			if r.err == nil {
+				r.err = fmt.Errorf("%w: decision before the clock moved", errSmoke)
+			}
+			return fmt.Errorf("bid %d: %w", tasks[r.idx].ID, r.err)
+		default:
+		}
+		var st service.Status
+		if err := client.check("GET", "/v1/status", nil, &st); err != nil {
+			return err
+		}
+		held = st.Held
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: only %d/%d bids held after 30s", errSmoke, held, len(tasks))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var stepResp map[string]int
+	if err := client.check("POST", "/v1/clock/step", map[string]int{"slots": cfg.slots}, &stepResp); err != nil {
+		return err
+	}
+
+	decisions := make(map[int]service.DecisionResponse, len(tasks))
+	for range tasks {
+		r := <-replies
+		if r.err != nil {
+			return fmt.Errorf("bid %d: %w", tasks[r.idx].ID, r.err)
+		}
+		decisions[r.resp.TaskID] = r.resp
+	}
+
+	// Sequential ground truth on the twin stack.
+	res, err := sim.Run(replayStack.cl, replayStack.sched, tasks, sim.Config{
+		Model:            replayStack.model,
+		Market:           replayStack.mkt,
+		CollectDecisions: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	for i, t := range tasks {
+		want := res.Decisions[i]
+		got, ok := decisions[t.ID]
+		if !ok {
+			return fmt.Errorf("%w: no service decision for task %d", errSmoke, t.ID)
+		}
+		if got.Admitted != want.Admitted || got.Payment != want.Payment {
+			return fmt.Errorf("%w: task %d service (admitted=%v payment=%v) vs replay (admitted=%v payment=%v)",
+				errSmoke, t.ID, got.Admitted, got.Payment, want.Admitted, want.Payment)
+		}
+	}
+	var st service.Status
+	if err := client.check("GET", "/v1/status", nil, &st); err != nil {
+		return err
+	}
+	if st.Welfare != res.Welfare || st.Revenue != res.Revenue ||
+		st.Admitted != res.Admitted || st.Rejected != res.Rejected {
+		return fmt.Errorf("%w: service welfare=%v revenue=%v %d/%d vs replay welfare=%v revenue=%v %d/%d",
+			errSmoke, st.Welfare, st.Revenue, st.Admitted, st.Rejected,
+			res.Welfare, res.Revenue, res.Admitted, res.Rejected)
+	}
+
+	// Drain (establishes the happens-before edge), then diff the duals.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := broker.Drain(drainCtx); err != nil {
+		return err
+	}
+	if !serveStack.sched.SnapshotDuals().Equal(replayStack.sched.SnapshotDuals()) {
+		return fmt.Errorf("%w: final dual prices differ between service and replay", errSmoke)
+	}
+	fmt.Fprintf(os.Stderr, "smoke: %d concurrent bids, %d admitted, welfare %.2f\n",
+		len(tasks), res.Admitted, res.Welfare)
+	return nil
+}
+
+// smokeClient is a tiny JSON-over-HTTP helper for the self-test.
+type smokeClient struct{ base string }
+
+func (c smokeClient) check(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

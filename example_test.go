@@ -1,6 +1,7 @@
 package pdftsp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,6 +54,66 @@ func ExampleNewScheduler_offer() {
 	d := sch.Offer(pdftsp.NewTaskEnv(&bid, cl, model, nil))
 	fmt.Println(d.Admitted, d.Payment, len(d.Schedule.Placements) > 0)
 	// Output: true 0 true
+}
+
+// ExampleNewCluster shows the functional-option constructor: node groups
+// and the price curve compose as options, and a bare NodeGroup literal
+// still works as one.
+func ExampleNewCluster() {
+	model := pdftsp.GPT2Small()
+	h := pdftsp.NewHorizon(24)
+	cl, err := pdftsp.NewCluster(h, model,
+		pdftsp.WithNodes(pdftsp.A100(), 2),
+		pdftsp.WithNodes(pdftsp.A40(), 1),
+		pdftsp.WithPrice(pdftsp.FlatPrice(1)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cl.NumNodes(), cl.Node(0).Spec.Name == cl.Node(2).Spec.Name)
+	// Output: 3 false
+}
+
+// ExampleNewBroker runs the auction as a service: bids submitted while a
+// slot is open are decided together when it closes, here on a virtual
+// clock stepped by hand.
+func ExampleNewBroker() {
+	model := pdftsp.GPT2Small()
+	h := pdftsp.NewHorizon(24)
+	cl, err := pdftsp.NewCluster(h, model, pdftsp.WithNodes(pdftsp.A100(), 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := pdftsp.NewScheduler(cl, pdftsp.SchedulerOptions{Alpha: 2, Beta: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	broker, err := pdftsp.NewBroker(pdftsp.BrokerOptions{
+		Cluster: cl, Scheduler: sch, Model: model, VirtualClock: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := broker.Start(); err != nil {
+		log.Fatal(err)
+	}
+	bid := pdftsp.Task{
+		ID: 0, Arrival: 0, Deadline: 10, DatasetSamples: 27000, Epochs: 1,
+		Work: 27, MemGB: 5, Rank: 8, Batch: 16, Bid: 50, TrueValue: 50,
+	}
+	outcome, err := broker.SubmitAsync(context.Background(), bid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := broker.Step(1); err != nil { // close slot 0 → decide the bid
+		log.Fatal(err)
+	}
+	out := <-outcome
+	fmt.Println(out.Err == nil, out.Decision.Admitted)
+	if err := broker.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	// Output: true true
 }
 
 // ExampleGenerateWorkload shows deterministic workload generation.

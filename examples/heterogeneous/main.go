@@ -29,9 +29,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mixed := []pdftsp.NodeGroup{
-		{Spec: pdftsp.A100(), Count: 4},
-		{Spec: pdftsp.A40(), Count: 4},
+	mixed := []pdftsp.ClusterOption{
+		pdftsp.WithNodes(pdftsp.A100(), 4),
+		pdftsp.WithNodes(pdftsp.A40(), 4),
 	}
 
 	type algo struct {

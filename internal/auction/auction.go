@@ -10,6 +10,7 @@
 package auction
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,6 +48,17 @@ type Scenario struct {
 	// its own fresh cluster and scheduler, so the sweep is identical at
 	// every parallelism level.
 	Parallelism int
+	// Context, when non-nil, cancels the sweep between branches (the
+	// same cooperative path the experiment engine and service use).
+	Context context.Context
+}
+
+// ctx resolves the scenario's cancellation context.
+func (s *Scenario) ctx() context.Context {
+	if s.Context != nil {
+		return s.Context
+	}
+	return context.Background()
 }
 
 // RunFocal replays the background and then offers the focal task with the
@@ -85,7 +97,7 @@ type SweepPoint struct {
 // background workload on its own cluster — and fan out across
 // Scenario.Parallelism workers.
 func TruthfulnessSweep(s *Scenario, bids []float64) ([]SweepPoint, error) {
-	return runner.Map(runner.Parallelism(s.Parallelism), len(bids), func(i int) (SweepPoint, error) {
+	return runner.MapCtx(s.ctx(), runner.Parallelism(s.Parallelism), len(bids), func(i int) (SweepPoint, error) {
 		d, err := s.RunFocal(bids[i])
 		if err != nil {
 			return SweepPoint{}, err

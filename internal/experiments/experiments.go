@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -69,6 +70,19 @@ type Profile struct {
 	// safe for concurrent use; events carry per-run labels like
 	// "fig4/philly-100/seed1001" for demultiplexing.
 	Observer obs.Observer
+	// Context, when non-nil, cancels a figure early: the worker pool
+	// stops launching jobs and every in-flight simulation aborts between
+	// offers (sim.Config.Context), so ^C on cmd/experiments returns
+	// within one bid. Nil runs to completion.
+	Context context.Context
+}
+
+// ctx resolves the profile's cancellation context.
+func (p Profile) ctx() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
 }
 
 // Small is the default profile: 10% of the paper's scale, same per-node
@@ -180,7 +194,7 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 		return nil, err
 	}
 	model := s.traceC.Model
-	results, err := runner.Map(p.workers(), len(Algos), func(i int) (*sim.Result, error) {
+	results, err := runner.MapCtx(p.ctx(), p.workers(), len(Algos), func(i int) (*sim.Result, error) {
 		name := Algos[i]
 		cl, err := buildCluster(p.Horizon, s.nodes, s.mix, model)
 		if err != nil {
@@ -204,7 +218,7 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 		if runLabel == "" {
 			runLabel = s.label
 		}
-		res, err := sim.Run(cl, sched, tasks, sim.Config{Model: model, Market: mkt, Observer: p.Observer, RunLabel: runLabel})
+		res, err := sim.Run(cl, sched, tasks, sim.Config{Context: p.Context, Model: model, Market: mkt, Observer: p.Observer, RunLabel: runLabel})
 		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", name, s.label, err)
 		}
@@ -246,7 +260,7 @@ func (p Profile) runBarFigure(id, title string, settings []setting) (*BarFigure,
 	if seeds < 1 {
 		seeds = 1
 	}
-	jobs, err := runner.Map(p.workers(), len(settings)*seeds, func(i int) (map[string]*sim.Result, error) {
+	jobs, err := runner.MapCtx(p.ctx(), p.workers(), len(settings)*seeds, func(i int) (map[string]*sim.Result, error) {
 		run := settings[i/seeds]
 		run.traceC.Seed = p.Seed + int64(i%seeds)*1000
 		run.run = fmt.Sprintf("%s/%s/seed%d", id, run.label, run.traceC.Seed)

@@ -85,7 +85,7 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 		return sim.Run(cl, sched, tasks, sim.Config{Model: tc.Model, Market: mkt,
 			Observer: p.Observer, RunLabel: "fig13"})
 	}
-	branches, err := runner.Map(p.workers(), 2, func(i int) (*sim.Result, error) {
+	branches, err := runner.MapCtx(p.ctx(), p.workers(), 2, func(i int) (*sim.Result, error) {
 		if i == 0 {
 			return collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
 				return core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))

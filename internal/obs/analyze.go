@@ -21,7 +21,7 @@ type RunSummary struct {
 	Offers   int
 	Admitted int
 	Rejected int
-	Reasons  map[string]int
+	Reasons  map[schedule.RejectReason]int
 
 	// Recomputed accounting, from Outcome events only: welfare is
 	// Σ (bid − vendor − energy) over admitted bids, revenue Σ payment.
@@ -76,7 +76,7 @@ func ReadTrace(r io.Reader) (*Summary, error) {
 		key := run + "\x00" + sched
 		rs := runs[key]
 		if rs == nil {
-			rs = &RunSummary{Run: run, Sched: sched, Reasons: make(map[string]int)}
+			rs = &RunSummary{Run: run, Sched: sched, Reasons: make(map[schedule.RejectReason]int)}
 			runs[key] = rs
 		}
 		return rs
@@ -260,11 +260,11 @@ func (s *Summary) WriteText(w io.Writer) {
 			fmt.Fprintln(w, "rejections:")
 			reasons := make([]string, 0, len(rs.Reasons))
 			for r := range rs.Reasons {
-				reasons = append(reasons, r)
+				reasons = append(reasons, string(r))
 			}
 			sort.Strings(reasons)
 			for _, r := range reasons {
-				n := rs.Reasons[r]
+				n := rs.Reasons[schedule.RejectReason(r)]
 				bar := strings.Repeat("#", scaleBar(n, rs.Rejected, 40))
 				fmt.Fprintf(w, "  %-12s %6d %s\n", r, n, bar)
 			}

@@ -108,7 +108,7 @@ func (m *Metrics) OnOutcome(e *OutcomeEvent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !e.Admitted {
-		reason := e.Reason
+		reason := string(e.Reason)
 		if reason == "" {
 			reason = "unknown"
 		}

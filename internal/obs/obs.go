@@ -129,8 +129,8 @@ type OutcomeEvent struct {
 	TaskID       int         `json:"task"`
 	Slot         int         `json:"slot"`
 	Bid          float64     `json:"bid"`
-	Admitted     bool        `json:"admitted"`
-	Reason       string      `json:"reason,omitempty"`
+	Admitted     bool                  `json:"admitted"`
+	Reason       schedule.RejectReason `json:"reason,omitempty"`
 	Surplus      float64     `json:"surplus"`
 	Payment      float64     `json:"payment"`
 	VendorCost   float64     `json:"vendor_cost"`

@@ -14,6 +14,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,12 +40,28 @@ func Parallelism(n int) int {
 // On error, Map cancels jobs that have not started and returns the error
 // of the lowest-indexed failed job along with a nil slice.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no new
+// job starts and MapCtx returns ctx.Err() after in-flight jobs finish.
+// Jobs that should abort mid-flight must observe ctx themselves (the
+// simulation engine does via sim.Config.Context) — MapCtx only stops the
+// fan-out between jobs. This is the one cancellation path shared by the
+// parallel experiment engine and the auction service.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	results := make([]T, n)
 	if workers < 2 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -66,7 +83,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				v, err := fn(i)
@@ -84,6 +101,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

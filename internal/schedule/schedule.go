@@ -230,9 +230,8 @@ type Decision struct {
 	// F is the price-adjusted surplus F(il) of the best plan, equation
 	// (10); negative or zero for bids rejected by the surplus test.
 	F float64
-	// Reason documents why a bid lost ("", "no-schedule", "surplus",
-	// "capacity").
-	Reason string
+	// Reason documents why a bid lost; empty for winners.
+	Reason RejectReason
 	// DualsUpdated records that the scheduler moved the dual prices for
 	// this bid (F(il) > 0 reached the update step of Algorithm 1). It is
 	// true for every admitted bid, and — the Lemma-1 "almost-feasible"
@@ -251,9 +250,23 @@ func (d *Decision) Welfare(bid float64) float64 {
 	return bid - d.VendorCost - d.EnergyCost
 }
 
+// RejectReason is the typed cause of a lost bid. The zero value means the
+// bid won (or the scheduler recorded no reason). Its underlying type is
+// string so reasons render and serialize exactly as before.
+type RejectReason string
+
 // Rejection reasons.
 const (
-	ReasonNoSchedule = "no-schedule" // no plan satisfies (4a)-(4e)
-	ReasonSurplus    = "surplus"     // best plan has F(il) ≤ 0
-	ReasonCapacity   = "capacity"    // plan would exceed (4f)/(4g)
+	// ReasonNoSchedule: no plan satisfies (4a)–(4e) — the deadline window
+	// is empty or too tight, every vendor is too slow, or the task's
+	// memory footprint fits on no node.
+	ReasonNoSchedule RejectReason = "no-schedule"
+	// ReasonSurplus: the best plan has F(il) ≤ 0 (Algorithm 1, line 13).
+	ReasonSurplus RejectReason = "surplus"
+	// ReasonCapacity: the plan would exceed (4f)/(4g) — the Lemma-1
+	// "almost-feasible" case; the duals still moved for this bid.
+	ReasonCapacity RejectReason = "capacity"
+	// ReasonFailedNode: a node outage broke the committed plan and no
+	// recovery plan exists (failure injection only).
+	ReasonFailedNode RejectReason = "failed-node"
 )

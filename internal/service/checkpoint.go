@@ -1,0 +1,208 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/sim"
+)
+
+// checkpointVersion guards against restoring a snapshot written by an
+// incompatible broker.
+const checkpointVersion = 1
+
+// Checkpoint is the broker's full persisted auction state. Every number
+// in it round-trips bit-exactly through encoding/json (Go prints the
+// shortest float64 representation that re-parses to the same bits), so a
+// restore resumes with byte-identical duals and ledger — the property
+// the kill/restore tests assert.
+//
+// Held (undecided) bids are deliberately not persisted: their slots have
+// not closed, so no auction state depends on them, and their submitters'
+// response channels cannot survive a process death anyway. Clients that
+// see ErrDraining/ErrClosed resubmit after restart.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	RunLabel  string `json:"run"`
+	Scheduler string `json:"scheduler"`
+	// Slot is the next slot to accept bids (everything before it has
+	// closed).
+	Slot   int `json:"slot"`
+	NextID int `json:"next_id"`
+	// Nodes and Slots pin the cluster shape the snapshot belongs to.
+	Nodes int `json:"nodes"`
+	Slots int `json:"slots"`
+	// Duals is λ/φ for dual-price schedulers; nil for baselines.
+	Duals *core.DualState `json:"duals,omitempty"`
+	// Ledger is the cluster's committed work/memory state.
+	Ledger cluster.Snapshot `json:"ledger"`
+	// Result is the run accounting so far.
+	Result *sim.Result `json:"result"`
+	// Decisions maps task ID → its irrevocable outcome.
+	Decisions map[int]CheckpointDecision `json:"decisions"`
+	Canceled  int                        `json:"canceled"`
+}
+
+// CheckpointDecision is a Decision on the checkpoint wire. JSON cannot
+// encode infinities, and F is exactly -Inf for a bid rejected with no
+// feasible plan, so that one value rides as a flag and Restore
+// reinstates it.
+type CheckpointDecision struct {
+	schedule.Decision
+	FNegInf bool `json:"f_neg_inf,omitempty"`
+}
+
+func wireDecisions(decisions map[int]schedule.Decision) map[int]CheckpointDecision {
+	out := make(map[int]CheckpointDecision, len(decisions))
+	for id, d := range decisions {
+		w := CheckpointDecision{Decision: d}
+		if math.IsInf(d.F, -1) {
+			w.F = 0
+			w.FNegInf = true
+		}
+		out[id] = w
+	}
+	return out
+}
+
+func unwireDecisions(wire map[int]CheckpointDecision) map[int]schedule.Decision {
+	out := make(map[int]schedule.Decision, len(wire))
+	for id, w := range wire {
+		d := w.Decision
+		if w.FNegInf {
+			d.F = math.Inf(-1)
+		}
+		out[id] = d
+	}
+	return out
+}
+
+// snapshot captures the broker's state; core-goroutine only.
+func (b *Broker) snapshot() *Checkpoint {
+	ck := &Checkpoint{
+		Version:   checkpointVersion,
+		RunLabel:  b.opts.RunLabel,
+		Scheduler: b.sched.Name(),
+		Slot:      b.slot,
+		NextID:    b.nextID,
+		Nodes:     b.cl.NumNodes(),
+		Slots:     b.horizon.T,
+		Ledger:    b.cl.Snapshot(),
+		Result:    b.res,
+		Decisions: wireDecisions(b.decisions),
+		Canceled:  b.canceled,
+	}
+	if dc, ok := b.sched.(DualCheckpointer); ok {
+		ds := dc.SnapshotDuals()
+		ck.Duals = &ds
+	}
+	return ck
+}
+
+// writeCheckpoint persists the snapshot atomically (tmp + rename) so a
+// crash mid-write leaves the previous checkpoint intact. Failures are
+// recorded in Status rather than stopping the auction; core-goroutine
+// only.
+func (b *Broker) writeCheckpoint() {
+	if b.opts.CheckpointPath == "" {
+		return
+	}
+	if err := WriteCheckpoint(b.opts.CheckpointPath, b.snapshot()); err != nil {
+		b.ckptErr = err
+		return
+	}
+	b.ckptErr = nil
+	b.ckptSlot = b.slot
+}
+
+// WriteCheckpoint marshals ck and renames it into place.
+func WriteCheckpoint(path string, ck *Checkpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("service: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("service: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: checkpoint write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("service: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads a checkpoint file.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("service: parse checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// Restore loads ck into the broker — duals into the scheduler, ledger
+// into the cluster, accounting and decided bids into the broker — and
+// positions the clock at ck.Slot. It must run before Start, on a broker
+// whose cluster and scheduler were built fresh with the same
+// configuration as the run being resumed.
+func (b *Broker) Restore(ck *Checkpoint) error {
+	if b.started {
+		return ErrStarted
+	}
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("service: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if ck.Scheduler != b.sched.Name() {
+		return fmt.Errorf("service: checkpoint from scheduler %q, broker runs %q", ck.Scheduler, b.sched.Name())
+	}
+	if ck.Nodes != b.cl.NumNodes() || ck.Slots != b.horizon.T {
+		return fmt.Errorf("service: checkpoint shape %d nodes × %d slots, cluster is %d × %d",
+			ck.Nodes, ck.Slots, b.cl.NumNodes(), b.horizon.T)
+	}
+	if ck.Slot < 0 || ck.Slot > b.horizon.T {
+		return fmt.Errorf("service: checkpoint slot %d outside horizon [0,%d]", ck.Slot, b.horizon.T)
+	}
+	if ck.Duals != nil {
+		dc, ok := b.sched.(DualCheckpointer)
+		if !ok {
+			return fmt.Errorf("service: checkpoint carries duals but scheduler %q cannot restore them", b.sched.Name())
+		}
+		if err := dc.RestoreDuals(*ck.Duals); err != nil {
+			return err
+		}
+	}
+	if err := b.cl.Restore(ck.Ledger); err != nil {
+		return err
+	}
+	b.slot = ck.Slot
+	b.nextID = ck.NextID
+	b.canceled = ck.Canceled
+	b.decisions = unwireDecisions(ck.Decisions)
+	if ck.Result != nil {
+		b.res = ck.Result
+		if b.res.RejectReasons == nil {
+			b.res.RejectReasons = map[schedule.RejectReason]int{}
+		}
+	}
+	b.ckptSlot = ck.Slot
+	return nil
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/task"
+)
+
+// BidRequest is the JSON body of POST /v1/bids — the wire form of one
+// fine-tuning bid. Omitted id/arrival default to "assign the next ID" /
+// "the current slot".
+type BidRequest struct {
+	ID             *int    `json:"id,omitempty"`
+	Arrival        *int    `json:"arrival,omitempty"`
+	Deadline       int     `json:"deadline"`
+	Work           int     `json:"work"`
+	MemGB          float64 `json:"mem_gb"`
+	Bid            float64 `json:"bid"`
+	NeedsPrep      bool    `json:"needs_prep,omitempty"`
+	Rank           int     `json:"rank,omitempty"`
+	Batch          int     `json:"batch,omitempty"`
+	DatasetSamples int     `json:"dataset_samples,omitempty"`
+	Epochs         int     `json:"epochs,omitempty"`
+	ModelName      string  `json:"model,omitempty"`
+}
+
+// task converts the wire form; unset id/arrival become the broker's
+// "assign for me" sentinels, and an unset batch defaults to 8 (a zero
+// batch size would yield zero throughput on every node, silently making
+// the bid unschedulable).
+func (r *BidRequest) task() task.Task {
+	t := task.Task{
+		ID:             -1,
+		Arrival:        -1,
+		Deadline:       r.Deadline,
+		Work:           r.Work,
+		MemGB:          r.MemGB,
+		Bid:            r.Bid,
+		TrueValue:      r.Bid,
+		NeedsPrep:      r.NeedsPrep,
+		Rank:           r.Rank,
+		Batch:          r.Batch,
+		DatasetSamples: r.DatasetSamples,
+		Epochs:         r.Epochs,
+		ModelName:      r.ModelName,
+	}
+	if r.ID != nil {
+		t.ID = *r.ID
+	}
+	if r.Arrival != nil {
+		t.Arrival = *r.Arrival
+	}
+	if t.Batch == 0 {
+		t.Batch = 8
+	}
+	if t.Rank == 0 {
+		t.Rank = 8
+	}
+	return t
+}
+
+// DecisionResponse is the JSON form of an auction outcome.
+type DecisionResponse struct {
+	TaskID   int     `json:"task_id"`
+	Admitted bool    `json:"admitted"`
+	Payment  float64 `json:"payment,omitempty"`
+	Vendor   int     `json:"vendor,omitempty"`
+	// Reason explains a rejection (empty for admissions).
+	Reason schedule.RejectReason `json:"reason,omitempty"`
+	// Placements lists the admitted plan as (node, slot, work) triples.
+	Placements []PlacementJSON `json:"placements,omitempty"`
+}
+
+// PlacementJSON is one (node, slot) cell of an admitted plan.
+type PlacementJSON struct {
+	Node int `json:"node"`
+	Slot int `json:"slot"`
+}
+
+func decisionResponse(id int, d schedule.Decision) DecisionResponse {
+	resp := DecisionResponse{
+		TaskID:   id,
+		Admitted: d.Admitted,
+		Payment:  d.Payment,
+		Reason:   d.Reason,
+	}
+	if d.Schedule != nil {
+		resp.Vendor = d.Schedule.Vendor
+		for _, p := range d.Schedule.Placements {
+			resp.Placements = append(resp.Placements, PlacementJSON{Node: p.Node, Slot: p.Slot})
+		}
+	}
+	return resp
+}
+
+// httpStatus maps service errors onto HTTP status codes.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPastSlot), errors.Is(err, ErrDuplicateID), errors.Is(err, ErrRealClock):
+		return http.StatusConflict
+	case errors.Is(err, ErrHorizonOver):
+		return http.StatusGone
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	default:
+		// Remaining intake verdicts are validation failures.
+		return http.StatusBadRequest
+	}
+}
+
+var errBadRequest = errors.New("service: bad request")
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
+}
+
+// Handler exposes the broker over HTTP:
+//
+//	POST /v1/bids            submit a bid; blocks until its slot closes,
+//	                         responds with the irrevocable decision
+//	GET  /v1/status          operational summary (slot, queue, welfare, duals)
+//	GET  /v1/decisions/{id}  a decided bid's outcome
+//	POST /v1/clock/step      advance a virtual-clock broker {"slots": n}
+//	GET  /healthz            liveness
+//
+// A bid's request context is its cancellation: a client that disconnects
+// before its slot closes is skipped at round time.
+func (b *Broker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/bids", b.handleBid)
+	mux.HandleFunc("GET /v1/status", b.handleStatus)
+	mux.HandleFunc("GET /v1/decisions/{id}", b.handleDecision)
+	mux.HandleFunc("POST /v1/clock/step", b.handleStep)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
+	var req BidRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	t := req.task()
+	d, err := b.Submit(r.Context(), t)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, decisionResponse(d.TaskID, d))
+}
+
+func (b *Broker) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := b.Status()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (b *Broker) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: bad task id %q", errBadRequest, r.PathValue("id")))
+		return
+	}
+	d, ok, err := b.DecisionFor(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("task %d not decided", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, decisionResponse(id, d))
+}
+
+func (b *Broker) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Slots int `json:"slots"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	slot, err := b.Step(req.Slots)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"slot": slot})
+}

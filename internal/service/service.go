@@ -1,0 +1,641 @@
+// Package service turns the batch pdFTSP core into a long-lived auction
+// broker: bids arrive concurrently (in-process Submit or the HTTP facade
+// in http.go), are serialized through a single core goroutine — the
+// paper's dual updates are inherently sequential (Lemma 1), so one
+// goroutine owning λ/φ and the ledger is the correctness boundary, not a
+// bottleneck worked around with locks — and each caller receives the
+// irrevocable Decision (admit/reject, plan, vendor, payment).
+//
+// Time is slotted exactly as in the paper. The broker holds each bid
+// until its arrival slot closes, then runs the slot's auction round in
+// (arrival, ID) order; a real-clock broker closes a slot every
+// Options.SlotDuration, a virtual-clock broker whenever Step is called
+// (tests and the smoke harness drive it deterministically). Because the
+// round order is deterministic, N clients submitting concurrently reach
+// exactly the same admissions, payments, and final duals as the same
+// bids replayed sequentially through sim.Run — the service-level
+// equivalence the tests pin down.
+//
+// The broker is operable: the intake queue is bounded (ErrQueueFull maps
+// to HTTP 429), every bid honors its caller's context, SIGTERM drains
+// gracefully (cmd/pdftspd), and the full auction state — dual prices,
+// cluster ledger, accounting, decided bids — checkpoints to JSON and
+// restores bit-exactly, so a crashed broker resumes mid-horizon.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// Service errors, each mapped to an HTTP status by the facade.
+var (
+	// ErrQueueFull: the bounded intake queue is full (HTTP 429).
+	ErrQueueFull = errors.New("service: intake queue full")
+	// ErrPastSlot: the bid's arrival slot has already closed (HTTP 409).
+	ErrPastSlot = errors.New("service: arrival slot already closed")
+	// ErrHorizonOver: the broker's horizon is exhausted (HTTP 410).
+	ErrHorizonOver = errors.New("service: horizon over")
+	// ErrDuplicateID: a decided or held bid already carries this ID (HTTP 409).
+	ErrDuplicateID = errors.New("service: duplicate task ID")
+	// ErrDraining: the broker is shutting down gracefully (HTTP 503).
+	ErrDraining = errors.New("service: broker draining")
+	// ErrClosed: the broker has stopped (HTTP 503).
+	ErrClosed = errors.New("service: broker closed")
+	// ErrRealClock: Step called on a real-clock broker (HTTP 409).
+	ErrRealClock = errors.New("service: broker runs on the real clock")
+	// ErrStarted: a lifecycle call that requires a stopped broker.
+	ErrStarted = errors.New("service: broker already started")
+)
+
+// DualCheckpointer is implemented by schedulers whose dual state must
+// survive restarts; core.Scheduler is the canonical implementation.
+// Schedulers without dual state (the greedy baselines) checkpoint the
+// ledger and accounting only.
+type DualCheckpointer interface {
+	SnapshotDuals() core.DualState
+	RestoreDuals(core.DualState) error
+}
+
+// Options configures a broker.
+type Options struct {
+	// Cluster is the provider's data center; the broker owns its ledger
+	// for the lifetime of the run. Required.
+	Cluster *cluster.Cluster
+	// Scheduler answers each bid; *core.Scheduler for the paper's
+	// auction. It must be bound to Cluster. Required.
+	Scheduler sim.Scheduler
+	// Model is the shared pre-trained model (drives s_ik and r_b).
+	Model lora.ModelConfig
+	// Market is the labor-vendor marketplace; nil only if no bid will
+	// request pre-processing.
+	Market *vendor.Marketplace
+	// QueueSize bounds the bids the broker will hold awaiting their
+	// slot's auction round; excess submissions fail fast with
+	// ErrQueueFull. Default 1024.
+	QueueSize int
+	// VirtualClock, when set, advances the slot clock only through Step
+	// — deterministic replay for tests and the smoke harness. Otherwise
+	// a real ticker closes a slot every SlotDuration.
+	VirtualClock bool
+	// SlotDuration is the real-clock slot length; default 10s. (The
+	// paper's slots are 10 minutes; a serving deployment picks its own
+	// granularity.)
+	SlotDuration time.Duration
+	// CheckpointPath, when non-empty, persists the auction state to this
+	// file (atomically, via rename) as slots close; Restore resumes from
+	// it after a crash.
+	CheckpointPath string
+	// CheckpointEvery writes the checkpoint every n closed slots;
+	// default 1 (every slot).
+	CheckpointEvery int
+	// Observer receives the broker's decision-path event stream
+	// (RunStart/Bid/Outcome/RunEnd plus the scheduler's Vendor/Dual/
+	// Payment events). The broker emits from its single core goroutine,
+	// so the observer needs no internal locking on its account.
+	Observer obs.Observer
+	// RunLabel names this broker's run in emitted events and in the
+	// checkpoint; default "pdftspd".
+	RunLabel string
+}
+
+// withDefaults fills unset knobs.
+func (o Options) withDefaults() Options {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.SlotDuration <= 0 {
+		o.SlotDuration = 10 * time.Second
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	if o.RunLabel == "" {
+		o.RunLabel = "pdftspd"
+	}
+	return o
+}
+
+// Outcome is the terminal answer for one submitted bid: the decision, or
+// the error that prevented one (cancellation, drain).
+type Outcome struct {
+	Decision schedule.Decision
+	Err      error
+}
+
+// pending is one accepted bid awaiting its slot's auction round.
+type pending struct {
+	task task.Task
+	ctx  context.Context
+	// ack reports the intake verdict (held, or why not); buffered so the
+	// core loop never blocks on a departed submitter.
+	ack chan error
+	// resp delivers the outcome; buffered for the same reason.
+	resp chan Outcome
+}
+
+// Broker is the long-lived auction service. All auction state — duals,
+// ledger, accounting, decided bids — is owned by the single core
+// goroutine started by Start; the exported methods communicate with it
+// through channels and are safe for concurrent use.
+type Broker struct {
+	opts    Options
+	cl      *cluster.Cluster
+	sched   sim.Scheduler
+	horizon timeslot.Horizon
+	o       obs.Observer
+
+	intake chan *pending
+	ctl    chan func()
+	done   chan struct{}
+
+	started bool
+
+	// Everything below is owned by the core goroutine (and, before
+	// Start, by the caller — Restore runs pre-Start).
+	slot      int
+	nextID    int
+	held      map[int][]*pending // arrival slot → bids awaiting that round
+	heldIDs   map[int]struct{}
+	heldCount int
+	decisions map[int]schedule.Decision
+	res       *sim.Result
+	canceled  int
+	ckptSlot  int // slot recorded by the last checkpoint write, -1 if none
+	draining  bool
+	killed    bool
+	ckptErr   error
+}
+
+// New builds a broker; call Restore to resume from a checkpoint, then
+// Start to begin serving.
+func New(opts Options) (*Broker, error) {
+	if opts.Cluster == nil || opts.Scheduler == nil {
+		return nil, fmt.Errorf("service: nil cluster or scheduler")
+	}
+	opts = opts.withDefaults()
+	b := &Broker{
+		opts:      opts,
+		cl:        opts.Cluster,
+		sched:     opts.Scheduler,
+		horizon:   opts.Cluster.Horizon(),
+		intake:    make(chan *pending, opts.QueueSize),
+		ctl:       make(chan func()),
+		done:      make(chan struct{}),
+		held:      map[int][]*pending{},
+		heldIDs:   map[int]struct{}{},
+		decisions: map[int]schedule.Decision{},
+		res:       sim.NewResult(opts.Scheduler.Name()),
+		ckptSlot:  -1,
+	}
+	return b, nil
+}
+
+// Start launches the core goroutine (and the real-clock ticker unless
+// VirtualClock is set). It emits the run's RunStart event.
+func (b *Broker) Start() error {
+	if b.started {
+		return ErrStarted
+	}
+	b.started = true
+	b.o = obs.Stamp(b.opts.Observer, b.opts.RunLabel, b.sched.Name())
+	if ob, ok := b.sched.(obs.Observable); ok && b.o != nil {
+		ob.SetObserver(b.o)
+	}
+	if b.o != nil {
+		capWork := make([]int, b.cl.NumNodes())
+		for k := range capWork {
+			capWork[k] = b.cl.Node(k).CapWork
+		}
+		b.o.OnRunStart(&obs.RunStartEvent{Nodes: b.cl.NumNodes(), Slots: b.horizon.T, CapWork: capWork})
+	}
+	go b.loop()
+	return nil
+}
+
+// Done is closed when the core goroutine has stopped (drain, kill, or
+// horizon end does not stop it; only Drain/Kill do). After Done, the
+// scheduler and cluster are safe to inspect from any goroutine.
+func (b *Broker) Done() <-chan struct{} { return b.done }
+
+// SubmitAsync hands one bid to the broker and returns a channel that will
+// deliver the decision when the bid's arrival slot closes. The error
+// return reports intake verdicts synchronously: a full queue, a closed
+// arrival slot, a duplicate ID, or an invalid task. A task with negative
+// Arrival is stamped with the current slot ("bid now"); a negative ID is
+// assigned the next free one (readable from the returned outcome).
+func (b *Broker) SubmitAsync(ctx context.Context, t task.Task) (<-chan Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &pending{task: t, ctx: ctx, ack: make(chan error, 1), resp: make(chan Outcome, 1)}
+	select {
+	case b.intake <- p:
+	case <-b.done:
+		return nil, b.closeErr()
+	default:
+		return nil, ErrQueueFull
+	}
+	select {
+	case err := <-p.ack:
+		if err != nil {
+			return nil, err
+		}
+		return p.resp, nil
+	case <-ctx.Done():
+		// The core loop may still hold the bid; its context check at
+		// round time skips it.
+		return nil, ctx.Err()
+	case <-b.done:
+		return nil, b.closeErr()
+	}
+}
+
+// Submit is SubmitAsync plus the wait: it blocks until the bid's slot
+// closes and returns the irrevocable decision. ctx bounds the whole
+// round trip — a canceled bid is skipped if its round has not run yet
+// (decisions already made are irrevocable and remain queryable via
+// DecisionFor).
+func (b *Broker) Submit(ctx context.Context, t task.Task) (schedule.Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch, err := b.SubmitAsync(ctx, t)
+	if err != nil {
+		return schedule.Decision{}, err
+	}
+	select {
+	case out := <-ch:
+		return out.Decision, out.Err
+	case <-ctx.Done():
+		return schedule.Decision{}, ctx.Err()
+	case <-b.done:
+		return schedule.Decision{}, b.closeErr()
+	}
+}
+
+// closeErr distinguishes a drained broker from a killed one.
+func (b *Broker) closeErr() error {
+	if b.draining {
+		return ErrDraining
+	}
+	return ErrClosed
+}
+
+// do runs f on the core goroutine and waits for it.
+func (b *Broker) do(f func()) error {
+	ran := make(chan struct{})
+	select {
+	case b.ctl <- func() { f(); close(ran) }:
+	case <-b.done:
+		return b.closeErr()
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-b.done:
+		// The loop executes the control function it accepted even while
+		// stopping, so reaching here means it ran.
+		return nil
+	}
+}
+
+// Step closes n slots of a virtual-clock broker — each close runs the
+// slot's auction round — and returns the new current slot. Stepping past
+// the horizon end is clamped.
+func (b *Broker) Step(n int) (int, error) {
+	if !b.opts.VirtualClock {
+		return 0, ErrRealClock
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("service: negative step %d", n)
+	}
+	var slot int
+	err := b.do(func() {
+		for i := 0; i < n && b.slot < b.horizon.T; i++ {
+			b.closeSlot()
+		}
+		slot = b.slot
+	})
+	return slot, err
+}
+
+// Slot returns the current slot (the one accepting bids).
+func (b *Broker) Slot() (int, error) {
+	var s int
+	err := b.do(func() { s = b.slot })
+	return s, err
+}
+
+// DecisionFor returns the decided outcome for a task ID. Decisions are
+// irrevocable, so they remain queryable after the broker stops (the core
+// goroutine is gone by then; direct reads are race-free).
+func (b *Broker) DecisionFor(id int) (schedule.Decision, bool, error) {
+	var (
+		d  schedule.Decision
+		ok bool
+	)
+	if err := b.do(func() { d, ok = b.decisions[id] }); err != nil {
+		d, ok = b.decisions[id]
+	}
+	return d, ok, nil
+}
+
+// Status is a point-in-time operational summary.
+type Status struct {
+	Run         string  `json:"run"`
+	Scheduler   string  `json:"scheduler"`
+	Slot        int     `json:"slot"`
+	Slots       int     `json:"horizon_slots"`
+	VirtualTime bool    `json:"virtual_clock"`
+	HorizonOver bool    `json:"horizon_over"`
+	Held        int     `json:"held_bids"`
+	QueueCap    int     `json:"queue_cap"`
+	Decided     int     `json:"decided"`
+	Admitted    int     `json:"admitted"`
+	Rejected    int     `json:"rejected"`
+	Canceled    int     `json:"canceled"`
+	Welfare     float64 `json:"welfare"`
+	Revenue     float64 `json:"revenue"`
+	Utilization float64 `json:"utilization"`
+	// MaxLambda/MaxPhi are the current largest dual prices across all
+	// (k,t) cells — the auction's congestion signal. Zero when the
+	// scheduler exposes no dual state.
+	MaxLambda float64 `json:"max_lambda"`
+	MaxPhi    float64 `json:"max_phi"`
+	// CheckpointSlot is the slot recorded by the last checkpoint write
+	// (-1 before the first); CheckpointError carries a persist failure.
+	CheckpointSlot  int    `json:"checkpoint_slot"`
+	CheckpointError string `json:"checkpoint_error,omitempty"`
+}
+
+// Status reports the broker's current state.
+func (b *Broker) Status() (Status, error) {
+	var st Status
+	err := b.do(func() { st = b.status() })
+	if err != nil {
+		// A stopped broker still has consistent state: the core loop is
+		// gone, so reading directly is race-free.
+		return b.status(), nil
+	}
+	return st, err
+}
+
+// status builds the summary; core-goroutine (or post-Done) only.
+func (b *Broker) status() Status {
+	st := Status{
+		Run:         b.opts.RunLabel,
+		Scheduler:   b.sched.Name(),
+		Slot:        b.slot,
+		Slots:       b.horizon.T,
+		VirtualTime: b.opts.VirtualClock,
+		HorizonOver: b.slot >= b.horizon.T,
+		Held:        b.heldCount,
+		QueueCap:    b.opts.QueueSize,
+		Decided:     len(b.decisions),
+		Admitted:    b.res.Admitted,
+		Rejected:    b.res.Rejected,
+		Canceled:    b.canceled,
+		Welfare:     b.res.Welfare,
+		Revenue:     b.res.Revenue,
+		Utilization: b.cl.Utilization(),
+		CheckpointSlot: b.ckptSlot,
+	}
+	if b.ckptErr != nil {
+		st.CheckpointError = b.ckptErr.Error()
+	}
+	if dc, ok := b.sched.(DualCheckpointer); ok {
+		ds := dc.SnapshotDuals()
+		for k := range ds.Lambda {
+			for t := range ds.Lambda[k] {
+				if ds.Lambda[k][t] > st.MaxLambda {
+					st.MaxLambda = ds.Lambda[k][t]
+				}
+				if ds.Phi[k][t] > st.MaxPhi {
+					st.MaxPhi = ds.Phi[k][t]
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Drain stops the broker gracefully: intake closes, bids already held
+// are refused with ErrDraining (their slots have not closed, so clients
+// resubmit after restart), the checkpoint is written one last time, and
+// the run's RunEnd event is emitted. ctx bounds the wait.
+func (b *Broker) Drain(ctx context.Context) error {
+	if err := b.do(func() { b.draining = true }); err != nil {
+		return nil // already stopped
+	}
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Kill crash-stops the broker: no final checkpoint, no RunEnd — exactly
+// what a SIGKILL mid-horizon leaves behind. Held bids are refused with
+// ErrClosed. The checkpoint-restore tests use it to prove a restore from
+// the last persisted slot resumes bit-exactly.
+func (b *Broker) Kill() {
+	_ = b.do(func() { b.killed = true })
+	<-b.done
+}
+
+// loop is the core goroutine: the only owner of the auction state.
+func (b *Broker) loop() {
+	defer close(b.done)
+	defer func() {
+		if ob, ok := b.sched.(obs.Observable); ok && b.o != nil {
+			ob.SetObserver(nil)
+		}
+	}()
+	var tick <-chan time.Time
+	if !b.opts.VirtualClock {
+		ticker := time.NewTicker(b.opts.SlotDuration)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case p := <-b.intake:
+			b.admit(p)
+		case f := <-b.ctl:
+			f()
+		case <-tick:
+			if b.slot < b.horizon.T {
+				b.closeSlot()
+			}
+		}
+		if b.killed {
+			b.refuseHeld(ErrClosed)
+			return
+		}
+		if b.draining {
+			b.refuseHeld(ErrDraining)
+			b.writeCheckpoint()
+			b.emitRunEnd()
+			return
+		}
+	}
+}
+
+// refuseHeld answers every held bid with err.
+func (b *Broker) refuseHeld(err error) {
+	for _, batch := range b.held {
+		for _, p := range batch {
+			p.resp <- Outcome{Err: err}
+		}
+	}
+	b.held = map[int][]*pending{}
+	b.heldIDs = map[int]struct{}{}
+	b.heldCount = 0
+	// Bids still in the intake channel never got an ack; answer it.
+	for {
+		select {
+		case p := <-b.intake:
+			p.ack <- err
+		default:
+			return
+		}
+	}
+}
+
+// admit performs the intake checks and holds the bid for its round.
+func (b *Broker) admit(p *pending) {
+	t := &p.task
+	if b.slot >= b.horizon.T {
+		p.ack <- ErrHorizonOver
+		return
+	}
+	if t.Arrival < 0 {
+		t.Arrival = b.slot
+	}
+	if t.ID < 0 {
+		t.ID = b.nextID
+	}
+	if t.Arrival < b.slot {
+		p.ack <- fmt.Errorf("%w: arrival %d, current slot %d", ErrPastSlot, t.Arrival, b.slot)
+		return
+	}
+	if err := t.Validate(b.horizon); err != nil {
+		p.ack <- fmt.Errorf("service: %w", err)
+		return
+	}
+	if _, dup := b.decisions[t.ID]; dup {
+		p.ack <- fmt.Errorf("%w: %d already decided", ErrDuplicateID, t.ID)
+		return
+	}
+	if _, dup := b.heldIDs[t.ID]; dup {
+		p.ack <- fmt.Errorf("%w: %d already held", ErrDuplicateID, t.ID)
+		return
+	}
+	if b.heldCount >= b.opts.QueueSize {
+		p.ack <- ErrQueueFull
+		return
+	}
+	if t.ID >= b.nextID {
+		b.nextID = t.ID + 1
+	}
+	b.held[t.Arrival] = append(b.held[t.Arrival], p)
+	b.heldIDs[t.ID] = struct{}{}
+	b.heldCount++
+	p.ack <- nil
+}
+
+// closeSlot runs the current slot's auction round — all bids with this
+// arrival, in ID order, exactly the order a pre-sorted batch replay
+// visits them — then advances the clock and checkpoints.
+func (b *Broker) closeSlot() {
+	batch := b.held[b.slot]
+	delete(b.held, b.slot)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].task.ID < batch[j].task.ID })
+	for _, p := range batch {
+		delete(b.heldIDs, p.task.ID)
+		b.heldCount--
+		b.process(p)
+	}
+	b.slot++
+	if b.slot >= b.horizon.T {
+		b.emitRunEnd()
+	}
+	if b.slot%b.opts.CheckpointEvery == 0 || b.slot >= b.horizon.T {
+		b.writeCheckpoint()
+	}
+}
+
+// process runs Algorithm 1 for one bid and answers its submitter.
+func (b *Broker) process(p *pending) {
+	if err := p.ctx.Err(); err != nil {
+		// The submitter is gone; the bid never enters the auction.
+		b.canceled++
+		p.resp <- Outcome{Err: err}
+		return
+	}
+	env := schedule.NewTaskEnv(&p.task, b.cl, b.opts.Model, b.opts.Market)
+	if b.o != nil {
+		b.o.OnBid(sim.NewBidEvent(env))
+	}
+	start := time.Now()
+	d := b.sched.Offer(env)
+	b.res.OfferLatency = append(b.res.OfferLatency, time.Since(start))
+	if b.o != nil {
+		b.o.OnOutcome(sim.NewOutcomeEvent(env, &d))
+	}
+	b.res.Account(env, &d)
+	b.decisions[p.task.ID] = d
+	p.resp <- Outcome{Decision: d}
+}
+
+// emitRunEnd closes the observer stream with the final accounting; it
+// fires once (horizon end or drain, whichever comes first).
+func (b *Broker) emitRunEnd() {
+	if b.o == nil {
+		return
+	}
+	o := b.o
+	b.o = nil
+	b.res.Utilization = b.cl.Utilization()
+	o.OnRunEnd(&obs.RunEndEvent{
+		Welfare:     b.res.Welfare,
+		Revenue:     b.res.Revenue,
+		VendorSpend: b.res.VendorSpend,
+		EnergySpend: b.res.EnergySpend,
+		Admitted:    b.res.Admitted,
+		Rejected:    b.res.Rejected,
+		Utilization: b.res.Utilization,
+		Cluster:     b.cl,
+	})
+	if ob, ok := b.sched.(obs.Observable); ok {
+		ob.SetObserver(nil)
+	}
+}
+
+// Result returns the run accounting. Safe only after Done (the tests
+// call it post-drain); a live broker reports through Status instead.
+func (b *Broker) Result() *sim.Result {
+	select {
+	case <-b.done:
+	default:
+		if b.started {
+			panic("service: Result on a running broker (use Status)")
+		}
+	}
+	return b.res
+}

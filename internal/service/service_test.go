@@ -1,0 +1,469 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// testStack is one fully wired auction; building it twice from the same
+// parameters yields deterministic twins, which is what every equivalence
+// test below relies on.
+type testStack struct {
+	cl    *cluster.Cluster
+	sched *core.Scheduler
+	model lora.ModelConfig
+	mkt   *vendor.Marketplace
+	tasks []task.Task
+}
+
+func newStack(t *testing.T, slots, nodes int, rate float64, seed int64) *testStack {
+	t.Helper()
+	h := timeslot.NewHorizon(slots)
+	model := lora.GPT2Small()
+	tc := trace.DefaultConfig()
+	tc.Seed = seed
+	tc.Horizon = h
+	tc.RatePerSlot = rate
+	tasks, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	specs := cluster.Uniform(nodes, gpu.A100, lora.NodeCapUnits(model, gpu.A100, h), gpu.A100.MemGB)
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, specs)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	mkt, err := vendor.Standard(4, seed+7)
+	if err != nil {
+		t.Fatalf("marketplace: %v", err)
+	}
+	sched, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	if err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+	return &testStack{cl: cl, sched: sched, model: model, mkt: mkt, tasks: tasks}
+}
+
+func (s *testStack) brokerOptions() Options {
+	return Options{
+		Cluster:      s.cl,
+		Scheduler:    s.sched,
+		Model:        s.model,
+		Market:       s.mkt,
+		QueueSize:    len(s.tasks) + 16,
+		VirtualClock: true,
+	}
+}
+
+func startBroker(t *testing.T, opts Options) *Broker {
+	t.Helper()
+	b, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return b
+}
+
+// submitAll fans the workload in from `workers` goroutines via
+// SubmitAsync and returns one outcome channel per task, indexed like the
+// task slice.
+func submitAll(t *testing.T, b *Broker, tasks []task.Task, workers int) []<-chan Outcome {
+	t.Helper()
+	chans := make([]<-chan Outcome, len(tasks))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(tasks))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(tasks); i += workers {
+				ch, err := b.SubmitAsync(context.Background(), tasks[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				chans[i] = ch
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("SubmitAsync: %v", err)
+	}
+	return chans
+}
+
+// replay runs the same workload sequentially through a twin stack.
+func replay(t *testing.T, s *testStack) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(s.cl, s.sched, s.tasks, sim.Config{
+		Model: s.model, Market: s.mkt, CollectDecisions: true,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res
+}
+
+// TestConcurrentEquivalence is the PR's acceptance test: 1000 bids
+// submitted from 8 goroutines yield identical admissions, payments, and
+// final dual prices to the sequential batch replay. Run it under -race.
+func TestConcurrentEquivalence(t *testing.T) {
+	const slots, nodes, workers = 24, 4, 8
+	const rate = 52.0 // ≥ 1000 bids over 24 slots (arrivals stop before the tail)
+	serve := newStack(t, slots, nodes, rate, 11)
+	twin := newStack(t, slots, nodes, rate, 11)
+	if len(serve.tasks) < 1000 {
+		t.Fatalf("workload too small for the acceptance bar: %d bids", len(serve.tasks))
+	}
+	t.Logf("%d bids from %d goroutines", len(serve.tasks), workers)
+
+	b := startBroker(t, serve.brokerOptions())
+	chans := submitAll(t, b, serve.tasks, workers)
+	if slot, err := b.Step(slots); err != nil || slot != slots {
+		t.Fatalf("Step: slot %d, err %v", slot, err)
+	}
+
+	want := replay(t, twin)
+
+	for i := range serve.tasks {
+		out := <-chans[i]
+		if out.Err != nil {
+			t.Fatalf("task %d: %v", serve.tasks[i].ID, out.Err)
+		}
+		w := want.Decisions[i]
+		if out.Decision.Admitted != w.Admitted || out.Decision.Payment != w.Payment {
+			t.Fatalf("task %d: service (admitted=%v payment=%v) vs replay (admitted=%v payment=%v)",
+				serve.tasks[i].ID, out.Decision.Admitted, out.Decision.Payment, w.Admitted, w.Payment)
+		}
+		if out.Decision.Reason != w.Reason {
+			t.Fatalf("task %d: reason %q vs %q", serve.tasks[i].ID, out.Decision.Reason, w.Reason)
+		}
+	}
+
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	res := b.Result()
+	if res.Welfare != want.Welfare || res.Revenue != want.Revenue ||
+		res.Admitted != want.Admitted || res.Rejected != want.Rejected {
+		t.Fatalf("accounting: service welfare=%v revenue=%v %d/%d, replay welfare=%v revenue=%v %d/%d",
+			res.Welfare, res.Revenue, res.Admitted, res.Rejected,
+			want.Welfare, want.Revenue, want.Admitted, want.Rejected)
+	}
+	if !serve.sched.SnapshotDuals().Equal(twin.sched.SnapshotDuals()) {
+		t.Fatal("final dual prices diverge from the sequential replay")
+	}
+	if !reflect.DeepEqual(serve.cl.Snapshot(), twin.cl.Snapshot()) {
+		t.Fatal("final cluster ledgers diverge from the sequential replay")
+	}
+}
+
+// TestCheckpointKillRestore kills a broker mid-horizon and restores a
+// fresh one from its checkpoint: the restored state must be bit-identical
+// to the state at the kill, and the completed run must match an
+// uninterrupted sequential replay exactly.
+func TestCheckpointKillRestore(t *testing.T) {
+	const slots, nodes, killAt = 24, 4, 12
+	const rate = 6.0
+	path := filepath.Join(t.TempDir(), "broker.ckpt")
+
+	serve := newStack(t, slots, nodes, rate, 23)
+	twin := newStack(t, slots, nodes, rate, 23)
+
+	var early, late []task.Task
+	for _, tk := range serve.tasks {
+		if tk.Arrival < killAt {
+			early = append(early, tk)
+		} else {
+			late = append(late, tk)
+		}
+	}
+	if len(early) == 0 || len(late) == 0 {
+		t.Fatalf("degenerate split: %d early, %d late", len(early), len(late))
+	}
+
+	optsA := serve.brokerOptions()
+	optsA.CheckpointPath = path
+	a := startBroker(t, optsA)
+	earlyChans := submitAll(t, a, early, 4)
+	if _, err := a.Step(killAt); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	for i := range early {
+		if out := <-earlyChans[i]; out.Err != nil {
+			t.Fatalf("early task %d: %v", early[i].ID, out.Err)
+		}
+	}
+	a.Kill()
+
+	// A fresh stack (fresh duals, fresh ledger) restored from the file
+	// must carry bit-identical state to the killed broker.
+	restored := newStack(t, slots, nodes, rate, 23)
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Slot != killAt {
+		t.Fatalf("checkpoint at slot %d, want %d", ck.Slot, killAt)
+	}
+	optsB := restored.brokerOptions()
+	optsB.CheckpointPath = path
+	b, err := New(optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(ck); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !restored.sched.SnapshotDuals().Equal(serve.sched.SnapshotDuals()) {
+		t.Fatal("restored duals differ from the killed broker's")
+	}
+	if !reflect.DeepEqual(restored.cl.Snapshot(), serve.cl.Snapshot()) {
+		t.Fatal("restored ledger differs from the killed broker's")
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	lateChans := submitAll(t, b, late, 4)
+	if _, err := b.Step(slots - killAt); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	for i := range late {
+		if out := <-lateChans[i]; out.Err != nil {
+			t.Fatalf("late task %d: %v", late[i].ID, out.Err)
+		}
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	want := replay(t, twin)
+	res := b.Result()
+	if res.Welfare != want.Welfare || res.Admitted != want.Admitted || res.Revenue != want.Revenue {
+		t.Fatalf("restored run: welfare=%v admitted=%d revenue=%v, uninterrupted replay: welfare=%v admitted=%d revenue=%v",
+			res.Welfare, res.Admitted, res.Revenue, want.Welfare, want.Admitted, want.Revenue)
+	}
+	if !restored.sched.SnapshotDuals().Equal(twin.sched.SnapshotDuals()) {
+		t.Fatal("final duals after restore diverge from the uninterrupted replay")
+	}
+	if !reflect.DeepEqual(restored.cl.Snapshot(), twin.cl.Snapshot()) {
+		t.Fatal("final ledger after restore diverges from the uninterrupted replay")
+	}
+	for id, want := range ck.Decisions {
+		got, ok, err := b.DecisionFor(id)
+		if err != nil || !ok {
+			t.Fatalf("decision %d lost across restore (ok=%v err=%v)", id, ok, err)
+		}
+		if got.Admitted != want.Admitted || got.Payment != want.Payment {
+			t.Fatalf("decision %d mutated across restore", id)
+		}
+	}
+}
+
+// TestIntakeVerdicts covers the synchronous refusals of SubmitAsync.
+func TestIntakeVerdicts(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	opts := s.brokerOptions()
+	opts.QueueSize = 2
+	b := startBroker(t, opts)
+	defer b.Kill()
+	ctx := context.Background()
+
+	bid := func(id, arrival int) task.Task {
+		return task.Task{ID: id, Arrival: arrival, Deadline: 10, Work: 5, MemGB: 2, Rank: 8, Batch: 8, Bid: 5}
+	}
+
+	if _, err := b.SubmitAsync(ctx, bid(0, 3)); err != nil {
+		t.Fatalf("first bid: %v", err)
+	}
+	if _, err := b.SubmitAsync(ctx, bid(0, 4)); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate ID: got %v", err)
+	}
+	if _, err := b.SubmitAsync(ctx, bid(1, 3)); err != nil {
+		t.Fatalf("second bid: %v", err)
+	}
+	if _, err := b.SubmitAsync(ctx, bid(2, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("held-queue overflow: got %v", err)
+	}
+	if _, err := b.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubmitAsync(ctx, bid(3, 2)); !errors.Is(err, ErrPastSlot) {
+		t.Fatalf("past slot: got %v", err)
+	}
+	invalid := bid(4, 6)
+	invalid.Work = -1
+	if _, err := b.SubmitAsync(ctx, invalid); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+	if _, err := b.Step(12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SubmitAsync(ctx, bid(5, 11)); !errors.Is(err, ErrHorizonOver) {
+		t.Fatalf("horizon over: got %v", err)
+	}
+}
+
+// TestAutoAssign covers the "bid now" conveniences: negative arrival is
+// stamped with the current slot, negative ID gets the next free one.
+func TestAutoAssign(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	b := startBroker(t, s.brokerOptions())
+	defer b.Kill()
+
+	tk := task.Task{ID: -1, Arrival: -1, Deadline: 10, Work: 5, MemGB: 2, Rank: 8, Batch: 8, Bid: 5}
+	ch, err := b.SubmitAsync(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	out := <-ch
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Decision.TaskID < 0 {
+		t.Fatalf("auto ID not assigned: %d", out.Decision.TaskID)
+	}
+	if _, ok, _ := b.DecisionFor(out.Decision.TaskID); !ok {
+		t.Fatal("auto-assigned decision not queryable")
+	}
+}
+
+// TestCanceledBidSkipped: a submitter that cancels before its slot closes
+// never enters the auction, and the duals stay untouched by it.
+func TestCanceledBidSkipped(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	b := startBroker(t, s.brokerOptions())
+	defer b.Kill()
+
+	before := s.sched.SnapshotDuals()
+	ctx, cancel := context.WithCancel(context.Background())
+	tk := task.Task{ID: 900, Arrival: 2, Deadline: 10, Work: 5, MemGB: 2, Rank: 8, Batch: 8, Bid: 5}
+	ch, err := b.SubmitAsync(ctx, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := b.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	out := <-ch
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", out.Err)
+	}
+	if _, ok, _ := b.DecisionFor(900); ok {
+		t.Fatal("canceled bid has a decision")
+	}
+	if !s.sched.SnapshotDuals().Equal(before) {
+		t.Fatal("canceled bid moved the dual prices")
+	}
+	st, err := b.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Canceled != 1 {
+		t.Fatalf("canceled count = %d, want 1", st.Canceled)
+	}
+}
+
+// TestDrainRefusesHeld: drain answers held bids with ErrDraining, writes
+// a final checkpoint, and closes Done.
+func TestDrainRefusesHeld(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	path := filepath.Join(t.TempDir(), "drain.ckpt")
+	opts := s.brokerOptions()
+	opts.CheckpointPath = path
+	b := startBroker(t, opts)
+
+	tk := task.Task{ID: 1, Arrival: 5, Deadline: 10, Work: 5, MemGB: 2, Rank: 8, Batch: 8, Bid: 5}
+	ch, err := b.SubmitAsync(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-ch:
+		if !errors.Is(out.Err, ErrDraining) {
+			t.Fatalf("held bid got %v, want ErrDraining", out.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("held bid never answered")
+	}
+	select {
+	case <-b.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed after drain")
+	}
+	if _, err := ReadCheckpoint(path); err != nil {
+		t.Fatalf("no final checkpoint: %v", err)
+	}
+	if _, err := b.SubmitAsync(context.Background(), tk); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: got %v", err)
+	}
+}
+
+// TestRestoreValidation rejects checkpoints from a different deployment.
+func TestRestoreValidation(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	b, err := New(s.brokerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Version: checkpointVersion, Scheduler: "pdFTSP", Nodes: 99, Slots: 12}
+	if err := b.Restore(ck); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	ck = &Checkpoint{Version: 99, Scheduler: "pdFTSP", Nodes: 2, Slots: 12}
+	if err := b.Restore(ck); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+	ck = &Checkpoint{Version: checkpointVersion, Scheduler: "other", Nodes: 2, Slots: 12}
+	if err := b.Restore(ck); err == nil {
+		t.Fatal("scheduler mismatch accepted")
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Kill()
+	if err := b.Restore(&Checkpoint{Version: checkpointVersion}); !errors.Is(err, ErrStarted) {
+		t.Fatalf("post-Start restore: got %v", err)
+	}
+}
+
+// TestRealClockStepRefused: Step is a virtual-clock affordance.
+func TestRealClockStepRefused(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	opts := s.brokerOptions()
+	opts.VirtualClock = false
+	opts.SlotDuration = time.Hour // never ticks within the test
+	b := startBroker(t, opts)
+	defer b.Kill()
+	if _, err := b.Step(1); !errors.Is(err, ErrRealClock) {
+		t.Fatalf("got %v, want ErrRealClock", err)
+	}
+}

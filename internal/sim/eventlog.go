@@ -16,7 +16,7 @@ type Event struct {
 	TaskID   int     `json:"task_id"`
 	Bid      float64 `json:"bid"`
 	Admitted bool    `json:"admitted"`
-	Reason   string  `json:"reason,omitempty"`
+	Reason   schedule.RejectReason `json:"reason,omitempty"`
 	Payment  float64 `json:"payment,omitempty"`
 	Vendor   int     `json:"vendor,omitempty"`
 	Energy   float64 `json:"energy,omitempty"`

@@ -161,7 +161,7 @@ func (fs *failureState) apply(f Failure, sched Scheduler, res *Result) {
 		res.Revenue -= rec.payment
 		if res.Decisions != nil && rec.index < len(res.Decisions) {
 			res.Decisions[rec.index].Admitted = false
-			res.Decisions[rec.index].Reason = "failed-node"
+			res.Decisions[rec.index].Reason = schedule.ReasonFailedNode
 		}
 		delete(fs.records, id)
 	}

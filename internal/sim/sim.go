@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -40,6 +41,11 @@ type BatchScheduler interface {
 
 // Config parameterizes a run.
 type Config struct {
+	// Context, when non-nil, cancels the run between offers: Run returns
+	// the context's error as soon as it observes cancellation. Decisions
+	// already made stand (they are irrevocable); the partial result is
+	// discarded. Nil means run to completion.
+	Context context.Context
 	// Model is the shared pre-trained model (drives s_ik and r_b).
 	Model lora.ModelConfig
 	// Market is the labor-vendor marketplace; nil only if no task needs
@@ -87,7 +93,7 @@ type Result struct {
 	// Admitted and Rejected count bids.
 	Admitted, Rejected int
 	// RejectReasons tallies rejections by Decision.Reason.
-	RejectReasons map[string]int
+	RejectReasons map[schedule.RejectReason]int
 	// OfferLatency holds the per-task scheduling latency (batch latency
 	// is divided evenly across the batch).
 	OfferLatency []time.Duration
@@ -122,10 +128,7 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		return nil, fmt.Errorf("sim: nil cluster or scheduler")
 	}
 	h := cl.Horizon()
-	res := &Result{
-		Scheduler:     sched.Name(),
-		RejectReasons: map[string]int{},
-	}
+	res := NewResult(sched.Name())
 	if cfg.CollectDecisions {
 		res.Decisions = make([]schedule.Decision, len(tasks))
 	}
@@ -161,53 +164,24 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 			logErr = err
 		}
 		if o != nil {
-			ev := obs.OutcomeEvent{
-				TaskID:       env.Task.ID,
-				Slot:         env.Task.Arrival,
-				Bid:          env.Task.Bid,
-				Admitted:     d.Admitted,
-				Reason:       d.Reason,
-				Payment:      d.Payment,
-				VendorCost:   d.VendorCost,
-				EnergyCost:   d.EnergyCost,
-				DualsUpdated: d.DualsUpdated,
-				Env:          env,
-				Decision:     &d,
-			}
-			// F is -Inf when no plan exists; keep the trace JSON-encodable.
-			if !math.IsInf(d.F, 0) {
-				ev.Surplus = d.F
-			}
-			if d.Admitted && d.Schedule != nil {
-				ev.Placements = make([]obs.Placement, len(d.Schedule.Placements))
-				for pi, p := range d.Schedule.Placements {
-					ev.Placements[pi] = obs.Placement{Node: p.Node, Slot: p.Slot, Work: env.Speed[p.Node]}
-				}
-			}
-			o.OnOutcome(&ev)
+			o.OnOutcome(NewOutcomeEvent(env, &d))
 		}
 		res.OfferLatency = append(res.OfferLatency, lat)
 		if cfg.CollectDecisions {
 			res.Decisions[idx] = d
 		}
-		if d.Admitted {
-			res.Admitted++
-			res.Welfare += env.Task.Bid - d.VendorCost - d.EnergyCost
-			res.Revenue += d.Payment
-			res.VendorSpend += d.VendorCost
-			res.EnergySpend += d.EnergyCost
-		} else {
-			res.Rejected++
-			reason := d.Reason
-			if reason == "" {
-				reason = "unspecified"
-			}
-			res.RejectReasons[reason]++
-		}
+		res.Account(env, &d)
 	}
 
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	prevArrival := -1
 	for i := 0; i < len(tasks); {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: canceled after %d of %d bids: %w", i, len(tasks), err)
+		}
 		tk := &tasks[i]
 		if tk.Arrival < prevArrival {
 			return nil, fmt.Errorf("sim: tasks not sorted by arrival (task %d)", tk.ID)
@@ -229,7 +203,7 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 			for m := i; m < j; m++ {
 				env := schedule.NewTaskEnv(&tasks[m], cl, cfg.Model, cfg.Market)
 				if o != nil {
-					o.OnBid(bidEvent(env))
+					o.OnBid(NewBidEvent(env))
 				}
 				envs = append(envs, env)
 			}
@@ -245,7 +219,7 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		}
 		env := schedule.NewTaskEnv(tk, cl, cfg.Model, cfg.Market)
 		if o != nil {
-			o.OnBid(bidEvent(env))
+			o.OnBid(NewBidEvent(env))
 		}
 		start := time.Now()
 		d := sched.Offer(env)
@@ -283,8 +257,68 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	return res, nil
 }
 
-// bidEvent builds the arrival event for one offered task.
-func bidEvent(env *schedule.TaskEnv) *obs.BidEvent {
+// NewResult returns an empty accounting for one run of the named
+// scheduler, ready for Account calls. The simulation engine and the
+// service broker share it so a replayed workload and a live bid stream
+// tally identically.
+func NewResult(scheduler string) *Result {
+	return &Result{
+		Scheduler:     scheduler,
+		RejectReasons: map[schedule.RejectReason]int{},
+	}
+}
+
+// Account applies one auction decision to the run accounting: the
+// welfare/revenue/spend sums and the admit/reject counters. It is the
+// single shared tally used by Run and by the service broker.
+func (r *Result) Account(env *schedule.TaskEnv, d *schedule.Decision) {
+	if d.Admitted {
+		r.Admitted++
+		r.Welfare += env.Task.Bid - d.VendorCost - d.EnergyCost
+		r.Revenue += d.Payment
+		r.VendorSpend += d.VendorCost
+		r.EnergySpend += d.EnergyCost
+		return
+	}
+	r.Rejected++
+	reason := d.Reason
+	if reason == "" {
+		reason = "unspecified"
+	}
+	r.RejectReasons[reason]++
+}
+
+// NewOutcomeEvent builds the observer outcome event for one decision,
+// including the committed placements for admitted plans.
+func NewOutcomeEvent(env *schedule.TaskEnv, d *schedule.Decision) *obs.OutcomeEvent {
+	ev := &obs.OutcomeEvent{
+		TaskID:       env.Task.ID,
+		Slot:         env.Task.Arrival,
+		Bid:          env.Task.Bid,
+		Admitted:     d.Admitted,
+		Reason:       d.Reason,
+		Payment:      d.Payment,
+		VendorCost:   d.VendorCost,
+		EnergyCost:   d.EnergyCost,
+		DualsUpdated: d.DualsUpdated,
+		Env:          env,
+		Decision:     d,
+	}
+	// F is -Inf when no plan exists; keep the trace JSON-encodable.
+	if !math.IsInf(d.F, 0) {
+		ev.Surplus = d.F
+	}
+	if d.Admitted && d.Schedule != nil {
+		ev.Placements = make([]obs.Placement, len(d.Schedule.Placements))
+		for pi, p := range d.Schedule.Placements {
+			ev.Placements[pi] = obs.Placement{Node: p.Node, Slot: p.Slot, Work: env.Speed[p.Node]}
+		}
+	}
+	return ev
+}
+
+// NewBidEvent builds the arrival event for one offered task.
+func NewBidEvent(env *schedule.TaskEnv) *obs.BidEvent {
 	return &obs.BidEvent{
 		TaskID:    env.Task.ID,
 		Slot:      env.Task.Arrival,

@@ -27,6 +27,7 @@
 package pdftsp
 
 import (
+	"context"
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/baseline"
@@ -34,7 +35,9 @@ import (
 	"github.com/pdftsp/pdftsp/internal/core"
 	"github.com/pdftsp/pdftsp/internal/gpu"
 	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/service"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/task"
 	"github.com/pdftsp/pdftsp/internal/timeslot"
@@ -91,6 +94,39 @@ type (
 	Failure = sim.Failure
 	// Event is one line of the run's JSON audit log.
 	Event = sim.Event
+	// RejectReason is the typed explanation on a rejecting Decision.
+	RejectReason = schedule.RejectReason
+	// Observer receives a run's decision-path event stream; set it on
+	// RunConfig.Observer (or BrokerOptions.Observer) to trace, audit, or
+	// meter a run. Ready-made observers live in internal/obs: JSONL
+	// traces, the invariant auditor, and expvar metrics.
+	Observer = obs.Observer
+	// Broker is the long-lived auction service: concurrent bid intake,
+	// slot-batched decisions, checkpoint/restore. See NewBroker.
+	Broker = service.Broker
+	// BrokerOptions configures a Broker.
+	BrokerOptions = service.Options
+	// BrokerStatus is a broker's operational summary.
+	BrokerStatus = service.Status
+	// Outcome is a broker's terminal answer for one submitted bid.
+	Outcome = service.Outcome
+	// Checkpoint is a broker's persisted auction state.
+	Checkpoint = service.Checkpoint
+	// DualState is a snapshot of the scheduler's dual prices λ/φ.
+	DualState = core.DualState
+)
+
+// Rejection reasons carried by Decision.Reason.
+const (
+	// ReasonNoSchedule: no feasible plan fits the task's window.
+	ReasonNoSchedule = schedule.ReasonNoSchedule
+	// ReasonSurplus: the best plan's surplus F(il) is not positive.
+	ReasonSurplus = schedule.ReasonSurplus
+	// ReasonCapacity: the selected plan no longer fits the ledger
+	// (Lemma 1's almost-feasible case).
+	ReasonCapacity = schedule.ReasonCapacity
+	// ReasonFailedNode: an injected node outage broke the committed plan.
+	ReasonFailedNode = schedule.ReasonFailedNode
 )
 
 // GPU catalog.
@@ -114,41 +150,79 @@ func GPT2Small() ModelConfig { return lora.GPT2Small() }
 // GPT2Medium returns the GPT-2 355M configuration.
 func GPT2Medium() ModelConfig { return lora.GPT2Medium() }
 
-// NodeGroup describes a homogeneous slice of a cluster.
+// clusterSpec accumulates the functional options of NewCluster.
+type clusterSpec struct {
+	groups []NodeGroup
+	price  PriceCurve
+}
+
+// ClusterOption configures NewCluster. Options are WithNodes and
+// WithPrice; a bare NodeGroup literal is itself an option (so long-form
+// callers keep compiling unchanged).
+type ClusterOption interface {
+	applyCluster(*clusterSpec)
+}
+
+// NodeGroup describes a homogeneous slice of a cluster. It implements
+// ClusterOption, so it can be passed to NewCluster directly; WithNodes
+// is the equivalent constructor form.
 type NodeGroup struct {
 	Spec  GPUSpec
 	Count int
 }
 
+func (g NodeGroup) applyCluster(s *clusterSpec) { s.groups = append(s.groups, g) }
+
+// WithNodes adds count nodes of the given GPU spec to the cluster.
+func WithNodes(spec GPUSpec, count int) ClusterOption {
+	return NodeGroup{Spec: spec, Count: count}
+}
+
+type priceOption struct{ curve PriceCurve }
+
+func (p priceOption) applyCluster(s *clusterSpec) { s.price = p.curve }
+
+// WithPrice sets the operational-cost multiplier curve (nil selects the
+// default diurnal curve).
+func WithPrice(curve PriceCurve) ClusterOption { return priceOption{curve: curve} }
+
 // NewCluster assembles a cluster whose per-node capacities (C_kp work
 // units per slot, C_km GB) are derived from the shared model's LoRA
 // throughput and memory profile on each GPU type, with the base model
-// replica r_b accounted per node.
-func NewCluster(h Horizon, model ModelConfig, groups ...NodeGroup) (*Cluster, error) {
+// replica r_b accounted per node:
+//
+//	cl, err := pdftsp.NewCluster(h, model,
+//		pdftsp.WithNodes(pdftsp.A100(), 8),
+//		pdftsp.WithNodes(pdftsp.A40(), 4),
+//		pdftsp.WithPrice(pdftsp.FlatPrice(1)))
+func NewCluster(h Horizon, model ModelConfig, opts ...ClusterOption) (*Cluster, error) {
+	var spec clusterSpec
+	for _, o := range opts {
+		o.applyCluster(&spec)
+	}
 	var nodes []Node
-	for _, g := range groups {
+	for _, g := range spec.groups {
 		nodes = append(nodes, cluster.Uniform(g.Count, g.Spec,
 			lora.NodeCapUnits(model, g.Spec, h), g.Spec.MemGB)...)
 	}
 	return cluster.New(cluster.Config{
 		Horizon:     h,
 		BaseModelGB: lora.BaseMemoryGB(model),
+		Price:       spec.price,
 	}, nodes)
 }
 
 // NewClusterWithPrice is NewCluster with an explicit operational-cost
-// multiplier curve (nil selects the default diurnal curve).
+// multiplier curve.
+//
+// Deprecated: use NewCluster with WithPrice.
 func NewClusterWithPrice(h Horizon, model ModelConfig, price PriceCurve, groups ...NodeGroup) (*Cluster, error) {
-	var nodes []Node
+	opts := make([]ClusterOption, 0, len(groups)+1)
 	for _, g := range groups {
-		nodes = append(nodes, cluster.Uniform(g.Count, g.Spec,
-			lora.NodeCapUnits(model, g.Spec, h), g.Spec.MemGB)...)
+		opts = append(opts, g)
 	}
-	return cluster.New(cluster.Config{
-		Horizon:     h,
-		BaseModelGB: lora.BaseMemoryGB(model),
-		Price:       price,
-	}, nodes)
+	opts = append(opts, WithPrice(price))
+	return NewCluster(h, model, opts...)
 }
 
 // FlatPrice returns a constant cost multiplier.
@@ -199,9 +273,33 @@ func NewNTM(seed int64) Scheduler { return baseline.NewNTM(seed) }
 func NewTitan(opts TitanOptions) Scheduler { return baseline.NewTitan(opts) }
 
 // Run replays a workload through a scheduler and accounts social welfare.
+// Set RunConfig.Context (or use RunCtx) to make the run cancelable: Run
+// stops between offers once the context is done and returns its error.
 func Run(cl *Cluster, s Scheduler, tasks []Task, cfg RunConfig) (*RunResult, error) {
 	return sim.Run(cl, s, tasks, cfg)
 }
+
+// RunCtx is Run bound to a context; cancellation stops the replay between
+// offers (decisions already made are irrevocable, the partial result is
+// discarded). It is the same cooperative cancellation path the parallel
+// experiment engine and the auction Broker drain through.
+func RunCtx(ctx context.Context, cl *Cluster, s Scheduler, tasks []Task, cfg RunConfig) (*RunResult, error) {
+	cfg.Context = ctx
+	return sim.Run(cl, s, tasks, cfg)
+}
+
+// NewBroker builds the long-lived auction service: bids submitted
+// concurrently (Broker.Submit, or the HTTP facade from Broker.Handler)
+// are batched per slot and answered with irrevocable Decisions when
+// their arrival slot closes. See internal/service for the full contract
+// (bounded intake, per-bid contexts, graceful drain, checkpoint/restore)
+// and cmd/pdftspd for the serving daemon.
+func NewBroker(opts BrokerOptions) (*Broker, error) { return service.New(opts) }
+
+// ReadCheckpoint loads a broker checkpoint written via
+// BrokerOptions.CheckpointPath; pass it to Broker.Restore before Start to
+// resume a crashed broker bit-exactly.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return service.ReadCheckpoint(path) }
 
 // DefaultTitanBudget is a sensible per-slot MILP budget for interactive
 // use of the Titan baseline.
