@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot check trace-smoke serve-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ test-short:
 # keeps the node-bound Titan figures out of the 10-20x race slowdown;
 # the full determinism suite runs under `make test`.
 race:
-	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/service/
+	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/service/ ./internal/sim/ ./internal/vendor/
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,14 @@ bench:
 #   make bench-snapshot LABEL=pr2
 bench-snapshot:
 	$(GO) run ./cmd/bench -label $(LABEL)
+
+# bench-check gates the micro-benchmarks against the committed baseline:
+# ns/op, bytes/op, or allocs/op regressions beyond the tolerances fail.
+# Figure-scale benchmarks are excluded — their wall-clock depends on the
+# host — so the gate stays meaningful on shared CI runners.
+BASELINE ?= BENCH_pr4.json
+bench-check:
+	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
 # trace reproduces the reported accounting.

@@ -1,0 +1,101 @@
+package pdftsp
+
+// Allocation-budget guards for the hot paths PR 4 tightened. These lock
+// in the steady-state budgets so later PRs cannot silently regress them;
+// the figure-scale wins are gated separately by `make bench-check`.
+
+import (
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// benchClusterForTest mirrors benchsuite's ten-node hybrid cluster.
+func benchClusterForTest(t *testing.T, h timeslot.Horizon, model lora.ModelConfig) *cluster.Cluster {
+	t.Helper()
+	var nodes []cluster.Node
+	for _, spec := range []gpu.Spec{gpu.A100, gpu.A40} {
+		nodes = append(nodes, cluster.Uniform(5, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestOfferAllocBudget mirrors the OfferPdFTSP benchmark and asserts one
+// warm Algorithm-1 offer stays within 6 allocations — the budget the
+// acceptance criteria fix. Fresh task IDs keep the vendor quote cache
+// missing on every prep bid, so the budget covers the worst case.
+func TestOfferAllocBudget(t *testing.T) {
+	model := lora.GPT2Small()
+	h := timeslot.Day()
+	cl := benchClusterForTest(t, h, model)
+	mkt, err := vendor.Standard(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.RatePerSlot = 3
+	tasks, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env schedule.TaskEnv
+	for i := 0; i < len(tasks)/2; i++ {
+		env.Refill(&tasks[i], cl, model, mkt)
+		sch.Offer(&env)
+	}
+	rest := tasks[len(tasks)/2:]
+	var tk task.Task
+	n := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		tk = rest[n%len(rest)]
+		tk.ID += 1_000_000 + n // fresh identity: quote-cache miss per prep bid
+		n++
+		env.Refill(&tk, cl, model, mkt)
+		sch.Offer(&env)
+	})
+	if allocs > 6 {
+		t.Fatalf("warm Offer averaged %.1f allocs, budget is 6", allocs)
+	}
+}
+
+// TestCalibrateDualsAllocBudget asserts the Lemma-2 calibration is
+// allocation-free once the marketplace quote cache is warm (it was 1186
+// allocs per call before the cache).
+func TestCalibrateDualsAllocBudget(t *testing.T) {
+	model := lora.GPT2Small()
+	h := timeslot.Day()
+	cl := benchClusterForTest(t, h, model)
+	cfg := trace.DefaultConfig()
+	cfg.RatePerSlot = 10
+	tasks, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := vendor.Standard(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.CalibrateDuals(tasks, model, cl, mkt) // warm the quote cache
+	allocs := testing.AllocsPerRun(20, func() {
+		core.CalibrateDuals(tasks, model, cl, mkt)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm CalibrateDuals averaged %.1f allocs, budget is 0", allocs)
+	}
+}

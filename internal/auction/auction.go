@@ -32,6 +32,11 @@ type Offerer interface {
 type Scenario struct {
 	// MakeCluster builds a fresh cluster (fresh ledger) per branch.
 	MakeCluster func() (*cluster.Cluster, error)
+	// ReleaseCluster, when non-nil, takes the branch's cluster back once
+	// its replay is done (e.g. to return it to a reuse pool). The decision
+	// returned by RunFocal never references the cluster, so recycling is
+	// safe.
+	ReleaseCluster func(cl *cluster.Cluster)
 	// MakeScheduler builds a fresh scheduler bound to the cluster.
 	MakeScheduler func(cl *cluster.Cluster) (Offerer, error)
 	// Background tasks are replayed, in order, before the focal bid.
@@ -68,18 +73,24 @@ func (s *Scenario) RunFocal(bid float64) (schedule.Decision, error) {
 	if err != nil {
 		return schedule.Decision{}, err
 	}
+	if s.ReleaseCluster != nil {
+		defer s.ReleaseCluster(cl)
+	}
 	sched, err := s.MakeScheduler(cl)
 	if err != nil {
 		return schedule.Decision{}, err
 	}
+	// One env, refilled per bid: the scheduler contract says the env is
+	// only read during Offer.
+	var env schedule.TaskEnv
 	for i := range s.Background {
-		env := schedule.NewTaskEnv(&s.Background[i], cl, s.Model, s.Market)
-		sched.Offer(env)
+		env.Refill(&s.Background[i], cl, s.Model, s.Market)
+		sched.Offer(&env)
 	}
 	focal := s.Focal
 	focal.Bid = bid
-	env := schedule.NewTaskEnv(&focal, cl, s.Model, s.Market)
-	return sched.Offer(env), nil
+	env.Refill(&focal, cl, s.Model, s.Market)
+	return sched.Offer(&env), nil
 }
 
 // SweepPoint is one counterfactual outcome of the truthfulness sweep.

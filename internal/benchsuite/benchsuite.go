@@ -17,6 +17,7 @@ import (
 	"github.com/pdftsp/pdftsp/internal/gpu"
 	"github.com/pdftsp/pdftsp/internal/lora"
 	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/task"
 	"github.com/pdftsp/pdftsp/internal/timeslot"
 	"github.com/pdftsp/pdftsp/internal/trace"
 	"github.com/pdftsp/pdftsp/internal/vendor"
@@ -73,21 +74,28 @@ func OfferPdFTSP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sch, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	opts := core.CalibrateDuals(tasks, model, cl, mkt)
+	opts.ReusePlans = true // decisions are dropped between offers
+	sch, err := core.New(cl, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Warm the prices with a slice of the workload.
+	// Warm the prices with a slice of the workload. The env is refilled
+	// per bid, mirroring the engine's run-scoped scratch.
+	var env schedule.TaskEnv
 	for i := 0; i < len(tasks)/2; i++ {
-		sch.Offer(schedule.NewTaskEnv(&tasks[i], cl, model, mkt))
+		env.Refill(&tasks[i], cl, model, mkt)
+		sch.Offer(&env)
 	}
 	rest := tasks[len(tasks)/2:]
+	var tk task.Task
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tk := rest[i%len(rest)]
+		tk = rest[i%len(rest)]
 		tk.ID += 1_000_000 + i // fresh identity per offer
-		sch.Offer(schedule.NewTaskEnv(&tk, cl, model, mkt))
+		env.Refill(&tk, cl, model, mkt)
+		sch.Offer(&env)
 	}
 }
 

@@ -39,9 +39,20 @@ type Cluster struct {
 	usedMem  [][]float64
 	tasksOn  [][]int // number of distinct task-slots committed (for NTM and reporting)
 	unitCost [][]float64
+	// workBack/memBack/cntBack are the flat K×T backing arrays behind the
+	// ledger rows; Reset clears them in three calls instead of a per-cell
+	// loop so pooled clusters are cheap to recycle.
+	workBack []int
+	memBack  []float64
+	cntBack  []int
 	// down marks (node, slot) cells unavailable due to injected failures;
 	// nil until the first SetDown call.
 	down [][]bool
+	// gen counts mutations that can increase availability (Release, Reset,
+	// Restore). Schedulers use it to invalidate saturation caches: Commit
+	// and SetDown only shrink availability, so caches that skip known-full
+	// cells stay conservative across them.
+	gen uint64
 }
 
 // Config configures a new cluster.
@@ -98,9 +109,10 @@ func New(cfg Config, nodes []Node) (*Cluster, error) {
 	c.usedMem = make([][]float64, K)
 	c.tasksOn = make([][]int, K)
 	c.unitCost = make([][]float64, K)
-	workBack := make([]int, K*T)
-	memBack := make([]float64, K*T)
-	cntBack := make([]int, K*T)
+	c.workBack = make([]int, K*T)
+	c.memBack = make([]float64, K*T)
+	c.cntBack = make([]int, K*T)
+	workBack, memBack, cntBack := c.workBack, c.memBack, c.cntBack
 	costBack := make([]float64, K*T)
 	for k := 0; k < K; k++ {
 		c.usedWork[k], workBack = workBack[:T:T], workBack[T:]
@@ -244,17 +256,27 @@ func (c *Cluster) Release(k, t, workUnits int, memGB float64) {
 	if c.usedWork[k][t] < 0 || c.usedMem[k][t] < -1e-9 || c.tasksOn[k][t] < 0 {
 		panic(fmt.Sprintf("cluster: release below zero on node %d slot %d", k, t))
 	}
+	c.gen++
 }
 
-// Reset clears the committed ledger.
+// Generation returns a counter that increases on every mutation that can
+// make a previously full (k,t) cell available again (Release, Reset,
+// Restore). Saturation caches compare it to decide when to re-scan.
+func (c *Cluster) Generation() uint64 { return c.gen }
+
+// Reset clears the committed ledger and any injected failures, returning
+// the cluster to its freshly-built state while reusing the flat K×T
+// backing arrays. Experiment repetitions and baseline replays recycle
+// clusters through Reset instead of rebuilding them per point.
 func (c *Cluster) Reset() {
-	for k := range c.usedWork {
-		for t := range c.usedWork[k] {
-			c.usedWork[k][t] = 0
-			c.usedMem[k][t] = 0
-			c.tasksOn[k][t] = 0
-		}
-	}
+	clear(c.workBack)
+	clear(c.memBack)
+	clear(c.cntBack)
+	// A fresh cluster has down == nil; dropping the lazily-built failure
+	// grid keeps Reset bit-compatible with New (Snapshot captures down
+	// only when non-nil).
+	c.down = nil
+	c.gen++
 }
 
 // Clone returns a deep copy of the cluster, including the ledger. Schedulers
@@ -271,10 +293,17 @@ func (c *Cluster) Clone() *Cluster {
 	out.usedMem = make([][]float64, K)
 	out.tasksOn = make([][]int, K)
 	out.unitCost = make([][]float64, K)
+	out.workBack = make([]int, K*T)
+	out.memBack = make([]float64, K*T)
+	out.cntBack = make([]int, K*T)
+	workBack, memBack, cntBack := out.workBack, out.memBack, out.cntBack
 	for k := 0; k < K; k++ {
-		out.usedWork[k] = append(make([]int, 0, T), c.usedWork[k]...)
-		out.usedMem[k] = append(make([]float64, 0, T), c.usedMem[k]...)
-		out.tasksOn[k] = append(make([]int, 0, T), c.tasksOn[k]...)
+		out.usedWork[k], workBack = workBack[:T:T], workBack[T:]
+		out.usedMem[k], memBack = memBack[:T:T], memBack[T:]
+		out.tasksOn[k], cntBack = cntBack[:T:T], cntBack[T:]
+		copy(out.usedWork[k], c.usedWork[k])
+		copy(out.usedMem[k], c.usedMem[k])
+		copy(out.tasksOn[k], c.tasksOn[k])
 		out.unitCost[k] = append(make([]float64, 0, T), c.unitCost[k]...)
 	}
 	if c.down != nil {

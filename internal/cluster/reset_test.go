@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dirty commits a deterministic random load across the cluster and
+// downs one node for part of the horizon, so every ledger array and the
+// outage set hold non-zero state.
+func dirty(c *Cluster) {
+	r := rand.New(rand.NewSource(3))
+	h := c.Horizon()
+	for n := 0; n < 60; n++ {
+		k := r.Intn(c.NumNodes())
+		t := r.Intn(h.T)
+		w := 1 + r.Intn(3)
+		if c.CanPlace(k, t, w, 4) {
+			c.Commit(k, t, w, 4)
+		}
+	}
+	c.SetDown(1, 2, 5)
+}
+
+// assertSameState requires two clusters to agree on every observable
+// cell: ledger, outages, and pricing.
+func assertSameState(t *testing.T, got, want *Cluster) {
+	t.Helper()
+	h := want.Horizon()
+	if got.NumNodes() != want.NumNodes() || got.Horizon() != h {
+		t.Fatalf("shape mismatch: %d nodes/T=%d vs %d nodes/T=%d",
+			got.NumNodes(), got.Horizon().T, want.NumNodes(), h.T)
+	}
+	for k := 0; k < want.NumNodes(); k++ {
+		for ts := 0; ts < h.T; ts++ {
+			if got.UsedWork(k, ts) != want.UsedWork(k, ts) ||
+				got.UsedMem(k, ts) != want.UsedMem(k, ts) ||
+				got.TasksOn(k, ts) != want.TasksOn(k, ts) {
+				t.Fatalf("ledger cell (%d,%d): got (%d,%v,%d), want (%d,%v,%d)",
+					k, ts, got.UsedWork(k, ts), got.UsedMem(k, ts), got.TasksOn(k, ts),
+					want.UsedWork(k, ts), want.UsedMem(k, ts), want.TasksOn(k, ts))
+			}
+			if got.IsDown(k, ts) != want.IsDown(k, ts) {
+				t.Fatalf("outage cell (%d,%d): got %v, want %v", k, ts, got.IsDown(k, ts), want.IsDown(k, ts))
+			}
+			if got.UnitEnergyCost(k, ts) != want.UnitEnergyCost(k, ts) {
+				t.Fatalf("price cell (%d,%d): got %v, want %v", k, ts, got.UnitEnergyCost(k, ts), want.UnitEnergyCost(k, ts))
+			}
+		}
+	}
+}
+
+// TestResetBitIdenticalToFresh is the cluster-pool hygiene guarantee: a
+// dirtied cluster after Reset is indistinguishable, cell for cell, from
+// a freshly built one — so pooled reuse in the experiment engine cannot
+// leak state between repetitions.
+func TestResetBitIdenticalToFresh(t *testing.T) {
+	c := testCluster(t)
+	fresh := testCluster(t)
+	dirty(c)
+	gen := c.Generation()
+	c.Reset()
+	if c.Generation() <= gen {
+		t.Fatalf("Reset did not advance the generation: %d -> %d", gen, c.Generation())
+	}
+	assertSameState(t, c, fresh)
+	if err := c.CheckLedger(); err != nil {
+		t.Fatalf("ledger after Reset: %v", err)
+	}
+}
+
+// TestCloneResetIndependent guards the flat-backing Clone: resetting a
+// clone must fully clear the clone (not silently no-op on per-row
+// slices) while leaving the original's state untouched.
+func TestCloneResetIndependent(t *testing.T) {
+	c := testCluster(t)
+	dirty(c)
+	before := c.Clone()
+	clone := c.Clone()
+	clone.Reset()
+	assertSameState(t, clone, testCluster(t))
+	assertSameState(t, c, before)
+}

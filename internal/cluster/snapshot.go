@@ -64,6 +64,8 @@ func (c *Cluster) Restore(s Snapshot) error {
 		copy(c.usedMem[k], s.UsedMem[k])
 		copy(c.tasksOn[k], s.TasksOn[k])
 	}
+	// Restoring can re-open previously saturated cells.
+	c.gen++
 	if s.Down == nil {
 		c.down = nil
 		return nil

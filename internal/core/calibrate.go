@@ -48,10 +48,16 @@ func CalibrateDuals(tasks []task.Task, model lora.ModelConfig, cl *cluster.Clust
 	}
 
 	// Fastest per-batch speed across the cluster's node types, cached.
-	speedCache := map[int]int{}
+	// Workloads use a handful of distinct batch sizes, so a linear scan
+	// over parallel slices beats a map and stays allocation-free after
+	// the first few batches.
+	var cachedBatches, cachedSpeeds [8]int
+	nCached := 0
 	fastest := func(batch int) int {
-		if s, ok := speedCache[batch]; ok {
-			return s
+		for i := 0; i < nCached; i++ {
+			if cachedBatches[i] == batch {
+				return cachedSpeeds[i]
+			}
 		}
 		best := 1
 		for k := 0; k < cl.NumNodes(); k++ {
@@ -59,7 +65,11 @@ func CalibrateDuals(tasks []task.Task, model lora.ModelConfig, cl *cluster.Clust
 				best = s
 			}
 		}
-		speedCache[batch] = best
+		if nCached < len(cachedBatches) {
+			cachedBatches[nCached] = batch
+			cachedSpeeds[nCached] = best
+			nCached++
+		}
 		return best
 	}
 

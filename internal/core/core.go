@@ -82,6 +82,13 @@ type Options struct {
 	ChargeEnergy bool
 	// DualRule selects the dual price update; default PaperRule.
 	DualRule DualRule
+	// ReusePlans, when set, makes Offer return Decisions whose Schedule
+	// (and its Placements) alias scheduler-owned buffers that the next
+	// Offer overwrites. It removes the last per-bid allocations from the
+	// hot loop; callers that retain a Decision past the next Offer must
+	// deep-copy its Schedule first. Off by default: the Decision is then
+	// caller-owned forever.
+	ReusePlans bool
 }
 
 // Validate reports option errors.
@@ -128,6 +135,17 @@ type Scheduler struct {
 	// overwrite it. Only the final winner is cloned to a fresh slice.
 	planBuf [2][]schedule.Placement
 	planCur int
+	// fullPrefix[k] is the first slot on node k not yet proven
+	// work-saturated: every slot below it has RemainingWork == 0, so the
+	// MaskFullCells DP skips it without consulting the ledger. Commit and
+	// SetDown only shrink availability, keeping the prefix conservative;
+	// genSeen tracks cluster.Generation so Release/Reset/Restore clear it.
+	fullPrefix []int32
+	genSeen    uint64
+	// decSched/decPlan back the Decision returned under Options.ReusePlans:
+	// one schedule struct and placement buffer, overwritten per offer.
+	decSched schedule.Schedule
+	decPlan  []schedule.Placement
 	// obs receives decision-path events (per-vendor DP outcomes, dual
 	// moves, payment breakdowns); nil keeps the hot path allocation-free.
 	obs obs.Observer
@@ -157,6 +175,8 @@ func New(cl *cluster.Cluster, opts Options) (*Scheduler, error) {
 		s.lambda[k], lamBack = lamBack[:T:T], lamBack[T:]
 		s.phi[k], phiBack = phiBack[:T:T], phiBack[T:]
 	}
+	s.fullPrefix = make([]int32, K)
+	s.genSeen = cl.Generation()
 	return s, nil
 }
 
@@ -465,6 +485,14 @@ func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, c
 	if !found {
 		return nil, math.Inf(-1)
 	}
+	if s.opts.ReusePlans {
+		// The winner aliases scheduler-owned buffers, valid until the
+		// next Offer; retainers must deep-copy (see Options.ReusePlans).
+		s.decPlan = append(s.decPlan[:0], best.Placements...)
+		s.decSched = best
+		s.decSched.Placements = s.decPlan
+		return &s.decSched, bestF
+	}
 	out := best
 	out.Placements = append([]schedule.Placement(nil), best.Placements...)
 	return &out, bestF
@@ -540,6 +568,14 @@ func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidat
 		s.candDelta = make([]float64, len(candidates))
 	}
 
+	// The saturation prefix survives across offers only while the ledger
+	// moves monotonically toward full; any availability-increasing
+	// mutation bumps the cluster generation and resets it.
+	if s.opts.MaskFullCells && s.genSeen != s.cl.Generation() {
+		clear(s.fullPrefix)
+		s.genSeen = s.cl.Generation()
+	}
+
 	for tau := 0; tau < L; tau++ {
 		slot := window.Start + tau
 		// Δ_kt = s_ik·λ_kt + r_i·φ_kt + e_ikt does not depend on the
@@ -551,9 +587,21 @@ func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidat
 			if sk <= 0 {
 				continue
 			}
-			if s.opts.MaskFullCells &&
-				!s.cl.CanPlace(k, slot, sk, t.MemGB) {
-				continue
+			if s.opts.MaskFullCells {
+				// Slots below the saturation prefix are known full;
+				// skip them without touching the ledger.
+				if slot < int(s.fullPrefix[k]) {
+					continue
+				}
+				if !s.cl.CanPlace(k, slot, sk, t.MemGB) {
+					// Extend the prefix only when the slot is full for
+					// every possible task (zero free work), so the skip
+					// stays exact for later offers with other speeds.
+					if slot == int(s.fullPrefix[k]) && s.cl.RemainingWork(k, slot) == 0 {
+						s.fullPrefix[k] = int32(slot + 1)
+					}
+					continue
+				}
 			}
 			s.candID[nc] = int32(k + 1)
 			s.candSpeed[nc] = int32(sk)

@@ -49,10 +49,11 @@ func (p Profile) runVariants(id, title string, names []string,
 		return nil, err
 	}
 	welfare, err := runner.MapCtx(p.ctx(), p.workers(), len(factories), func(i int) (float64, error) {
-		cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+		cl, err := acquireCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
 		if err != nil {
 			return 0, err
 		}
+		defer releaseCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model, cl)
 		sched, err := factories[i](cl, tasks, mkt)
 		if err != nil {
 			return 0, err

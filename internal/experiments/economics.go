@@ -45,22 +45,31 @@ func (p Profile) auctionScenario() (*auction.Scenario, error) {
 		return nil, err
 	}
 	makeCluster := func() (*cluster.Cluster, error) {
-		return buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+		return acquireCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+	}
+	releaseCl := func(cl *cluster.Cluster) {
+		releaseCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model, cl)
 	}
 	cl0, err := makeCluster()
 	if err != nil {
 		return nil, err
 	}
 	opts := core.CalibrateDuals(background, tc.Model, cl0, mkt)
+	releaseCl(cl0)
 	// Route around committed load so the sweep exercises the pricing
 	// boundary rather than incidental capacity rejections.
 	opts.MaskFullCells = true
+	// Each branch drops its scheduler after the focal offer; the focal
+	// decision is consumed before any further offer, so plan buffers
+	// recycle safely.
+	opts.ReusePlans = true
 	// The focal bid mirrors the paper's running example: scheduled late
 	// in the day against an already-priced cluster.
 	focal := mkTask(1_000_000, p.Horizon.T/2, p.Horizon.T/2+12, 30, 5, 0)
 	focal.TrueValue = 36 // ≈ value 1.2/unit, inside the generator's range
 	return &auction.Scenario{
-		MakeCluster: makeCluster,
+		MakeCluster:    makeCluster,
+		ReleaseCluster: releaseCl,
 		MakeScheduler: func(cl *cluster.Cluster) (auction.Offerer, error) {
 			return core.New(cl, opts)
 		},
@@ -133,11 +142,14 @@ func (p Profile) FigRationality() (*RationalityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+	cl, err := acquireCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
 	if err != nil {
 		return nil, err
 	}
-	sched, err := core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))
+	defer releaseCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model, cl)
+	rOpts := core.CalibrateDuals(tasks, tc.Model, cl, mkt)
+	rOpts.ReusePlans = true // sim.Run deep-copies into res.Decisions
+	sched, err := core.New(cl, rOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -196,14 +196,19 @@ func (p Profile) runSetting(s setting) (map[string]*sim.Result, error) {
 	model := s.traceC.Model
 	results, err := runner.MapCtx(p.ctx(), p.workers(), len(Algos), func(i int) (*sim.Result, error) {
 		name := Algos[i]
-		cl, err := buildCluster(p.Horizon, s.nodes, s.mix, model)
+		cl, err := acquireCluster(p.Horizon, s.nodes, s.mix, model)
 		if err != nil {
 			return nil, err
 		}
+		defer releaseCluster(p.Horizon, s.nodes, s.mix, model, cl)
 		var sched sim.Scheduler
 		switch name {
 		case "pdFTSP":
-			sched, err = core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+			opts := core.CalibrateDuals(tasks, model, cl, mkt)
+			// The engine never retains a Decision past the next offer
+			// (CollectDecisions deep-copies), so plan buffers recycle.
+			opts.ReusePlans = true
+			sched, err = core.New(cl, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"sync"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+// Figure fan-outs build an identical cluster for every (setting, seed,
+// algorithm) job and throw it away after one run — for FigWorkload that is
+// hundreds of K×T ledgers per figure. The pool recycles them through
+// cluster.Reset, keyed by the full build recipe so a recycled cluster is
+// bit-identical to a fresh one.
+type clusterKey struct {
+	h     timeslot.Horizon
+	k     int
+	mix   Mix
+	model lora.ModelConfig
+}
+
+var (
+	clusterPoolMu sync.Mutex
+	clusterPool   = map[clusterKey][]*cluster.Cluster{}
+)
+
+// clustersPerKey caps how many idle clusters each recipe retains; the
+// worker pool bounds concurrent jobs, so a small stack suffices.
+const clustersPerKey = 16
+
+// acquireCluster returns a cluster built to the recipe, recycling a pooled
+// one when available. Callers must pass it back via releaseCluster with
+// the same parameters when done.
+func acquireCluster(h timeslot.Horizon, k int, mix Mix, model lora.ModelConfig) (*cluster.Cluster, error) {
+	key := clusterKey{h: h, k: k, mix: mix, model: model}
+	clusterPoolMu.Lock()
+	if s := clusterPool[key]; len(s) > 0 {
+		cl := s[len(s)-1]
+		clusterPool[key] = s[:len(s)-1]
+		clusterPoolMu.Unlock()
+		cl.Reset()
+		return cl, nil
+	}
+	clusterPoolMu.Unlock()
+	return buildCluster(h, k, mix, model)
+}
+
+// releaseCluster returns a cluster obtained from acquireCluster to the
+// pool. The caller must not use cl afterwards.
+func releaseCluster(h timeslot.Horizon, k int, mix Mix, model lora.ModelConfig, cl *cluster.Cluster) {
+	if cl == nil {
+		return
+	}
+	key := clusterKey{h: h, k: k, mix: mix, model: model}
+	clusterPoolMu.Lock()
+	if len(clusterPool[key]) < clustersPerKey {
+		clusterPool[key] = append(clusterPool[key], cl)
+	}
+	clusterPoolMu.Unlock()
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClusterPoolBitIdentity is the pool-hygiene guarantee at the
+// engine level: regenerating a figure after other workloads have been
+// pushed through the shared cluster pool must reproduce the first run
+// exactly. The first FigWorkload call seeds the pool; FigRationality
+// then dirties pooled clusters with a different workload shape; the
+// second FigWorkload call runs on Reset-recycled clusters and must be
+// deep-equal to the first.
+func TestClusterPoolBitIdentity(t *testing.T) {
+	// detProfile makes the Titan baseline node-bound instead of
+	// wall-clock-bound; otherwise the Titan column varies run to run
+	// regardless of pooling.
+	p := detProfile(2)
+
+	first, err := p.FigWorkload()
+	if err != nil {
+		t.Fatalf("first FigWorkload: %v", err)
+	}
+	if _, err := p.FigRationality(); err != nil {
+		t.Fatalf("interleaved FigRationality: %v", err)
+	}
+	second, err := p.FigWorkload()
+	if err != nil {
+		t.Fatalf("second FigWorkload: %v", err)
+	}
+	if !reflect.DeepEqual(project(first), project(second)) {
+		t.Errorf("FigWorkload diverged after pooled-cluster reuse\nfirst:  %+v\nsecond: %+v",
+			project(first), project(second))
+	}
+}

@@ -108,11 +108,14 @@ func (p Profile) FigRatio(opts RatioOptions) (*RatioResult, error) {
 			return ratioCell{}, err
 		}
 		// Online pdFTSP.
-		onCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
+		onCl, err := acquireCluster(h, opts.Nodes, Hybrid, tc.Model)
 		if err != nil {
 			return ratioCell{}, err
 		}
-		sched, err := core.New(onCl, core.CalibrateDuals(tasks, tc.Model, onCl, mkt))
+		defer releaseCluster(h, opts.Nodes, Hybrid, tc.Model, onCl)
+		onOpts := core.CalibrateDuals(tasks, tc.Model, onCl, mkt)
+		onOpts.ReusePlans = true
+		sched, err := core.New(onCl, onOpts)
 		if err != nil {
 			return ratioCell{}, err
 		}
@@ -122,10 +125,11 @@ func (p Profile) FigRatio(opts RatioOptions) (*RatioResult, error) {
 			return ratioCell{}, err
 		}
 		// Offline optimum (or its dual bound).
-		offCl, err := buildCluster(h, opts.Nodes, Hybrid, tc.Model)
+		offCl, err := acquireCluster(h, opts.Nodes, Hybrid, tc.Model)
 		if err != nil {
 			return ratioCell{}, err
 		}
+		defer releaseCluster(h, opts.Nodes, Hybrid, tc.Model, offCl)
 		offRes, err := offline.Solve(offline.Instance{
 			Cluster: offCl, Tasks: tasks, Model: tc.Model, Market: mkt,
 		}, milp.Options{MaxNodes: opts.SolveNodes, TimeBudget: opts.SolveBudget, GapTol: 0.02})

@@ -74,10 +74,11 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 		return nil, err
 	}
 	collect := func(mk func(cl *cluster.Cluster) (sim.Scheduler, error)) (*sim.Result, error) {
-		cl, err := buildCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
+		cl, err := acquireCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model)
 		if err != nil {
 			return nil, err
 		}
+		defer releaseCluster(p.Horizon, p.nodes(100), Hybrid, tc.Model, cl)
 		sched, err := mk(cl)
 		if err != nil {
 			return nil, err
@@ -88,7 +89,9 @@ func (p Profile) FigRuntime() (*RuntimeResult, error) {
 	branches, err := runner.MapCtx(p.ctx(), p.workers(), 2, func(i int) (*sim.Result, error) {
 		if i == 0 {
 			return collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {
-				return core.New(cl, core.CalibrateDuals(tasks, tc.Model, cl, mkt))
+				opts := core.CalibrateDuals(tasks, tc.Model, cl, mkt)
+				opts.ReusePlans = true
+				return core.New(cl, opts)
 			})
 		}
 		return collect(func(cl *cluster.Cluster) (sim.Scheduler, error) {

@@ -116,8 +116,57 @@ type Options struct {
 
 const defaultEps = 1e-9
 
-// Solve runs two-phase primal simplex.
+// Solve runs two-phase primal simplex with fresh scratch. The returned
+// Solution is caller-owned. Repeated solves (one LP per branch-and-bound
+// node) should use a Solver, which reuses the tableau across calls.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	var s Solver
+	return s.Solve(p, opts)
+}
+
+// Solver holds the simplex scratch — the dense tableau, basis, objective
+// and reduced-cost rows — so repeated Solve calls stop allocating a fresh
+// tableau per call. The zero value is ready to use. Not safe for
+// concurrent use; Solution.X returned by a Solver aliases its scratch and
+// is valid only until the next Solve call (copy it to retain it).
+type Solver struct {
+	tabBack []float64   // flat m×nCols tableau backing
+	tab     [][]float64 // row headers into tabBack
+	basis   []int
+	artCols []int
+	obj     []float64 // phase-1/phase-2 objective row
+	reduced []float64 // simplex reduced-cost row
+	x       []float64 // solution point
+}
+
+// takeX returns the zeroed solution buffer sized for p.
+func (s *Solver) takeX(n int) []float64 {
+	if cap(s.x) < n {
+		s.x = make([]float64, n+n/2)
+		s.x = s.x[:n]
+	} else {
+		s.x = s.x[:n]
+		clear(s.x)
+	}
+	return s.x
+}
+
+// takeObj returns the zeroed objective row.
+func (s *Solver) takeObj(n int) []float64 {
+	if cap(s.obj) < n {
+		s.obj = make([]float64, n+n/2)
+		s.obj = s.obj[:n]
+	} else {
+		s.obj = s.obj[:n]
+		clear(s.obj)
+	}
+	return s.obj
+}
+
+// Solve runs two-phase primal simplex, reusing the solver's scratch. The
+// algorithm and its arithmetic order are identical to the package-level
+// Solve, so results are bit-exact regardless of scratch reuse.
+func (s *Solver) Solve(p *Problem, opts Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,12 +178,11 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if m == 0 {
 		// Unconstrained non-negative maximization: unbounded unless all
 		// objective coefficients are non-positive.
-		x := make([]float64, p.NumVars)
-		for j, c := range p.Objective {
+		x := s.takeX(p.NumVars)
+		for _, c := range p.Objective {
 			if c > eps {
 				return &Solution{Status: Unbounded, X: x}, nil
 			}
-			_ = j
 		}
 		return &Solution{Status: Optimal, Objective: 0, X: x}, nil
 	}
@@ -167,14 +215,32 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	nCols := nStruct + nSlack + nArt + 1
 	rhsCol := nCols - 1
 
-	tab := make([][]float64, m)
-	for i := range tab {
-		tab[i] = make([]float64, nCols)
+	// Branch-and-bound callers grow the problem by one fixed variable per
+	// node, so the scratch grows with 50% headroom to amortize reuse
+	// instead of reallocating on every solve.
+	cells := m * nCols
+	if cap(s.tabBack) < cells {
+		s.tabBack = make([]float64, cells+cells/2)
 	}
-	basis := make([]int, m)
+	s.tabBack = s.tabBack[:cells]
+	clear(s.tabBack)
+	if cap(s.tab) < m {
+		s.tab = make([][]float64, m+m/2)
+	}
+	tab := s.tab[:m]
+	for i := range tab {
+		tab[i] = s.tabBack[i*nCols : (i+1)*nCols : (i+1)*nCols]
+	}
+	if cap(s.basis) < m {
+		s.basis = make([]int, m+m/2)
+	}
+	basis := s.basis[:m]
 	slackIdx := nStruct
 	artIdx := nStruct + nSlack
-	artCols := make([]int, 0, nArt)
+	if cap(s.artCols) < nArt {
+		s.artCols = make([]int, 0, nArt+nArt/2)
+	}
+	artCols := s.artCols[:0]
 
 	for i, c := range p.Constraints {
 		row := tab[i]
@@ -214,6 +280,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			artIdx++
 		}
 	}
+	s.artCols = artCols
 
 	maxIters := opts.MaxIters
 	if maxIters == 0 {
@@ -223,13 +290,13 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 
 	// Phase 1: minimize the sum of artificial variables.
 	if len(artCols) > 0 {
-		obj := make([]float64, nCols)
+		obj := s.takeObj(nCols)
 		for _, j := range artCols {
 			obj[j] = -1 // maximize −Σ artificials
 		}
-		status := simplex(tab, basis, obj, rhsCol, eps, maxIters, &iters)
+		status := s.simplex(tab, basis, obj, rhsCol, eps, maxIters, &iters)
 		if status == IterLimit {
-			return &Solution{Status: IterLimit, X: make([]float64, p.NumVars)}, nil
+			return &Solution{Status: IterLimit, X: s.takeX(p.NumVars)}, nil
 		}
 		sum := 0.0
 		for i, b := range basis {
@@ -238,7 +305,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			}
 		}
 		if sum > 1e-7 {
-			return &Solution{Status: Infeasible, X: make([]float64, p.NumVars)}, nil
+			return &Solution{Status: Infeasible, X: s.takeX(p.NumVars)}, nil
 		}
 		// Pivot remaining (degenerate) artificials out of the basis.
 		for i, b := range basis {
@@ -268,11 +335,11 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	}
 
 	// Phase 2: maximize the real objective.
-	obj := make([]float64, nCols)
+	obj := s.takeObj(nCols)
 	copy(obj, p.Objective)
-	status := simplex(tab, basis, obj, rhsCol, eps, maxIters, &iters)
+	status := s.simplex(tab, basis, obj, rhsCol, eps, maxIters, &iters)
 
-	x := make([]float64, p.NumVars)
+	x := s.takeX(p.NumVars)
 	for i, b := range basis {
 		if b < p.NumVars {
 			x[b] = tab[i][rhsCol]
@@ -291,10 +358,14 @@ func isArt(col, artStart int) bool { return col >= artStart }
 // Optimal, Unbounded, or IterLimit. The reduced-cost row is materialized
 // once and then maintained by the same row operations as the body, so each
 // pivot costs O(m·n) total instead of O(m·n) per candidate scan.
-func simplex(tab [][]float64, basis []int, obj []float64, rhsCol int, eps float64, maxIters int, iters *int) Status {
+func (s *Solver) simplex(tab [][]float64, basis []int, obj []float64, rhsCol int, eps float64, maxIters int, iters *int) Status {
 	m := len(tab)
-	// reduced[j] = Σ_i c_basis[i]·tab[i][j] − c_j, built once.
-	reduced := make([]float64, rhsCol+1)
+	// reduced[j] = Σ_i c_basis[i]·tab[i][j] − c_j, built once (every entry
+	// is overwritten, so the scratch row needs no clearing).
+	if cap(s.reduced) < rhsCol+1 {
+		s.reduced = make([]float64, (rhsCol+1)+(rhsCol+1)/2)
+	}
+	reduced := s.reduced[:rhsCol+1]
 	for j := 0; j <= rhsCol; j++ {
 		r := 0.0
 		if j < rhsCol {

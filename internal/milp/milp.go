@@ -151,17 +151,36 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Status: BoundOnly, Objective: math.Inf(-1), Bound: math.Inf(1)}
+	// One simplex solver and one constraint/fix-term scratch serve every
+	// node: the dive heuristic and the best-first loop run sequentially, and
+	// each node's relaxation is fully consumed (or copied) before the next
+	// solve. This removes the per-node tableau allocation that dominates the
+	// solve's memory traffic.
+	var solver lp.Solver
+	consBuf := make([]lp.Constraint, 0, len(base.Constraints)+8)
+	fixTerms := make([]lp.Term, 0, 8)
 	solveNode := func(n *node) (*lp.Solution, error) {
+		if need := len(base.Constraints) + len(n.fixes); cap(consBuf) < need {
+			consBuf = make([]lp.Constraint, 0, 2*need)
+		}
+		if cap(fixTerms) < len(n.fixes) {
+			// Capacity is reserved up front so the per-fix Terms slices
+			// below stay valid while the loop appends.
+			fixTerms = make([]lp.Term, 0, 2*len(n.fixes))
+		}
+		consBuf = append(consBuf[:0], base.Constraints...)
+		fixTerms = fixTerms[:0]
+		for _, f := range n.fixes {
+			fixTerms = append(fixTerms, lp.Term{Var: f.v, Coef: 1})
+			terms := fixTerms[len(fixTerms)-1 : len(fixTerms) : len(fixTerms)]
+			consBuf = append(consBuf, lp.Constraint{Terms: terms, Sense: lp.EQ, RHS: float64(f.val)})
+		}
 		prob := lp.Problem{
 			NumVars:     base.NumVars,
 			Objective:   base.Objective,
-			Constraints: make([]lp.Constraint, len(base.Constraints), len(base.Constraints)+len(n.fixes)),
+			Constraints: consBuf,
 		}
-		copy(prob.Constraints, base.Constraints)
-		for _, f := range n.fixes {
-			prob.AddConstraint(lp.EQ, float64(f.val), lp.Term{Var: f.v, Coef: 1})
-		}
-		return lp.Solve(&prob, opts.LP)
+		return solver.Solve(&prob, opts.LP)
 	}
 
 	open := &nodeHeap{}

@@ -64,9 +64,25 @@ type TaskEnv struct {
 // the LoRA model and each node's GPU, and marketplace quotes when the task
 // requires pre-processing. Algorithm 1, lines 3–4.
 func NewTaskEnv(t *task.Task, cl *cluster.Cluster, model lora.ModelConfig, mkt *vendor.Marketplace) *TaskEnv {
-	env := &TaskEnv{Task: t, Cluster: cl, Speed: make([]int, cl.NumNodes())}
+	env := &TaskEnv{}
+	env.Refill(t, cl, model, mkt)
+	return env
+}
+
+// Refill re-derives the environment in place, reusing the Speed slice when
+// its capacity allows. It lets hot loops drive many bids through one env
+// allocation; schedulers only read the env during Offer, so refilling
+// between offers is safe.
+func (env *TaskEnv) Refill(t *task.Task, cl *cluster.Cluster, model lora.ModelConfig, mkt *vendor.Marketplace) {
+	env.Task = t
+	env.Cluster = cl
+	n := cl.NumNodes()
+	if cap(env.Speed) < n {
+		env.Speed = make([]int, n)
+	}
+	env.Speed = env.Speed[:n]
 	h := cl.Horizon()
-	for k := 0; k < cl.NumNodes(); k++ {
+	for k := 0; k < n; k++ {
 		s := lora.TaskUnitsPerSlot(model, cl.Node(k).Spec, t.Batch, h)
 		// A task whose memory footprint cannot fit next to the base
 		// model can never run on this node.
@@ -75,10 +91,10 @@ func NewTaskEnv(t *task.Task, cl *cluster.Cluster, model lora.ModelConfig, mkt *
 		}
 		env.Speed[k] = s
 	}
+	env.Quotes = nil
 	if t.NeedsPrep && mkt != nil {
 		env.Quotes = mkt.QuotesFor(t.ID)
 	}
-	return env
 }
 
 // EnergyCost returns Σ_k Σ_t e_ikt x_ikt for the plan: the provider's

@@ -129,6 +129,7 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	}
 	h := cl.Horizon()
 	res := NewResult(sched.Name())
+	res.OfferLatency = make([]time.Duration, 0, len(tasks))
 	if cfg.CollectDecisions {
 		res.Decisions = make([]schedule.Decision, len(tasks))
 	}
@@ -158,26 +159,65 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		o.OnRunStart(&obs.RunStartEvent{Nodes: cl.NumNodes(), Slots: h.T, CapWork: capWork})
 	}
 
+	// Run-scoped scratch: observer events (and, below, task envs) are
+	// refilled per bid instead of reallocated. Observers must not retain
+	// event pointers past the callback, so reuse cannot leak state.
+	var (
+		bidEv   obs.BidEvent
+		outEv   obs.OutcomeEvent
+		placBuf []obs.Placement
+	)
 	var logErr error
-	record := func(idx int, env *schedule.TaskEnv, d schedule.Decision, lat time.Duration) {
-		if err := events.log(env.Task, &d); err != nil && logErr == nil {
+	record := func(idx int, env *schedule.TaskEnv, d *schedule.Decision, lat time.Duration) {
+		if err := events.log(env.Task, d); err != nil && logErr == nil {
 			logErr = err
 		}
 		if o != nil {
-			o.OnOutcome(NewOutcomeEvent(env, &d))
+			placBuf = fillOutcomeEvent(&outEv, env, d, placBuf[:0])
+			o.OnOutcome(&outEv)
 		}
 		res.OfferLatency = append(res.OfferLatency, lat)
 		if cfg.CollectDecisions {
-			res.Decisions[idx] = d
+			// Decisions outlive the offer loop, so the plan is deep-copied:
+			// schedulers running with reused plan buffers (core
+			// Options.ReusePlans) overwrite d.Schedule on the next offer.
+			dc := *d
+			if dc.Schedule != nil {
+				sc := *dc.Schedule
+				sc.Placements = append([]schedule.Placement(nil), sc.Placements...)
+				dc.Schedule = &sc
+			}
+			res.Decisions[idx] = dc
 		}
-		res.Account(env, &d)
+		res.Account(env, d)
 	}
+
+	// Envs are reused across bids: schedulers only read an env during
+	// Offer. Failure injection retains admitted envs in its recovery
+	// records, so it keeps the allocate-per-bid path.
+	reuseEnvs := failures == nil
+	var envPool []*schedule.TaskEnv
+	takeEnv := func(pos int, tk *task.Task) *schedule.TaskEnv {
+		if !reuseEnvs {
+			return schedule.NewTaskEnv(tk, cl, cfg.Model, cfg.Market)
+		}
+		for pos >= len(envPool) {
+			envPool = append(envPool, new(schedule.TaskEnv))
+		}
+		env := envPool[pos]
+		env.Refill(tk, cl, cfg.Model, cfg.Market)
+		return env
+	}
+	var envsBuf []*schedule.TaskEnv
 
 	ctx := cfg.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	prevArrival := -1
+	// Hoisted out of the loop so taking its address inside record/track
+	// does not force a fresh heap allocation per bid.
+	var d schedule.Decision
 	for i := 0; i < len(tasks); {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: canceled after %d of %d bids: %w", i, len(tasks), err)
@@ -199,31 +239,34 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 			j++
 		}
 		if isBatch {
-			envs := make([]*schedule.TaskEnv, 0, j-i)
+			envs := envsBuf[:0]
 			for m := i; m < j; m++ {
-				env := schedule.NewTaskEnv(&tasks[m], cl, cfg.Model, cfg.Market)
+				env := takeEnv(m-i, &tasks[m])
 				if o != nil {
-					o.OnBid(NewBidEvent(env))
+					fillBidEvent(&bidEv, env)
+					o.OnBid(&bidEv)
 				}
 				envs = append(envs, env)
 			}
+			envsBuf = envs
 			start := time.Now()
 			ds := batcher.BatchOffer(envs)
 			per := time.Since(start) / time.Duration(len(envs))
 			for m := range ds {
-				record(i+m, envs[m], ds[m], per)
+				record(i+m, envs[m], &ds[m], per)
 				failures.track(i+m, envs[m], &ds[m])
 			}
 			i = j
 			continue
 		}
-		env := schedule.NewTaskEnv(tk, cl, cfg.Model, cfg.Market)
+		env := takeEnv(0, tk)
 		if o != nil {
-			o.OnBid(NewBidEvent(env))
+			fillBidEvent(&bidEv, env)
+			o.OnBid(&bidEv)
 		}
 		start := time.Now()
-		d := sched.Offer(env)
-		record(i, env, d, time.Since(start))
+		d = sched.Offer(env)
+		record(i, env, &d, time.Since(start))
 		failures.track(i, env, &d)
 		i++
 	}
@@ -291,7 +334,17 @@ func (r *Result) Account(env *schedule.TaskEnv, d *schedule.Decision) {
 // NewOutcomeEvent builds the observer outcome event for one decision,
 // including the committed placements for admitted plans.
 func NewOutcomeEvent(env *schedule.TaskEnv, d *schedule.Decision) *obs.OutcomeEvent {
-	ev := &obs.OutcomeEvent{
+	ev := &obs.OutcomeEvent{}
+	fillOutcomeEvent(ev, env, d, nil)
+	return ev
+}
+
+// fillOutcomeEvent populates ev in place, appending admitted placements to
+// buf (ev.Placements aliases it). It returns buf so hot loops can retain
+// its capacity across bids; observers must not hold the event or its
+// placements past the callback.
+func fillOutcomeEvent(ev *obs.OutcomeEvent, env *schedule.TaskEnv, d *schedule.Decision, buf []obs.Placement) []obs.Placement {
+	*ev = obs.OutcomeEvent{
 		TaskID:       env.Task.ID,
 		Slot:         env.Task.Arrival,
 		Bid:          env.Task.Bid,
@@ -309,17 +362,24 @@ func NewOutcomeEvent(env *schedule.TaskEnv, d *schedule.Decision) *obs.OutcomeEv
 		ev.Surplus = d.F
 	}
 	if d.Admitted && d.Schedule != nil {
-		ev.Placements = make([]obs.Placement, len(d.Schedule.Placements))
-		for pi, p := range d.Schedule.Placements {
-			ev.Placements[pi] = obs.Placement{Node: p.Node, Slot: p.Slot, Work: env.Speed[p.Node]}
+		for _, p := range d.Schedule.Placements {
+			buf = append(buf, obs.Placement{Node: p.Node, Slot: p.Slot, Work: env.Speed[p.Node]})
 		}
+		ev.Placements = buf
 	}
-	return ev
+	return buf
 }
 
 // NewBidEvent builds the arrival event for one offered task.
 func NewBidEvent(env *schedule.TaskEnv) *obs.BidEvent {
-	return &obs.BidEvent{
+	ev := &obs.BidEvent{}
+	fillBidEvent(ev, env)
+	return ev
+}
+
+// fillBidEvent populates ev in place for env's arrival.
+func fillBidEvent(ev *obs.BidEvent, env *schedule.TaskEnv) {
+	*ev = obs.BidEvent{
 		TaskID:    env.Task.ID,
 		Slot:      env.Task.Arrival,
 		Bid:       env.Task.Bid,

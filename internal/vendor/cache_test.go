@@ -1,0 +1,81 @@
+package vendor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestQuotesForCacheHygiene checks that memoized quotes are
+// bit-identical to a never-cached marketplace's across repeated and
+// interleaved lookups: the cache may only change who owns the slice,
+// never a value in it.
+func TestQuotesForCacheHygiene(t *testing.T) {
+	cached, err := Standard(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		for id := 0; id < 50; id++ {
+			fresh, err := Standard(5, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := cached.QuotesFor(id), fresh.QuotesFor(id)
+			if len(got) != len(want) {
+				t.Fatalf("task %d trial %d: %d quotes, want %d", id, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("task %d trial %d quote %d: %+v != %+v", id, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuotesForConcurrent hammers the quote cache from several
+// goroutines over an overlapping ID range; `make race` runs this under
+// the race detector. Every goroutine must observe the same quotes a
+// sequential fresh marketplace computes.
+func TestQuotesForConcurrent(t *testing.T) {
+	m, err := Standard(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Standard(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ids = 200
+	want := make([][]Quote, ids)
+	for id := range want {
+		want[id] = ref.QuotesFor(id)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 3*ids; n++ {
+				id := (g*37 + n) % ids
+				got := m.QuotesFor(id)
+				for i := range got {
+					if got[i] != want[id][i] {
+						select {
+						case errs <- fmt.Sprintf("task %d: quote mismatch under concurrency", id):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

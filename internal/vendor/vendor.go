@@ -9,6 +9,7 @@ package vendor
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Quote is one vendor's offer for one task: the price charged and the
@@ -43,6 +44,25 @@ type Profile struct {
 type Marketplace struct {
 	profiles []Profile
 	seed     int64
+
+	// Quotes are a pure function of (seed, taskID, vendor), so repeat
+	// lookups — calibration passes, baseline replays, counterfactual
+	// auction runs — are served from a cache instead of re-deriving the
+	// RNG stream. Capped so adversarial ID streams cannot grow it
+	// unboundedly.
+	mu    sync.RWMutex
+	cache map[int][]Quote
+}
+
+// quoteCacheCap bounds the per-marketplace quote cache. Figure-scale runs
+// see a few thousand distinct task IDs; the cap only exists to keep
+// pathological ID streams (e.g. benchmark loops minting fresh IDs) from
+// growing the map without bound.
+const quoteCacheCap = 1 << 16
+
+// rngPool recycles the ~5 KB rand source used on cache misses.
+var rngPool = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(0)) },
 }
 
 // New creates a marketplace with the given vendor profiles. Quotes are
@@ -99,17 +119,23 @@ func (m *Marketplace) Profiles() []Profile {
 // QuotesFor returns every vendor's quote {q_in, h_in} for the given task
 // ID. Quotes are a pure function of (marketplace seed, task ID), so
 // counterfactual re-runs of the auction see identical marketplaces.
+//
+// The returned slice is shared across callers and must be treated as
+// read-only.
 func (m *Marketplace) QuotesFor(taskID int) []Quote {
-	quotes := make([]Quote, len(m.profiles))
-	// One RNG per call, re-seeded per vendor: Seed re-initializes the
-	// source to exactly the state NewSource would produce, so quotes stay
-	// a pure function of (marketplace seed, task ID, vendor) while the
-	// ~5 KB source is allocated once per call instead of once per vendor.
-	// A fresh RNG per call keeps the marketplace safe for concurrent use.
-	r := rand.New(rand.NewSource(0))
+	m.mu.RLock()
+	quotes, ok := m.cache[taskID]
+	m.mu.RUnlock()
+	if ok {
+		return quotes
+	}
+
+	quotes = make([]Quote, len(m.profiles))
+	// Seed re-initializes a pooled source to exactly the state NewSource
+	// would produce, so quotes stay a pure function of (marketplace seed,
+	// task ID, vendor) regardless of pooling or call order.
+	r := rngPool.Get().(*rand.Rand)
 	for n, p := range m.profiles {
-		// Derive a per-(task, vendor) seed so quote generation does not
-		// depend on call order.
 		r.Seed(m.seedFor(taskID, n))
 		price := p.BasePrice * (1 + p.PriceJitter*(2*r.Float64()-1))
 		delay := p.BaseDelay
@@ -118,6 +144,22 @@ func (m *Marketplace) QuotesFor(taskID int) []Quote {
 		}
 		quotes[n] = Quote{Vendor: n, Price: price, DelaySlots: delay}
 	}
+	rngPool.Put(r)
+
+	m.mu.Lock()
+	if cached, ok := m.cache[taskID]; ok {
+		// Another goroutine filled this entry first; return its slice so
+		// all callers share one copy.
+		quotes = cached
+	} else {
+		if m.cache == nil {
+			m.cache = make(map[int][]Quote)
+		}
+		if len(m.cache) < quoteCacheCap {
+			m.cache[taskID] = quotes
+		}
+	}
+	m.mu.Unlock()
 	return quotes
 }
 
