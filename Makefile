@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -39,10 +39,13 @@ bench-snapshot:
 # bench-check gates the micro-benchmarks against the committed baseline:
 # ns/op, bytes/op, or allocs/op regressions beyond the tolerances fail.
 # Figure-scale benchmarks are excluded — their wall-clock depends on the
-# host — so the gate stays meaningful on shared CI runners.
+# host — so the gate stays meaningful on shared CI runners. The alloc
+# budget tests guard the other axis: the failure-free hot path must stay
+# allocation-free with the fault layer compiled in but disabled.
 BASELINE ?= BENCH_pr4.json
 bench-check:
 	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
+	$(GO) test -run 'AllocBudget|SteadyStateAllocs' -count=1 . ./internal/sim/
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
 # trace reproduces the reported accounting.
@@ -56,4 +59,15 @@ trace-smoke:
 serve-smoke:
 	$(GO) run ./cmd/pdftspd -smoke
 
-check: build vet test race serve-smoke
+# chaos-smoke drives the broker through seeded fault schedules — node
+# outages, vendor quote failures, checkpoint I/O errors, kill/restore
+# cycles, clock stalls — and asserts the invariant audit stays clean and
+# the final state is bit-identical to sim.Run under the same faults.
+# Each seed is fully deterministic, so a failure replays with
+# `go run ./cmd/pdftspd -chaos <seed>`.
+chaos-smoke:
+	$(GO) run ./cmd/pdftspd -chaos 1
+	$(GO) run ./cmd/pdftspd -chaos 7
+	$(GO) run ./cmd/pdftspd -chaos 42
+
+check: build vet test race serve-smoke chaos-smoke

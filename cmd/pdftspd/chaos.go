@@ -1,0 +1,344 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/faults"
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// errChaos tags chaos-harness assertion failures.
+var errChaos = fmt.Errorf("chaos invariant violated")
+
+// runChaos is the seeded chaos self-test behind `pdftspd -chaos <seed>`.
+// It derives a deterministic fault schedule from the seed — node
+// outages, vendor quote failures and latency spikes, checkpoint-write
+// I/O errors, broker kill/restore cycles, and clock stalls — and drives
+// a virtual-clock broker through it slot by slot over loopback HTTP,
+// asserting along the way that:
+//
+//   - every kill is survivable: the next generation restores from the
+//     checkpoint and resumes mid-outage without losing a decision;
+//   - sustained checkpoint-write failures flip /healthz to 503 with a
+//     reason, while bids keep being decided (degraded ≠ down);
+//   - the auction invariants (obs.Audit) hold across every generation;
+//   - the completed run — decisions, refunds, welfare, revenue, duals,
+//     and ledger — is bit-identical to sim.Run given the same workload,
+//     outages, and vendor fault plan.
+//
+// The same seed always yields the same schedule and the same final
+// state, so a chaos failure is replayable with `-chaos <seed>`.
+func runChaos(cfg stackConfig, seed int64) error {
+	// A quick horizon unless the user overrode the defaults.
+	if cfg.slots == timeslot.DefaultHorizonSlots {
+		cfg.slots = 24
+	}
+	if cfg.nodes == 8 {
+		cfg.nodes = 4
+	}
+	if cfg.rate == 5 {
+		cfg.rate = 3
+	}
+	cfg.seed = seed
+	cfg.mask = true // recovery planning must route around downed nodes
+
+	plan := faults.Generate(seed, cfg.nodes, cfg.slots, cfg.vendors)
+	if err := plan.Validate(cfg.nodes, cfg.slots, cfg.vendors); err != nil {
+		return fmt.Errorf("generated plan invalid: %w", err)
+	}
+	failures := make([]sim.Failure, len(plan.Outages))
+	for i, o := range plan.Outages {
+		failures[i] = sim.Failure{Node: o.Node, From: o.From, To: o.To}
+	}
+	kills := map[int]bool{}
+	for _, k := range plan.Kills {
+		kills[k] = true
+	}
+	stalls := map[int]bool{}
+	for _, s := range plan.Stalls {
+		stalls[s] = true
+	}
+	fmt.Fprintf(os.Stderr, "chaos(seed %d): %d outages, %d vendor fault windows, %d checkpoint fault windows, kills at %v, stalls at %v\n",
+		seed, len(plan.Outages), len(plan.Vendor), len(plan.Checkpoint), plan.Kills, plan.Stalls)
+
+	// The vendor chain every engine uses: seeded fault windows under a
+	// capped-backoff retrier. Sleeps are stubbed — the spikes and
+	// backoffs are logical, the harness should run in milliseconds.
+	noSleep := func(time.Duration) {}
+	chain := func(mkt *vendor.Marketplace) vendor.Caller {
+		return vendor.NewRetrier(
+			vendor.NewFlaky(mkt, plan.Vendor, noSleep),
+			vendor.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Budget: time.Second, Seed: seed, Sleep: noSleep},
+		)
+	}
+	ckptFault := func(slot int) error {
+		if plan.CheckpointFaultAt(slot) {
+			return fmt.Errorf("chaos: injected checkpoint write failure at slot %d", slot)
+		}
+		return nil
+	}
+
+	dir, err := os.MkdirTemp("", "pdftspd-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ckptPath := filepath.Join(dir, "broker.ckpt")
+
+	serveStack, err := cfg.build()
+	if err != nil {
+		return err
+	}
+	replayStack, err := cfg.build()
+	if err != nil {
+		return err
+	}
+	tasks := serveStack.tasks
+	perSlot := make([][]task.Task, cfg.slots)
+	for _, tk := range tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+
+	// One auditor spans every broker generation: its checks are
+	// per-event, so a mid-run restore does not confuse it.
+	auditor := obs.NewAudit()
+	mkBroker := func(st *stack) (*service.Broker, error) {
+		return service.New(service.Options{
+			Cluster:         st.cl,
+			Scheduler:       st.sched,
+			Model:           st.model,
+			Market:          st.mkt,
+			QueueSize:       len(tasks) + 16,
+			VirtualClock:    true,
+			CheckpointPath:  ckptPath,
+			CheckpointEvery: 1,
+			Failures:        failures,
+			Quotes:          chain(st.mkt),
+			CheckpointFault: ckptFault,
+			Observer:        auditor,
+		})
+	}
+
+	// Each generation serves real HTTP on loopback so the harness
+	// exercises the operator-facing contract, not just the Go API.
+	type generation struct {
+		broker *service.Broker
+		srv    *http.Server
+		base   string
+	}
+	serve := func(b *service.Broker) (*generation, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: b.Handler()}
+		go srv.Serve(ln)
+		return &generation{broker: b, srv: srv, base: "http://" + ln.Addr().String()}, nil
+	}
+	get := func(gen *generation, path string, out any) (int, error) {
+		resp, err := http.Get(gen.base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	b, err := mkBroker(serveStack)
+	if err != nil {
+		return err
+	}
+	if err := b.Start(); err != nil {
+		return err
+	}
+	gen, err := serve(b)
+	if err != nil {
+		return err
+	}
+	generations := 1
+	degradedSeen := 0
+
+	for s := 0; s < cfg.slots; s++ {
+		if kills[s] {
+			// Kill mid-run (possibly mid-outage) and restore a new
+			// generation on a fresh stack from the checkpoint.
+			gen.broker.Kill()
+			gen.srv.Close()
+			ck, err := service.ReadCheckpoint(ckptPath)
+			if err != nil {
+				return fmt.Errorf("%w: no checkpoint to restore after kill at slot %d: %v", errChaos, s, err)
+			}
+			if ck.Slot != s {
+				return fmt.Errorf("%w: checkpoint at slot %d after kill at slot %d (stale write)", errChaos, ck.Slot, s)
+			}
+			freshStack, err := cfg.build()
+			if err != nil {
+				return err
+			}
+			nb, err := mkBroker(freshStack)
+			if err != nil {
+				return err
+			}
+			if err := nb.Restore(ck); err != nil {
+				return fmt.Errorf("%w: restore after kill at slot %d: %v", errChaos, s, err)
+			}
+			if err := nb.Start(); err != nil {
+				return err
+			}
+			// Restored decisions must be bit-identical to the killed
+			// generation's (DecisionFor needs the started core loop).
+			for id, want := range ck.Decisions {
+				got, ok, err := nb.DecisionFor(id)
+				if err != nil || !ok {
+					return fmt.Errorf("%w: decision %d lost across restore (ok=%v err=%v)", errChaos, id, ok, err)
+				}
+				d := want.Decision
+				if got.Admitted != d.Admitted || got.Payment != d.Payment || got.Reason != d.Reason {
+					return fmt.Errorf("%w: decision %d mutated across restore", errChaos, id)
+				}
+			}
+			serveStack = freshStack
+			b = nb
+			gen, err = serve(b)
+			if err != nil {
+				return err
+			}
+			generations++
+		}
+		if stalls[s] {
+			// A stalled clock: the slot refuses to close for a while.
+			// Status and health must keep answering.
+			for i := 0; i < 3; i++ {
+				var st service.Status
+				if code, err := get(gen, "/v1/status", &st); err != nil || code != http.StatusOK {
+					return fmt.Errorf("%w: status during clock stall at slot %d: code=%d err=%v", errChaos, s, code, err)
+				}
+				if st.Slot != s {
+					return fmt.Errorf("%w: clock moved during a stall: slot %d, want %d", errChaos, st.Slot, s)
+				}
+			}
+		}
+
+		arriving := perSlot[s]
+		outcomes := make([]<-chan service.Outcome, len(arriving))
+		for i, tk := range arriving {
+			ch, err := b.SubmitAsync(context.Background(), tk)
+			if err != nil {
+				return fmt.Errorf("submit task %d at slot %d: %w", tk.ID, s, err)
+			}
+			outcomes[i] = ch
+		}
+		if _, err := b.Step(1); err != nil {
+			return fmt.Errorf("step at slot %d: %w", s, err)
+		}
+		for i, ch := range outcomes {
+			out := <-ch
+			if out.Err != nil {
+				return fmt.Errorf("task %d at slot %d: %w", arriving[i].ID, s, out.Err)
+			}
+		}
+
+		var h service.Health
+		code, err := get(gen, "/healthz", &h)
+		if err != nil {
+			return fmt.Errorf("healthz after slot %d: %w", s, err)
+		}
+		switch code {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			if h.Reason == "" {
+				return fmt.Errorf("%w: degraded healthz without a reason at slot %d", errChaos, s)
+			}
+			degradedSeen++
+			// Degraded ≠ down: the status endpoint keeps serving and
+			// agrees with the health verdict.
+			var st service.Status
+			if code, err := get(gen, "/v1/status", &st); err != nil || code != http.StatusOK {
+				return fmt.Errorf("%w: degraded broker stopped serving status at slot %d: code=%d err=%v", errChaos, s, code, err)
+			}
+			if !st.Degraded || st.CheckpointFailures == 0 {
+				return fmt.Errorf("%w: healthz degraded but status says %+v", errChaos, st)
+			}
+		default:
+			return fmt.Errorf("%w: healthz returned %d at slot %d", errChaos, code, s)
+		}
+	}
+
+	if len(plan.Checkpoint) > 0 && degradedSeen == 0 {
+		return fmt.Errorf("%w: checkpoint fault windows %v never degraded /healthz", errChaos, plan.Checkpoint)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	gen.srv.Close()
+	if err := auditor.Err(); err != nil {
+		return fmt.Errorf("%w: %v", errChaos, err)
+	}
+
+	// Ground truth: the batch simulator under the same workload, outages,
+	// and vendor fault plan (its own fresh Flaky chain — the fault
+	// windows are positional, so the twin sees the same faults).
+	want, err := sim.Run(replayStack.cl, replayStack.sched, tasks, sim.Config{
+		Model:            replayStack.model,
+		Market:           replayStack.mkt,
+		Failures:         failures,
+		Quotes:           chain(replayStack.mkt),
+		CollectDecisions: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	for i, tk := range tasks {
+		got, ok, err := b.DecisionFor(tk.ID)
+		if err != nil || !ok {
+			return fmt.Errorf("%w: no final decision for task %d (ok=%v err=%v)", errChaos, tk.ID, ok, err)
+		}
+		w := want.Decisions[i]
+		if got.Admitted != w.Admitted || got.Payment != w.Payment || got.Reason != w.Reason {
+			return fmt.Errorf("%w: task %d broker (admitted=%v payment=%v reason=%q) vs sim (admitted=%v payment=%v reason=%q)",
+				errChaos, tk.ID, got.Admitted, got.Payment, got.Reason, w.Admitted, w.Payment, w.Reason)
+		}
+	}
+	res := b.Result()
+	if res.Welfare != want.Welfare || res.Revenue != want.Revenue ||
+		res.Admitted != want.Admitted || res.Rejected != want.Rejected ||
+		res.FailuresInjected != want.FailuresInjected ||
+		res.RecoveredTasks != want.RecoveredTasks ||
+		res.FailedTasks != want.FailedTasks ||
+		res.RefundedValue != want.RefundedValue {
+		return fmt.Errorf("%w: accounting diverged\nbroker %+v\nsim    %+v", errChaos, res, want)
+	}
+	if !serveStack.sched.SnapshotDuals().Equal(replayStack.sched.SnapshotDuals()) {
+		return fmt.Errorf("%w: final dual prices diverge from sim.Run", errChaos)
+	}
+	if !reflect.DeepEqual(serveStack.cl.Snapshot(), replayStack.cl.Snapshot()) {
+		return fmt.Errorf("%w: final cluster ledgers diverge from sim.Run", errChaos)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"chaos(seed %d): %d bids over %d slots, %d generations, %d recovered, %d refunded (%.2f returned), degraded %d slot(s), welfare %.2f\n",
+		seed, len(tasks), cfg.slots, generations, res.RecoveredTasks, res.FailedTasks, res.RefundedValue, degradedSeen, res.Welfare)
+	return nil
+}

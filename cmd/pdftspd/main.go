@@ -74,6 +74,7 @@ func main() {
 	audit := flag.Bool("audit", false, "validate auction invariants online; non-zero exit on any violation")
 	serveDebug := flag.String("serve", "", "serve live expvar metrics and pprof on this address")
 	smoke := flag.Bool("smoke", false, "run the in-process serve-smoke self-test and exit")
+	chaos := flag.Int64("chaos", -1, "run the seeded chaos self-test (outages, vendor faults, kill/restore) with this seed and exit")
 	flag.Parse()
 
 	var observers []obs.Observer
@@ -113,6 +114,14 @@ func main() {
 			fail("smoke: %v", err)
 		}
 		fmt.Println("serve-smoke: concurrent HTTP fan-in matches sequential sim.Run (welfare, payments, duals)")
+		finishObs(jsonlSink, auditor)
+		return
+	}
+	if *chaos >= 0 {
+		if err := runChaos(cfg, *chaos); err != nil {
+			fail("chaos: %v", err)
+		}
+		fmt.Printf("chaos-smoke(seed %d): broker survived the fault schedule and matches sim.Run (decisions, refunds, duals, ledger)\n", *chaos)
 		finishObs(jsonlSink, auditor)
 		return
 	}
@@ -209,6 +218,9 @@ type stackConfig struct {
 	rate                  float64
 	arrivals, deadlines   string
 	seed                  int64
+	// mask makes the Algorithm-2 DP skip full/downed cells; the chaos
+	// harness sets it so outage recovery routes around dead nodes.
+	mask bool
 }
 
 // stack is one fully wired auction: cluster, marketplace, calibrated
@@ -280,7 +292,9 @@ func (c stackConfig) build() (*stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("marketplace: %w", err)
 	}
-	sched, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	copts := core.CalibrateDuals(tasks, model, cl, mkt)
+	copts.MaskFullCells = c.mask
+	sched, err := core.New(cl, copts)
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: %w", err)
 	}

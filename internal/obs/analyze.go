@@ -46,6 +46,14 @@ type RunSummary struct {
 	CapWork  []int
 	Slots    int
 
+	// Failure-injection tallies rebuilt from Failure events: applied
+	// outages, plans broken/recovered/refunded, and refunded bid value.
+	Failures         int
+	FailureBroken    int
+	FailureRecovered int
+	FailureRefunded  int
+	RefundedValue    float64
+
 	// Reported is the run's own RunEnd record, nil if the trace was cut
 	// short.
 	Reported *RunEndEvent
@@ -146,6 +154,17 @@ func ReadTrace(r io.Reader) (*Summary, error) {
 			}
 			rs.WelfareCurve = append(rs.WelfareCurve, rs.Welfare)
 			rs.RevenueCurve = append(rs.RevenueCurve, rs.Revenue)
+		case KindFailure:
+			var e FailureEvent
+			if err := json.Unmarshal(rec.Data, &e); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			rs := get(e.Run, e.Sched)
+			rs.Failures++
+			rs.FailureBroken += e.Broken
+			rs.FailureRecovered += e.Recovered
+			rs.FailureRefunded += e.Refunded
+			rs.RefundedValue += e.RefundedValue
 		case KindRunEnd:
 			var e RunEndEvent
 			if err := json.Unmarshal(rec.Data, &e); err != nil {

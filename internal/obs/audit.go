@@ -177,6 +177,29 @@ func (a *Audit) OnOutcome(e *OutcomeEvent) {
 	}
 }
 
+// OnFailure implements FailureObserver. Every broken plan either kept
+// running (work already done), recovered, or was refunded, so the
+// recovery counts can never exceed the broken count; refunded value is a
+// sum of bids, never negative.
+func (a *Audit) OnFailure(e *FailureEvent) {
+	if e.From > e.To || e.Broken < 0 || e.Recovered < 0 || e.Refunded < 0 {
+		a.violate("%s/%s: malformed failure event node %d [%d,%d] broken=%d recovered=%d refunded=%d",
+			e.Run, e.Sched, e.Node, e.From, e.To, e.Broken, e.Recovered, e.Refunded)
+	}
+	if e.Recovered+e.Refunded > e.Broken {
+		a.violate("%s/%s: failure on node %d recovered %d + refunded %d exceeds %d broken plans",
+			e.Run, e.Sched, e.Node, e.Recovered, e.Refunded, e.Broken)
+	}
+	if e.RefundedValue < -auditTol {
+		a.violate("%s/%s: failure on node %d refunded negative value %.9g",
+			e.Run, e.Sched, e.Node, e.RefundedValue)
+	}
+	if e.Refunded == 0 && e.RefundedValue > auditTol {
+		a.violate("%s/%s: failure on node %d refunded %.9g money across zero refunds",
+			e.Run, e.Sched, e.Node, e.RefundedValue)
+	}
+}
+
 // OnRunEnd implements Observer.
 func (a *Audit) OnRunEnd(e *RunEndEvent) {
 	if e.Cluster == nil {

@@ -40,6 +40,7 @@ const (
 	KindDual     = "dual"
 	KindPayment  = "payment"
 	KindOutcome  = "outcome"
+	KindFailure  = "failure"
 	KindRunEnd   = "run_end"
 )
 
@@ -114,6 +115,9 @@ func (j *JSONL) OnPayment(e *PaymentEvent) { j.write(KindPayment, e) }
 
 // OnOutcome implements Observer.
 func (j *JSONL) OnOutcome(e *OutcomeEvent) { j.write(KindOutcome, e) }
+
+// OnFailure implements FailureObserver.
+func (j *JSONL) OnFailure(e *FailureEvent) { j.write(KindFailure, e) }
 
 // OnRunEnd implements Observer.
 func (j *JSONL) OnRunEnd(e *RunEndEvent) { j.write(KindRunEnd, e) }

@@ -38,6 +38,14 @@ type Metrics struct {
 
 	// DualMoves counts individual (k,t) dual updates observed.
 	DualMoves int64
+
+	// Failure-injection aggregates: applied outages, plans broken by
+	// them, recoveries, refunds, and the total bid value refunded.
+	Failures       int64
+	FailureBroken  int64
+	FailureRecov   int64
+	FailureRefunds int64
+	RefundedValue  float64
 }
 
 // NewMetrics returns an empty metrics aggregator.
@@ -126,6 +134,17 @@ func (m *Metrics) OnOutcome(e *OutcomeEvent) {
 	}
 }
 
+// OnFailure implements FailureObserver.
+func (m *Metrics) OnFailure(e *FailureEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Failures++
+	m.FailureBroken += int64(e.Broken)
+	m.FailureRecov += int64(e.Recovered)
+	m.FailureRefunds += int64(e.Refunded)
+	m.RefundedValue += e.RefundedValue
+}
+
 // OnRunEnd implements Observer.
 func (m *Metrics) OnRunEnd(*RunEndEvent) {
 	m.mu.Lock()
@@ -161,6 +180,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"runs":             m.Runs,
 		"runs_ended":       m.RunsEnded,
 		"dual_moves":       m.DualMoves,
+		"failures":         m.Failures,
+		"failure_broken":   m.FailureBroken,
+		"failure_recov":    m.FailureRecov,
+		"failure_refunds":  m.FailureRefunds,
+		"refunded_value":   m.RefundedValue,
 		"node_utilization": util,
 		"max_lambda":       append([]float64(nil), m.MaxLambda...),
 		"max_phi":          append([]float64(nil), m.MaxPhi...),

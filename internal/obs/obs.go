@@ -22,6 +22,8 @@
 //	            compute, memory (and optional energy) terms
 //	Outcome   — the auction decision for one bid (admit/reject, reason,
 //	            money flows, the committed placements)
+//	Failure   — one applied node outage and its recovery outcome
+//	            (optional: observers opt in via FailureObserver)
 //	RunEnd    — the run's final accounting (welfare, revenue, counts)
 //
 // All events carry the run label and scheduler name so one sink can fan
@@ -160,6 +162,24 @@ type RunEndEvent struct {
 	Cluster *cluster.Cluster `json:"-"`
 }
 
+// FailureEvent reports one applied node outage and its recovery
+// outcome: how many committed plans the outage broke, how many were
+// re-planned onto surviving nodes, how many were refunded (with the
+// total bid value returned). Broken plans that had already finished
+// their work count in Broken only.
+type FailureEvent struct {
+	Run   string `json:"run"`
+	Sched string `json:"sched"`
+	Node  int    `json:"node"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+
+	Broken        int     `json:"broken"`
+	Recovered     int     `json:"recovered"`
+	Refunded      int     `json:"refunded"`
+	RefundedValue float64 `json:"refunded_value"`
+}
+
 // Observer consumes the decision-path event stream. Implementations used
 // with the parallel experiment engine must be safe for concurrent use;
 // event pointers are only valid for the duration of the call.
@@ -171,6 +191,22 @@ type Observer interface {
 	OnPayment(e *PaymentEvent)
 	OnOutcome(e *OutcomeEvent)
 	OnRunEnd(e *RunEndEvent)
+}
+
+// FailureObserver is the optional extension an Observer implements to
+// receive failure-injection events. It is a separate interface so
+// existing Observer implementations (including those outside this
+// module) keep compiling; emitters type-assert via EmitFailure.
+type FailureObserver interface {
+	OnFailure(e *FailureEvent)
+}
+
+// EmitFailure forwards e to o when o also implements FailureObserver;
+// otherwise the event is dropped. Nil o is fine.
+func EmitFailure(o Observer, e *FailureEvent) {
+	if fo, ok := o.(FailureObserver); ok {
+		fo.OnFailure(e)
+	}
 }
 
 // Observable is implemented by schedulers that can emit their internal
@@ -271,6 +307,14 @@ func (m *multi) OnRunEnd(e *RunEndEvent) {
 	}
 }
 
+// OnFailure fans the optional failure event out to the members that
+// implement FailureObserver.
+func (m *multi) OnFailure(e *FailureEvent) {
+	for _, o := range m.obs {
+		EmitFailure(o, e)
+	}
+}
+
 // stamper fills the run label and scheduler name into every event before
 // forwarding, so schedulers need not know which run they serve.
 type stamper struct {
@@ -321,4 +365,10 @@ func (s *stamper) OnOutcome(e *OutcomeEvent) {
 func (s *stamper) OnRunEnd(e *RunEndEvent) {
 	e.Run, e.Sched = s.run, s.sched
 	s.next.OnRunEnd(e)
+}
+
+// OnFailure stamps and forwards the optional failure event.
+func (s *stamper) OnFailure(e *FailureEvent) {
+	e.Run, e.Sched = s.run, s.sched
+	EmitFailure(s.next, e)
 }

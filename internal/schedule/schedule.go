@@ -285,4 +285,9 @@ const (
 	// ReasonFailedNode: a node outage broke the committed plan and no
 	// recovery plan exists (failure injection only).
 	ReasonFailedNode RejectReason = "failed-node"
+	// ReasonVendorDown: the task requires pre-processing (f_i = 1) but the
+	// vendor marketplace stayed unreachable past the retry deadline, so no
+	// quote exists and constraint (4a) is unsatisfiable for this bid. The
+	// duals are untouched, exactly like ReasonNoSchedule.
+	ReasonVendorDown RejectReason = "vendor-down"
 )

@@ -47,6 +47,13 @@ type Checkpoint struct {
 	// Decisions maps task ID → its irrevocable outcome.
 	Decisions map[int]CheckpointDecision `json:"decisions"`
 	Canceled  int                        `json:"canceled"`
+	// ProcIdx is the number of bids offered so far — the fault tracker's
+	// offer-order index stream. Zero in pre-fault-layer checkpoints,
+	// which is only read when Failures is also absent.
+	ProcIdx int `json:"proc_idx,omitempty"`
+	// Failures is the fault tracker's progress (applied outages, live
+	// committed plans); nil when the broker has no fault plan.
+	Failures *sim.FailureTrackerState `json:"failures,omitempty"`
 }
 
 // CheckpointDecision is a Decision on the checkpoint wire. JSON cannot
@@ -97,10 +104,15 @@ func (b *Broker) snapshot() *Checkpoint {
 		Result:    b.res,
 		Decisions: wireDecisions(b.decisions),
 		Canceled:  b.canceled,
+		ProcIdx:   b.procIdx,
 	}
 	if dc, ok := b.sched.(DualCheckpointer); ok {
 		ds := dc.SnapshotDuals()
 		ck.Duals = &ds
+	}
+	if b.faults != nil {
+		st := b.faults.State()
+		ck.Failures = &st
 	}
 	return ck
 }
@@ -113,11 +125,20 @@ func (b *Broker) writeCheckpoint() {
 	if b.opts.CheckpointPath == "" {
 		return
 	}
+	if f := b.opts.CheckpointFault; f != nil {
+		if err := f(b.slot); err != nil {
+			b.ckptErr = err
+			b.ckptFails++
+			return
+		}
+	}
 	if err := WriteCheckpoint(b.opts.CheckpointPath, b.snapshot()); err != nil {
 		b.ckptErr = err
+		b.ckptFails++
 		return
 	}
 	b.ckptErr = nil
+	b.ckptFails = 0
 	b.ckptSlot = b.slot
 }
 
@@ -202,6 +223,14 @@ func (b *Broker) Restore(ck *Checkpoint) error {
 		if b.res.RejectReasons == nil {
 			b.res.RejectReasons = map[schedule.RejectReason]int{}
 		}
+	}
+	b.procIdx = ck.ProcIdx
+	if b.faults != nil {
+		if err := b.faults.RestoreState(ck.Failures, b.opts.Model); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+	} else if ck.Failures != nil && (ck.Failures.Next > 0 || len(ck.Failures.Records) > 0) {
+		return fmt.Errorf("service: checkpoint carries failure state but broker has no fault plan")
 	}
 	b.ckptSlot = ck.Slot
 	return nil

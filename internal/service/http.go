@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -136,20 +137,47 @@ func writeErr(w http.ResponseWriter, err error) {
 //	GET  /v1/status          operational summary (slot, queue, welfare, duals)
 //	GET  /v1/decisions/{id}  a decided bid's outcome
 //	POST /v1/clock/step      advance a virtual-clock broker {"slots": n}
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness; 503 + reason while degraded
 //
 // A bid's request context is its cancellation: a client that disconnects
 // before its slot closes is skipped at round time.
+//
+// Degradation is partial by design: a broker whose checkpoint writes keep
+// failing answers /healthz with 503 (so orchestrators can alert or
+// reschedule it) while /v1/bids keeps accepting bids — the auction state
+// is still sound, only its durability is at risk.
 func (b *Broker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/bids", b.handleBid)
 	mux.HandleFunc("GET /v1/status", b.handleStatus)
 	mux.HandleFunc("GET /v1/decisions/{id}", b.handleDecision)
 	mux.HandleFunc("POST /v1/clock/step", b.handleStep)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", b.handleHealthz)
 	return mux
+}
+
+func (b *Broker) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := b.Health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// retryAfter is the Retry-After hint attached to 429 responses: one slot.
+// A virtual-clock broker advances in whole slots, so "1" (second) is the
+// shortest standards-legal hint; a real-clock broker reports the slot
+// duration rounded up to a whole second.
+func (b *Broker) retryAfter() string {
+	if b.opts.VirtualClock || b.opts.SlotDuration <= 0 {
+		return "1"
+	}
+	secs := int(math.Ceil(b.opts.SlotDuration.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
@@ -163,6 +191,11 @@ func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
 	t := req.task()
 	d, err := b.Submit(r.Context(), t)
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			// Overload sheds rather than queues unboundedly; tell the
+			// client when capacity plausibly returns (next slot close).
+			w.Header().Set("Retry-After", b.retryAfter())
+		}
 		writeErr(w, err)
 		return
 	}

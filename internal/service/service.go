@@ -110,6 +110,28 @@ type Options struct {
 	// RunLabel names this broker's run in emitted events and in the
 	// checkpoint; default "pdftspd".
 	RunLabel string
+	// Failures injects node outages with the simulator's semantics: each
+	// surfaces at the close of a bid-bearing slot at or after its From,
+	// masks the node's remaining cells in the ledger, re-plans broken
+	// commitments through the scheduler, and refunds tasks that cannot
+	// recover (their decided outcome flips to ReasonFailedNode). Given
+	// the same bids and failures, the broker's accounting stays
+	// bit-identical to sim.Run with Config.Failures.
+	Failures []sim.Failure
+	// Quotes, when non-nil, replaces direct Market lookups for
+	// pre-processing bids with a fallible vendor client (vendor.Retrier
+	// over vendor.Flaky); a purchase that stays down past the retry
+	// deadline rejects the bid with schedule.ReasonVendorDown. Nil keeps
+	// the infallible Market path.
+	Quotes vendor.Caller
+	// CheckpointFault, when set, is consulted before each checkpoint
+	// write with the slot being persisted; a non-nil return fails the
+	// write (fault injection for the degraded-mode path).
+	CheckpointFault func(slot int) error
+	// DegradeAfter is the number of consecutive checkpoint-write failures
+	// after which /healthz reports degraded (bids keep flowing either
+	// way). Default 3.
+	DegradeAfter int
 }
 
 // withDefaults fills unset knobs.
@@ -125,6 +147,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RunLabel == "" {
 		o.RunLabel = "pdftspd"
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 3
 	}
 	return o
 }
@@ -178,6 +203,16 @@ type Broker struct {
 	draining  bool
 	killed    bool
 	ckptErr   error
+	// ckptFails counts consecutive checkpoint-write failures; reaching
+	// Options.DegradeAfter flips /healthz to degraded.
+	ckptFails int
+	// faults replays Options.Failures with the simulator's semantics;
+	// nil when no failures are configured (the steady state pays only
+	// nil checks).
+	faults *sim.FailureTracker
+	// procIdx numbers processed bids in offer order — the tracker index
+	// stream that makes recovery re-planning deterministic.
+	procIdx int
 }
 
 // New builds a broker; call Restore to resume from a checkpoint, then
@@ -201,6 +236,23 @@ func New(opts Options) (*Broker, error) {
 		res:       sim.NewResult(opts.Scheduler.Name()),
 		ckptSlot:  -1,
 	}
+	ft, err := sim.NewFailureTracker(opts.Failures, opts.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if ft != nil {
+		// A refunded task's decided outcome flips exactly as sim.Run
+		// flips Result.Decisions: the admission is reversed, the payment
+		// record stands (it was charged and refunded).
+		ft.OnRefund = func(origID int) {
+			if d, ok := b.decisions[origID]; ok {
+				d.Admitted = false
+				d.Reason = schedule.ReasonFailedNode
+				b.decisions[origID] = d
+			}
+		}
+		b.faults = ft
+	}
 	return b, nil
 }
 
@@ -214,6 +266,9 @@ func (b *Broker) Start() error {
 	b.o = obs.Stamp(b.opts.Observer, b.opts.RunLabel, b.sched.Name())
 	if ob, ok := b.sched.(obs.Observable); ok && b.o != nil {
 		ob.SetObserver(b.o)
+	}
+	if b.faults != nil {
+		b.faults.Obs = b.o
 	}
 	if b.o != nil {
 		capWork := make([]int, b.cl.NumNodes())
@@ -380,6 +435,21 @@ type Status struct {
 	// (-1 before the first); CheckpointError carries a persist failure.
 	CheckpointSlot  int    `json:"checkpoint_slot"`
 	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// CheckpointFailures counts consecutive failed checkpoint writes
+	// (reset by a success); SlotsSinceCheckpoint is how many slots have
+	// closed since the last persisted one. Both are zero when no
+	// checkpoint path is configured.
+	CheckpointFailures   int `json:"checkpoint_failures,omitempty"`
+	SlotsSinceCheckpoint int `json:"slots_since_checkpoint,omitempty"`
+	// Degraded mirrors /healthz: the broker keeps deciding bids but its
+	// durability guarantee is broken (checkpoint writes keep failing).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Failure-injection accounting (zero unless Options.Failures is set).
+	FailuresInjected int     `json:"failures_injected,omitempty"`
+	RecoveredTasks   int     `json:"recovered_tasks,omitempty"`
+	FailedTasks      int     `json:"failed_tasks,omitempty"`
+	RefundedValue    float64 `json:"refunded_value,omitempty"`
 }
 
 // Status reports the broker's current state.
@@ -417,6 +487,22 @@ func (b *Broker) status() Status {
 	if b.ckptErr != nil {
 		st.CheckpointError = b.ckptErr.Error()
 	}
+	st.CheckpointFailures = b.ckptFails
+	if b.opts.CheckpointPath != "" {
+		if b.ckptSlot >= 0 {
+			st.SlotsSinceCheckpoint = b.slot - b.ckptSlot
+		} else {
+			st.SlotsSinceCheckpoint = b.slot
+		}
+	}
+	if h := b.health(); h.Status != "ok" {
+		st.Degraded = true
+		st.DegradedReason = h.Reason
+	}
+	st.FailuresInjected = b.res.FailuresInjected
+	st.RecoveredTasks = b.res.RecoveredTasks
+	st.FailedTasks = b.res.FailedTasks
+	st.RefundedValue = b.res.RefundedValue
 	if dc, ok := b.sched.(DualCheckpointer); ok {
 		ds := dc.SnapshotDuals()
 		for k := range ds.Lambda {
@@ -431,6 +517,37 @@ func (b *Broker) status() Status {
 		}
 	}
 	return st
+}
+
+// Health is the degradation verdict behind GET /healthz. Status is "ok"
+// or "degraded"; Reason explains a degradation.
+type Health struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health reports whether the broker is serving at full guarantees. A
+// degraded broker still decides bids — the auction does not need the
+// disk — but its checkpoint durability is gone, so operators should
+// route new horizons elsewhere and fix the disk. A stopped broker also
+// reports degraded (with the stop reason).
+func (b *Broker) Health() Health {
+	var h Health
+	if err := b.do(func() { h = b.health() }); err != nil {
+		return Health{Status: "degraded", Reason: err.Error()}
+	}
+	return h
+}
+
+// health builds the verdict; core-goroutine only.
+func (b *Broker) health() Health {
+	if b.opts.CheckpointPath != "" && b.ckptFails >= b.opts.DegradeAfter {
+		return Health{
+			Status: "degraded",
+			Reason: fmt.Sprintf("checkpoint writes failing for %d consecutive slots (last: %v)", b.ckptFails, b.ckptErr),
+		}
+	}
+	return Health{Status: "ok"}
 }
 
 // Drain stops the broker gracefully: intake closes, bids already held
@@ -566,13 +683,34 @@ func (b *Broker) closeSlot() {
 	batch := b.held[b.slot]
 	delete(b.held, b.slot)
 	sort.Slice(batch, func(i, j int) bool { return batch[i].task.ID < batch[j].task.ID })
+	var live []*pending
 	for _, p := range batch {
 		delete(b.heldIDs, p.task.ID)
 		b.heldCount--
+		if err := p.ctx.Err(); err != nil {
+			// The submitter is gone; the bid never enters the auction.
+			b.canceled++
+			p.resp <- Outcome{Err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	// Outages surface lazily, before a round that offers any bids —
+	// mirroring sim.Run, which applies failures only when an arrival
+	// forces the clock forward. An empty (or fully canceled) round leaves
+	// them pending, so the replan-time ledger matches a sequential replay
+	// of the same bids exactly.
+	if len(live) > 0 {
+		b.faults.ApplyUpTo(b.slot, b.sched, b.res)
+	}
+	for _, p := range live {
 		b.process(p)
 	}
 	b.slot++
 	if b.slot >= b.horizon.T {
+		// Outages after the last round still break committed plans,
+		// exactly as sim.Run applies them after its last arrival.
+		b.faults.ApplyUpTo(b.horizon.T-1, b.sched, b.res)
 		b.emitRunEnd()
 	}
 	if b.slot%b.opts.CheckpointEvery == 0 || b.slot >= b.horizon.T {
@@ -580,26 +718,34 @@ func (b *Broker) closeSlot() {
 	}
 }
 
-// process runs Algorithm 1 for one bid and answers its submitter.
+// process runs Algorithm 1 for one live bid and answers its submitter.
 func (b *Broker) process(p *pending) {
-	if err := p.ctx.Err(); err != nil {
-		// The submitter is gone; the bid never enters the auction.
-		b.canceled++
-		p.resp <- Outcome{Err: err}
-		return
+	mkt := b.opts.Market
+	if b.opts.Quotes != nil {
+		mkt = nil // quotes come from the fallible client below
 	}
-	env := schedule.NewTaskEnv(&p.task, b.cl, b.opts.Model, b.opts.Market)
+	env := schedule.NewTaskEnv(&p.task, b.cl, b.opts.Model, mkt)
+	var qErr error
+	if b.opts.Quotes != nil && p.task.NeedsPrep {
+		var q []vendor.Quote
+		if q, qErr = b.opts.Quotes.Call(p.task.ID, b.slot); qErr == nil {
+			env.Quotes = q
+		}
+	}
 	if b.o != nil {
 		b.o.OnBid(sim.NewBidEvent(env))
 	}
 	start := time.Now()
 	d := b.sched.Offer(env)
 	b.res.OfferLatency = append(b.res.OfferLatency, time.Since(start))
+	sim.TagVendorDown(&d, qErr)
 	if b.o != nil {
 		b.o.OnOutcome(sim.NewOutcomeEvent(env, &d))
 	}
 	b.res.Account(env, &d)
 	b.decisions[p.task.ID] = d
+	b.faults.Track(b.procIdx, env, &d)
+	b.procIdx++
 	p.resp <- Outcome{Decision: d}
 }
 
@@ -620,6 +766,7 @@ func (b *Broker) emitRunEnd() {
 		Admitted:    b.res.Admitted,
 		Rejected:    b.res.Rejected,
 		Utilization: b.res.Utilization,
+		Failures:    b.res.FailuresInjected,
 		Cluster:     b.cl,
 	})
 	if ob, ok := b.sched.(obs.Observable); ok {

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/task"
 )
@@ -15,50 +17,78 @@ import (
 // re-plans the remaining work through the same scheduler. A task whose
 // remaining work cannot be replanned before its deadline fails, and its
 // bid is refunded (the welfare contribution is reversed; costs already
-// sunk stay spent).
+// sunk stay spent). A To at or past the horizon is clamped to the last
+// slot — the ledger has no cells beyond it, and an outage that outlives
+// the horizon is indistinguishable from one ending there.
 type Failure struct {
 	Node     int
 	From, To int
 }
 
-// failureState tracks what failure handling needs during a run.
-type failureState struct {
+// FailureTracker is the online node-outage state machine shared by the
+// batch simulator (Run) and the serving broker (internal/service):
+// admitted plans are tracked, outages surface lazily at the beginning of
+// their From slot, broken plans release their future placements and are
+// re-planned through the same Algorithm-2 scheduler, and unrecoverable
+// tasks are refunded. Both engines drive the same tracker, which is why
+// a broker given a fault plan stays bit-identical to sim.Run with the
+// same Config.Failures.
+//
+// A nil *FailureTracker is valid and inert: every method is a no-op, so
+// the failure-free hot path pays only a nil check.
+type FailureTracker struct {
 	cl      *cluster.Cluster
 	pending []Failure
 	next    int
-	// records maps task ID to its live commitment.
+	// records maps original task ID to its live commitment.
 	records map[int]*commitRecord
-	// contIDs allocates fresh IDs for continuation bids so vendor quotes
+	// contID allocates fresh IDs for continuation bids so vendor quotes
 	// and dual bookkeeping never collide with real tasks.
 	contID int
+
+	// OnRefund, when set, is called with the ORIGINAL task ID of every
+	// refunded task (a recovered task's continuation keeps its original
+	// identity here). The broker uses it to flip its decided-outcome map
+	// exactly as Run flips Result.Decisions.
+	OnRefund func(origID int)
+	// Obs, when non-nil, receives one FailureEvent per applied outage.
+	Obs obs.Observer
 }
 
 // commitRecord is one admitted task's live plan.
 type commitRecord struct {
+	origID  int // the task ID the provider decided (map key; survives continuations)
 	task    task.Task
 	env     *schedule.TaskEnv
 	plan    []schedule.Placement
 	payment float64
-	index   int // position in the input workload (for decision updates)
+	index   int // position in the offer stream (for decision updates and replay order)
 }
 
-// newFailureState validates and orders the failures.
-func newFailureState(fs []Failure, cl *cluster.Cluster) (*failureState, error) {
+// NewFailureTracker validates, clamps, and orders the failures. A nil or
+// empty set returns a nil tracker (valid, inert).
+func NewFailureTracker(fs []Failure, cl *cluster.Cluster) (*FailureTracker, error) {
 	if len(fs) == 0 {
 		return nil, nil
 	}
 	numNodes, horizon := cl.NumNodes(), cl.Horizon().T
 	sorted := append([]Failure(nil), fs...)
-	for i, f := range sorted {
+	for i := range sorted {
+		f := &sorted[i]
 		if f.Node < 0 || f.Node >= numNodes {
 			return nil, fmt.Errorf("sim: failure %d on unknown node %d", i, f.Node)
 		}
 		if f.From < 0 || f.To < f.From || f.From >= horizon {
 			return nil, fmt.Errorf("sim: failure %d has bad range [%d,%d]", i, f.From, f.To)
 		}
+		// Clamp tails past the horizon (see the Failure doc) so fault
+		// plans can never index past the ledger.
+		if f.To >= horizon {
+			f.To = horizon - 1
+		}
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
-	return &failureState{
+	return &FailureTracker{
 		cl:      cl,
 		pending: sorted,
 		records: map[int]*commitRecord{},
@@ -66,12 +96,15 @@ func newFailureState(fs []Failure, cl *cluster.Cluster) (*failureState, error) {
 	}, nil
 }
 
-// track remembers an admitted plan for possible recovery.
-func (fs *failureState) track(idx int, env *schedule.TaskEnv, d *schedule.Decision) {
+// Track remembers an admitted plan for possible recovery. idx is the
+// bid's position in the offer stream; it orders recovery re-planning
+// deterministically and indexes Result.Decisions in Run.
+func (fs *FailureTracker) Track(idx int, env *schedule.TaskEnv, d *schedule.Decision) {
 	if fs == nil || !d.Admitted {
 		return
 	}
 	fs.records[env.Task.ID] = &commitRecord{
+		origID:  env.Task.ID,
 		task:    *env.Task,
 		env:     env,
 		plan:    append([]schedule.Placement(nil), d.Schedule.Placements...),
@@ -80,9 +113,9 @@ func (fs *failureState) track(idx int, env *schedule.TaskEnv, d *schedule.Decisi
 	}
 }
 
-// applyUpTo processes every failure with From ≤ now (beginning-of-slot
-// semantics) and returns the welfare adjustments.
-func (fs *failureState) applyUpTo(now int, sched Scheduler, res *Result) {
+// ApplyUpTo processes every failure with From ≤ now (beginning-of-slot
+// semantics) and applies the welfare adjustments to res.
+func (fs *FailureTracker) ApplyUpTo(now int, sched Scheduler, res *Result) {
 	if fs == nil {
 		return
 	}
@@ -93,16 +126,28 @@ func (fs *failureState) applyUpTo(now int, sched Scheduler, res *Result) {
 }
 
 // apply handles a single failure.
-func (fs *failureState) apply(f Failure, sched Scheduler, res *Result) {
+func (fs *FailureTracker) apply(f Failure, sched Scheduler, res *Result) {
 	res.FailuresInjected++
 	// The outage becomes visible to every subsequent planning decision.
 	cl := fs.cl
 	cl.SetDown(f.Node, f.From, f.To)
 
-	for id, rec := range fs.records {
-		if !fs.hit(rec, f) {
-			continue
+	// Recovery re-offers move duals and commit ledger cells, so when one
+	// outage breaks several plans the processing order is part of the
+	// auction outcome. Hit records are ordered by their position in the
+	// offer stream — the order both Run and the broker admitted them —
+	// never by map iteration order.
+	var hits []*commitRecord
+	for _, rec := range fs.records {
+		if fs.hit(rec, f) {
+			hits = append(hits, rec)
 		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].index < hits[j].index })
+
+	recovered, refunded := 0, 0
+	refundedValue := 0.0
+	for _, rec := range hits {
 		// Release every future placement and measure executed work.
 		executed := 0
 		var released []schedule.Placement
@@ -145,6 +190,7 @@ func (fs *failureState) apply(f Failure, sched Scheduler, res *Result) {
 		d := sched.Offer(env)
 		if d.Admitted {
 			res.RecoveredTasks++
+			recovered++
 			res.Welfare -= d.EnergyCost
 			res.EnergySpend += d.EnergyCost
 			rec.task = cont
@@ -156,23 +202,117 @@ func (fs *failureState) apply(f Failure, sched Scheduler, res *Result) {
 		// Unrecoverable: refund the bid and the payment, reverse the
 		// welfare claim; sunk vendor and energy costs stay spent.
 		res.FailedTasks++
+		refunded++
 		res.Welfare -= rec.task.Bid
 		res.RefundedValue += rec.task.Bid
+		refundedValue += rec.task.Bid
 		res.Revenue -= rec.payment
 		if res.Decisions != nil && rec.index < len(res.Decisions) {
 			res.Decisions[rec.index].Admitted = false
 			res.Decisions[rec.index].Reason = schedule.ReasonFailedNode
 		}
-		delete(fs.records, id)
+		if fs.OnRefund != nil {
+			fs.OnRefund(rec.origID)
+		}
+		delete(fs.records, rec.origID)
+	}
+	if fs.Obs != nil {
+		obs.EmitFailure(fs.Obs, &obs.FailureEvent{
+			Node: f.Node, From: f.From, To: f.To,
+			Broken: len(hits), Recovered: recovered,
+			Refunded: refunded, RefundedValue: refundedValue,
+		})
 	}
 }
 
 // hit reports whether the record's plan intersects the outage.
-func (fs *failureState) hit(rec *commitRecord, f Failure) bool {
+func (fs *FailureTracker) hit(rec *commitRecord, f Failure) bool {
 	for _, p := range rec.plan {
 		if p.Node == f.Node && p.Slot >= f.From && p.Slot <= f.To {
 			return true
 		}
 	}
 	return false
+}
+
+// FailureTrackerState is the JSON persistence form of a FailureTracker:
+// how far the outage schedule has been applied, the continuation-ID
+// cursor, and every live committed plan. The broker embeds it in its
+// checkpoint so a restore resumes recovery bit-identically; the fault
+// plan itself is configuration and is not persisted.
+type FailureTrackerState struct {
+	Next    int             `json:"next"`
+	ContID  int             `json:"cont_id"`
+	Records []FailureRecord `json:"records,omitempty"`
+}
+
+// FailureRecord is one tracked commitment on the checkpoint wire.
+type FailureRecord struct {
+	OrigID  int                  `json:"orig_id"`
+	Task    task.Task            `json:"task"`
+	Plan    []schedule.Placement `json:"plan,omitempty"`
+	Payment float64              `json:"payment"`
+	Index   int                  `json:"index"`
+}
+
+// State snapshots the tracker for a checkpoint; records are ordered by
+// offer index so the snapshot is deterministic.
+func (fs *FailureTracker) State() FailureTrackerState {
+	if fs == nil {
+		return FailureTrackerState{}
+	}
+	st := FailureTrackerState{Next: fs.next, ContID: fs.contID}
+	for _, rec := range fs.records {
+		st.Records = append(st.Records, FailureRecord{
+			OrigID:  rec.origID,
+			Task:    rec.task,
+			Plan:    append([]schedule.Placement(nil), rec.plan...),
+			Payment: rec.payment,
+			Index:   rec.index,
+		})
+	}
+	sort.Slice(st.Records, func(i, j int) bool { return st.Records[i].Index < st.Records[j].Index })
+	return st
+}
+
+// RestoreState rebuilds the tracker from a checkpoint snapshot. The
+// per-record environments are re-derived from the cluster and model
+// (node speeds are a pure function of both), matching what Track saw
+// when the plan was admitted; recovery never reads quotes, so no
+// marketplace is needed. A nil st resets the tracker to its initial
+// state.
+func (fs *FailureTracker) RestoreState(st *FailureTrackerState, model lora.ModelConfig) error {
+	if fs == nil {
+		if st == nil || (st.Next == 0 && len(st.Records) == 0) {
+			return nil
+		}
+		return fmt.Errorf("sim: checkpoint carries failure state but no failures are configured")
+	}
+	fs.records = map[int]*commitRecord{}
+	if st == nil {
+		fs.next = 0
+		fs.contID = 1 << 30
+		return nil
+	}
+	if st.Next < 0 || st.Next > len(fs.pending) {
+		return fmt.Errorf("sim: failure state applied %d of %d outages", st.Next, len(fs.pending))
+	}
+	fs.next = st.Next
+	fs.contID = st.ContID
+	if fs.contID < 1<<30 {
+		fs.contID = 1 << 30
+	}
+	for i := range st.Records {
+		rec := &st.Records[i]
+		t := rec.Task
+		fs.records[rec.OrigID] = &commitRecord{
+			origID:  rec.OrigID,
+			task:    t,
+			env:     schedule.NewTaskEnv(&t, fs.cl, model, nil),
+			plan:    append([]schedule.Placement(nil), rec.Plan...),
+			payment: rec.Payment,
+			index:   rec.Index,
+		}
+	}
+	return nil
 }

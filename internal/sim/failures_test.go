@@ -26,6 +26,59 @@ func TestFailureValidation(t *testing.T) {
 	}
 }
 
+// TestFailureTailClamp: a failure that starts inside the horizon but
+// outlives it is accepted and clamped to the last slot — the ledger has
+// no cells beyond the horizon, and an outage past it is indistinguishable
+// from one ending there. (From at or past the horizon still errors; see
+// TestFailureValidation.)
+func TestFailureTailClamp(t *testing.T) {
+	_, tc := smallWorkload(t)
+	cl := simCluster(t, 2, tc.Horizon)
+	horizon := tc.Horizon.T
+	ft, err := NewFailureTracker([]Failure{{Node: 0, From: horizon - 2, To: horizon + 50}}, cl)
+	if err != nil {
+		t.Fatalf("overlong tail rejected: %v", err)
+	}
+	if got := ft.pending[0].To; got != horizon-1 {
+		t.Fatalf("tail clamped to %d, want %d", got, horizon-1)
+	}
+	// The caller's slice must not be mutated by the clamp.
+	fs := []Failure{{Node: 0, From: 1, To: horizon * 2}}
+	if _, err := NewFailureTracker(fs, cl); err != nil {
+		t.Fatal(err)
+	}
+	if fs[0].To != horizon*2 {
+		t.Fatal("NewFailureTracker mutated the caller's failure slice")
+	}
+}
+
+// TestFailureApplyDeterministic: when one outage breaks several plans,
+// recovery re-offers run in offer-stream order — never map order — so
+// repeated runs are bit-identical.
+func TestFailureApplyDeterministic(t *testing.T) {
+	fs := []Failure{{Node: 0, From: 5, To: 35}, {Node: 1, From: 20, To: 35}}
+	_, first := failureRun(t, fs)
+	if first.RecoveredTasks+first.FailedTasks < 2 {
+		t.Skipf("only %d plans disturbed; determinism not exercised",
+			first.RecoveredTasks+first.FailedTasks)
+	}
+	for run := 0; run < 3; run++ {
+		_, again := failureRun(t, fs)
+		if again.Welfare != first.Welfare || again.Revenue != first.Revenue ||
+			again.RecoveredTasks != first.RecoveredTasks ||
+			again.FailedTasks != first.FailedTasks ||
+			again.RefundedValue != first.RefundedValue {
+			t.Fatalf("run %d diverged:\nfirst %+v\nagain %+v", run, first, again)
+		}
+		for i := range first.Decisions {
+			if first.Decisions[i].Admitted != again.Decisions[i].Admitted ||
+				first.Decisions[i].Payment != again.Decisions[i].Payment {
+				t.Fatalf("run %d: decision %d diverged", run, i)
+			}
+		}
+	}
+}
+
 // failureRun executes a masked pdFTSP run with the given outages.
 func failureRun(t *testing.T, failures []Failure) (*Result, *Result) {
 	t.Helper()

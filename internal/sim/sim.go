@@ -63,6 +63,15 @@ type Config struct {
 	// the committed plans it breaks. pdFTSP recovers best with
 	// Options.MaskFullCells set, so its DP routes around downed nodes.
 	Failures []Failure
+	// Quotes, when non-nil, replaces direct Market lookups for
+	// pre-processing bids with a fallible vendor client (vendor.Retrier
+	// over vendor.Flaky injects transient faults and backoff). A purchase
+	// that still fails leaves the bid with no quotes, and the scheduler's
+	// constraint-(4a) rejection is re-tagged schedule.ReasonVendorDown —
+	// the paper-consistent refusal for an f_i = 1 task whose marketplace
+	// stayed down. The service broker accepts the same Caller, so a
+	// broker-versus-sim differential sees identical vendor behavior.
+	Quotes vendor.Caller
 	// EventLog, when non-nil, receives one JSON line per auction
 	// decision — the run's audit trail.
 	EventLog io.Writer
@@ -133,7 +142,7 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	if cfg.CollectDecisions {
 		res.Decisions = make([]schedule.Decision, len(tasks))
 	}
-	failures, err := newFailureState(cfg.Failures, cl)
+	failures, err := NewFailureTracker(cfg.Failures, cl)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +159,9 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	if ob, ok := sched.(obs.Observable); ok && o != nil {
 		ob.SetObserver(o)
 		defer ob.SetObserver(nil)
+	}
+	if failures != nil {
+		failures.Obs = o
 	}
 	if o != nil {
 		capWork := make([]int, cl.NumNodes())
@@ -196,19 +208,38 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	// Offer. Failure injection retains admitted envs in its recovery
 	// records, so it keeps the allocate-per-bid path.
 	reuseEnvs := failures == nil
+	// With a fallible vendor client configured, quotes come from it (not
+	// the marketplace directly) so faults and retries apply.
+	envMarket := cfg.Market
+	if cfg.Quotes != nil {
+		envMarket = nil
+	}
 	var envPool []*schedule.TaskEnv
 	takeEnv := func(pos int, tk *task.Task) *schedule.TaskEnv {
 		if !reuseEnvs {
-			return schedule.NewTaskEnv(tk, cl, cfg.Model, cfg.Market)
+			return schedule.NewTaskEnv(tk, cl, cfg.Model, envMarket)
 		}
 		for pos >= len(envPool) {
 			envPool = append(envPool, new(schedule.TaskEnv))
 		}
 		env := envPool[pos]
-		env.Refill(tk, cl, cfg.Model, cfg.Market)
+		env.Refill(tk, cl, cfg.Model, envMarket)
 		return env
 	}
+	fetchQuotes := func(env *schedule.TaskEnv) error {
+		if cfg.Quotes == nil || !env.Task.NeedsPrep {
+			return nil
+		}
+		q, err := cfg.Quotes.Call(env.Task.ID, env.Task.Arrival)
+		if err != nil {
+			env.Quotes = nil
+			return err
+		}
+		env.Quotes = q
+		return nil
+	}
 	var envsBuf []*schedule.TaskEnv
+	var qErrsBuf []error
 
 	ctx := cfg.Context
 	if ctx == nil {
@@ -232,7 +263,7 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		}
 		// Outages that begin at or before this slot surface now, before
 		// the slot's bids are considered.
-		failures.applyUpTo(tk.Arrival, sched, res)
+		failures.ApplyUpTo(tk.Arrival, sched, res)
 		// Group the whole slot for batch schedulers.
 		j := i + 1
 		for isBatch && j < len(tasks) && tasks[j].Arrival == tk.Arrival {
@@ -240,38 +271,43 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		}
 		if isBatch {
 			envs := envsBuf[:0]
+			qErrs := qErrsBuf[:0]
 			for m := i; m < j; m++ {
 				env := takeEnv(m-i, &tasks[m])
+				qErrs = append(qErrs, fetchQuotes(env))
 				if o != nil {
 					fillBidEvent(&bidEv, env)
 					o.OnBid(&bidEv)
 				}
 				envs = append(envs, env)
 			}
-			envsBuf = envs
+			envsBuf, qErrsBuf = envs, qErrs
 			start := time.Now()
 			ds := batcher.BatchOffer(envs)
 			per := time.Since(start) / time.Duration(len(envs))
 			for m := range ds {
+				TagVendorDown(&ds[m], qErrs[m])
 				record(i+m, envs[m], &ds[m], per)
-				failures.track(i+m, envs[m], &ds[m])
+				failures.Track(i+m, envs[m], &ds[m])
 			}
 			i = j
 			continue
 		}
 		env := takeEnv(0, tk)
+		qErr := fetchQuotes(env)
 		if o != nil {
 			fillBidEvent(&bidEv, env)
 			o.OnBid(&bidEv)
 		}
 		start := time.Now()
 		d = sched.Offer(env)
+		TagVendorDown(&d, qErr)
 		record(i, env, &d, time.Since(start))
-		failures.track(i, env, &d)
+		failures.Track(i, env, &d)
 		i++
 	}
 	// Outages after the last arrival still break committed plans.
-	failures.applyUpTo(h.T-1, sched, res)
+	failures.ApplyUpTo(h.T-1, sched, res)
 	if logErr != nil {
 		return nil, fmt.Errorf("sim: event log: %w", logErr)
 	}
@@ -329,6 +365,17 @@ func (r *Result) Account(env *schedule.TaskEnv, d *schedule.Decision) {
 		reason = "unspecified"
 	}
 	r.RejectReasons[reason]++
+}
+
+// TagVendorDown rewrites the generic no-schedule rejection of a bid
+// whose vendor purchase failed (vendorErr non-nil) so operators can tell
+// a marketplace outage from a genuinely unschedulable task. Admissions
+// and other rejection reasons are never rewritten. Run and the service
+// broker share it so the differential tests see identical reasons.
+func TagVendorDown(d *schedule.Decision, vendorErr error) {
+	if vendorErr != nil && !d.Admitted && d.Reason == schedule.ReasonNoSchedule {
+		d.Reason = schedule.ReasonVendorDown
+	}
 }
 
 // NewOutcomeEvent builds the observer outcome event for one decision,

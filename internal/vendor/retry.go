@@ -1,0 +1,212 @@
+package vendor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/faults"
+)
+
+// ErrUnavailable tags a vendor purchase that failed because the
+// marketplace (or a specific vendor) was unreachable. A purchase that
+// still fails after the retry policy's deadline surfaces it, and the
+// auction rejects the f_i = 1 bid with schedule.ReasonVendorDown.
+var ErrUnavailable = errors.New("vendor: marketplace unavailable")
+
+// Caller is a fallible quote source: one purchase attempt for task
+// taskID's pre-processing at the given slot. Marketplace implements it
+// infallibly; Flaky injects faults in front of it; Retrier wraps either
+// in capped exponential backoff.
+type Caller interface {
+	Call(taskID, slot int) ([]Quote, error)
+}
+
+// Call implements Caller on the in-process marketplace, which cannot
+// fail. The slot is ignored: quotes are a pure function of (seed, task).
+func (m *Marketplace) Call(taskID, _ int) ([]Quote, error) {
+	return m.QuotesFor(taskID), nil
+}
+
+// Flaky injects a faults.VendorFault schedule in front of a Caller.
+// Marketplace-wide windows (Vendor == -1) fail each purchase's first
+// FailAttempts attempts (forever when negative) and add the window's
+// latency through the sleep hook; per-vendor windows drop that vendor's
+// quote from the result. Attempt counters are scoped to one purchase —
+// a consecutive run of calls for the same (taskID, slot) — so a
+// restarted broker replaying a slot sees identical verdicts.
+//
+// Flaky is deterministic and safe for sequential use from one goroutine
+// (the broker's core goroutine, or sim.Run's offer loop).
+type Flaky struct {
+	inner Caller
+	plan  []faults.VendorFault
+	sleep func(time.Duration)
+
+	lastTask, lastSlot, attempts int
+}
+
+// NewFlaky wraps inner with the fault windows in plan. sleep receives
+// injected latency spikes; nil means no sleeping (tests and the chaos
+// harness keep runs fast by discarding the delays).
+func NewFlaky(inner Caller, plan []faults.VendorFault, sleep func(time.Duration)) *Flaky {
+	f := &Flaky{inner: inner, plan: plan, sleep: sleep, lastTask: -1, lastSlot: -1}
+	return f
+}
+
+// Call implements Caller with the configured faults applied.
+func (f *Flaky) Call(taskID, slot int) ([]Quote, error) {
+	if taskID != f.lastTask || slot != f.lastSlot {
+		f.lastTask, f.lastSlot, f.attempts = taskID, slot, 0
+	}
+	attempt := f.attempts
+	f.attempts++
+
+	var drop map[int]bool
+	for _, vf := range f.plan {
+		if slot < vf.From || slot > vf.To {
+			continue
+		}
+		if vf.Vendor >= 0 {
+			if drop == nil {
+				drop = map[int]bool{}
+			}
+			drop[vf.Vendor] = true
+			continue
+		}
+		if vf.FailAttempts < 0 || attempt < vf.FailAttempts {
+			if vf.Latency > 0 && f.sleep != nil {
+				f.sleep(vf.Latency)
+			}
+			return nil, fmt.Errorf("%w: task %d attempt %d in outage window [%d,%d]",
+				ErrUnavailable, taskID, attempt+1, vf.From, vf.To)
+		}
+	}
+	q, err := f.inner.Call(taskID, slot)
+	if err != nil || drop == nil {
+		return q, err
+	}
+	// Copy-on-filter: the inner slice may be the marketplace's memoized,
+	// shared/read-only cache entry. Dropping a vendor must build a fresh
+	// slice, never mutate or re-slice the cached one.
+	kept := make([]Quote, 0, len(q))
+	for _, qt := range q {
+		if !drop[qt.Vendor] {
+			kept = append(kept, qt)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("%w: task %d has no reachable vendor in [%d,%d]",
+			ErrUnavailable, taskID, slot, slot)
+	}
+	return kept, nil
+}
+
+// RetryPolicy shapes a Retrier: capped exponential backoff with seeded
+// jitter and a per-purchase deadline.
+type RetryPolicy struct {
+	// MaxAttempts bounds the calls per purchase; default 4.
+	MaxAttempts int
+	// BaseDelay is the first backoff; default 50ms. Doubled per attempt
+	// up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Budget is the per-purchase deadline on the planned backoff total;
+	// a retry whose delay would push past it is abandoned instead.
+	// Default 3s.
+	Budget time.Duration
+	// Jitter is the relative half-width of the delay perturbation,
+	// applied multiplicatively as delay·(1 + Jitter·(2u−1)). Zero means
+	// the default 0.25; negative disables jitter.
+	Jitter float64
+	// Seed feeds the jitter. The jitter draw is a pure function of
+	// (Seed, taskID, slot, attempt) — not an RNG stream — so a restored
+	// broker replaying a slot reproduces byte-identical backoff and
+	// budget decisions.
+	Seed int64
+	// Sleep is the delay hook; nil means time.Sleep. Tests and the chaos
+	// harness pass a no-op to keep runs fast while still exercising the
+	// exact delay arithmetic.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 3 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.25
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Retrier wraps a Caller in the retry policy: transient faults delay a
+// purchase rather than kill it; a source that stays down past the
+// attempt and budget limits surfaces ErrUnavailable to the auction.
+type Retrier struct {
+	inner  Caller
+	policy RetryPolicy
+}
+
+// NewRetrier wraps inner with policy (zero fields take defaults).
+func NewRetrier(inner Caller, policy RetryPolicy) *Retrier {
+	return &Retrier{inner: inner, policy: policy.withDefaults()}
+}
+
+// jitterFor derives the deterministic jitter factor for one attempt,
+// uniform in [1−J, 1+J], by hashing (seed, taskID, slot, attempt) with
+// the same mixer the marketplace uses for quotes.
+func (r *Retrier) jitterFor(taskID, slot, attempt int) float64 {
+	if r.policy.Jitter < 0 {
+		return 1
+	}
+	h := uint64(0x9e3779b97f4a7c15)
+	h ^= uint64(taskID+1) * 0xbf58476d1ce4e5b9
+	h ^= uint64(slot+1) * 0x94d049bb133111eb
+	h ^= uint64(attempt+1) * 0xd6e8feb86659fd93
+	h ^= uint64(r.policy.Seed)
+	h *= 0x2545f4914f6cdd1d
+	u := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	return 1 + r.policy.Jitter*(2*u-1)
+}
+
+// Call implements Caller: attempts the purchase under the policy and
+// returns the first success, or the last error once the attempts or the
+// backoff budget run out.
+func (r *Retrier) Call(taskID, slot int) ([]Quote, error) {
+	var spent time.Duration
+	delay := r.policy.BaseDelay
+	for attempt := 0; ; attempt++ {
+		q, err := r.inner.Call(taskID, slot)
+		if err == nil {
+			return q, nil
+		}
+		if attempt+1 >= r.policy.MaxAttempts {
+			return nil, fmt.Errorf("vendor: purchase for task %d gave up after %d attempts: %w",
+				taskID, attempt+1, err)
+		}
+		d := time.Duration(float64(delay) * r.jitterFor(taskID, slot, attempt))
+		if spent+d > r.policy.Budget {
+			return nil, fmt.Errorf("vendor: purchase for task %d exceeded %v retry budget: %w",
+				taskID, r.policy.Budget, err)
+		}
+		r.policy.Sleep(d)
+		spent += d
+		delay *= 2
+		if delay > r.policy.MaxDelay {
+			delay = r.policy.MaxDelay
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package vendor
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/faults"
+)
+
+// failNTimes fails the first n calls per (taskID, slot) purchase, then
+// delegates.
+type failNTimes struct {
+	inner Caller
+	n     int
+
+	lastTask, lastSlot, attempts int
+}
+
+func (f *failNTimes) Call(taskID, slot int) ([]Quote, error) {
+	if taskID != f.lastTask || slot != f.lastSlot {
+		f.lastTask, f.lastSlot, f.attempts = taskID, slot, 0
+	}
+	f.attempts++
+	if f.attempts <= f.n {
+		return nil, ErrUnavailable
+	}
+	return f.inner.Call(taskID, slot)
+}
+
+// TestRetrierRidesOutTransientFault checks that a fault shorter than the
+// attempt limit delays the purchase instead of killing it, the backoff
+// doubles up to the cap, and the whole delay sequence is deterministic
+// across runs (the jitter is a pure function, not an RNG stream).
+func TestRetrierRidesOutTransientFault(t *testing.T) {
+	mkt, err := Standard(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkt.QuotesFor(17)
+
+	run := func() ([]Quote, []time.Duration, error) {
+		var sleeps []time.Duration
+		r := NewRetrier(
+			&failNTimes{inner: mkt, n: 2},
+			RetryPolicy{
+				MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 15 * time.Millisecond,
+				Budget: time.Second, Seed: 9,
+				Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+			})
+		q, err := r.Call(17, 5)
+		return q, sleeps, err
+	}
+
+	q1, s1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &q1[0] != &want[0] {
+		t.Fatalf("retried success should return the marketplace's shared slice unchanged")
+	}
+	if len(s1) != 2 {
+		t.Fatalf("2 failures should cost 2 sleeps, got %v", s1)
+	}
+	// Base 10ms with ±25% jitter, then doubled to 20ms but capped at 15ms.
+	if s1[0] < 7500*time.Microsecond || s1[0] > 12500*time.Microsecond {
+		t.Fatalf("first backoff %v outside jittered base range", s1[0])
+	}
+	if s1[1] < 11250*time.Microsecond || s1[1] > 18750*time.Microsecond {
+		t.Fatalf("second backoff %v outside jittered capped range", s1[1])
+	}
+	_, s2, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("backoff sequence not deterministic: %v vs %v", s1, s2)
+	}
+}
+
+// TestRetrierGivesUp checks both exhaustion paths: the attempt limit and
+// the backoff budget, each surfacing ErrUnavailable.
+func TestRetrierGivesUp(t *testing.T) {
+	mkt, err := Standard(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep := func(time.Duration) {}
+
+	r := NewRetrier(&failNTimes{inner: mkt, n: 1 << 30},
+		RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Budget: time.Hour, Seed: 1, Sleep: noSleep})
+	if _, err := r.Call(1, 0); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("attempt exhaustion should wrap ErrUnavailable, got %v", err)
+	}
+
+	r = NewRetrier(&failNTimes{inner: mkt, n: 1 << 30},
+		RetryPolicy{MaxAttempts: 100, BaseDelay: 40 * time.Millisecond, Budget: 50 * time.Millisecond, Seed: 1, Sleep: noSleep})
+	if _, err := r.Call(1, 0); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("budget exhaustion should wrap ErrUnavailable, got %v", err)
+	}
+}
+
+// TestFlakyWindows checks the three fault shapes: transient
+// marketplace-wide windows fail the first FailAttempts attempts and then
+// recover, hard windows never recover, and calls outside every window
+// pass straight through to the shared cached slice.
+func TestFlakyWindows(t *testing.T) {
+	mkt, err := Standard(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	f := NewFlaky(mkt, []faults.VendorFault{
+		{Vendor: -1, From: 2, To: 4, FailAttempts: 2, Latency: time.Millisecond},
+		{Vendor: -1, From: 8, To: 9, FailAttempts: -1},
+	}, func(d time.Duration) { slept = append(slept, d) })
+
+	// Outside every window: clean pass-through, shared slice.
+	q, err := f.Call(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := mkt.QuotesFor(1); &q[0] != &direct[0] {
+		t.Fatalf("fault-free call should return the marketplace's shared slice")
+	}
+
+	// Transient window: two failures (with latency), then recovery.
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := f.Call(2, 3); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("attempt %d in transient window: want ErrUnavailable, got %v", attempt, err)
+		}
+	}
+	if _, err := f.Call(2, 3); err != nil {
+		t.Fatalf("third attempt should recover, got %v", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("latency spike should hit each faulted attempt, slept %v", slept)
+	}
+
+	// A new purchase in the window starts its attempt counter over.
+	if _, err := f.Call(3, 3); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("fresh purchase should fail its first attempt again, got %v", err)
+	}
+
+	// Hard window: attempts never succeed.
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := f.Call(4, 8); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("hard window attempt %d: want ErrUnavailable, got %v", attempt, err)
+		}
+	}
+}
+
+// TestFlakyDropNeverMutatesCache is the vendor-cache safety half of the
+// fault layer: dropping a vendor must build a fresh slice, leaving the
+// marketplace's memoized shared slice untouched and un-aliased.
+func TestFlakyDropNeverMutatesCache(t *testing.T) {
+	mkt, err := Standard(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := mkt.QuotesFor(7) // warm the cache before the faulted call
+	f := NewFlaky(mkt, []faults.VendorFault{{Vendor: 2, From: 0, To: 10}}, nil)
+
+	got, err := f.Call(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("dropping 1 of 5 vendors should leave 4 quotes, got %d", len(got))
+	}
+	for _, q := range got {
+		if q.Vendor == 2 {
+			t.Fatalf("dropped vendor 2 still quoted: %+v", got)
+		}
+	}
+	if &got[0] == &cached[0] {
+		t.Fatalf("filtered result aliases the shared cached slice")
+	}
+	fresh, err := Standard(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.QuotesFor(7)
+	if !reflect.DeepEqual(cached, want) {
+		t.Fatalf("cached quotes mutated by the drop path:\n got %+v\nwant %+v", cached, want)
+	}
+
+	// Dropping every vendor is an outage, not an empty quote set.
+	all := NewFlaky(mkt, []faults.VendorFault{
+		{Vendor: 0, From: 0, To: 10}, {Vendor: 1, From: 0, To: 10}, {Vendor: 2, From: 0, To: 10},
+		{Vendor: 3, From: 0, To: 10}, {Vendor: 4, From: 0, To: 10},
+	}, nil)
+	if _, err := all.Call(7, 5); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("all-vendors-down should be ErrUnavailable, got %v", err)
+	}
+}
