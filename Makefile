@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -43,8 +43,10 @@ bench-snapshot:
 # budget tests guard the other axis: the failure-free hot path must stay
 # allocation-free with the fault layer compiled in but disabled.
 BASELINE ?= BENCH_pr4.json
+SERVING_BASELINE ?= BENCH_serving_pr6.json
 bench-check:
 	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
+	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run ServeBid,HTTPDecodeBid,DecisionEncode,DecisionLog,CheckpointPerSlot
 	$(GO) test -run 'AllocBudget|SteadyStateAllocs' -count=1 . ./internal/sim/
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
@@ -70,4 +72,13 @@ chaos-smoke:
 	$(GO) run ./cmd/pdftspd -chaos 7
 	$(GO) run ./cmd/pdftspd -chaos 42
 
-check: build vet test race serve-smoke chaos-smoke
+# load-smoke replays a short fixed-seed workload through the trace-driven
+# load generator over loopback HTTP — batched intake, binary incremental
+# checkpoints, streamed binary decision log — and verifies the broker's
+# decisions and accounting are bit-identical to a sequential sim.Run of
+# the same workload.
+load-smoke:
+	$(GO) run ./cmd/pdftspd-load -slots 24 -rate 40 -nodes 4 -seed 1 -verify \
+		-checkpoint /tmp/pdftsp-load.ckpt -full-every 4 -decision-log /tmp/pdftsp-load.declog
+
+check: build vet test race serve-smoke chaos-smoke load-smoke

@@ -1,0 +1,676 @@
+// Command pdftspd-load replays trace-generated fine-tuning workloads as
+// bid streams against a loopback pdftspd broker and reports what the
+// serving stack sustains: bids/sec, intake and decision latency
+// percentiles, queue high-water marks, and allocations per served bid.
+//
+// The harness drives the broker exactly as a production deployment
+// would — bids arrive over HTTP (the batch endpoint, one POST per
+// -batch bids), the virtual clock steps a slot once the slot's arrivals
+// are in — so the measured path is wire decode → intake → slot-close
+// auction → decision, not a shortcut around it.
+//
+// Two load modes:
+//
+//	-mode closed   (default) -conns workers keep exactly one batch in
+//	               flight each; 429s honor Retry-After and retry, so
+//	               nothing is shed and the run stays replay-equivalent
+//	               to sim.Run (checked with -verify).
+//	-mode open     batches fire on a fixed schedule derived from
+//	               -target bids/sec regardless of broker progress;
+//	               429s shed the batch (counted, not retried) — the
+//	               overload regime, where the queue-depth gauges and
+//	               shed tallies are the interesting output.
+//
+// A million-bid horizon fits in one run: -rate scales the Poisson
+// arrival process (e.g. -slots 144 -rate 7000 ≈ 1M bids) and -repeat
+// replicates a smaller trace N× with fresh IDs.
+//
+//	pdftspd-load -slots 24 -rate 40 -verify            # quick, checked
+//	pdftspd-load -slots 144 -rate 7000 -nodes 4        # ~1M bids
+//	pdftspd-load -bids bids.json -slots 144            # tracegen -bids output
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pdftspd-load: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type flags struct {
+	nodes, slots, vendors int
+	mix                   string
+	rate                  float64
+	arrivals, deadlines   string
+	seed                  int64
+	repeat                int
+	bidsFile              string
+
+	mode    string
+	target  float64
+	conns   int
+	batch   int
+	retries int
+
+	queue     int
+	ckpt      string
+	fullEvery int
+	decLog    string
+	keepPlans bool
+
+	verify  bool
+	minRate float64
+	jsonOut bool
+}
+
+func main() {
+	var f flags
+	flag.IntVar(&f.nodes, "nodes", 4, "number of compute nodes")
+	flag.StringVar(&f.mix, "mix", "hybrid", "cluster mix: a100, a40, hybrid")
+	flag.IntVar(&f.slots, "slots", 24, "horizon length in slots")
+	flag.Float64Var(&f.rate, "rate", 40, "mean arrivals per slot")
+	flag.StringVar(&f.arrivals, "arrivals", "poisson", "arrival process: poisson, mlaas, philly, helios")
+	flag.StringVar(&f.deadlines, "deadlines", "medium", "deadline policy: tight, medium, slack")
+	flag.IntVar(&f.vendors, "vendors", 5, "number of labor vendors")
+	flag.Int64Var(&f.seed, "seed", 1, "workload seed")
+	flag.IntVar(&f.repeat, "repeat", 1, "replicate the generated workload n× with fresh IDs")
+	flag.StringVar(&f.bidsFile, "bids", "", "replay broker-ready bid JSON (tracegen -bids) instead of generating")
+	flag.StringVar(&f.mode, "mode", "closed", "load mode: closed (retry on 429) or open (shed on 429)")
+	flag.Float64Var(&f.target, "target", 0, "open-loop submission target in bids/sec (0 = unpaced)")
+	flag.IntVar(&f.conns, "conns", 8, "concurrent submitter connections")
+	flag.IntVar(&f.batch, "batch", 64, "bids per POST /v1/bids/batch")
+	flag.IntVar(&f.retries, "retries", 8, "closed-mode retry budget per batch before shedding")
+	flag.IntVar(&f.queue, "queue", 0, "broker queue size (0 = auto-size to the largest slot)")
+	flag.StringVar(&f.ckpt, "checkpoint", "", "checkpoint the broker to this path while loading")
+	flag.IntVar(&f.fullEvery, "full-every", 1, "full snapshot every n checkpoint writes (binary deltas between)")
+	flag.StringVar(&f.decLog, "decision-log", "", "stream the binary decision log to this path")
+	flag.BoolVar(&f.keepPlans, "keep-losing-plans", false, "retain rejected bids' candidate plans (more memory)")
+	flag.BoolVar(&f.verify, "verify", false, "diff the broker's decisions and accounting against sim.Run")
+	flag.Float64Var(&f.minRate, "min-rate", 0, "exit non-zero if sustained bids/sec falls below this")
+	flag.BoolVar(&f.jsonOut, "json", false, "emit the report as JSON on stdout")
+	flag.Parse()
+
+	if f.mode != "closed" && f.mode != "open" {
+		fail("unknown -mode %q", f.mode)
+	}
+	if f.batch < 1 {
+		f.batch = 1
+	}
+	if f.conns < 1 {
+		f.conns = 1
+	}
+
+	rep, err := run(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep.print(os.Stdout, f.jsonOut)
+	if f.minRate > 0 && rep.SustainedBidsPerSec < f.minRate {
+		fail("sustained %.0f bids/s below -min-rate %.0f", rep.SustainedBidsPerSec, f.minRate)
+	}
+	if f.verify && !rep.Verified {
+		fail("verification failed: %s", rep.VerifyNote)
+	}
+}
+
+// buildStack wires one deterministic auction stack for the flag set —
+// the same recipe as cmd/pdftspd, with the workload replicated -repeat
+// times before dual calibration so prices fit the actual load.
+func buildStack(f flags, h timeslot.Horizon, tasks []task.Task) (*cluster.Cluster, *core.Scheduler, lora.ModelConfig, *vendor.Marketplace, error) {
+	model := lora.GPT2Small()
+	var specs []cluster.Node
+	add := func(n int, spec gpu.Spec) {
+		specs = append(specs, cluster.Uniform(n, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	switch f.mix {
+	case "a100":
+		add(f.nodes, gpu.A100)
+	case "a40":
+		add(f.nodes, gpu.A40)
+	case "hybrid":
+		add(f.nodes/2+f.nodes%2, gpu.A100)
+		add(f.nodes/2, gpu.A40)
+	default:
+		return nil, nil, model, nil, fmt.Errorf("unknown mix %q", f.mix)
+	}
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, specs)
+	if err != nil {
+		return nil, nil, model, nil, fmt.Errorf("cluster: %w", err)
+	}
+	mkt, err := vendor.Standard(f.vendors, f.seed+7)
+	if err != nil {
+		return nil, nil, model, nil, fmt.Errorf("marketplace: %w", err)
+	}
+	sched, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+	if err != nil {
+		return nil, nil, model, nil, fmt.Errorf("scheduler: %w", err)
+	}
+	return cl, sched, model, mkt, nil
+}
+
+// loadTasks produces the replayable workload: generated from the trace
+// flags (optionally replicated) or loaded from a tracegen -bids file.
+func loadTasks(f flags, h timeslot.Horizon) ([]task.Task, error) {
+	if f.bidsFile != "" {
+		data, err := os.ReadFile(f.bidsFile)
+		if err != nil {
+			return nil, err
+		}
+		var reqs []service.BidRequest
+		if err := json.Unmarshal(data, &reqs); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", f.bidsFile, err)
+		}
+		tasks := make([]task.Task, 0, len(reqs))
+		for i := range reqs {
+			t := reqs[i].Task()
+			if t.ID < 0 || t.Arrival < 0 {
+				return nil, fmt.Errorf("bid %d: replay needs explicit id and arrival", i)
+			}
+			if err := t.Validate(h); err != nil {
+				return nil, fmt.Errorf("bid %d: %w", i, err)
+			}
+			tasks = append(tasks, t)
+		}
+		sortTasks(tasks)
+		return tasks, nil
+	}
+	tc := trace.DefaultConfig()
+	tc.Seed = f.seed
+	tc.Horizon = h
+	tc.RatePerSlot = f.rate
+	switch f.arrivals {
+	case "poisson":
+		tc.Arrivals = trace.Poisson
+	case "mlaas":
+		tc.Arrivals = trace.MLaaSLike
+	case "philly":
+		tc.Arrivals = trace.PhillyLike
+	case "helios":
+		tc.Arrivals = trace.HeliosLike
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q", f.arrivals)
+	}
+	switch f.deadlines {
+	case "tight":
+		tc.Deadlines = trace.TightDeadlines
+	case "medium":
+		tc.Deadlines = trace.MediumDeadlines
+	case "slack":
+		tc.Deadlines = trace.SlackDeadlines
+	default:
+		return nil, fmt.Errorf("unknown deadline policy %q", f.deadlines)
+	}
+	tasks, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	if f.repeat > 1 {
+		n := len(tasks)
+		out := make([]task.Task, 0, n*f.repeat)
+		out = append(out, tasks...)
+		for r := 1; r < f.repeat; r++ {
+			for i := range tasks {
+				t := tasks[i]
+				t.ID += r * n
+				out = append(out, t)
+			}
+		}
+		sortTasks(out)
+		tasks = out
+	}
+	return tasks, nil
+}
+
+func sortTasks(tasks []task.Task) {
+	sort.SliceStable(tasks, func(i, j int) bool {
+		if tasks[i].Arrival != tasks[j].Arrival {
+			return tasks[i].Arrival < tasks[j].Arrival
+		}
+		return tasks[i].ID < tasks[j].ID
+	})
+}
+
+// latObserver timestamps each decision on the broker's core goroutine;
+// per-task cells are disjoint, and the drain barrier publishes them to
+// the reporting code.
+type latObserver struct {
+	obs.Base
+	epoch time.Time
+	dec   []int64 // decision time (ns since epoch) per task ID, 0 = undecided
+}
+
+func (l *latObserver) OnOutcome(e *obs.OutcomeEvent) {
+	if e.TaskID >= 0 && e.TaskID < len(l.dec) {
+		l.dec[e.TaskID] = int64(time.Since(l.epoch))
+	}
+}
+
+// report is the run's measured outcome.
+type report struct {
+	Bids      int    `json:"bids"`
+	Slots     int    `json:"slots"`
+	Nodes     int    `json:"nodes"`
+	Mode      string `json:"mode"`
+	Batch     int    `json:"batch"`
+	Conns     int    `json:"conns"`
+	Submitted int    `json:"submitted"`
+	Decided   int    `json:"decided"`
+	Shed      int    `json:"shed"`
+	Retries   int    `json:"retries"`
+
+	WallSeconds         float64 `json:"wall_seconds"`
+	SustainedBidsPerSec float64 `json:"sustained_bids_per_sec"`
+
+	IntakeP50Ms     float64 `json:"intake_p50_ms"`
+	IntakeP90Ms     float64 `json:"intake_p90_ms"`
+	IntakeP99Ms     float64 `json:"intake_p99_ms"`
+	IntakeMaxMs     float64 `json:"intake_max_ms"`
+	DecisionP50Ms   float64 `json:"decision_p50_ms"`
+	DecisionP90Ms   float64 `json:"decision_p90_ms"`
+	DecisionP99Ms   float64 `json:"decision_p99_ms"`
+	DecisionMaxMs   float64 `json:"decision_max_ms"`
+	IntakeHighWater int     `json:"intake_high_water"`
+	HeldHighWater   int     `json:"held_high_water"`
+	ShedChannelFull int64   `json:"shed_channel_full"`
+	ShedHeldFull    int64   `json:"shed_held_full"`
+	AllocsPerBid    float64 `json:"allocs_per_bid"`
+	Welfare         float64 `json:"welfare"`
+	Revenue         float64 `json:"revenue"`
+	Admitted        int     `json:"admitted"`
+	Rejected        int     `json:"rejected"`
+	Verified        bool    `json:"verified"`
+	VerifyNote      string  `json:"verify_note,omitempty"`
+}
+
+func (r *report) print(w io.Writer, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r)
+		return
+	}
+	fmt.Fprintf(w, "pdftspd-load: %d bids over %d slots, %d nodes (%s loop, batch %d, %d conns)\n",
+		r.Bids, r.Slots, r.Nodes, r.Mode, r.Batch, r.Conns)
+	fmt.Fprintf(w, "  submitted %d  decided %d  shed %d  retries %d\n", r.Submitted, r.Decided, r.Shed, r.Retries)
+	fmt.Fprintf(w, "  wall %.2fs  sustained %.0f bids/s\n", r.WallSeconds, r.SustainedBidsPerSec)
+	fmt.Fprintf(w, "  intake RTT    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.1fms\n",
+		r.IntakeP50Ms, r.IntakeP90Ms, r.IntakeP99Ms, r.IntakeMaxMs)
+	fmt.Fprintf(w, "  decision lat  p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.0fms\n",
+		r.DecisionP50Ms, r.DecisionP90Ms, r.DecisionP99Ms, r.DecisionMaxMs)
+	fmt.Fprintf(w, "  intake high-water %d  held high-water %d  shed: channel %d held %d\n",
+		r.IntakeHighWater, r.HeldHighWater, r.ShedChannelFull, r.ShedHeldFull)
+	fmt.Fprintf(w, "  allocs/served bid (whole process, both sides of the wire) %.1f\n", r.AllocsPerBid)
+	fmt.Fprintf(w, "  welfare %.2f  revenue %.2f  admitted %d  rejected %d\n",
+		r.Welfare, r.Revenue, r.Admitted, r.Rejected)
+	if r.Verified {
+		fmt.Fprintln(w, "  verify: broker output matches sequential sim.Run (decisions + accounting)")
+	} else if r.VerifyNote != "" {
+		fmt.Fprintf(w, "  verify: %s\n", r.VerifyNote)
+	}
+}
+
+func run(f flags) (*report, error) {
+	h := timeslot.NewHorizon(f.slots)
+	tasks, err := loadTasks(f, h)
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("empty workload")
+	}
+	cl, sched, model, mkt, err := buildStack(f, h, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group per arrival slot; the submit loop feeds slot s's bids while
+	// the broker clock sits at s, then steps.
+	maxID := 0
+	perSlot := make([][]task.Task, f.slots)
+	for i := range tasks {
+		t := tasks[i]
+		perSlot[t.Arrival] = append(perSlot[t.Arrival], t)
+		if t.ID > maxID {
+			maxID = t.ID
+		}
+	}
+	maxSlot := 0
+	for _, s := range perSlot {
+		if len(s) > maxSlot {
+			maxSlot = len(s)
+		}
+	}
+	queue := f.queue
+	if queue <= 0 {
+		queue = maxSlot + f.conns*f.batch + 16
+	}
+
+	lat := &latObserver{epoch: time.Now(), dec: make([]int64, maxID+1)}
+	observers := []obs.Observer{lat}
+	var decLog *obs.DecisionLog
+	if f.decLog != "" {
+		if decLog, err = obs.NewDecisionLogFile(f.decLog); err != nil {
+			return nil, err
+		}
+		observers = append(observers, decLog)
+	}
+
+	broker, err := service.New(service.Options{
+		Cluster:             cl,
+		Scheduler:           sched,
+		Model:               model,
+		Market:              mkt,
+		QueueSize:           queue,
+		VirtualClock:        true,
+		CheckpointPath:      f.ckpt,
+		CheckpointFullEvery: f.fullEvery,
+		Observer:            obs.Multi(observers...),
+		RunLabel:            "pdftspd-load",
+		DropLosingPlans:     !f.keepPlans,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := broker.Start(); err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: broker.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        f.conns * 2,
+		MaxIdleConnsPerHost: f.conns * 2,
+	}}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		intakeRTT []time.Duration
+		submitNs  = make([]int64, maxID+1)
+		shed      int
+		retried   int
+		submitted int
+		workerErr error
+	)
+	jobs := make(chan []task.Task, f.conns*2)
+	for w := 0; w < f.conns; w++ {
+		go func() {
+			body := &bytes.Buffer{}
+			for chunk := range jobs {
+				rtt, retries, jshed, err := postBatch(client, base, chunk, f, body, lat.epoch, submitNs)
+				mu.Lock()
+				intakeRTT = append(intakeRTT, rtt)
+				retried += retries
+				shed += jshed
+				submitted += len(chunk) - jshed
+				if err != nil && workerErr == nil {
+					workerErr = err
+				}
+				mu.Unlock()
+				wg.Done()
+			}
+		}()
+	}
+
+	var pace <-chan time.Time
+	if f.mode == "open" && f.target > 0 {
+		interval := time.Duration(float64(f.batch) / f.target * float64(time.Second))
+		if interval > 0 {
+			t := time.NewTicker(interval)
+			pace = t.C
+			defer t.Stop()
+		}
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for s := 0; s < f.slots; s++ {
+		chunk := perSlot[s]
+		for len(chunk) > 0 {
+			n := f.batch
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			if pace != nil {
+				<-pace
+			}
+			wg.Add(1)
+			jobs <- chunk[:n]
+			chunk = chunk[n:]
+		}
+		wg.Wait()
+		mu.Lock()
+		err := workerErr
+		mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := step(client, base); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	close(jobs)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := broker.Drain(drainCtx); err != nil {
+		return nil, err
+	}
+	if decLog != nil {
+		if err := decLog.Close(); err != nil {
+			return nil, fmt.Errorf("decision log: %w", err)
+		}
+	}
+	st, err := broker.Status()
+	if err != nil {
+		return nil, err
+	}
+
+	decided := 0
+	var decLat []time.Duration
+	for id, dNs := range lat.dec {
+		if dNs == 0 {
+			continue
+		}
+		decided++
+		if sNs := submitNs[id]; sNs > 0 && dNs > sNs {
+			decLat = append(decLat, time.Duration(dNs-sNs))
+		}
+	}
+
+	rep := &report{
+		Bids: len(tasks), Slots: f.slots, Nodes: f.nodes, Mode: f.mode,
+		Batch: f.batch, Conns: f.conns,
+		Submitted: submitted, Decided: decided, Shed: shed, Retries: retried,
+		WallSeconds:         wall.Seconds(),
+		SustainedBidsPerSec: float64(decided) / wall.Seconds(),
+		IntakeHighWater:     st.IntakeHighWater,
+		HeldHighWater:       st.HeldHighWater,
+		ShedChannelFull:     st.ShedChannelFull,
+		ShedHeldFull:        st.ShedHeldFull,
+		Welfare:             st.Welfare,
+		Revenue:             st.Revenue,
+		Admitted:            st.Admitted,
+		Rejected:            st.Rejected,
+	}
+	if decided > 0 {
+		rep.AllocsPerBid = float64(m1.Mallocs-m0.Mallocs) / float64(decided)
+	}
+	rep.IntakeP50Ms, rep.IntakeP90Ms, rep.IntakeP99Ms, rep.IntakeMaxMs = percentilesMs(intakeRTT)
+	rep.DecisionP50Ms, rep.DecisionP90Ms, rep.DecisionP99Ms, rep.DecisionMaxMs = percentilesMs(decLat)
+
+	if f.verify {
+		rep.Verified, rep.VerifyNote = verify(f, h, tasks, broker, shed)
+	}
+	return rep, nil
+}
+
+// postBatch submits one chunk via POST /v1/bids/batch?ack=1, honoring
+// Retry-After in closed mode and shedding in open mode. It returns the
+// final attempt's ack round trip.
+func postBatch(client *http.Client, base string, chunk []task.Task, f flags, body *bytes.Buffer, epoch time.Time, submitNs []int64) (rtt time.Duration, retries, shed int, err error) {
+	reqs := make([]service.BidRequest, len(chunk))
+	for i := range chunk {
+		t := &chunk[i]
+		reqs[i] = service.BidRequest{
+			ID: &t.ID, Arrival: &t.Arrival, Deadline: t.Deadline,
+			Work: t.Work, MemGB: t.MemGB, Bid: t.Bid, NeedsPrep: t.NeedsPrep,
+			Rank: t.Rank, Batch: t.Batch,
+			DatasetSamples: t.DatasetSamples, Epochs: t.Epochs, ModelName: t.ModelName,
+		}
+	}
+	body.Reset()
+	if err := json.NewEncoder(body).Encode(reqs); err != nil {
+		return 0, 0, 0, err
+	}
+	payload := append([]byte(nil), body.Bytes()...)
+
+	for attempt := 0; ; attempt++ {
+		for i := range chunk {
+			if id := chunk[i].ID; id >= 0 && id < len(submitNs) && submitNs[id] == 0 {
+				submitNs[id] = int64(time.Since(epoch))
+			}
+		}
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/bids/batch?ack=1", "application/json", bytes.NewReader(payload))
+		rtt = time.Since(t0)
+		if err != nil {
+			return rtt, retries, 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			ra := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if f.mode == "open" || attempt >= f.retries {
+				return rtt, retries, len(chunk), nil
+			}
+			retries++
+			if secs, aerr := strconv.Atoi(ra); aerr == nil && secs > 0 {
+				time.Sleep(time.Duration(secs) * time.Second)
+			} else {
+				time.Sleep(100 * time.Millisecond)
+			}
+			continue
+		}
+		var results []struct {
+			TaskID int    `json:"task_id"`
+			Error  string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&results)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return rtt, retries, len(chunk), fmt.Errorf("batch POST: HTTP %d", resp.StatusCode)
+		}
+		if decErr != nil {
+			return rtt, retries, 0, decErr
+		}
+		for _, r := range results {
+			if r.Error != "" {
+				shed++
+			}
+		}
+		return rtt, retries, shed, nil
+	}
+}
+
+func step(client *http.Client, base string) error {
+	resp, err := client.Post(base+"/v1/clock/step", "application/json", bytes.NewReader([]byte(`{"slots":1}`)))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("clock step: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// verify replays the same workload sequentially through sim.Run on a
+// twin stack and diffs decisions and accounting.
+func verify(f flags, h timeslot.Horizon, tasks []task.Task, broker *service.Broker, shed int) (bool, string) {
+	if shed > 0 {
+		return false, fmt.Sprintf("skipped: %d bids were shed, replay would diverge", shed)
+	}
+	cl2, sched2, model2, mkt2, err := buildStack(f, h, tasks)
+	if err != nil {
+		return false, err.Error()
+	}
+	res, err := sim.Run(cl2, sched2, tasks, sim.Config{
+		Model: model2, Market: mkt2, CollectDecisions: true,
+	})
+	if err != nil {
+		return false, err.Error()
+	}
+	got := broker.Result()
+	if got.Welfare != res.Welfare || got.Revenue != res.Revenue ||
+		got.VendorSpend != res.VendorSpend || got.EnergySpend != res.EnergySpend ||
+		got.Admitted != res.Admitted || got.Rejected != res.Rejected ||
+		got.Utilization != res.Utilization {
+		return false, fmt.Sprintf("accounting mismatch: broker welfare=%v revenue=%v %d/%d util=%v, replay welfare=%v revenue=%v %d/%d util=%v",
+			got.Welfare, got.Revenue, got.Admitted, got.Rejected, got.Utilization,
+			res.Welfare, res.Revenue, res.Admitted, res.Rejected, res.Utilization)
+	}
+	for i := range tasks {
+		want := res.Decisions[i]
+		d, ok, _ := broker.DecisionFor(tasks[i].ID)
+		if !ok {
+			return false, fmt.Sprintf("task %d: no broker decision", tasks[i].ID)
+		}
+		if d.Admitted != want.Admitted || d.Payment != want.Payment || d.Reason != want.Reason {
+			return false, fmt.Sprintf("task %d: broker (admitted=%v payment=%v %q) vs replay (admitted=%v payment=%v %q)",
+				tasks[i].ID, d.Admitted, d.Payment, d.Reason, want.Admitted, want.Payment, want.Reason)
+		}
+	}
+	return true, ""
+}
+
+// percentilesMs reports p50/p90/p99/max in milliseconds.
+func percentilesMs(d []time.Duration) (p50, p90, p99, max float64) {
+	if len(d) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(d)-1))
+		return float64(d[i]) / float64(time.Millisecond)
+	}
+	return at(0.5), at(0.9), at(0.99), float64(d[len(d)-1]) / float64(time.Millisecond)
+}

@@ -117,18 +117,21 @@ func runChaos(cfg stackConfig, seed int64) error {
 	auditor := obs.NewAudit()
 	mkBroker := func(st *stack) (*service.Broker, error) {
 		return service.New(service.Options{
-			Cluster:         st.cl,
-			Scheduler:       st.sched,
-			Model:           st.model,
-			Market:          st.mkt,
-			QueueSize:       len(tasks) + 16,
-			VirtualClock:    true,
-			CheckpointPath:  ckptPath,
-			CheckpointEvery: 1,
-			Failures:        failures,
-			Quotes:          chain(st.mkt),
-			CheckpointFault: ckptFault,
-			Observer:        auditor,
+			Cluster:      st.cl,
+			Scheduler:    st.sched,
+			Model:        st.model,
+			Market:       st.mkt,
+			QueueSize:    len(tasks) + 16,
+			VirtualClock: true,
+			// Full JSON snapshot every 4th slot, binary deltas between:
+			// every kill/restore below exercises the incremental chain.
+			CheckpointPath:      ckptPath,
+			CheckpointEvery:     1,
+			CheckpointFullEvery: 4,
+			Failures:            failures,
+			Quotes:              chain(st.mkt),
+			CheckpointFault:     ckptFault,
+			Observer:            auditor,
 		})
 	}
 
@@ -182,7 +185,7 @@ func runChaos(cfg stackConfig, seed int64) error {
 			// generation on a fresh stack from the checkpoint.
 			gen.broker.Kill()
 			gen.srv.Close()
-			ck, err := service.ReadCheckpoint(ckptPath)
+			ck, err := service.LoadCheckpoint(ckptPath)
 			if err != nil {
 				return fmt.Errorf("%w: no checkpoint to restore after kill at slot %d: %v", errChaos, s, err)
 			}

@@ -69,7 +69,9 @@ func main() {
 	queue := flag.Int("queue", 1024, "bounded intake queue size (429 when full)")
 	ckpt := flag.String("checkpoint", "", "persist auction state to this JSON file as slots close")
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every n closed slots")
-	restore := flag.Bool("restore", false, "resume from -checkpoint before serving")
+	fullEvery := flag.Int("full-every", 1, "write a full JSON snapshot every n checkpoints and binary deltas in between (1 = always full)")
+	restore := flag.Bool("restore", false, "resume from -checkpoint (full snapshot + delta sidecar) before serving")
+	decLog := flag.String("decision-log", "", "stream every decision to this binary log (read with obs.ReadDecisionLog)")
 	obsTrace := flag.String("trace", "", "write a JSONL event trace to this file (analyze with cmd/trace)")
 	audit := flag.Bool("audit", false, "validate auction invariants online; non-zero exit on any violation")
 	serveDebug := flag.String("serve", "", "serve live expvar metrics and pprof on this address")
@@ -91,6 +93,15 @@ func main() {
 	if *audit {
 		auditor = obs.NewAudit()
 		observers = append(observers, auditor)
+	}
+	var decSink *obs.DecisionLog
+	if *decLog != "" {
+		var err error
+		decSink, err = obs.NewDecisionLogFile(*decLog)
+		if err != nil {
+			fail("decision-log: %v", err)
+		}
+		observers = append(observers, decSink)
 	}
 	if *serveDebug != "" {
 		m := obs.NewMetrics()
@@ -114,7 +125,7 @@ func main() {
 			fail("smoke: %v", err)
 		}
 		fmt.Println("serve-smoke: concurrent HTTP fan-in matches sequential sim.Run (welfare, payments, duals)")
-		finishObs(jsonlSink, auditor)
+		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
 	if *chaos >= 0 {
@@ -122,7 +133,7 @@ func main() {
 			fail("chaos: %v", err)
 		}
 		fmt.Printf("chaos-smoke(seed %d): broker survived the fault schedule and matches sim.Run (decisions, refunds, duals, ledger)\n", *chaos)
-		finishObs(jsonlSink, auditor)
+		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
 
@@ -131,16 +142,17 @@ func main() {
 		fail("%v", err)
 	}
 	broker, err := service.New(service.Options{
-		Cluster:         st.cl,
-		Scheduler:       st.sched,
-		Model:           st.model,
-		Market:          st.mkt,
-		QueueSize:       *queue,
-		VirtualClock:    *virtual,
-		SlotDuration:    *slotDur,
-		CheckpointPath:  *ckpt,
-		CheckpointEvery: *ckptEvery,
-		Observer:        observer,
+		Cluster:             st.cl,
+		Scheduler:           st.sched,
+		Model:               st.model,
+		Market:              st.mkt,
+		QueueSize:           *queue,
+		VirtualClock:        *virtual,
+		SlotDuration:        *slotDur,
+		CheckpointPath:      *ckpt,
+		CheckpointEvery:     *ckptEvery,
+		CheckpointFullEvery: *fullEvery,
+		Observer:            observer,
 	})
 	if err != nil {
 		fail("broker: %v", err)
@@ -149,7 +161,7 @@ func main() {
 		if *ckpt == "" {
 			fail("-restore requires -checkpoint")
 		}
-		ck, err := service.ReadCheckpoint(*ckpt)
+		ck, err := service.LoadCheckpoint(*ckpt)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -157,6 +169,9 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
+	}
+	if *serveDebug != "" {
+		broker.ExposeExpvar("pdftspd_broker")
 	}
 	if err := broker.Start(); err != nil {
 		fail("broker: %v", err)
@@ -191,14 +206,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
 	}
 	_ = srv.Shutdown(shutCtx)
-	finishObs(jsonlSink, auditor)
+	finishObs(jsonlSink, auditor, decSink)
 }
 
-// finishObs flushes the JSONL trace and reports the audit verdict.
-func finishObs(j *obs.JSONL, a *obs.Audit) {
+// finishObs flushes the JSONL trace and decision log and reports the
+// audit verdict.
+func finishObs(j *obs.JSONL, a *obs.Audit, d *obs.DecisionLog) {
 	if j != nil {
 		if err := j.Close(); err != nil {
 			fail("trace: %v", err)
+		}
+	}
+	if d != nil {
+		if err := d.Close(); err != nil {
+			fail("decision-log: %v", err)
 		}
 	}
 	if a != nil {

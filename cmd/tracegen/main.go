@@ -6,6 +6,10 @@
 //
 //	tracegen -rate 5 -arrivals helios -slots 144 > trace.json
 //	tracegen -counts -rate 50    # per-slot arrival counts only
+//	tracegen -bids -rate 40 > bids.json   # broker-ready bid requests
+//
+// With -bids the output is the broker's wire form ([]BidRequest, with
+// explicit id and arrival), pipeable straight into `pdftspd-load -bids`.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/pdftsp/pdftsp/internal/service"
 	"github.com/pdftsp/pdftsp/internal/timeslot"
 	"github.com/pdftsp/pdftsp/internal/trace"
 )
@@ -25,6 +30,7 @@ func main() {
 	slots := flag.Int("slots", timeslot.DefaultHorizonSlots, "horizon length in slots")
 	seed := flag.Int64("seed", 1, "generator seed")
 	countsOnly := flag.Bool("counts", false, "emit per-slot arrival counts instead of full tasks")
+	bids := flag.Bool("bids", false, "emit broker wire-form bid requests (for pdftspd-load -bids)")
 	flag.Parse()
 
 	cfg := trace.DefaultConfig()
@@ -74,6 +80,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
+	}
+	if *bids {
+		reqs := make([]service.BidRequest, len(tasks))
+		for i, t := range tasks {
+			reqs[i] = service.BidRequestFor(t)
+		}
+		if err := enc.Encode(reqs); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := enc.Encode(tasks); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)

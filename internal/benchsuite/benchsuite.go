@@ -39,6 +39,17 @@ func Suite() []Bench {
 		{Name: "FigWorkload/parallel", Func: FigWorkloadParallel},
 		{Name: "FigTruthfulness/sequential", Func: FigTruthfulnessSequential},
 		{Name: "FigTruthfulness/parallel", Func: FigTruthfulnessParallel},
+		{Name: "ServeBid/unbatched", Func: ServeBidUnbatched},
+		{Name: "ServeBid/batched", Func: ServeBidBatched},
+		{Name: "HTTPDecodeBid/stdjson", Func: HTTPDecodeBidStdJSON},
+		{Name: "HTTPDecodeBid/pooled", Func: HTTPDecodeBidPooled},
+		{Name: "DecisionEncode/stdjson", Func: DecisionEncodeStdJSON},
+		{Name: "DecisionEncode/pooled", Func: DecisionEncodePooled},
+		{Name: "DecisionLog/jsonl", Func: DecisionLogJSONL},
+		{Name: "DecisionLog/binary", Func: DecisionLogBinary},
+		{Name: "CheckpointPerSlot/none", Func: CheckpointPerSlotNone},
+		{Name: "CheckpointPerSlot/json-full", Func: CheckpointPerSlotJSONFull},
+		{Name: "CheckpointPerSlot/binary-delta", Func: CheckpointPerSlotBinaryDelta},
 	}
 }
 

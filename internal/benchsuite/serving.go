@@ -1,0 +1,442 @@
+package benchsuite
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/trace"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// The serving benchmarks measure the broker's wire path — the
+// intake→decision loop pdftspd-load drives at scale — at its two
+// granularities: one bid per submission (the original JSON/unbatched
+// path) versus slot-coalesced batches with pooled codecs and binary
+// sinks. One op is one served bid for the ServeBid pair, one codec call
+// for the codec pairs, and one closed slot for the checkpoint trio.
+
+// servingSlots bounds a serving broker's horizon; a benchmark that
+// outlives it rebuilds the broker off the clock.
+const servingSlots = 4096
+
+// servingBidsPerSlot is the slot-close round size the ServeBid and
+// checkpoint benchmarks use.
+const servingBidsPerSlot = 64
+
+// benchServingModel pins the model and long bench horizon.
+func benchServingModel() (lora.ModelConfig, timeslot.Horizon) {
+	return lora.GPT2Small(), timeslot.NewHorizon(servingSlots)
+}
+
+// benchServingCluster is a four-node hybrid cluster — small enough that
+// a long -benchtime over thousands of slots stays in memory.
+func benchServingCluster(b *testing.B, h timeslot.Horizon, model lora.ModelConfig) *cluster.Cluster {
+	b.Helper()
+	var nodes []cluster.Node
+	for _, spec := range []gpu.Spec{gpu.A100, gpu.A40} {
+		nodes = append(nodes, cluster.Uniform(2, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// benchServingStack generates the template workload (a paper-scale day,
+// cycled with fresh identities by the benchmarks) and calibrates duals.
+func benchServingStack(b *testing.B, model lora.ModelConfig, cl *cluster.Cluster) (*vendor.Marketplace, []task.Task, core.Options) {
+	b.Helper()
+	mkt, err := vendor.Standard(5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.RatePerSlot = 10
+	tasks, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mkt, tasks, core.CalibrateDuals(tasks, model, cl, mkt)
+}
+
+// retimeTask gives a template task a fresh identity "bidding now",
+// preserving its deadline slack relative to the broker's current slot.
+func retimeTask(t task.Task, id, slot int) task.Task {
+	span := t.Deadline - t.Arrival
+	t.ID = id
+	t.Arrival = -1
+	t.Deadline = slot + span
+	if t.Deadline >= servingSlots {
+		t.Deadline = servingSlots - 1
+	}
+	return t
+}
+
+// servingBroker builds a virtual-clock broker on the bench cluster.
+func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.Observer) (*service.Broker, []task.Task) {
+	b.Helper()
+	model, h := benchServingModel()
+	cl := benchServingCluster(b, h, model)
+	mkt, tasks, opts := benchServingStack(b, model, cl)
+	sched, err := core.New(cl, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	broker, err := service.New(service.Options{
+		Cluster:             cl,
+		Scheduler:           sched,
+		Model:               model,
+		Market:              mkt,
+		QueueSize:           4 * servingBidsPerSlot,
+		VirtualClock:        true,
+		CheckpointPath:      checkpoint,
+		CheckpointFullEvery: fullEvery,
+		Observer:            observer,
+		RunLabel:            "bench",
+		DropLosingPlans:     true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := broker.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return broker, tasks
+}
+
+// ServeBidUnbatched is the baseline serving path — the wire loop the
+// batch fast path replaced: every bid decoded from its own JSON request
+// through a fresh json.Decoder (how the handler read request bodies),
+// submitted on its own (SubmitAsync, one pending and one response
+// channel each), and its decision written through a fresh json.Encoder
+// (the old writeJSON).
+func ServeBidUnbatched(b *testing.B) {
+	broker, tasks := servingBroker(b, "", 0, nil)
+	defer broker.Kill()
+	payloads := bidPayloads(b, tasks, 1)
+	var (
+		chans = make([]<-chan service.Outcome, 0, servingBidsPerSlot)
+		slot  int
+		id    = 1 << 20
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req service.BidRequest
+		dec := json.NewDecoder(bytes.NewReader(payloads[i%len(payloads)]))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			b.Fatal(err)
+		}
+		t := retimeTask(req.Task(), id, slot)
+		id++
+		ch, err := broker.SubmitAsync(nil, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chans = append(chans, ch)
+		if len(chans) == servingBidsPerSlot || i == b.N-1 {
+			slot = stepServing(b, broker, slot, func() { broker, tasks = rebuildServing(b, broker, "", 0, nil) })
+			for _, ch := range chans {
+				out := <-ch
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+				resp := service.DecisionResponse{
+					TaskID:   out.Decision.TaskID,
+					Admitted: out.Decision.Admitted,
+					Payment:  out.Decision.Payment,
+					Reason:   out.Decision.Reason,
+				}
+				if err := json.NewEncoder(io.Discard).Encode(&resp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			chans = chans[:0]
+		}
+	}
+}
+
+// ServeBidBatched is the fast path: one pooled decode per 64-bid batch,
+// one SubmitBatchAck per batch, decisions streamed through the
+// reflection-free encoder by an observer on the core goroutine.
+func ServeBidBatched(b *testing.B) {
+	enc := &encodingObserver{}
+	broker, tasks := servingBroker(b, "", 0, enc)
+	defer broker.Kill()
+	payloads := bidPayloads(b, tasks, servingBidsPerSlot)
+	var (
+		reqs     []service.BidRequest
+		batch    = make([]task.Task, 0, servingBidsPerSlot)
+		verdicts = make([]error, servingBidsPerSlot)
+		slot     int
+		id       = 1 << 20
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		if err := service.DecodeBids(payloads[(n/servingBidsPerSlot)%len(payloads)], &reqs); err != nil {
+			b.Fatal(err)
+		}
+		k := b.N - n
+		if k > len(reqs) {
+			k = len(reqs)
+		}
+		batch = batch[:0]
+		for i := 0; i < k; i++ {
+			batch = append(batch, retimeTask(reqs[i].Task(), id, slot))
+			id++
+		}
+		if _, err := broker.SubmitBatchAck(nil, batch, verdicts[:k]); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if verdicts[i] != nil {
+				b.Fatal(verdicts[i])
+			}
+		}
+		n += k
+		slot = stepServing(b, broker, slot, func() {
+			broker, tasks = rebuildServing(b, broker, "", 0, enc)
+		})
+	}
+}
+
+// encodingObserver streams each decision through the pooled wire
+// encoder, standing in for a batch responder on the core goroutine.
+type encodingObserver struct {
+	obs.Base
+	buf []byte
+}
+
+func (o *encodingObserver) OnOutcome(e *obs.OutcomeEvent) {
+	if e.Decision != nil {
+		o.buf = service.AppendDecision(o.buf[:0], e.TaskID, e.Decision)
+	}
+}
+
+// stepServing closes the current slot and rebuilds the broker (off the
+// timer) when the horizon is spent.
+func stepServing(b *testing.B, broker *service.Broker, slot int, rebuild func()) int {
+	b.Helper()
+	if _, err := broker.Step(1); err != nil {
+		b.Fatal(err)
+	}
+	slot++
+	if slot >= servingSlots-1 {
+		b.StopTimer()
+		rebuild()
+		b.StartTimer()
+		return 0
+	}
+	return slot
+}
+
+func rebuildServing(b *testing.B, old *service.Broker, checkpoint string, fullEvery int, observer obs.Observer) (*service.Broker, []task.Task) {
+	b.Helper()
+	old.Kill()
+	return servingBroker(b, checkpoint, fullEvery, observer)
+}
+
+// bidPayloads renders wire JSON for batches of size k from the bench
+// workload — the request bodies the decode benchmarks replay.
+func bidPayloads(b *testing.B, tasks []task.Task, k int) [][]byte {
+	b.Helper()
+	if len(tasks) < k {
+		b.Fatalf("bench workload too small: %d tasks, need %d", len(tasks), k)
+	}
+	var payloads [][]byte
+	for at := 0; at+k <= len(tasks) && len(payloads) < 16; at += k {
+		reqs := make([]service.BidRequest, k)
+		for i := 0; i < k; i++ {
+			t := tasks[at+i]
+			reqs[i] = service.BidRequest{
+				Deadline: t.Deadline, Work: t.Work, MemGB: t.MemGB, Bid: t.Bid,
+				NeedsPrep: t.NeedsPrep, Rank: t.Rank, Batch: t.Batch,
+				DatasetSamples: t.DatasetSamples, Epochs: t.Epochs, ModelName: t.ModelName,
+			}
+		}
+		var data []byte
+		var err error
+		if k == 1 {
+			data, err = json.Marshal(&reqs[0])
+		} else {
+			data, err = json.Marshal(reqs)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads = append(payloads, data)
+	}
+	return payloads
+}
+
+// HTTPDecodeBidStdJSON decodes a 64-bid batch body with a fresh
+// encoding/json unmarshal per request — the allocation profile of the
+// pre-pooling handler.
+func HTTPDecodeBidStdJSON(b *testing.B) {
+	payloads := servingPayloads(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var reqs []service.BidRequest
+		if err := json.Unmarshal(payloads[i%len(payloads)], &reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// HTTPDecodeBidPooled decodes the same bodies through the handler's
+// pooled decoder, reusing one request slice.
+func HTTPDecodeBidPooled(b *testing.B) {
+	payloads := servingPayloads(b)
+	var reqs []service.BidRequest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := service.DecodeBids(payloads[i%len(payloads)], &reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func servingPayloads(b *testing.B) [][]byte {
+	b.Helper()
+	model, h := benchServingModel()
+	cl := benchServingCluster(b, h, model)
+	_, tasks, _ := benchServingStack(b, model, cl)
+	return bidPayloads(b, tasks, servingBidsPerSlot)
+}
+
+// DecisionEncodeStdJSON marshals one decision response via
+// encoding/json per op.
+func DecisionEncodeStdJSON(b *testing.B) {
+	d := benchDecision()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := service.DecisionResponse{
+			TaskID: d.TaskID, Admitted: d.Admitted, Payment: d.Payment,
+		}
+		if _, err := json.Marshal(&resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DecisionEncodePooled renders the same response through the handler's
+// reflection-free encoder into a reused buffer.
+func DecisionEncodePooled(b *testing.B) {
+	d := benchDecision()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = service.AppendDecision(buf[:0], d.TaskID, &d)
+	}
+}
+
+func benchDecision() schedule.Decision {
+	return schedule.Decision{
+		TaskID:   42,
+		Admitted: true,
+		Payment:  37.25,
+		F:        3.5,
+	}
+}
+
+// benchOutcomeEvent is a representative admitted decision with two
+// placements — the decision-log hot record.
+func benchOutcomeEvent() obs.OutcomeEvent {
+	return obs.OutcomeEvent{
+		Run: "bench", Sched: "pdftsp", TaskID: 42, Slot: 7,
+		Bid: 61.5, Admitted: true, Surplus: 24.25, Payment: 37.25,
+		VendorCost: 4.5, EnergyCost: 1.75,
+		Placements: []obs.Placement{{Node: 1, Slot: 7, Work: 12}, {Node: 1, Slot: 8, Work: 12}},
+	}
+}
+
+// DecisionLogJSONL streams one outcome through the JSONL observer — the
+// per-decision trace sink before the binary log.
+func DecisionLogJSONL(b *testing.B) {
+	l := obs.NewJSONL(io.Discard)
+	ev := benchOutcomeEvent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.TaskID = i
+		l.OnOutcome(&ev)
+	}
+}
+
+// DecisionLogBinary streams the same outcome through the binary
+// decision log.
+func DecisionLogBinary(b *testing.B) {
+	l := obs.NewDecisionLog(io.Discard)
+	ev := benchOutcomeEvent()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.TaskID = i
+		l.OnOutcome(&ev)
+	}
+}
+
+// checkpointPerSlot measures one slot-close round (64 bids) under a
+// checkpoint cadence: none, a full JSON snapshot every slot, or binary
+// per-slot deltas under a distant full boundary.
+func checkpointPerSlot(b *testing.B, mode string) {
+	path := ""
+	fullEvery := 0
+	switch mode {
+	case "none":
+	case "json-full":
+		path = b.TempDir() + "/bench.ckpt"
+		fullEvery = 1
+	case "binary-delta":
+		path = b.TempDir() + "/bench.ckpt"
+		fullEvery = 1 << 30
+	}
+	broker, tasks := servingBroker(b, path, fullEvery, nil)
+	defer broker.Kill()
+	batch := make([]task.Task, servingBidsPerSlot)
+	verdicts := make([]error, servingBidsPerSlot)
+	slot := 0
+	id := 1 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = retimeTask(tasks[(i*servingBidsPerSlot+j)%len(tasks)], id, slot)
+			id++
+		}
+		if _, err := broker.SubmitBatchAck(nil, batch, verdicts); err != nil {
+			b.Fatal(err)
+		}
+		slot = stepServing(b, broker, slot, func() {
+			broker, tasks = rebuildServing(b, broker, path, fullEvery, nil)
+		})
+	}
+}
+
+// CheckpointPerSlotNone is the no-durability control.
+func CheckpointPerSlotNone(b *testing.B) { checkpointPerSlot(b, "none") }
+
+// CheckpointPerSlotJSONFull snapshots the full JSON checkpoint at every
+// slot close — the pre-delta durability cost.
+func CheckpointPerSlotJSONFull(b *testing.B) { checkpointPerSlot(b, "json-full") }
+
+// CheckpointPerSlotBinaryDelta appends one binary delta per slot close.
+func CheckpointPerSlotBinaryDelta(b *testing.B) { checkpointPerSlot(b, "binary-delta") }

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -65,15 +66,19 @@ type CheckpointDecision struct {
 	FNegInf bool `json:"f_neg_inf,omitempty"`
 }
 
+func wireDecision(d schedule.Decision) CheckpointDecision {
+	w := CheckpointDecision{Decision: d}
+	if math.IsInf(d.F, -1) {
+		w.F = 0
+		w.FNegInf = true
+	}
+	return w
+}
+
 func wireDecisions(decisions map[int]schedule.Decision) map[int]CheckpointDecision {
 	out := make(map[int]CheckpointDecision, len(decisions))
 	for id, d := range decisions {
-		w := CheckpointDecision{Decision: d}
-		if math.IsInf(d.F, -1) {
-			w.F = 0
-			w.FNegInf = true
-		}
-		out[id] = w
+		out[id] = wireDecision(d)
 	}
 	return out
 }
@@ -117,10 +122,14 @@ func (b *Broker) snapshot() *Checkpoint {
 	return ck
 }
 
-// writeCheckpoint persists the snapshot atomically (tmp + rename) so a
-// crash mid-write leaves the previous checkpoint intact. Failures are
-// recorded in Status rather than stopping the auction; core-goroutine
-// only.
+// writeCheckpoint persists the broker state: the full JSON snapshot
+// (atomically, tmp + rename, so a crash mid-write leaves the previous
+// one intact), or — between full-snapshot boundaries when
+// CheckpointFullEvery > 1 — one appended binary delta (delta.go).
+// Drain and horizon end always force a full snapshot, so the plain
+// checkpoint file is final-state-complete whenever the broker stops
+// cleanly. Failures are recorded in Status rather than stopping the
+// auction; core-goroutine only.
 func (b *Broker) writeCheckpoint() {
 	if b.opts.CheckpointPath == "" {
 		return
@@ -132,14 +141,48 @@ func (b *Broker) writeCheckpoint() {
 			return
 		}
 	}
-	if err := WriteCheckpoint(b.opts.CheckpointPath, b.snapshot()); err != nil {
+	full := b.opts.CheckpointFullEvery <= 1 || !b.wroteFull ||
+		b.sinceFull >= b.opts.CheckpointFullEvery-1 ||
+		b.draining || b.slot >= b.horizon.T
+	var err error
+	if full {
+		err = b.writeFullCheckpoint()
+	} else {
+		err = b.appendDelta()
+	}
+	if err != nil {
 		b.ckptErr = err
 		b.ckptFails++
 		return
 	}
+	if full {
+		b.wroteFull = true
+		b.sinceFull = 0
+		b.dirty = b.dirty[:0]
+	} else {
+		b.sinceFull++
+	}
 	b.ckptErr = nil
 	b.ckptFails = 0
 	b.ckptSlot = b.slot
+}
+
+// writeFullCheckpoint writes the JSON snapshot and re-keys (or, at the
+// default full-every-write cadence, removes) the delta sidecar.
+func (b *Broker) writeFullCheckpoint() error {
+	data, err := json.Marshal(b.snapshot())
+	if err != nil {
+		return fmt.Errorf("service: marshal checkpoint: %w", err)
+	}
+	if err := writeCheckpointBytes(b.opts.CheckpointPath, data); err != nil {
+		return err
+	}
+	if b.opts.CheckpointFullEvery > 1 {
+		return b.resetDeltas(crc32.ChecksumIEEE(data))
+	}
+	b.closeDeltas()
+	os.Remove(DeltaPath(b.opts.CheckpointPath))
+	return nil
 }
 
 // WriteCheckpoint marshals ck and renames it into place.
@@ -148,6 +191,10 @@ func WriteCheckpoint(path string, ck *Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("service: marshal checkpoint: %w", err)
 	}
+	return writeCheckpointBytes(path, data)
+}
+
+func writeCheckpointBytes(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {

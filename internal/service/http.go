@@ -1,12 +1,16 @@
 package service
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/task"
@@ -65,6 +69,34 @@ func (r *BidRequest) task() task.Task {
 	return t
 }
 
+// Task is the exported wire→internal conversion, for replay tooling
+// (tracegen -bids, pdftspd-load) that round-trips workloads through the
+// broker's request shape.
+func (r *BidRequest) Task() task.Task { return r.task() }
+
+// BidRequestFor converts a generated task to its wire form with
+// explicit id and arrival, so a dumped workload replays with the same
+// identities and slots it was generated with (tracegen -bids emits
+// these; pdftspd-load -bids requires them).
+func BidRequestFor(t task.Task) BidRequest {
+	r := BidRequest{
+		Deadline:       t.Deadline,
+		Work:           t.Work,
+		MemGB:          t.MemGB,
+		Bid:            t.Bid,
+		NeedsPrep:      t.NeedsPrep,
+		Rank:           t.Rank,
+		Batch:          t.Batch,
+		DatasetSamples: t.DatasetSamples,
+		Epochs:         t.Epochs,
+		ModelName:      t.ModelName,
+	}
+	id, arrival := t.ID, t.Arrival
+	r.ID = &id
+	r.Arrival = &arrival
+	return r
+}
+
 // DecisionResponse is the JSON form of an auction outcome.
 type DecisionResponse struct {
 	TaskID   int     `json:"task_id"`
@@ -120,6 +152,122 @@ func httpStatus(err error) int {
 
 var errBadRequest = errors.New("service: bad request")
 
+// httpScratch is the reusable per-request working set of the bid
+// endpoints: the raw body, the decoded request(s), the task batch
+// handed to the broker, and the response bytes. Pooling it makes the
+// steady-state decode/encode path stop allocating per request.
+type httpScratch struct {
+	body     []byte
+	req      BidRequest
+	reqs     []BidRequest
+	tasks    []task.Task
+	verdicts []error
+	out      []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &httpScratch{} }}
+
+// readBody drains r into buf (reusing its capacity) — the pooled stand-
+// in for the json.Decoder's internal buffer.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// decodeBid strictly decodes one wire bid into req, reusing it.
+func decodeBid(data []byte, req *BidRequest) error {
+	*req = BidRequest{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(req)
+}
+
+// decodeBids decodes a wire bid array, reusing reqs' capacity. The
+// reused elements are zeroed first: Unmarshal merges into whatever an
+// appended-over element already holds, so a field the new request omits
+// (omitempty bools, pointers) would otherwise keep the previous
+// request's value. Unlike the single-bid decoder this one is not
+// strict about unknown fields — json.Decoder cannot reuse its internal
+// buffer across requests, and on the batch fast path that buffer was
+// the largest per-request allocation.
+func decodeBids(data []byte, reqs *[]BidRequest) error {
+	full := (*reqs)[:cap(*reqs)]
+	for i := range full {
+		full[i] = BidRequest{}
+	}
+	*reqs = (*reqs)[:0]
+	return json.Unmarshal(data, reqs)
+}
+
+// DecodeBids exposes the pooled batch-bid decoder and AppendDecision
+// the reflection-free decision encoder — the exact codecs the handlers
+// run — so the serving benchmarks measure the real wire path.
+func DecodeBids(data []byte, reqs *[]BidRequest) error { return decodeBids(data, reqs) }
+
+// AppendDecision appends the DecisionResponse wire JSON for d.
+func AppendDecision(out []byte, id int, d *schedule.Decision) []byte {
+	return appendDecisionJSON(out, id, d)
+}
+
+// appendJSONFloat appends f the way encoding/json renders float64s:
+// shortest 'f' form in the non-exponent range, 'e' outside it.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	return strconv.AppendFloat(b, f, format, -1, 64)
+}
+
+// appendDecisionJSON hand-encodes the DecisionResponse wire shape —
+// field set and omitempty semantics identical to the struct above — so
+// the hot path skips reflection and its per-response allocations.
+func appendDecisionJSON(out []byte, id int, d *schedule.Decision) []byte {
+	out = append(out, `{"task_id":`...)
+	out = strconv.AppendInt(out, int64(id), 10)
+	out = append(out, `,"admitted":`...)
+	out = strconv.AppendBool(out, d.Admitted)
+	if d.Payment != 0 {
+		out = append(out, `,"payment":`...)
+		out = appendJSONFloat(out, d.Payment)
+	}
+	if d.Schedule != nil && d.Schedule.Vendor != 0 {
+		out = append(out, `,"vendor":`...)
+		out = strconv.AppendInt(out, int64(d.Schedule.Vendor), 10)
+	}
+	if d.Reason != "" {
+		out = append(out, `,"reason":`...)
+		out = strconv.AppendQuote(out, string(d.Reason))
+	}
+	if d.Schedule != nil && len(d.Schedule.Placements) > 0 {
+		out = append(out, `,"placements":[`...)
+		for i, p := range d.Schedule.Placements {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = append(out, `{"node":`...)
+			out = strconv.AppendInt(out, int64(p.Node), 10)
+			out = append(out, `,"slot":`...)
+			out = strconv.AppendInt(out, int64(p.Slot), 10)
+			out = append(out, '}')
+		}
+		out = append(out, ']')
+	}
+	return append(out, '}')
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -134,6 +282,9 @@ func writeErr(w http.ResponseWriter, err error) {
 //
 //	POST /v1/bids            submit a bid; blocks until its slot closes,
 //	                         responds with the irrevocable decision
+//	POST /v1/bids/batch      submit a JSON array of bids as one intake
+//	                         message; ?ack=1 returns after intake instead
+//	                         of waiting for the decisions
 //	GET  /v1/status          operational summary (slot, queue, welfare, duals)
 //	GET  /v1/decisions/{id}  a decided bid's outcome
 //	POST /v1/clock/step      advance a virtual-clock broker {"slots": n}
@@ -149,6 +300,7 @@ func writeErr(w http.ResponseWriter, err error) {
 func (b *Broker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/bids", b.handleBid)
+	mux.HandleFunc("POST /v1/bids/batch", b.handleBidBatch)
 	mux.HandleFunc("GET /v1/status", b.handleStatus)
 	mux.HandleFunc("GET /v1/decisions/{id}", b.handleDecision)
 	mux.HandleFunc("POST /v1/clock/step", b.handleStep)
@@ -181,14 +333,18 @@ func (b *Broker) retryAfter() string {
 }
 
 func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
-	var req BidRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	sc := scratchPool.Get().(*httpScratch)
+	defer scratchPool.Put(sc)
+	var err error
+	if sc.body, err = readBody(r.Body, sc.body[:0]); err != nil {
 		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
 		return
 	}
-	t := req.task()
+	if err := decodeBid(sc.body, &sc.req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	t := sc.req.task()
 	d, err := b.Submit(r.Context(), t)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
@@ -199,7 +355,104 @@ func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, decisionResponse(d.TaskID, d))
+	sc.out = appendDecisionJSON(sc.out[:0], d.TaskID, &d)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.out)
+}
+
+// handleBidBatch is POST /v1/bids/batch: a JSON array of the /v1/bids
+// wire shape, submitted to the broker as one coalesced intake message.
+// By default it blocks like /v1/bids and responds with one decision (or
+// per-bid error) object per input, positionally. With ?ack=1 it returns
+// as soon as the intake verdicts are known — {"task_id": n} per held
+// bid (IDs the broker assigned included), plus an "error" field for
+// refusals — and the decisions are later readable from /v1/decisions or
+// an observer sink. Per-bid failures ride inside a 200; whole-batch
+// failures (malformed JSON, a full intake channel, a stopping broker)
+// use the same status codes as /v1/bids.
+func (b *Broker) handleBidBatch(w http.ResponseWriter, r *http.Request) {
+	sc := scratchPool.Get().(*httpScratch)
+	reuse := true
+	defer func() {
+		if reuse {
+			scratchPool.Put(sc)
+		}
+	}()
+	var err error
+	if sc.body, err = readBody(r.Body, sc.body[:0]); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if err := decodeBids(sc.body, &sc.reqs); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	sc.tasks = sc.tasks[:0]
+	for i := range sc.reqs {
+		sc.tasks = append(sc.tasks, sc.reqs[i].task())
+	}
+	ctx := r.Context()
+	if r.URL.Query().Get("ack") != "" {
+		sc.verdicts = sc.verdicts[:0]
+		for range sc.tasks {
+			sc.verdicts = append(sc.verdicts, nil)
+		}
+		if _, err := b.SubmitBatchAck(ctx, sc.tasks, sc.verdicts); err != nil {
+			// On a context error the core goroutine may still own the
+			// task/verdict slices; retire this scratch instead of pooling.
+			reuse = !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", b.retryAfter())
+			}
+			writeErr(w, err)
+			return
+		}
+		out := append(sc.out[:0], '[')
+		for i := range sc.tasks {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = append(out, `{"task_id":`...)
+			out = strconv.AppendInt(out, int64(sc.tasks[i].ID), 10)
+			if v := sc.verdicts[i]; v != nil {
+				out = append(out, `,"error":`...)
+				out = strconv.AppendQuote(out, v.Error())
+			}
+			out = append(out, '}')
+		}
+		sc.out = append(out, ']')
+	} else {
+		outs, err := b.SubmitBatch(ctx, sc.tasks)
+		if err != nil {
+			reuse = !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", b.retryAfter())
+			}
+			writeErr(w, err)
+			return
+		}
+		out := append(sc.out[:0], '[')
+		for i := range outs {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			if outs[i].Err != nil {
+				out = append(out, `{"task_id":`...)
+				out = strconv.AppendInt(out, int64(sc.tasks[i].ID), 10)
+				out = append(out, `,"error":`...)
+				out = strconv.AppendQuote(out, outs[i].Err.Error())
+				out = append(out, '}')
+				continue
+			}
+			d := outs[i].Decision
+			out = appendDecisionJSON(out, d.TaskID, &d)
+		}
+		sc.out = append(out, ']')
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.out)
 }
 
 func (b *Broker) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -26,8 +26,11 @@ package service
 import (
 	"context"
 	"errors"
+	"expvar"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
@@ -45,6 +48,14 @@ import (
 var (
 	// ErrQueueFull: the bounded intake queue is full (HTTP 429).
 	ErrQueueFull = errors.New("service: intake queue full")
+	// ErrChannelFull: the intake channel itself rejected the send — the
+	// core goroutine is behind on draining submissions. Wraps
+	// ErrQueueFull, so existing errors.Is checks keep matching.
+	ErrChannelFull = fmt.Errorf("%w (intake channel)", ErrQueueFull)
+	// ErrHeldFull: the per-horizon held-bid budget (Options.QueueSize) is
+	// exhausted — bids are arriving faster than slots close. Wraps
+	// ErrQueueFull.
+	ErrHeldFull = fmt.Errorf("%w (held bids at capacity)", ErrQueueFull)
 	// ErrPastSlot: the bid's arrival slot has already closed (HTTP 409).
 	ErrPastSlot = errors.New("service: arrival slot already closed")
 	// ErrHorizonOver: the broker's horizon is exhausted (HTTP 410).
@@ -102,6 +113,22 @@ type Options struct {
 	// CheckpointEvery writes the checkpoint every n closed slots;
 	// default 1 (every slot).
 	CheckpointEvery int
+	// CheckpointFullEvery controls the full-snapshot cadence: every n-th
+	// checkpoint write is the full JSON snapshot, the writes in between
+	// append binary per-slot deltas to a ".delta" sidecar (see delta.go).
+	// Default 1 — every write is a full snapshot, the pre-PR6 behavior —
+	// so ReadCheckpoint alone keeps seeing the latest state unless a
+	// deployment opts into deltas (then LoadCheckpoint replays them).
+	// Drain and horizon end always force a full snapshot.
+	CheckpointFullEvery int
+	// DropLosingPlans, when set, discards the (never again consulted)
+	// candidate Schedule attached to rejected decisions instead of
+	// retaining it in the decisions map — a large memory saving on
+	// million-bid horizons. Admitted plans are always retained (failure
+	// recovery re-plans from them). Checkpoints written with this set
+	// restore with the same accounting, duals, and ledger; only the
+	// rejected bids' hypothetical plans are absent.
+	DropLosingPlans bool
 	// Observer receives the broker's decision-path event stream
 	// (RunStart/Bid/Outcome/RunEnd plus the scheduler's Vendor/Dual/
 	// Payment events). The broker emits from its single core goroutine,
@@ -145,6 +172,9 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 1
 	}
+	if o.CheckpointFullEvery <= 0 {
+		o.CheckpointFullEvery = 1
+	}
 	if o.RunLabel == "" {
 		o.RunLabel = "pdftspd"
 	}
@@ -172,6 +202,58 @@ type pending struct {
 	resp chan Outcome
 }
 
+// pendingPool recycles Submit's pending objects (channels included):
+// the synchronous path fully consumes both channels before returning,
+// so a recycled pending is always empty. SubmitAsync hands resp to the
+// caller and therefore always allocates fresh.
+var pendingPool = sync.Pool{New: func() any {
+	return &pending{ack: make(chan error, 1), resp: make(chan Outcome, 1)}
+}}
+
+func putPending(p *pending) {
+	p.task = task.Task{}
+	p.ctx = nil
+	pendingPool.Put(p)
+}
+
+// batchSub is one SubmitBatch/SubmitBatchAck call: many bids, one
+// channel send. The core goroutine writes intake verdicts (and, for the
+// collecting form, decisions) into caller-provided slices; the ack/done
+// channels provide the happens-before edges that make those writes
+// visible without locks.
+type batchSub struct {
+	tasks []task.Task
+	ctx   context.Context
+	// outcomes collects per-bid results for SubmitBatch; nil in ack-only
+	// mode, where verdicts receives the intake verdicts instead.
+	outcomes []Outcome
+	verdicts []error
+	// ack fires once intake verdicts are recorded (a non-nil value is a
+	// whole-batch refusal: drain/kill caught the batch in the channel).
+	ack chan error
+	// done fires once every held bid of a collecting batch has its
+	// outcome; remaining counts down on the core goroutine.
+	done      chan struct{}
+	remaining int
+}
+
+// heldBid is one bid awaiting its arrival slot's auction round. Exactly
+// one of p / bs is set (or neither, for bids adopted from a batch whose
+// submitter only wanted acks).
+type heldBid struct {
+	task task.Task
+	ctx  context.Context
+	p    *pending
+	bs   *batchSub
+	idx  int // index into bs.outcomes/bs.verdicts
+}
+
+// intakeMsg is one intake-channel message: a single bid or a batch.
+type intakeMsg struct {
+	p  *pending
+	bs *batchSub
+}
+
 // Broker is the long-lived auction service. All auction state — duals,
 // ledger, accounting, decided bids — is owned by the single core
 // goroutine started by Start; the exported methods communicate with it
@@ -183,19 +265,26 @@ type Broker struct {
 	horizon timeslot.Horizon
 	o       obs.Observer
 
-	intake chan *pending
+	intake chan intakeMsg
 	ctl    chan func()
 	done   chan struct{}
 
 	started bool
 
+	// chanFull429 counts submissions shed because the intake channel
+	// itself was full; bumped by submitters (any goroutine), hence atomic.
+	chanFull429 atomic.Int64
+
 	// Everything below is owned by the core goroutine (and, before
 	// Start, by the caller — Restore runs pre-Start).
 	slot      int
 	nextID    int
-	held      map[int][]*pending // arrival slot → bids awaiting that round
+	held      map[int][]heldBid // arrival slot → bids awaiting that round
 	heldIDs   map[int]struct{}
 	heldCount int
+	// heldFree recycles per-slot held batches (their backing arrays) so
+	// steady-state intake stops allocating as batches churn.
+	heldFree  [][]heldBid
 	decisions map[int]schedule.Decision
 	res       *sim.Result
 	canceled  int
@@ -203,6 +292,27 @@ type Broker struct {
 	draining  bool
 	killed    bool
 	ckptErr   error
+	// Intake observability (core-owned; surfaced via Status/expvar).
+	intakeHW    int   // deepest intake-channel backlog observed
+	heldHW      int   // most bids ever held at once
+	heldFull429 int64 // submissions refused because held bids hit QueueSize
+	// Checkpoint delta machinery: deltas is the open sidecar writer (nil
+	// until the first full snapshot under CheckpointFullEvery > 1),
+	// sinceFull counts delta writes since that snapshot, wroteFull
+	// records that this process has a full snapshot on disk, and dirty
+	// lists task IDs whose decisions changed since the last successful
+	// persist.
+	deltas    *deltaWriter
+	sinceFull int
+	wroteFull bool
+	dirty     []int
+	// Reusable per-bid scratch for the observer path and — only when no
+	// fault plan is configured (the tracker retains env pointers) — the
+	// task environment.
+	envScratch schedule.TaskEnv
+	bidEv      obs.BidEvent
+	outEv      obs.OutcomeEvent
+	placBuf    []obs.Placement
 	// ckptFails counts consecutive checkpoint-write failures; reaching
 	// Options.DegradeAfter flips /healthz to degraded.
 	ckptFails int
@@ -227,10 +337,10 @@ func New(opts Options) (*Broker, error) {
 		cl:        opts.Cluster,
 		sched:     opts.Scheduler,
 		horizon:   opts.Cluster.Horizon(),
-		intake:    make(chan *pending, opts.QueueSize),
+		intake:    make(chan intakeMsg, opts.QueueSize),
 		ctl:       make(chan func()),
 		done:      make(chan struct{}),
-		held:      map[int][]*pending{},
+		held:      map[int][]heldBid{},
 		heldIDs:   map[int]struct{}{},
 		decisions: map[int]schedule.Decision{},
 		res:       sim.NewResult(opts.Scheduler.Name()),
@@ -249,6 +359,7 @@ func New(opts Options) (*Broker, error) {
 				d.Admitted = false
 				d.Reason = schedule.ReasonFailedNode
 				b.decisions[origID] = d
+				b.dirty = append(b.dirty, origID)
 			}
 		}
 		b.faults = ft
@@ -298,11 +409,12 @@ func (b *Broker) SubmitAsync(ctx context.Context, t task.Task) (<-chan Outcome, 
 	}
 	p := &pending{task: t, ctx: ctx, ack: make(chan error, 1), resp: make(chan Outcome, 1)}
 	select {
-	case b.intake <- p:
+	case b.intake <- intakeMsg{p: p}:
 	case <-b.done:
 		return nil, b.closeErr()
 	default:
-		return nil, ErrQueueFull
+		b.chanFull429.Add(1)
+		return nil, ErrChannelFull
 	}
 	select {
 	case err := <-p.ack:
@@ -323,22 +435,155 @@ func (b *Broker) SubmitAsync(ctx context.Context, t task.Task) (<-chan Outcome, 
 // closes and returns the irrevocable decision. ctx bounds the whole
 // round trip — a canceled bid is skipped if its round has not run yet
 // (decisions already made are irrevocable and remain queryable via
-// DecisionFor).
+// DecisionFor). Unlike SubmitAsync, the synchronous form recycles its
+// intake object through a pool: both channels are fully consumed before
+// returning, so steady-state Submit traffic allocates nothing on the
+// intake path.
 func (b *Broker) Submit(ctx context.Context, t task.Task) (schedule.Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ch, err := b.SubmitAsync(ctx, t)
-	if err != nil {
-		return schedule.Decision{}, err
+	p := pendingPool.Get().(*pending)
+	p.task, p.ctx = t, ctx
+	select {
+	case b.intake <- intakeMsg{p: p}:
+	case <-b.done:
+		putPending(p)
+		return schedule.Decision{}, b.closeErr()
+	default:
+		putPending(p)
+		b.chanFull429.Add(1)
+		return schedule.Decision{}, ErrChannelFull
 	}
 	select {
-	case out := <-ch:
+	case err := <-p.ack:
+		if err != nil {
+			// Refused at intake: no outcome will follow, both channels are
+			// empty again.
+			putPending(p)
+			return schedule.Decision{}, err
+		}
+	case <-ctx.Done():
+		// The core loop still owns p (it answers resp at round time or
+		// shutdown); the object retires instead of recycling.
+		return schedule.Decision{}, ctx.Err()
+	case <-b.done:
+		return schedule.Decision{}, b.closeErr()
+	}
+	select {
+	case out := <-p.resp:
+		putPending(p)
 		return out.Decision, out.Err
 	case <-ctx.Done():
 		return schedule.Decision{}, ctx.Err()
 	case <-b.done:
-		return schedule.Decision{}, b.closeErr()
+		// Shutdown answers every held bid before closing done, so the
+		// refusal outcome is already buffered; drain it and recycle.
+		select {
+		case out := <-p.resp:
+			putPending(p)
+			return out.Decision, out.Err
+		default:
+			return schedule.Decision{}, b.closeErr()
+		}
+	}
+}
+
+// SubmitBatch hands a whole slice of bids to the broker in one intake
+// message — the coalesced fast path the load generator and the batch
+// HTTP endpoint use — and blocks until every accepted bid's slot has
+// closed. It returns one Outcome per input task, positionally: an
+// intake refusal (full queue, duplicate ID, past slot, validation)
+// rides in that bid's Outcome.Err without failing the rest of the
+// batch. A whole-batch error is returned only when the broker shuts
+// down or ctx expires before the results are complete; the outcome
+// slice is invalid in that case.
+//
+// Compared with n Submit calls, a batch costs one channel send and one
+// ack wait regardless of n, and the per-bid bookkeeping lives in two
+// caller-visible slices instead of n heap-allocated pendings.
+func (b *Broker) SubmitBatch(ctx context.Context, tasks []task.Task) ([]Outcome, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bs := &batchSub{
+		tasks:    tasks,
+		ctx:      ctx,
+		outcomes: make([]Outcome, len(tasks)),
+		ack:      make(chan error, 1),
+		done:     make(chan struct{}),
+	}
+	if err := b.sendBatch(ctx, bs); err != nil {
+		return nil, err
+	}
+	select {
+	case <-bs.done:
+		return bs.outcomes, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-b.done:
+		// Shutdown answered every held bid before closing done.
+		select {
+		case <-bs.done:
+			return bs.outcomes, nil
+		default:
+			return nil, b.closeErr()
+		}
+	}
+}
+
+// SubmitBatchAck is the fire-and-forget half of SubmitBatch: it returns
+// as soon as the intake verdicts are in, without waiting for the slot
+// to close. verdicts must have len(tasks) entries; the broker writes
+// every position (nil = held for auction). The returned count is how
+// many bids were held. Decisions are later readable via DecisionFor or
+// an Observer. The caller must not touch tasks or verdicts again until
+// the call returns.
+func (b *Broker) SubmitBatchAck(ctx context.Context, tasks []task.Task, verdicts []error) (int, error) {
+	if len(tasks) == 0 {
+		return 0, nil
+	}
+	if len(verdicts) != len(tasks) {
+		return 0, fmt.Errorf("service: verdicts len %d, want %d", len(verdicts), len(tasks))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bs := &batchSub{tasks: tasks, ctx: ctx, verdicts: verdicts, ack: make(chan error, 1)}
+	if err := b.sendBatch(ctx, bs); err != nil {
+		return 0, err
+	}
+	return bs.remaining, nil
+}
+
+// sendBatch performs the channel send and the ack wait shared by both
+// batch forms.
+func (b *Broker) sendBatch(ctx context.Context, bs *batchSub) error {
+	select {
+	case b.intake <- intakeMsg{bs: bs}:
+	case <-b.done:
+		return b.closeErr()
+	default:
+		b.chanFull429.Add(1)
+		return ErrChannelFull
+	}
+	select {
+	case err := <-bs.ack:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-b.done:
+		// The loop acks every message it dequeues while stopping; the
+		// message was sent, so the ack is in flight or buffered.
+		select {
+		case err := <-bs.ack:
+			return err
+		default:
+			return b.closeErr()
+		}
 	}
 }
 
@@ -411,21 +656,32 @@ func (b *Broker) DecisionFor(id int) (schedule.Decision, bool, error) {
 
 // Status is a point-in-time operational summary.
 type Status struct {
-	Run         string  `json:"run"`
-	Scheduler   string  `json:"scheduler"`
-	Slot        int     `json:"slot"`
-	Slots       int     `json:"horizon_slots"`
-	VirtualTime bool    `json:"virtual_clock"`
-	HorizonOver bool    `json:"horizon_over"`
-	Held        int     `json:"held_bids"`
-	QueueCap    int     `json:"queue_cap"`
-	Decided     int     `json:"decided"`
-	Admitted    int     `json:"admitted"`
-	Rejected    int     `json:"rejected"`
-	Canceled    int     `json:"canceled"`
-	Welfare     float64 `json:"welfare"`
-	Revenue     float64 `json:"revenue"`
-	Utilization float64 `json:"utilization"`
+	Run         string `json:"run"`
+	Scheduler   string `json:"scheduler"`
+	Slot        int    `json:"slot"`
+	Slots       int    `json:"horizon_slots"`
+	VirtualTime bool   `json:"virtual_clock"`
+	HorizonOver bool   `json:"horizon_over"`
+	Held        int    `json:"held_bids"`
+	QueueCap    int    `json:"queue_cap"`
+	// Intake-path observability: the channel between submitters and the
+	// core goroutine (depth now / deepest ever) and the held-bid high
+	// water mark, plus separate shed tallies for the two 429 causes —
+	// a full intake channel (core goroutine behind) vs. the held-bid
+	// budget (slots not closing fast enough).
+	IntakeDepth     int     `json:"intake_depth"`
+	IntakeCap       int     `json:"intake_cap"`
+	IntakeHighWater int     `json:"intake_high_water"`
+	HeldHighWater   int     `json:"held_high_water"`
+	ShedChannelFull int64   `json:"shed_channel_full"`
+	ShedHeldFull    int64   `json:"shed_held_full"`
+	Decided         int     `json:"decided"`
+	Admitted        int     `json:"admitted"`
+	Rejected        int     `json:"rejected"`
+	Canceled        int     `json:"canceled"`
+	Welfare         float64 `json:"welfare"`
+	Revenue         float64 `json:"revenue"`
+	Utilization     float64 `json:"utilization"`
 	// MaxLambda/MaxPhi are the current largest dual prices across all
 	// (k,t) cells — the auction's congestion signal. Zero when the
 	// scheduler exposes no dual state.
@@ -464,25 +720,49 @@ func (b *Broker) Status() (Status, error) {
 	return st, err
 }
 
+// ExposeExpvar publishes the broker's Status under the given expvar
+// name (default "pdftspd"), so /debug/vars surfaces the intake-path
+// gauges next to the observer metrics. Publishing the same name twice
+// panics in expvar, so re-exposing is a no-op — the var reflects the
+// broker it was first bound to.
+func (b *Broker) ExposeExpvar(name string) {
+	if name == "" {
+		name = "pdftspd"
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		st, _ := b.Status()
+		return st
+	}))
+}
+
 // status builds the summary; core-goroutine (or post-Done) only.
 func (b *Broker) status() Status {
 	st := Status{
-		Run:         b.opts.RunLabel,
-		Scheduler:   b.sched.Name(),
-		Slot:        b.slot,
-		Slots:       b.horizon.T,
-		VirtualTime: b.opts.VirtualClock,
-		HorizonOver: b.slot >= b.horizon.T,
-		Held:        b.heldCount,
-		QueueCap:    b.opts.QueueSize,
-		Decided:     len(b.decisions),
-		Admitted:    b.res.Admitted,
-		Rejected:    b.res.Rejected,
-		Canceled:    b.canceled,
-		Welfare:     b.res.Welfare,
-		Revenue:     b.res.Revenue,
-		Utilization: b.cl.Utilization(),
-		CheckpointSlot: b.ckptSlot,
+		Run:             b.opts.RunLabel,
+		Scheduler:       b.sched.Name(),
+		Slot:            b.slot,
+		Slots:           b.horizon.T,
+		VirtualTime:     b.opts.VirtualClock,
+		HorizonOver:     b.slot >= b.horizon.T,
+		Held:            b.heldCount,
+		QueueCap:        b.opts.QueueSize,
+		IntakeDepth:     len(b.intake),
+		IntakeCap:       cap(b.intake),
+		IntakeHighWater: b.intakeHW,
+		HeldHighWater:   b.heldHW,
+		ShedChannelFull: b.chanFull429.Load(),
+		ShedHeldFull:    b.heldFull429,
+		Decided:         len(b.decisions),
+		Admitted:        b.res.Admitted,
+		Rejected:        b.res.Rejected,
+		Canceled:        b.canceled,
+		Welfare:         b.res.Welfare,
+		Revenue:         b.res.Revenue,
+		Utilization:     b.cl.Utilization(),
+		CheckpointSlot:  b.ckptSlot,
 	}
 	if b.ckptErr != nil {
 		st.CheckpointError = b.ckptErr.Error()
@@ -591,8 +871,8 @@ func (b *Broker) loop() {
 	}
 	for {
 		select {
-		case p := <-b.intake:
-			b.admit(p)
+		case m := <-b.intake:
+			b.intakeRecv(m)
 		case f := <-b.ctl:
 			f()
 		case <-tick:
@@ -602,13 +882,31 @@ func (b *Broker) loop() {
 		}
 		if b.killed {
 			b.refuseHeld(ErrClosed)
+			b.closeDeltas()
 			return
 		}
 		if b.draining {
 			b.refuseHeld(ErrDraining)
 			b.writeCheckpoint()
+			b.closeDeltas()
 			b.emitRunEnd()
 			return
+		}
+	}
+}
+
+// answer delivers hb's outcome to whoever is waiting on it (if anyone).
+func (b *Broker) answer(hb *heldBid, out Outcome) {
+	switch {
+	case hb.p != nil:
+		hb.p.resp <- out
+	case hb.bs != nil:
+		if hb.bs.outcomes != nil {
+			hb.bs.outcomes[hb.idx] = out
+			hb.bs.remaining--
+			if hb.bs.remaining == 0 {
+				close(hb.bs.done)
+			}
 		}
 	}
 }
@@ -616,30 +914,77 @@ func (b *Broker) loop() {
 // refuseHeld answers every held bid with err.
 func (b *Broker) refuseHeld(err error) {
 	for _, batch := range b.held {
-		for _, p := range batch {
-			p.resp <- Outcome{Err: err}
+		for i := range batch {
+			b.answer(&batch[i], Outcome{Err: err})
 		}
 	}
-	b.held = map[int][]*pending{}
+	b.held = map[int][]heldBid{}
 	b.heldIDs = map[int]struct{}{}
 	b.heldCount = 0
-	// Bids still in the intake channel never got an ack; answer it.
+	// Messages still in the intake channel never got an ack; answer it.
 	for {
 		select {
-		case p := <-b.intake:
-			p.ack <- err
+		case m := <-b.intake:
+			if m.p != nil {
+				m.p.ack <- err
+			} else {
+				m.bs.ack <- err
+			}
 		default:
 			return
 		}
 	}
 }
 
-// admit performs the intake checks and holds the bid for its round.
-func (b *Broker) admit(p *pending) {
-	t := &p.task
-	if b.slot >= b.horizon.T {
-		p.ack <- ErrHorizonOver
+// intakeRecv dispatches one intake message: a single bid is checked and
+// held, a batch runs the same checks bid by bid, recording per-bid
+// verdicts. Either way, exactly one ack answers the submitter.
+func (b *Broker) intakeRecv(m intakeMsg) {
+	if d := len(b.intake) + 1; d > b.intakeHW {
+		b.intakeHW = d
+	}
+	if m.p != nil {
+		m.p.ack <- b.hold(&m.p.task, m.p.ctx, m.p, nil, 0)
 		return
+	}
+	bs := m.bs
+	// The fire-and-forget form commits its bids at the ack: the submitter
+	// stops listening the moment SubmitBatchAck returns (an HTTP handler's
+	// request context dies with the response), so a held bid must not
+	// carry a ctx that cancels it before its slot closes.
+	hctx := bs.ctx
+	if bs.verdicts != nil {
+		hctx = context.Background()
+	}
+	held := 0
+	for i := range bs.tasks {
+		err := b.hold(&bs.tasks[i], hctx, nil, bs, i)
+		if err == nil {
+			held++
+		}
+		switch {
+		case bs.outcomes != nil:
+			bs.outcomes[i] = Outcome{Err: err}
+		case bs.verdicts != nil:
+			bs.verdicts[i] = err
+		}
+	}
+	// remaining is read by SubmitBatchAck after the ack (held count) and
+	// counted down by answer for the collecting form; both orderings run
+	// through the ack's happens-before edge.
+	bs.remaining = held
+	if bs.outcomes != nil && held == 0 {
+		close(bs.done)
+	}
+	bs.ack <- nil
+}
+
+// hold performs the intake checks and holds the bid for its round. The
+// task is stamped in place (assigned ID / current-slot arrival), so
+// batch submitters can read the assignments back out of their slice.
+func (b *Broker) hold(t *task.Task, ctx context.Context, p *pending, bs *batchSub, idx int) error {
+	if b.slot >= b.horizon.T {
+		return ErrHorizonOver
 	}
 	if t.Arrival < 0 {
 		t.Arrival = b.slot
@@ -648,32 +993,36 @@ func (b *Broker) admit(p *pending) {
 		t.ID = b.nextID
 	}
 	if t.Arrival < b.slot {
-		p.ack <- fmt.Errorf("%w: arrival %d, current slot %d", ErrPastSlot, t.Arrival, b.slot)
-		return
+		return fmt.Errorf("%w: arrival %d, current slot %d", ErrPastSlot, t.Arrival, b.slot)
 	}
 	if err := t.Validate(b.horizon); err != nil {
-		p.ack <- fmt.Errorf("service: %w", err)
-		return
+		return fmt.Errorf("service: %w", err)
 	}
 	if _, dup := b.decisions[t.ID]; dup {
-		p.ack <- fmt.Errorf("%w: %d already decided", ErrDuplicateID, t.ID)
-		return
+		return fmt.Errorf("%w: %d already decided", ErrDuplicateID, t.ID)
 	}
 	if _, dup := b.heldIDs[t.ID]; dup {
-		p.ack <- fmt.Errorf("%w: %d already held", ErrDuplicateID, t.ID)
-		return
+		return fmt.Errorf("%w: %d already held", ErrDuplicateID, t.ID)
 	}
 	if b.heldCount >= b.opts.QueueSize {
-		p.ack <- ErrQueueFull
-		return
+		b.heldFull429++
+		return ErrHeldFull
 	}
 	if t.ID >= b.nextID {
 		b.nextID = t.ID + 1
 	}
-	b.held[t.Arrival] = append(b.held[t.Arrival], p)
+	slot := b.held[t.Arrival]
+	if slot == nil && len(b.heldFree) > 0 {
+		slot = b.heldFree[len(b.heldFree)-1]
+		b.heldFree = b.heldFree[:len(b.heldFree)-1]
+	}
+	b.held[t.Arrival] = append(slot, heldBid{task: *t, ctx: ctx, p: p, bs: bs, idx: idx})
 	b.heldIDs[t.ID] = struct{}{}
 	b.heldCount++
-	p.ack <- nil
+	if b.heldCount > b.heldHW {
+		b.heldHW = b.heldCount
+	}
+	return nil
 }
 
 // closeSlot runs the current slot's auction round — all bids with this
@@ -683,17 +1032,18 @@ func (b *Broker) closeSlot() {
 	batch := b.held[b.slot]
 	delete(b.held, b.slot)
 	sort.Slice(batch, func(i, j int) bool { return batch[i].task.ID < batch[j].task.ID })
-	var live []*pending
-	for _, p := range batch {
-		delete(b.heldIDs, p.task.ID)
+	live := batch[:0]
+	for i := range batch {
+		hb := batch[i]
+		delete(b.heldIDs, hb.task.ID)
 		b.heldCount--
-		if err := p.ctx.Err(); err != nil {
+		if err := hb.ctx.Err(); err != nil {
 			// The submitter is gone; the bid never enters the auction.
 			b.canceled++
-			p.resp <- Outcome{Err: err}
+			b.answer(&hb, Outcome{Err: err})
 			continue
 		}
-		live = append(live, p)
+		live = append(live, hb)
 	}
 	// Outages surface lazily, before a round that offers any bids —
 	// mirroring sim.Run, which applies failures only when an arrival
@@ -703,8 +1053,12 @@ func (b *Broker) closeSlot() {
 	if len(live) > 0 {
 		b.faults.ApplyUpTo(b.slot, b.sched, b.res)
 	}
-	for _, p := range live {
-		b.process(p)
+	for i := range live {
+		b.process(&live[i])
+	}
+	if batch != nil {
+		// The slot's backing array is dead; recycle it for a future slot.
+		b.heldFree = append(b.heldFree, batch[:0])
 	}
 	b.slot++
 	if b.slot >= b.horizon.T {
@@ -719,34 +1073,49 @@ func (b *Broker) closeSlot() {
 }
 
 // process runs Algorithm 1 for one live bid and answers its submitter.
-func (b *Broker) process(p *pending) {
+// The steady state reuses one TaskEnv and the observer event buffers
+// across bids; only a configured fault plan forces per-bid envs (the
+// tracker retains each admitted bid's env for replan time).
+func (b *Broker) process(hb *heldBid) {
 	mkt := b.opts.Market
 	if b.opts.Quotes != nil {
 		mkt = nil // quotes come from the fallible client below
 	}
-	env := schedule.NewTaskEnv(&p.task, b.cl, b.opts.Model, mkt)
+	var env *schedule.TaskEnv
+	if b.faults != nil {
+		env = schedule.NewTaskEnv(&hb.task, b.cl, b.opts.Model, mkt)
+	} else {
+		env = &b.envScratch
+		env.Refill(&hb.task, b.cl, b.opts.Model, mkt)
+	}
 	var qErr error
-	if b.opts.Quotes != nil && p.task.NeedsPrep {
+	if b.opts.Quotes != nil && hb.task.NeedsPrep {
 		var q []vendor.Quote
-		if q, qErr = b.opts.Quotes.Call(p.task.ID, b.slot); qErr == nil {
+		if q, qErr = b.opts.Quotes.Call(hb.task.ID, b.slot); qErr == nil {
 			env.Quotes = q
 		}
 	}
 	if b.o != nil {
-		b.o.OnBid(sim.NewBidEvent(env))
+		sim.FillBidEvent(&b.bidEv, env)
+		b.o.OnBid(&b.bidEv)
 	}
 	start := time.Now()
 	d := b.sched.Offer(env)
 	b.res.OfferLatency = append(b.res.OfferLatency, time.Since(start))
 	sim.TagVendorDown(&d, qErr)
 	if b.o != nil {
-		b.o.OnOutcome(sim.NewOutcomeEvent(env, &d))
+		b.placBuf = sim.FillOutcomeEvent(&b.outEv, env, &d, b.placBuf[:0])
+		b.o.OnOutcome(&b.outEv)
 	}
 	b.res.Account(env, &d)
-	b.decisions[p.task.ID] = d
 	b.faults.Track(b.procIdx, env, &d)
 	b.procIdx++
-	p.resp <- Outcome{Decision: d}
+	if b.opts.DropLosingPlans && !d.Admitted {
+		d.Schedule = nil
+	}
+	b.decisions[hb.task.ID] = d
+	b.dirty = append(b.dirty, hb.task.ID)
+	b.answer(hb, Outcome{Decision: d})
 }
 
 // emitRunEnd closes the observer stream with the final accounting; it

@@ -417,11 +417,26 @@ func fillOutcomeEvent(ev *obs.OutcomeEvent, env *schedule.TaskEnv, d *schedule.D
 	return buf
 }
 
+// FillOutcomeEvent is the allocation-free form of NewOutcomeEvent: it
+// populates ev in place and appends admitted placements to buf
+// (ev.Placements aliases it), returning buf so hot loops — sim.Run and
+// the service broker — can retain its capacity across bids. Observers
+// must not hold the event or its placements past the callback.
+func FillOutcomeEvent(ev *obs.OutcomeEvent, env *schedule.TaskEnv, d *schedule.Decision, buf []obs.Placement) []obs.Placement {
+	return fillOutcomeEvent(ev, env, d, buf)
+}
+
 // NewBidEvent builds the arrival event for one offered task.
 func NewBidEvent(env *schedule.TaskEnv) *obs.BidEvent {
 	ev := &obs.BidEvent{}
 	fillBidEvent(ev, env)
 	return ev
+}
+
+// FillBidEvent is the allocation-free form of NewBidEvent: it populates
+// ev in place. Observers must not hold the event past the callback.
+func FillBidEvent(ev *obs.BidEvent, env *schedule.TaskEnv) {
+	fillBidEvent(ev, env)
 }
 
 // fillBidEvent populates ev in place for env's arrival.

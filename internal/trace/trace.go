@@ -210,14 +210,26 @@ func (c Config) cutoff() int {
 	return cut - 1
 }
 
-// poisson draws a Poisson(lambda) variate (Knuth's algorithm, adequate for
-// the per-slot rates used here).
+// poisson draws a Poisson(lambda) variate (Knuth's algorithm for the
+// per-slot rates the paper uses). Knuth's product test breaks down once
+// exp(-lambda) underflows to zero — the running product hits denormal
+// zero after ~750 multiplications regardless of lambda, silently capping
+// high-rate draws — so large rates are split into chunks that stay well
+// inside float64 range (Poisson variates are additive in lambda). Rates
+// at or below the chunk size draw exactly as before, preserving every
+// existing seed's workload.
 func poisson(rng *rand.Rand, lambda float64) int {
+	const chunk = 512 // exp(-512) ≈ 4e-223, comfortably normal
+	k := 0
+	for lambda > chunk {
+		k += poisson(rng, chunk)
+		lambda -= chunk
+	}
 	if lambda <= 0 {
-		return 0
+		return k
 	}
 	l := math.Exp(-lambda)
-	k, p := 0, 1.0
+	p := 1.0
 	for {
 		p *= rng.Float64()
 		if p <= l {
