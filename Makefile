@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ test-short:
 # keeps the node-bound Titan figures out of the 10-20x race slowdown;
 # the full determinism suite runs under `make test`.
 race:
-	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/service/ ./internal/sim/ ./internal/vendor/
+	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/service/ ./internal/sim/ ./internal/vendor/ ./internal/zones/
 
 vet:
 	$(GO) vet ./...
@@ -44,9 +44,11 @@ bench-snapshot:
 # allocation-free with the fault layer compiled in but disabled.
 BASELINE ?= BENCH_pr4.json
 SERVING_BASELINE ?= BENCH_serving_pr6.json
+SHARD_BASELINE ?= BENCH_shard_pr7.json
 bench-check:
 	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
-	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run ServeBid,HTTPDecodeBid,DecisionEncode,DecisionLog,CheckpointPerSlot
+	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run ServeBid/unbatched,ServeBid/batched,HTTPDecodeBid,DecisionEncode,DecisionLog,CheckpointPerSlot
+	$(GO) run ./cmd/bench -compare $(SHARD_BASELINE) -run ShardRoute,ServeBid/sharded
 	$(GO) test -run 'AllocBudget|SteadyStateAllocs' -count=1 . ./internal/sim/
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
@@ -81,4 +83,13 @@ load-smoke:
 	$(GO) run ./cmd/pdftspd-load -slots 24 -rate 40 -nodes 4 -seed 1 -verify \
 		-checkpoint /tmp/pdftsp-load.ckpt -full-every 4 -decision-log /tmp/pdftsp-load.declog
 
-check: build vet test race serve-smoke chaos-smoke load-smoke
+# shard-smoke exercises the multi-broker scale-out path: a two-shard
+# load run where every shard must be bit-identical to its own
+# sequential sim.Run twin, then a sharded chaos schedule with per-shard
+# outages and a kill/restore of the whole checkpoint manifest.
+shard-smoke:
+	$(GO) run ./cmd/pdftspd-load -slots 24 -rate 40 -nodes 4 -seed 1 -shards 2 -verify
+	$(GO) run ./cmd/pdftspd -chaos 1 -shards 2
+	$(GO) run ./cmd/pdftspd -chaos 7 -shards 4
+
+check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke

@@ -37,12 +37,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -85,6 +88,9 @@ type flags struct {
 	decLog    string
 	keepPlans bool
 
+	shards int
+	scale  string
+
 	verify  bool
 	minRate float64
 	jsonOut bool
@@ -112,7 +118,9 @@ func main() {
 	flag.IntVar(&f.fullEvery, "full-every", 1, "full snapshot every n checkpoint writes (binary deltas between)")
 	flag.StringVar(&f.decLog, "decision-log", "", "stream the binary decision log to this path")
 	flag.BoolVar(&f.keepPlans, "keep-losing-plans", false, "retain rejected bids' candidate plans (more memory)")
-	flag.BoolVar(&f.verify, "verify", false, "diff the broker's decisions and accounting against sim.Run")
+	flag.IntVar(&f.shards, "shards", 1, "partition the cluster into this many shard brokers behind the dual-price router")
+	flag.StringVar(&f.scale, "scale", "", "comma-separated shard counts (e.g. 1,2,4): run the same workload per count and print a scaling table")
+	flag.BoolVar(&f.verify, "verify", false, "diff the broker's decisions and accounting against sim.Run (per shard when -shards > 1)")
 	flag.Float64Var(&f.minRate, "min-rate", 0, "exit non-zero if sustained bids/sec falls below this")
 	flag.BoolVar(&f.jsonOut, "json", false, "emit the report as JSON on stdout")
 	flag.Parse()
@@ -125,6 +133,16 @@ func main() {
 	}
 	if f.conns < 1 {
 		f.conns = 1
+	}
+	if f.shards < 1 {
+		fail("-shards must be >= 1")
+	}
+
+	if f.scale != "" {
+		if err := runScale(f); err != nil {
+			fail("%v", err)
+		}
+		return
 	}
 
 	rep, err := run(f)
@@ -140,11 +158,66 @@ func main() {
 	}
 }
 
-// buildStack wires one deterministic auction stack for the flag set —
-// the same recipe as cmd/pdftspd, with the workload replicated -repeat
-// times before dual calibration so prices fit the actual load.
-func buildStack(f flags, h timeslot.Horizon, tasks []task.Task) (*cluster.Cluster, *core.Scheduler, lora.ModelConfig, *vendor.Marketplace, error) {
-	model := lora.GPT2Small()
+// runScale runs the same workload once per shard count and prints the
+// scaling table: throughput speedup and the welfare gap versus the first
+// (reference) count — the quantified cost of partitioned dual prices.
+func runScale(f flags) error {
+	var counts []int
+	for _, part := range strings.Split(f.scale, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -scale entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("-scale lists no shard counts")
+	}
+	reps := make([]*report, len(counts))
+	for i, n := range counts {
+		fn := f
+		fn.shards = n
+		rep, err := run(fn)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", n, err)
+		}
+		if f.verify && !rep.Verified {
+			return fmt.Errorf("%d shards: verification failed: %s", n, rep.VerifyNote)
+		}
+		reps[i] = rep
+	}
+	if f.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reps)
+	}
+	ref := reps[0]
+	fmt.Printf("pdftspd-load scaling: %d bids over %d slots, %d nodes (%s loop, batch %d, %d conns)\n",
+		ref.Bids, ref.Slots, ref.Nodes, ref.Mode, ref.Batch, ref.Conns)
+	fmt.Printf("  %7s  %12s  %8s  %12s  %12s  %9s\n", "shards", "bids/s", "speedup", "welfare", "admitted", "gap")
+	for i, rep := range reps {
+		gap := 0.0
+		if ref.Welfare != 0 {
+			gap = (ref.Welfare - rep.Welfare) / ref.Welfare * 100
+		}
+		verified := ""
+		if rep.Verified {
+			verified = "  verified"
+		}
+		fmt.Printf("  %7d  %12.0f  %7.2fx  %12.2f  %12d  %8.2f%%%s\n",
+			counts[i], rep.SustainedBidsPerSec,
+			rep.SustainedBidsPerSec/ref.SustainedBidsPerSec,
+			rep.Welfare, rep.Admitted, gap, verified)
+	}
+	if f.minRate > 0 && reps[len(reps)-1].SustainedBidsPerSec < f.minRate {
+		return fmt.Errorf("sustained %.0f bids/s below -min-rate %.0f at %d shards",
+			reps[len(reps)-1].SustainedBidsPerSec, f.minRate, counts[len(counts)-1])
+	}
+	return nil
+}
+
+// nodeSpecs lays out the full cluster's node list for the flag set.
+func nodeSpecs(f flags, model lora.ModelConfig, h timeslot.Horizon) ([]cluster.Node, error) {
 	var specs []cluster.Node
 	add := func(n int, spec gpu.Spec) {
 		specs = append(specs, cluster.Uniform(n, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
@@ -158,21 +231,76 @@ func buildStack(f flags, h timeslot.Horizon, tasks []task.Task) (*cluster.Cluste
 		add(f.nodes/2+f.nodes%2, gpu.A100)
 		add(f.nodes/2, gpu.A40)
 	default:
-		return nil, nil, model, nil, fmt.Errorf("unknown mix %q", f.mix)
+		return nil, fmt.Errorf("unknown mix %q", f.mix)
 	}
+	return specs, nil
+}
+
+// wireStack turns a node list into a calibrated auction stack.
+func wireStack(f flags, model lora.ModelConfig, h timeslot.Horizon, specs []cluster.Node, tasks []task.Task) (*cluster.Cluster, *core.Scheduler, *vendor.Marketplace, error) {
 	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, specs)
 	if err != nil {
-		return nil, nil, model, nil, fmt.Errorf("cluster: %w", err)
+		return nil, nil, nil, fmt.Errorf("cluster: %w", err)
 	}
 	mkt, err := vendor.Standard(f.vendors, f.seed+7)
 	if err != nil {
-		return nil, nil, model, nil, fmt.Errorf("marketplace: %w", err)
+		return nil, nil, nil, fmt.Errorf("marketplace: %w", err)
 	}
 	sched, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
 	if err != nil {
-		return nil, nil, model, nil, fmt.Errorf("scheduler: %w", err)
+		return nil, nil, nil, fmt.Errorf("scheduler: %w", err)
 	}
-	return cl, sched, model, mkt, nil
+	return cl, sched, mkt, nil
+}
+
+// buildStack wires one deterministic auction stack for the flag set —
+// the same recipe as cmd/pdftspd, with the workload replicated -repeat
+// times before dual calibration so prices fit the actual load.
+func buildStack(f flags, h timeslot.Horizon, tasks []task.Task) (*cluster.Cluster, *core.Scheduler, lora.ModelConfig, *vendor.Marketplace, error) {
+	model := lora.GPT2Small()
+	specs, err := nodeSpecs(f, model, h)
+	if err != nil {
+		return nil, nil, model, nil, err
+	}
+	cl, sched, mkt, err := wireStack(f, model, h, specs, tasks)
+	return cl, sched, model, mkt, err
+}
+
+// shardStack is one shard's wired slice of the cluster.
+type shardStack struct {
+	cl    *cluster.Cluster
+	sched *core.Scheduler
+	mkt   *vendor.Marketplace
+	model lora.ModelConfig
+}
+
+// buildShardStacks partitions the cluster round-robin (shard i owns
+// global nodes i, i+n, i+2n, … — a balanced slice of a heterogeneous
+// mix) and wires each shard its own marketplace and scheduler calibrated
+// against the full workload on the shard's own nodes, exactly as
+// cmd/pdftspd -shards does.
+func buildShardStacks(f flags, h timeslot.Horizon, tasks []task.Task, n int) ([]*shardStack, error) {
+	model := lora.GPT2Small()
+	if f.nodes < n {
+		return nil, fmt.Errorf("%d shards need at least %d nodes, have %d", n, n, f.nodes)
+	}
+	specs, err := nodeSpecs(f, model, h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*shardStack, n)
+	for i := 0; i < n; i++ {
+		var part []cluster.Node
+		for g := i; g < len(specs); g += n {
+			part = append(part, specs[g])
+		}
+		cl, sched, mkt, err := wireStack(f, model, h, part, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out[i] = &shardStack{cl: cl, sched: sched, mkt: mkt, model: model}
+	}
+	return out, nil
 }
 
 // loadTasks produces the replayable workload: generated from the trace
@@ -272,11 +400,21 @@ func (l *latObserver) OnOutcome(e *obs.OutcomeEvent) {
 	}
 }
 
+// aggStatus is the slice of broker status the report needs, aggregated
+// across shards when -shards > 1.
+type aggStatus struct {
+	intakeHW, heldHW   int
+	shedChan, shedHeld int64
+	welfare, revenue   float64
+	admitted, rejected int
+}
+
 // report is the run's measured outcome.
 type report struct {
 	Bids      int    `json:"bids"`
 	Slots     int    `json:"slots"`
 	Nodes     int    `json:"nodes"`
+	Shards    int    `json:"shards"`
 	Mode      string `json:"mode"`
 	Batch     int    `json:"batch"`
 	Conns     int    `json:"conns"`
@@ -316,8 +454,12 @@ func (r *report) print(w io.Writer, asJSON bool) {
 		enc.Encode(r)
 		return
 	}
-	fmt.Fprintf(w, "pdftspd-load: %d bids over %d slots, %d nodes (%s loop, batch %d, %d conns)\n",
-		r.Bids, r.Slots, r.Nodes, r.Mode, r.Batch, r.Conns)
+	shards := ""
+	if r.Shards > 1 {
+		shards = fmt.Sprintf(", %d shards", r.Shards)
+	}
+	fmt.Fprintf(w, "pdftspd-load: %d bids over %d slots, %d nodes%s (%s loop, batch %d, %d conns)\n",
+		r.Bids, r.Slots, r.Nodes, shards, r.Mode, r.Batch, r.Conns)
 	fmt.Fprintf(w, "  submitted %d  decided %d  shed %d  retries %d\n", r.Submitted, r.Decided, r.Shed, r.Retries)
 	fmt.Fprintf(w, "  wall %.2fs  sustained %.0f bids/s\n", r.WallSeconds, r.SustainedBidsPerSec)
 	fmt.Fprintf(w, "  intake RTT    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.1fms\n",
@@ -344,10 +486,6 @@ func run(f flags) (*report, error) {
 	}
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("empty workload")
-	}
-	cl, sched, model, mkt, err := buildStack(f, h, tasks)
-	if err != nil {
-		return nil, err
 	}
 
 	// Group per arrival slot; the submit loop feeds slot s's bids while
@@ -382,31 +520,114 @@ func run(f flags) (*report, error) {
 		observers = append(observers, decLog)
 	}
 
-	broker, err := service.New(service.Options{
-		Cluster:             cl,
-		Scheduler:           sched,
-		Model:               model,
-		Market:              mkt,
-		QueueSize:           queue,
-		VirtualClock:        true,
-		CheckpointPath:      f.ckpt,
-		CheckpointFullEvery: f.fullEvery,
-		Observer:            obs.Multi(observers...),
-		RunLabel:            "pdftspd-load",
-		DropLosingPlans:     !f.keepPlans,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := broker.Start(); err != nil {
-		return nil, err
+	var (
+		handler  http.Handler
+		drainFn  func(context.Context) error
+		statusFn func() (aggStatus, error)
+		verifyFn func(shed int) (bool, string)
+	)
+	if f.shards <= 1 {
+		cl, sched, model, mkt, err := buildStack(f, h, tasks)
+		if err != nil {
+			return nil, err
+		}
+		broker, err := service.New(service.Options{
+			Cluster:             cl,
+			Scheduler:           sched,
+			Model:               model,
+			Market:              mkt,
+			QueueSize:           queue,
+			VirtualClock:        true,
+			CheckpointPath:      f.ckpt,
+			CheckpointFullEvery: f.fullEvery,
+			Observer:            obs.Multi(observers...),
+			RunLabel:            "pdftspd-load",
+			DropLosingPlans:     !f.keepPlans,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := broker.Start(); err != nil {
+			return nil, err
+		}
+		handler = broker.Handler()
+		drainFn = broker.Drain
+		statusFn = func() (aggStatus, error) {
+			st, err := broker.Status()
+			if err != nil {
+				return aggStatus{}, err
+			}
+			return aggStatus{
+				intakeHW: st.IntakeHighWater, heldHW: st.HeldHighWater,
+				shedChan: st.ShedChannelFull, shedHeld: st.ShedHeldFull,
+				welfare: st.Welfare, revenue: st.Revenue,
+				admitted: st.Admitted, rejected: st.Rejected,
+			}, nil
+		}
+		verifyFn = func(shed int) (bool, string) { return verify(f, h, tasks, broker, shed) }
+	} else {
+		stacks, err := buildShardStacks(f, h, tasks, f.shards)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]service.ShardSpec, f.shards)
+		for i, st := range stacks {
+			opts := service.Options{
+				Cluster:             st.cl,
+				Scheduler:           st.sched,
+				Model:               st.model,
+				Market:              st.mkt,
+				QueueSize:           queue,
+				VirtualClock:        true,
+				CheckpointFullEvery: f.fullEvery,
+				Observer:            obs.Multi(observers...),
+				RunLabel:            fmt.Sprintf("pdftspd-load/%d", i),
+				DropLosingPlans:     !f.keepPlans,
+			}
+			if f.ckpt != "" {
+				opts.CheckpointPath = fmt.Sprintf("%s.shard%d", f.ckpt, i)
+			}
+			specs[i] = service.ShardSpec{Key: fmt.Sprintf("%s/%d", st.model.Name, i), Options: opts}
+		}
+		fleet, err := service.NewShards(service.ShardsOptions{ManifestPath: f.ckpt}, specs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := fleet.Start(); err != nil {
+			return nil, err
+		}
+		handler = fleet.Handler()
+		drainFn = fleet.Drain
+		statusFn = func() (aggStatus, error) {
+			st, err := fleet.Status()
+			if err != nil {
+				return aggStatus{}, err
+			}
+			agg := aggStatus{
+				welfare: st.Welfare, revenue: st.Revenue,
+				admitted: st.Admitted, rejected: st.Rejected,
+			}
+			// High-waters report the worst shard; sheds sum across shards.
+			for _, ps := range st.PerShard {
+				if ps.IntakeHighWater > agg.intakeHW {
+					agg.intakeHW = ps.IntakeHighWater
+				}
+				if ps.HeldHighWater > agg.heldHW {
+					agg.heldHW = ps.HeldHighWater
+				}
+				agg.shedChan += ps.ShedChannelFull
+				agg.shedHeld += ps.ShedHeldFull
+			}
+			return agg, nil
+		}
+		verifyFn = func(shed int) (bool, string) { return verifyShards(f, h, tasks, fleet, shed) }
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: broker.Handler()}
+	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -489,7 +710,7 @@ func run(f flags) (*report, error) {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	if err := broker.Drain(drainCtx); err != nil {
+	if err := drainFn(drainCtx); err != nil {
 		return nil, err
 	}
 	if decLog != nil {
@@ -497,7 +718,7 @@ func run(f flags) (*report, error) {
 			return nil, fmt.Errorf("decision log: %w", err)
 		}
 	}
-	st, err := broker.Status()
+	st, err := statusFn()
 	if err != nil {
 		return nil, err
 	}
@@ -515,19 +736,19 @@ func run(f flags) (*report, error) {
 	}
 
 	rep := &report{
-		Bids: len(tasks), Slots: f.slots, Nodes: f.nodes, Mode: f.mode,
+		Bids: len(tasks), Slots: f.slots, Nodes: f.nodes, Shards: f.shards, Mode: f.mode,
 		Batch: f.batch, Conns: f.conns,
 		Submitted: submitted, Decided: decided, Shed: shed, Retries: retried,
 		WallSeconds:         wall.Seconds(),
 		SustainedBidsPerSec: float64(decided) / wall.Seconds(),
-		IntakeHighWater:     st.IntakeHighWater,
-		HeldHighWater:       st.HeldHighWater,
-		ShedChannelFull:     st.ShedChannelFull,
-		ShedHeldFull:        st.ShedHeldFull,
-		Welfare:             st.Welfare,
-		Revenue:             st.Revenue,
-		Admitted:            st.Admitted,
-		Rejected:            st.Rejected,
+		IntakeHighWater:     st.intakeHW,
+		HeldHighWater:       st.heldHW,
+		ShedChannelFull:     st.shedChan,
+		ShedHeldFull:        st.shedHeld,
+		Welfare:             st.welfare,
+		Revenue:             st.revenue,
+		Admitted:            st.admitted,
+		Rejected:            st.rejected,
 	}
 	if decided > 0 {
 		rep.AllocsPerBid = float64(m1.Mallocs-m0.Mallocs) / float64(decided)
@@ -536,7 +757,7 @@ func run(f flags) (*report, error) {
 	rep.DecisionP50Ms, rep.DecisionP90Ms, rep.DecisionP99Ms, rep.DecisionMaxMs = percentilesMs(decLat)
 
 	if f.verify {
-		rep.Verified, rep.VerifyNote = verify(f, h, tasks, broker, shed)
+		rep.Verified, rep.VerifyNote = verifyFn(shed)
 	}
 	return rep, nil
 }
@@ -581,11 +802,9 @@ func postBatch(client *http.Client, base string, chunk []task.Task, f flags, bod
 				return rtt, retries, len(chunk), nil
 			}
 			retries++
-			if secs, aerr := strconv.Atoi(ra); aerr == nil && secs > 0 {
-				time.Sleep(time.Duration(secs) * time.Second)
-			} else {
-				time.Sleep(100 * time.Millisecond)
-			}
+			// The harness always drives a loopback virtual-clock broker,
+			// whose queue drains at the next slot close — milliseconds away.
+			time.Sleep(retryDelay(ra, attempt, true))
 			continue
 		}
 		var results []struct {
@@ -608,6 +827,30 @@ func postBatch(client *http.Client, base string, chunk []task.Task, f flags, bod
 		}
 		return rtt, retries, shed, nil
 	}
+}
+
+// retryDelay picks the closed-mode backoff after a 429. The broker
+// quantizes Retry-After to whole seconds, which is a sane floor for a
+// real-clock deployment but absurd against a loopback virtual-clock
+// broker whose queue drains at the next slot close — sleeping the full
+// advertised second there serializes the generator on the retry path.
+// So: exponential jittered millisecond backoff (4ms base, capped at
+// 64ms, jitter in [base/2, 3·base/2)), with the Retry-After header
+// enforced as a floor only on real-clock runs.
+func retryDelay(retryAfter string, attempt int, virtual bool) time.Duration {
+	if attempt > 4 {
+		attempt = 4
+	}
+	base := 4 * time.Millisecond << uint(attempt)
+	d := base/2 + time.Duration(rand.Int63n(int64(base)))
+	if !virtual {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			if floor := time.Duration(secs) * time.Second; d < floor {
+				d = floor
+			}
+		}
+	}
+	return d
 }
 
 func step(client *http.Client, base string) error {
@@ -662,14 +905,80 @@ func verify(f flags, h timeslot.Horizon, tasks []task.Task, broker *service.Brok
 	return true, ""
 }
 
-// percentilesMs reports p50/p90/p99/max in milliseconds.
+// verifyShards checks each shard against its own sequential sim.Run
+// twin: the fleet's routing decides which shard owns each task, then
+// that shard's subsequence (in input order) replays on a freshly wired
+// twin of the shard's cluster slice. Decisions and per-shard accounting
+// must match bit for bit.
+func verifyShards(f flags, h timeslot.Horizon, tasks []task.Task, fleet *service.Shards, shed int) (bool, string) {
+	if shed > 0 {
+		return false, fmt.Sprintf("skipped: %d bids were shed, replay would diverge", shed)
+	}
+	twins, err := buildShardStacks(f, h, tasks, f.shards)
+	if err != nil {
+		return false, err.Error()
+	}
+	subs := make([][]task.Task, f.shards)
+	for i := range tasks {
+		_, si, ok, err := fleet.DecisionFor(tasks[i].ID)
+		if err != nil {
+			return false, err.Error()
+		}
+		if !ok {
+			return false, fmt.Sprintf("task %d: no fleet decision", tasks[i].ID)
+		}
+		subs[si] = append(subs[si], tasks[i])
+	}
+	results := fleet.Results()
+	for si, tw := range twins {
+		res, err := sim.Run(tw.cl, tw.sched, subs[si], sim.Config{
+			Model: tw.model, Market: tw.mkt, CollectDecisions: true,
+		})
+		if err != nil {
+			return false, fmt.Sprintf("shard %d replay: %v", si, err)
+		}
+		got := results[si]
+		if got.Welfare != res.Welfare || got.Revenue != res.Revenue ||
+			got.VendorSpend != res.VendorSpend || got.EnergySpend != res.EnergySpend ||
+			got.Admitted != res.Admitted || got.Rejected != res.Rejected ||
+			got.Utilization != res.Utilization {
+			return false, fmt.Sprintf("shard %d accounting mismatch: broker welfare=%v revenue=%v %d/%d util=%v, replay welfare=%v revenue=%v %d/%d util=%v",
+				si, got.Welfare, got.Revenue, got.Admitted, got.Rejected, got.Utilization,
+				res.Welfare, res.Revenue, res.Admitted, res.Rejected, res.Utilization)
+		}
+		for j := range subs[si] {
+			want := res.Decisions[j]
+			d, dsi, ok, err := fleet.DecisionFor(subs[si][j].ID)
+			if err != nil || !ok || dsi != si {
+				return false, fmt.Sprintf("task %d: lost from shard %d after drain", subs[si][j].ID, si)
+			}
+			if d.Admitted != want.Admitted || d.Payment != want.Payment || d.Reason != want.Reason {
+				return false, fmt.Sprintf("shard %d task %d: broker (admitted=%v payment=%v %q) vs replay (admitted=%v payment=%v %q)",
+					si, subs[si][j].ID, d.Admitted, d.Payment, d.Reason, want.Admitted, want.Payment, want.Reason)
+			}
+		}
+	}
+	return true, ""
+}
+
+// percentilesMs reports p50/p90/p99/max in milliseconds using the
+// nearest-rank definition: p-q is the ceil(q·n)-th smallest sample, so
+// p99 of 10 samples is the max, not the 9th. (The old floor-indexed
+// interpolation point systematically under-reported tail latency on
+// small samples.)
 func percentilesMs(d []time.Duration) (p50, p90, p99, max float64) {
 	if len(d) == 0 {
 		return 0, 0, 0, 0
 	}
 	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
 	at := func(q float64) float64 {
-		i := int(q * float64(len(d)-1))
+		i := int(math.Ceil(q*float64(len(d)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(d) {
+			i = len(d) - 1
+		}
 		return float64(d[i]) / float64(time.Millisecond)
 	}
 	return at(0.5), at(0.9), at(0.99), float64(d[len(d)-1]) / float64(time.Millisecond)

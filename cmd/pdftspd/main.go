@@ -77,7 +77,11 @@ func main() {
 	serveDebug := flag.String("serve", "", "serve live expvar metrics and pprof on this address")
 	smoke := flag.Bool("smoke", false, "run the in-process serve-smoke self-test and exit")
 	chaos := flag.Int64("chaos", -1, "run the seeded chaos self-test (outages, vendor faults, kill/restore) with this seed and exit")
+	shards := flag.Int("shards", 1, "partition the cluster into this many shard brokers behind a dual-price router")
 	flag.Parse()
+	if *shards < 1 {
+		fail("-shards must be >= 1")
+	}
 
 	var observers []obs.Observer
 	var jsonlSink *obs.JSONL
@@ -129,10 +133,27 @@ func main() {
 		return
 	}
 	if *chaos >= 0 {
+		if *shards > 1 {
+			if err := runShardChaos(cfg, *chaos, *shards); err != nil {
+				fail("shard-chaos: %v", err)
+			}
+			fmt.Printf("shard-chaos(seed %d, %d shards): fleet survived the fault schedule, kill/restore of the full manifest, and matches per-shard sim.Run\n", *chaos, *shards)
+			finishObs(jsonlSink, auditor, decSink)
+			return
+		}
 		if err := runChaos(cfg, *chaos); err != nil {
 			fail("chaos: %v", err)
 		}
 		fmt.Printf("chaos-smoke(seed %d): broker survived the fault schedule and matches sim.Run (decisions, refunds, duals, ledger)\n", *chaos)
+		finishObs(jsonlSink, auditor, decSink)
+		return
+	}
+	if *shards > 1 {
+		serveShards(cfg, *shards, shardServeOpts{
+			addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
+			ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
+			restore: *restore, serveDebug: *serveDebug, observer: observer,
+		})
 		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
@@ -254,11 +275,9 @@ type stack struct {
 	tasks []task.Task
 }
 
-// build wires a fresh stack; calling it twice with the same config yields
-// byte-identical twins (all generation is seed-deterministic).
-func (c stackConfig) build() (*stack, error) {
-	h := timeslot.NewHorizon(c.slots)
-	model := lora.GPT2Small()
+// workload generates the calibration (and smoke/chaos driving) bid
+// stream for this config.
+func (c stackConfig) workload(h timeslot.Horizon) ([]task.Task, error) {
 	tc := trace.DefaultConfig()
 	tc.Seed = c.seed
 	tc.Horizon = h
@@ -289,7 +308,11 @@ func (c stackConfig) build() (*stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
+	return tasks, nil
+}
 
+// nodeSpecs lays out the full cluster's node list for this config.
+func (c stackConfig) nodeSpecs(model lora.ModelConfig, h timeslot.Horizon) ([]cluster.Node, error) {
 	var specs []cluster.Node
 	add := func(n int, spec gpu.Spec) {
 		specs = append(specs, cluster.Uniform(n, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
@@ -305,6 +328,11 @@ func (c stackConfig) build() (*stack, error) {
 	default:
 		return nil, fmt.Errorf("unknown mix %q", c.mix)
 	}
+	return specs, nil
+}
+
+// wire turns a node list into a calibrated stack.
+func (c stackConfig) wire(model lora.ModelConfig, h timeslot.Horizon, specs []cluster.Node, tasks []task.Task) (*stack, error) {
 	cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, specs)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
@@ -320,6 +348,59 @@ func (c stackConfig) build() (*stack, error) {
 		return nil, fmt.Errorf("scheduler: %w", err)
 	}
 	return &stack{cl: cl, sched: sched, model: model, mkt: mkt, tasks: tasks}, nil
+}
+
+// build wires a fresh stack; calling it twice with the same config yields
+// byte-identical twins (all generation is seed-deterministic).
+func (c stackConfig) build() (*stack, error) {
+	h := timeslot.NewHorizon(c.slots)
+	model := lora.GPT2Small()
+	tasks, err := c.workload(h)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := c.nodeSpecs(model, h)
+	if err != nil {
+		return nil, err
+	}
+	return c.wire(model, h, specs, tasks)
+}
+
+// buildShards wires n shard stacks over a round-robin partition of the
+// cluster: shard i owns global nodes i, i+n, i+2n, … so every shard gets
+// a balanced slice of a heterogeneous mix. Each shard carries its own
+// marketplace and scheduler, calibrated against the full workload on the
+// shard's own nodes — exactly how a twin shard is rebuilt for replay.
+func (c stackConfig) buildShards(n int) ([]*stack, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shards must be >= 1, got %d", n)
+	}
+	if c.nodes < n {
+		return nil, fmt.Errorf("%d shards need at least %d nodes, have %d", n, n, c.nodes)
+	}
+	h := timeslot.NewHorizon(c.slots)
+	model := lora.GPT2Small()
+	tasks, err := c.workload(h)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := c.nodeSpecs(model, h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*stack, n)
+	for i := 0; i < n; i++ {
+		var part []cluster.Node
+		for g := i; g < len(specs); g += n {
+			part = append(part, specs[g])
+		}
+		st, err := c.wire(model, h, part, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
 }
 
 // errSmoke tags self-test mismatches.

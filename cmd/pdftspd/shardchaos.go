@@ -1,0 +1,387 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/faults"
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+)
+
+// runShardChaos is the sharded chaos self-test behind
+// `pdftspd -chaos <seed> -shards <n>`: the same seeded fault schedule as
+// runChaos, driven against a whole fleet. Outages are partitioned onto
+// the shard owning the failed node (global node g lives on shard g%n at
+// local index g/n under the round-robin partition); kills take down the
+// ENTIRE fleet, which must restore as one unit from the shard manifest
+// without losing a decision; checkpoint-write faults hit every shard and
+// must degrade the aggregate /healthz. At the end, every shard is
+// checked bit-identical — decisions, accounting, duals, ledger — against
+// a sequential sim.Run of the subsequence the router fed it.
+func runShardChaos(cfg stackConfig, seed int64, n int) error {
+	if cfg.slots == timeslot.DefaultHorizonSlots {
+		cfg.slots = 24
+	}
+	if cfg.nodes == 8 {
+		cfg.nodes = 2 * n
+	}
+	if cfg.rate == 5 {
+		cfg.rate = 3
+	}
+	cfg.seed = seed
+	cfg.mask = true
+
+	plan := faults.Generate(seed, cfg.nodes, cfg.slots, cfg.vendors)
+	if err := plan.Validate(cfg.nodes, cfg.slots, cfg.vendors); err != nil {
+		return fmt.Errorf("generated plan invalid: %w", err)
+	}
+	shardFailures := make([][]sim.Failure, n)
+	for _, o := range plan.Outages {
+		si := o.Node % n
+		shardFailures[si] = append(shardFailures[si], sim.Failure{Node: o.Node / n, From: o.From, To: o.To})
+	}
+	kills := map[int]bool{}
+	for _, k := range plan.Kills {
+		kills[k] = true
+	}
+	stalls := map[int]bool{}
+	for _, s := range plan.Stalls {
+		stalls[s] = true
+	}
+	fmt.Fprintf(os.Stderr, "shard-chaos(seed %d, %d shards): %d outages, %d vendor fault windows, %d checkpoint fault windows, fleet kills at %v, stalls at %v\n",
+		seed, n, len(plan.Outages), len(plan.Vendor), len(plan.Checkpoint), plan.Kills, plan.Stalls)
+
+	noSleep := func(time.Duration) {}
+	chain := func(mkt *vendor.Marketplace) vendor.Caller {
+		return vendor.NewRetrier(
+			vendor.NewFlaky(mkt, plan.Vendor, noSleep),
+			vendor.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Budget: time.Second, Seed: seed, Sleep: noSleep},
+		)
+	}
+	ckptFault := func(slot int) error {
+		if plan.CheckpointFaultAt(slot) {
+			return fmt.Errorf("chaos: injected checkpoint write failure at slot %d", slot)
+		}
+		return nil
+	}
+
+	dir, err := os.MkdirTemp("", "pdftspd-shardchaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	manifest := filepath.Join(dir, "fleet.manifest")
+
+	// The workload is shared by every shard (calibration input) and drives
+	// the per-slot submissions.
+	firstStacks, err := cfg.buildShards(n)
+	if err != nil {
+		return err
+	}
+	tasks := firstStacks[0].tasks
+	perSlot := make([][]task.Task, cfg.slots)
+	for _, tk := range tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+
+	auditor := obs.NewAudit()
+	mkFleet := func(stacks []*stack) (*service.Shards, error) {
+		specs := make([]service.ShardSpec, n)
+		for i, st := range stacks {
+			specs[i] = service.ShardSpec{
+				Key: fmt.Sprintf("%s/%d", st.model.Name, i),
+				Options: service.Options{
+					Cluster:             st.cl,
+					Scheduler:           st.sched,
+					Model:               st.model,
+					Market:              st.mkt,
+					QueueSize:           len(tasks) + 16,
+					VirtualClock:        true,
+					CheckpointPath:      filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", i)),
+					CheckpointEvery:     1,
+					CheckpointFullEvery: 4,
+					Failures:            shardFailures[i],
+					Quotes:              chain(st.mkt),
+					CheckpointFault:     ckptFault,
+					Observer:            auditor,
+					RunLabel:            fmt.Sprintf("shard-chaos/%d", i),
+				},
+			}
+		}
+		return service.NewShards(service.ShardsOptions{ManifestPath: manifest}, specs...)
+	}
+
+	type generation struct {
+		srv  *http.Server
+		base string
+	}
+	serve := func(fleet *service.Shards) (*generation, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: fleet.Handler()}
+		go srv.Serve(ln)
+		return &generation{srv: srv, base: "http://" + ln.Addr().String()}, nil
+	}
+	get := func(gen *generation, path string, out any) (int, error) {
+		resp, err := http.Get(gen.base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	stacks := firstStacks
+	fleet, err := mkFleet(stacks)
+	if err != nil {
+		return err
+	}
+	if err := fleet.Start(); err != nil {
+		return err
+	}
+	gen, err := serve(fleet)
+	if err != nil {
+		return err
+	}
+	generations := 1
+	degradedSeen := 0
+
+	// assigned records each routed bid's shard as slots close. The shard
+	// never changes, but the decision itself may (a later outage can break
+	// an admitted plan into failed-node), so decisions are only compared
+	// at like-for-like instants: checkpoint vs restore, and final vs sim.
+	assigned := map[int]int{}
+
+	for s := 0; s < cfg.slots; s++ {
+		if kills[s] {
+			// Crash-stop the WHOLE fleet mid-run and restore it as one
+			// unit from the shard manifest on fresh stacks.
+			fleet.Kill()
+			gen.srv.Close()
+			m, err := service.ReadShardManifest(manifest)
+			if err != nil {
+				return fmt.Errorf("%w: no manifest to restore after fleet kill at slot %d: %v", errChaos, s, err)
+			}
+			ck, err := service.LoadCheckpoint(m.Paths[0])
+			if err != nil {
+				return fmt.Errorf("%w: shard 0 checkpoint unreadable after kill at slot %d: %v", errChaos, s, err)
+			}
+			if ck.Slot != s {
+				return fmt.Errorf("%w: fleet checkpointed at slot %d after kill at slot %d (stale write)", errChaos, ck.Slot, s)
+			}
+			freshStacks, err := cfg.buildShards(n)
+			if err != nil {
+				return err
+			}
+			nf, err := mkFleet(freshStacks)
+			if err != nil {
+				return err
+			}
+			if err := nf.RestoreFromManifest(m); err != nil {
+				return fmt.Errorf("%w: restore after fleet kill at slot %d: %v", errChaos, s, err)
+			}
+			if err := nf.Start(); err != nil {
+				return err
+			}
+			// Every checkpointed decision survived the restore, on its
+			// own shard, bit-identical to what that shard persisted.
+			for i := 0; i < n; i++ {
+				ck, err := service.LoadCheckpoint(m.Paths[i])
+				if err != nil {
+					return fmt.Errorf("%w: shard %d checkpoint unreadable after kill at slot %d: %v", errChaos, i, s, err)
+				}
+				for id, want := range ck.Decisions {
+					got, si, ok, err := nf.DecisionFor(id)
+					if err != nil || !ok {
+						return fmt.Errorf("%w: decision %d lost across fleet restore (ok=%v err=%v)", errChaos, id, ok, err)
+					}
+					d := want.Decision
+					if si != i || got.Admitted != d.Admitted || got.Payment != d.Payment || got.Reason != d.Reason {
+						return fmt.Errorf("%w: decision %d mutated across fleet restore: shard %d→%d, got %+v, want %+v",
+							errChaos, id, i, si, got, d)
+					}
+				}
+			}
+			stacks = freshStacks
+			fleet = nf
+			gen, err = serve(fleet)
+			if err != nil {
+				return err
+			}
+			generations++
+		}
+		if stalls[s] {
+			// The fleet's common clock refuses to move; the aggregated
+			// status endpoint must keep answering with the stalled slot.
+			for i := 0; i < 3; i++ {
+				var st service.ShardsStatus
+				if code, err := get(gen, "/v1/status", &st); err != nil || code != http.StatusOK {
+					return fmt.Errorf("%w: status during clock stall at slot %d: code=%d err=%v", errChaos, s, code, err)
+				}
+				if st.Slot != s {
+					return fmt.Errorf("%w: fleet clock moved during a stall: slot %d, want %d", errChaos, st.Slot, s)
+				}
+			}
+		}
+
+		arriving := perSlot[s]
+		if len(arriving) > 0 {
+			batch := append([]task.Task(nil), arriving...)
+			verdicts := make([]error, len(batch))
+			if _, err := fleet.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+				return fmt.Errorf("submit batch at slot %d: %w", s, err)
+			}
+			for i, v := range verdicts {
+				if v != nil {
+					return fmt.Errorf("task %d at slot %d refused: %w", batch[i].ID, s, v)
+				}
+			}
+		}
+		if _, err := fleet.Step(1); err != nil {
+			return fmt.Errorf("step at slot %d: %w", s, err)
+		}
+		for _, tk := range arriving {
+			_, si, ok, err := fleet.DecisionFor(tk.ID)
+			if err != nil || !ok {
+				return fmt.Errorf("%w: task %d undecided after slot %d closed (ok=%v err=%v)", errChaos, tk.ID, s, ok, err)
+			}
+			assigned[tk.ID] = si
+		}
+
+		var h service.Health
+		code, err := get(gen, "/healthz", &h)
+		if err != nil {
+			return fmt.Errorf("healthz after slot %d: %w", s, err)
+		}
+		switch code {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			if h.Reason == "" {
+				return fmt.Errorf("%w: degraded healthz without a reason at slot %d", errChaos, s)
+			}
+			degradedSeen++
+			// Degraded ≠ down: the aggregate status keeps serving and
+			// some shard's detail agrees with the verdict.
+			var st service.ShardsStatus
+			if code, err := get(gen, "/v1/status", &st); err != nil || code != http.StatusOK {
+				return fmt.Errorf("%w: degraded fleet stopped serving status at slot %d: code=%d err=%v", errChaos, s, code, err)
+			}
+			agreed := false
+			for _, ps := range st.PerShard {
+				if ps.Degraded && ps.CheckpointFailures > 0 {
+					agreed = true
+				}
+			}
+			if !agreed {
+				return fmt.Errorf("%w: healthz degraded but no shard's status says so at slot %d", errChaos, s)
+			}
+		default:
+			return fmt.Errorf("%w: healthz returned %d at slot %d", errChaos, code, s)
+		}
+	}
+
+	if len(plan.Checkpoint) > 0 && degradedSeen == 0 {
+		return fmt.Errorf("%w: checkpoint fault windows %v never degraded /healthz", errChaos, plan.Checkpoint)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fleet.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	gen.srv.Close()
+	if err := auditor.Err(); err != nil {
+		return fmt.Errorf("%w: %v", errChaos, err)
+	}
+
+	// Ground truth, shard by shard: a fresh twin of each shard's stack
+	// replays the subsequence the router fed it under the same outages and
+	// vendor fault plan.
+	twins, err := cfg.buildShards(n)
+	if err != nil {
+		return err
+	}
+	spread := 0
+	live := fleet.Results()
+	var liveW, twinW float64
+	for si := 0; si < n; si++ {
+		var sub []task.Task
+		for _, tk := range tasks {
+			if assigned[tk.ID] == si {
+				sub = append(sub, tk)
+			}
+		}
+		if len(sub) > 0 {
+			spread++
+		}
+		tw := twins[si]
+		want, err := sim.Run(tw.cl, tw.sched, sub, sim.Config{
+			Model:            tw.model,
+			Market:           tw.mkt,
+			Failures:         shardFailures[si],
+			Quotes:           chain(tw.mkt),
+			CollectDecisions: true,
+		})
+		if err != nil {
+			return err
+		}
+		for i, tk := range sub {
+			got, _, ok, err := fleet.DecisionFor(tk.ID)
+			if err != nil || !ok {
+				return fmt.Errorf("%w: no final decision for task %d (ok=%v err=%v)", errChaos, tk.ID, ok, err)
+			}
+			w := want.Decisions[i]
+			if got.Admitted != w.Admitted || got.Payment != w.Payment || got.Reason != w.Reason {
+				return fmt.Errorf("%w: shard %d task %d fleet (admitted=%v payment=%v reason=%q) vs sim (admitted=%v payment=%v reason=%q)",
+					errChaos, si, tk.ID, got.Admitted, got.Payment, got.Reason, w.Admitted, w.Payment, w.Reason)
+			}
+		}
+		res := live[si]
+		if res.Welfare != want.Welfare || res.Revenue != want.Revenue ||
+			res.Admitted != want.Admitted || res.Rejected != want.Rejected ||
+			res.FailuresInjected != want.FailuresInjected ||
+			res.RecoveredTasks != want.RecoveredTasks ||
+			res.FailedTasks != want.FailedTasks ||
+			res.RefundedValue != want.RefundedValue {
+			return fmt.Errorf("%w: shard %d accounting diverged\nfleet %+v\nsim   %+v", errChaos, si, res, want)
+		}
+		if !stacks[si].sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
+			return fmt.Errorf("%w: shard %d final dual prices diverge from sim.Run", errChaos, si)
+		}
+		if !reflect.DeepEqual(stacks[si].cl.Snapshot(), tw.cl.Snapshot()) {
+			return fmt.Errorf("%w: shard %d final cluster ledgers diverge from sim.Run", errChaos, si)
+		}
+		liveW += res.Welfare
+		twinW += want.Welfare
+	}
+	if spread < 2 && len(tasks) >= 2*n {
+		return fmt.Errorf("%w: router collapsed the whole workload onto one shard", errChaos)
+	}
+	if liveW != twinW {
+		return fmt.Errorf("%w: fleet welfare %v, per-shard sim.Run sum %v", errChaos, liveW, twinW)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"shard-chaos(seed %d): %d bids over %d slots across %d shards, %d generations, degraded %d slot(s), welfare %.2f\n",
+		seed, len(tasks), cfg.slots, n, generations, degradedSeen, liveW)
+	return nil
+}

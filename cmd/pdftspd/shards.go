@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/service"
+)
+
+// shardServeOpts carries the serving flags into the sharded path.
+type shardServeOpts struct {
+	addr       string
+	virtual    bool
+	slotDur    time.Duration
+	queue      int
+	ckpt       string
+	ckptEvery  int
+	fullEvery  int
+	restore    bool
+	serveDebug string
+	observer   obs.Observer
+}
+
+// shardSpecs wires the per-shard broker options from the common serving
+// flags: checkpoint paths get a ".shard<i>" suffix (the manifest at the
+// base path ties them together), run labels a "/<i>" suffix, and the
+// intake queue is split evenly so the fleet's total admission capacity
+// matches the monolithic broker's.
+func shardSpecs(stacks []*stack, o shardServeOpts) []service.ShardSpec {
+	specs := make([]service.ShardSpec, len(stacks))
+	queue := o.queue/len(stacks) + 1
+	for i, st := range stacks {
+		opts := service.Options{
+			Cluster:             st.cl,
+			Scheduler:           st.sched,
+			Model:               st.model,
+			Market:              st.mkt,
+			QueueSize:           queue,
+			VirtualClock:        o.virtual,
+			SlotDuration:        o.slotDur,
+			CheckpointEvery:     o.ckptEvery,
+			CheckpointFullEvery: o.fullEvery,
+			Observer:            o.observer,
+			RunLabel:            fmt.Sprintf("pdftspd/%d", i),
+		}
+		if o.ckpt != "" {
+			opts.CheckpointPath = fmt.Sprintf("%s.shard%d", o.ckpt, i)
+		}
+		specs[i] = service.ShardSpec{
+			Key:     fmt.Sprintf("%s/%d", st.model.Name, i),
+			Options: opts,
+		}
+	}
+	return specs
+}
+
+// serveShards is the sharded counterpart of the monolithic serve path in
+// main: one broker per cluster shard behind the dual-price router,
+// sharing the single HTTP listener.
+func serveShards(cfg stackConfig, n int, o shardServeOpts) {
+	stacks, err := cfg.buildShards(n)
+	if err != nil {
+		fail("%v", err)
+	}
+	fleet, err := service.NewShards(service.ShardsOptions{ManifestPath: o.ckpt}, shardSpecs(stacks, o)...)
+	if err != nil {
+		fail("shards: %v", err)
+	}
+	if o.restore {
+		if o.ckpt == "" {
+			fail("-restore requires -checkpoint")
+		}
+		m, err := service.ReadShardManifest(o.ckpt)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := fleet.RestoreFromManifest(m); err != nil {
+			fail("%v", err)
+		}
+		slot := 0
+		if ck, err := service.LoadCheckpoint(m.Paths[0]); err == nil {
+			slot = ck.Slot
+		}
+		fmt.Fprintf(os.Stderr, "restored %d-shard manifest at slot %d\n", m.Shards, slot)
+	}
+	if o.serveDebug != "" {
+		for i := 0; i < fleet.NumShards(); i++ {
+			fleet.Broker(i).ExposeExpvar(fmt.Sprintf("pdftspd_broker_%d", i))
+		}
+	}
+	if err := fleet.Start(); err != nil {
+		fail("shards: %v", err)
+	}
+
+	srv := &http.Server{Addr: o.addr, Handler: fleet.Handler()}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	clock := "real clock"
+	if o.virtual {
+		clock = "virtual clock"
+	}
+	nodes := 0
+	for _, st := range stacks {
+		nodes += st.cl.NumNodes()
+	}
+	fmt.Fprintf(os.Stderr, "pdftspd serving on http://%s (%s, %d shards × ~%d nodes = %d, %d slots)\n",
+		ln.Addr(), clock, n, nodes/n, nodes, cfg.slots)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "pdftspd: draining all shards (held bids refused; clients resubmit after restart)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fleet.Drain(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	_ = srv.Shutdown(shutCtx)
+}

@@ -41,6 +41,8 @@ func Suite() []Bench {
 		{Name: "FigTruthfulness/parallel", Func: FigTruthfulnessParallel},
 		{Name: "ServeBid/unbatched", Func: ServeBidUnbatched},
 		{Name: "ServeBid/batched", Func: ServeBidBatched},
+		{Name: "ServeBid/sharded", Func: ServeBidSharded},
+		{Name: "ShardRoute", Func: ShardRoute},
 		{Name: "HTTPDecodeBid/stdjson", Func: HTTPDecodeBidStdJSON},
 		{Name: "HTTPDecodeBid/pooled", Func: HTTPDecodeBidPooled},
 		{Name: "DecisionEncode/stdjson", Func: DecisionEncodeStdJSON},

@@ -1,0 +1,169 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/lora"
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+	"github.com/pdftsp/pdftsp/internal/vendor"
+	"github.com/pdftsp/pdftsp/internal/zones"
+)
+
+// The shard benchmarks cover the router added for multi-broker
+// scale-out: ShardRoute is the pure placement decision (price every
+// shard's published quote, pick the best surplus), and ServeBid/sharded
+// is the full wire loop of ServeBid/batched with a four-shard fleet
+// behind the router instead of one broker.
+
+const benchShards = 4
+
+// shardStacks partitions the serving cluster's node layout round-robin
+// into benchShards single-node shards, each wired with its own
+// marketplace and calibrated scheduler — the same recipe as
+// cmd/pdftspd -shards.
+type benchShardStack struct {
+	cl    *cluster.Cluster
+	sched *core.Scheduler
+	mkt   *vendor.Marketplace
+}
+
+func shardStacks(b *testing.B) ([]benchShardStack, lora.ModelConfig, timeslot.Horizon, []task.Task) {
+	b.Helper()
+	model, h := benchServingModel()
+	var specs []cluster.Node
+	for _, spec := range []gpu.Spec{gpu.A100, gpu.A40} {
+		specs = append(specs, cluster.Uniform(2, spec, lora.NodeCapUnits(model, spec, h), spec.MemGB)...)
+	}
+	full := benchServingCluster(b, h, model)
+	_, tasks, _ := benchServingStack(b, model, full)
+	stacks := make([]benchShardStack, benchShards)
+	for i := 0; i < benchShards; i++ {
+		var part []cluster.Node
+		for g := i; g < len(specs); g += benchShards {
+			part = append(part, specs[g])
+		}
+		cl, err := cluster.New(cluster.Config{Horizon: h, BaseModelGB: lora.BaseMemoryGB(model)}, part)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mkt, err := vendor.Standard(5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, err := core.New(cl, core.CalibrateDuals(tasks, model, cl, mkt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stacks[i] = benchShardStack{cl: cl, sched: sched, mkt: mkt}
+	}
+	return stacks, model, h, tasks
+}
+
+// ShardRoute measures one routing decision: price a bid against every
+// shard's published dual-price quote and pick the placement — the
+// front-end work the router adds per bid before any broker sees it.
+func ShardRoute(b *testing.B) {
+	stacks, model, _, tasks := shardStacks(b)
+	quotes := make([]*zones.Quote, benchShards)
+	cand := make([]int, benchShards)
+	for i, st := range stacks {
+		quotes[i] = zones.NewQuote("bench", model, st.cl).WithDuals(st.sched.SnapshotDuals())
+		cand[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := &tasks[i%len(tasks)]
+		if zones.Place(t, quotes, cand) < 0 {
+			b.Fatal("no shard placement")
+		}
+	}
+}
+
+// servingFleet builds a virtual-clock four-shard fleet on the bench
+// cluster layout.
+func servingFleet(b *testing.B) (*service.Shards, []task.Task) {
+	b.Helper()
+	stacks, model, _, tasks := shardStacks(b)
+	specs := make([]service.ShardSpec, benchShards)
+	for i, st := range stacks {
+		specs[i] = service.ShardSpec{
+			Options: service.Options{
+				Cluster:         st.cl,
+				Scheduler:       st.sched,
+				Model:           model,
+				Market:          st.mkt,
+				QueueSize:       4 * servingBidsPerSlot,
+				VirtualClock:    true,
+				RunLabel:        "bench",
+				DropLosingPlans: true,
+			},
+		}
+	}
+	fleet, err := service.NewShards(service.ShardsOptions{}, specs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fleet.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return fleet, tasks
+}
+
+// ServeBidSharded is ServeBid/batched through the four-shard fleet:
+// pooled decode, routed SubmitBatchAck fan-out, per-shard slot close.
+// One op is one served bid; the delta to ServeBid/batched is the
+// routing plus fan-out overhead per bid.
+func ServeBidSharded(b *testing.B) {
+	fleet, tasks := servingFleet(b)
+	defer fleet.Kill()
+	payloads := bidPayloads(b, tasks, servingBidsPerSlot)
+	var (
+		reqs     []service.BidRequest
+		batch    = make([]task.Task, 0, servingBidsPerSlot)
+		verdicts = make([]error, servingBidsPerSlot)
+		slot     int
+		id       = 1 << 20
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		if err := service.DecodeBids(payloads[(n/servingBidsPerSlot)%len(payloads)], &reqs); err != nil {
+			b.Fatal(err)
+		}
+		k := b.N - n
+		if k > len(reqs) {
+			k = len(reqs)
+		}
+		batch = batch[:0]
+		for i := 0; i < k; i++ {
+			batch = append(batch, retimeTask(reqs[i].Task(), id, slot))
+			id++
+		}
+		if _, err := fleet.SubmitBatchAck(nil, batch, verdicts[:k]); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if verdicts[i] != nil {
+				b.Fatal(verdicts[i])
+			}
+		}
+		n += k
+		if _, err := fleet.Step(1); err != nil {
+			b.Fatal(err)
+		}
+		slot++
+		if slot >= servingSlots-1 {
+			b.StopTimer()
+			fleet.Kill()
+			fleet, tasks = servingFleet(b)
+			b.StartTimer()
+			slot = 0
+		}
+	}
+}

@@ -654,6 +654,26 @@ func (b *Broker) DecisionFor(id int) (schedule.Decision, bool, error) {
 	return d, ok, nil
 }
 
+// Duals snapshots the scheduler's current dual prices, running on the
+// core goroutine so it is safe on a started broker (SnapshotDuals alone
+// is not — the core goroutine owns the scheduler). The second return is
+// false when the scheduler publishes no dual state (greedy baselines).
+// The sharded router calls this after each slot close to republish the
+// shard's price quote.
+func (b *Broker) Duals() (core.DualState, bool) {
+	dc, ok := b.sched.(DualCheckpointer)
+	if !ok {
+		return core.DualState{}, false
+	}
+	var ds core.DualState
+	if err := b.do(func() { ds = dc.SnapshotDuals() }); err != nil {
+		// Stopped broker: the core goroutine is gone, direct reads are
+		// race-free.
+		return dc.SnapshotDuals(), true
+	}
+	return ds, true
+}
+
 // Status is a point-in-time operational summary.
 type Status struct {
 	Run         string `json:"run"`

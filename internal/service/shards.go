@@ -1,0 +1,590 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pdftsp/pdftsp/internal/core"
+	"github.com/pdftsp/pdftsp/internal/schedule"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/zones"
+)
+
+// Sharded-intake errors.
+var (
+	// ErrShardNeedsID: sharded intake requires explicit task IDs — each
+	// shard assigns its own next-free IDs, so letting two shards stamp
+	// bids would mint duplicates across the fleet (HTTP 400).
+	ErrShardNeedsID = errors.New("service: sharded intake requires an explicit non-negative task id")
+	// ErrUnroutable: no shard serves the bid's model (HTTP 400).
+	ErrUnroutable = errors.New("service: no shard serves this model")
+)
+
+// ShardSpec is one shard of a sharded broker: a key (default
+// "<model>/<index>") and the full per-shard broker Options. Each shard
+// owns a disjoint slice of the cluster and its own scheduler, ledger,
+// and checkpoint path.
+type ShardSpec struct {
+	Key     string
+	Options Options
+}
+
+// ShardsOptions configures the front-end router.
+type ShardsOptions struct {
+	// ManifestPath, when non-empty, writes a ShardManifest tying the
+	// per-shard checkpoints together at Start. Restore a killed fleet
+	// with ReadShardManifest + RestoreFromManifest.
+	ManifestPath string
+}
+
+// Shards runs one Broker per cluster shard behind a dual-price router:
+// each incoming bid is placed on the shard offering the best
+// price-adjusted surplus, computed from the shards' published dual
+// prices only (zones.Quote) — no cross-shard locking, the paper's
+// shadow-prices-as-coordination pattern. Duals only move at slot close,
+// so each shard's quote is republished after Step and read lock-free
+// (atomic.Pointer) by any number of submitting goroutines.
+//
+// Every shard remains bit-identical to a sequential sim.Run of the
+// subsequence routed to it: within a shard, bids still close in
+// (arrival, ID) order through the shard's single core goroutine.
+type Shards struct {
+	opts    ShardsOptions
+	brokers []*Broker
+	keys    []string
+	byModel map[string][]int
+
+	defaultModel string
+	virtual      bool
+	slots        int
+
+	base   []*zones.Quote
+	quotes []atomic.Pointer[zones.Quote]
+
+	placed     []atomic.Int64
+	unroutable atomic.Int64
+	started    bool
+}
+
+// NewShards builds the sharded broker. All shards must share the same
+// horizon length and clock mode; models may differ per shard (a zone per
+// model) or repeat (replica shards of one model).
+func NewShards(opts ShardsOptions, specs ...ShardSpec) (*Shards, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("service: no shards")
+	}
+	s := &Shards{
+		opts:    opts,
+		brokers: make([]*Broker, 0, len(specs)),
+		keys:    make([]string, 0, len(specs)),
+		byModel: make(map[string][]int, len(specs)),
+		base:    make([]*zones.Quote, 0, len(specs)),
+		quotes:  make([]atomic.Pointer[zones.Quote], len(specs)),
+		placed:  make([]atomic.Int64, len(specs)),
+	}
+	seen := map[string]bool{}
+	for i, spec := range specs {
+		b, err := New(spec.Options)
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d: %w", i, err)
+		}
+		if i == 0 {
+			s.virtual = spec.Options.VirtualClock
+			s.slots = b.horizon.T
+			s.defaultModel = spec.Options.Model.Name
+		} else {
+			if spec.Options.VirtualClock != s.virtual {
+				return nil, fmt.Errorf("service: shard %d clock mode differs from shard 0", i)
+			}
+			if b.horizon.T != s.slots {
+				return nil, fmt.Errorf("service: shard %d horizon %d, shard 0 has %d", i, b.horizon.T, s.slots)
+			}
+		}
+		key := spec.Key
+		if key == "" {
+			key = fmt.Sprintf("%s/%d", spec.Options.Model.Name, i)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("service: duplicate shard key %q", key)
+		}
+		seen[key] = true
+		s.brokers = append(s.brokers, b)
+		s.keys = append(s.keys, key)
+		s.byModel[spec.Options.Model.Name] = append(s.byModel[spec.Options.Model.Name], i)
+		s.base = append(s.base, zones.NewQuote(key, spec.Options.Model, spec.Options.Cluster))
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Shards) NumShards() int { return len(s.brokers) }
+
+// Keys returns the shard keys in order.
+func (s *Shards) Keys() []string { return append([]string(nil), s.keys...) }
+
+// Broker returns shard i's broker (tests and post-drain inspection).
+func (s *Shards) Broker(i int) *Broker { return s.brokers[i] }
+
+// Start starts every shard and publishes the initial quotes (from the
+// schedulers' pre-start dual state — calibrated or checkpoint-restored),
+// then writes the shard manifest if configured.
+func (s *Shards) Start() error {
+	if s.started {
+		return ErrStarted
+	}
+	// Snapshot duals before the core goroutines take ownership.
+	initial := make([]core.DualState, len(s.brokers))
+	for i, b := range s.brokers {
+		if dc, ok := b.sched.(DualCheckpointer); ok {
+			initial[i] = dc.SnapshotDuals()
+		}
+	}
+	for i, b := range s.brokers {
+		if err := b.Start(); err != nil {
+			return fmt.Errorf("service: shard %s: %w", s.keys[i], err)
+		}
+	}
+	for i := range s.brokers {
+		s.quotes[i].Store(s.base[i].WithDuals(initial[i]))
+	}
+	s.started = true
+	if s.opts.ManifestPath != "" {
+		if err := WriteShardManifest(s.opts.ManifestPath, s.Manifest()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadQuotes reads the current published quote of every shard into buf.
+func (s *Shards) loadQuotes(buf []*zones.Quote) []*zones.Quote {
+	buf = buf[:0]
+	for i := range s.quotes {
+		buf = append(buf, s.quotes[i].Load())
+	}
+	return buf
+}
+
+// place picks the destination shard for t under the given quotes, or -1
+// when no shard serves its model.
+func (s *Shards) place(t *task.Task, quotes []*zones.Quote) int {
+	model := t.ModelName
+	if model == "" {
+		model = s.defaultModel
+	}
+	return zones.Place(t, quotes, s.byModel[model])
+}
+
+// Place routes one task under the current quotes (exported for tests and
+// tooling that needs to predict the routing).
+func (s *Shards) Place(t *task.Task) int {
+	return s.place(t, s.loadQuotes(make([]*zones.Quote, 0, len(s.brokers))))
+}
+
+// refreshQuotes republishes every shard's quote from its current duals;
+// called after slot closes (Step) — the only time duals move.
+func (s *Shards) refreshQuotes() {
+	for i, b := range s.brokers {
+		if ds, ok := b.Duals(); ok {
+			s.quotes[i].Store(s.base[i].WithDuals(ds))
+		}
+	}
+}
+
+// shardBatch is one shard's slice of a routed batch.
+type shardBatch struct {
+	tasks []task.Task
+	idx   []int
+}
+
+// routeBatch partitions tasks across shards, writing refusal outcomes
+// for unroutable or ID-less bids via refuse.
+func (s *Shards) routeBatch(tasks []task.Task, refuse func(i int, err error)) []shardBatch {
+	quotes := s.loadQuotes(make([]*zones.Quote, 0, len(s.brokers)))
+	groups := make([]shardBatch, len(s.brokers))
+	for i := range tasks {
+		if tasks[i].ID < 0 {
+			refuse(i, ErrShardNeedsID)
+			continue
+		}
+		si := s.place(&tasks[i], quotes)
+		if si < 0 {
+			s.unroutable.Add(1)
+			refuse(i, ErrUnroutable)
+			continue
+		}
+		groups[si].tasks = append(groups[si].tasks, tasks[i])
+		groups[si].idx = append(groups[si].idx, i)
+	}
+	return groups
+}
+
+// SubmitBatch routes a batch across shards, fans the per-shard slices
+// out concurrently, and merges the outcomes positionally — the sharded
+// counterpart of Broker.SubmitBatch. Routing refusals (no model, no
+// explicit ID) ride in the bid's Outcome.Err; a whole-batch error means
+// some shard shut down or ctx expired mid-flight.
+func (s *Shards) SubmitBatch(ctx context.Context, tasks []task.Task) ([]Outcome, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	outs := make([]Outcome, len(tasks))
+	groups := s.routeBatch(tasks, func(i int, err error) { outs[i] = Outcome{Err: err} })
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		batchErr error
+	)
+	for si := range groups {
+		if len(groups[si].tasks) == 0 {
+			continue
+		}
+		s.placed[si].Add(int64(len(groups[si].tasks)))
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res, err := s.brokers[si].SubmitBatch(ctx, groups[si].tasks)
+			if err != nil {
+				errMu.Lock()
+				if batchErr == nil {
+					batchErr = fmt.Errorf("shard %s: %w", s.keys[si], err)
+				}
+				errMu.Unlock()
+				return
+			}
+			for j := range res {
+				outs[groups[si].idx[j]] = res[j]
+			}
+		}(si)
+	}
+	wg.Wait()
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	return outs, nil
+}
+
+// SubmitBatchAck is the fire-and-forget form: it returns once every
+// shard has recorded its intake verdicts. verdicts must have len(tasks)
+// entries; a shard-level refusal (e.g. a full intake channel) is written
+// into each of that shard's positions rather than failing the batch —
+// the other shards' bids stay held. Stamped arrivals are copied back
+// into tasks. Returns the number of bids held across all shards.
+func (s *Shards) SubmitBatchAck(ctx context.Context, tasks []task.Task, verdicts []error) (int, error) {
+	if len(tasks) == 0 {
+		return 0, nil
+	}
+	if len(verdicts) != len(tasks) {
+		return 0, fmt.Errorf("service: verdicts len %d, want %d", len(verdicts), len(tasks))
+	}
+	groups := s.routeBatch(tasks, func(i int, err error) { verdicts[i] = err })
+	var wg sync.WaitGroup
+	held := make([]int, len(groups))
+	shardVerdicts := make([][]error, len(groups))
+	for si := range groups {
+		if len(groups[si].tasks) == 0 {
+			continue
+		}
+		s.placed[si].Add(int64(len(groups[si].tasks)))
+		shardVerdicts[si] = make([]error, len(groups[si].tasks))
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			n, err := s.brokers[si].SubmitBatchAck(ctx, groups[si].tasks, shardVerdicts[si])
+			if err != nil {
+				for j := range shardVerdicts[si] {
+					shardVerdicts[si][j] = fmt.Errorf("shard %s: %w", s.keys[si], err)
+				}
+				return
+			}
+			held[si] = n
+		}(si)
+	}
+	wg.Wait()
+	total := 0
+	for si := range groups {
+		total += held[si]
+		for j, i := range groups[si].idx {
+			verdicts[i] = shardVerdicts[si][j]
+			tasks[i] = groups[si].tasks[j] // stamped arrival
+		}
+	}
+	return total, nil
+}
+
+// Submit routes one bid and blocks for its decision.
+func (s *Shards) Submit(ctx context.Context, t task.Task) (schedule.Decision, error) {
+	if t.ID < 0 {
+		return schedule.Decision{}, ErrShardNeedsID
+	}
+	si := s.Place(&t)
+	if si < 0 {
+		s.unroutable.Add(1)
+		return schedule.Decision{}, ErrUnroutable
+	}
+	s.placed[si].Add(1)
+	return s.brokers[si].Submit(ctx, t)
+}
+
+// Step closes n slots on every shard (concurrently — each shard's round
+// is its own core goroutine) and republishes the quotes from the
+// post-round duals, so the next slot's bids route against fresh prices.
+// All shards step together; the returned slot is the common clock.
+func (s *Shards) Step(n int) (int, error) {
+	if !s.virtual {
+		return 0, ErrRealClock
+	}
+	slots := make([]int, len(s.brokers))
+	errs := make([]error, len(s.brokers))
+	var wg sync.WaitGroup
+	for i := range s.brokers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slots[i], errs[i] = s.brokers[i].Step(n)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard %s: %w", s.keys[i], err)
+		}
+		if slots[i] != slots[0] {
+			return 0, fmt.Errorf("service: shard clocks diverged: %s at %d, %s at %d",
+				s.keys[0], slots[0], s.keys[i], slots[i])
+		}
+	}
+	s.refreshQuotes()
+	return slots[0], nil
+}
+
+// Slot returns the common current slot.
+func (s *Shards) Slot() (int, error) { return s.brokers[0].Slot() }
+
+// DecisionFor finds a decided bid across the fleet, returning the shard
+// index that decided it.
+func (s *Shards) DecisionFor(id int) (schedule.Decision, int, bool, error) {
+	for i, b := range s.brokers {
+		d, ok, err := b.DecisionFor(id)
+		if err != nil {
+			return schedule.Decision{}, 0, false, err
+		}
+		if ok {
+			return d, i, true, nil
+		}
+	}
+	return schedule.Decision{}, 0, false, nil
+}
+
+// ShardsStatus aggregates the fleet's operational state; PerShard keeps
+// each broker's full Status under its key.
+type ShardsStatus struct {
+	Shards      int     `json:"shards"`
+	Slot        int     `json:"slot"`
+	Slots       int     `json:"horizon_slots"`
+	VirtualTime bool    `json:"virtual_clock"`
+	Held        int     `json:"held_bids"`
+	Decided     int     `json:"decided"`
+	Admitted    int     `json:"admitted"`
+	Rejected    int     `json:"rejected"`
+	Canceled    int     `json:"canceled"`
+	Welfare     float64 `json:"welfare"`
+	Revenue     float64 `json:"revenue"`
+	Unroutable  int64   `json:"unroutable"`
+	// Placed counts bids routed to each shard, keyed like PerShard.
+	Placed   map[string]int64  `json:"placed"`
+	PerShard map[string]Status `json:"per_shard"`
+}
+
+// Status aggregates every shard's Status.
+func (s *Shards) Status() (ShardsStatus, error) {
+	st := ShardsStatus{
+		Shards:      len(s.brokers),
+		Slots:       s.slots,
+		VirtualTime: s.virtual,
+		Unroutable:  s.unroutable.Load(),
+		Placed:      make(map[string]int64, len(s.brokers)),
+		PerShard:    make(map[string]Status, len(s.brokers)),
+	}
+	for i, b := range s.brokers {
+		bs, err := b.Status()
+		if err != nil {
+			return st, fmt.Errorf("shard %s: %w", s.keys[i], err)
+		}
+		if i == 0 {
+			st.Slot = bs.Slot
+		}
+		st.Held += bs.Held
+		st.Decided += bs.Decided
+		st.Admitted += bs.Admitted
+		st.Rejected += bs.Rejected
+		st.Canceled += bs.Canceled
+		st.Welfare += bs.Welfare
+		st.Revenue += bs.Revenue
+		st.Placed[s.keys[i]] = s.placed[i].Load()
+		st.PerShard[s.keys[i]] = bs
+	}
+	return st, nil
+}
+
+// Health aggregates shard health: degraded if any shard is, with the
+// shard key in the reason.
+func (s *Shards) Health() Health {
+	for i, b := range s.brokers {
+		if h := b.Health(); h.Status != "ok" {
+			return Health{Status: h.Status, Reason: fmt.Sprintf("shard %s: %s", s.keys[i], h.Reason)}
+		}
+	}
+	return Health{Status: "ok"}
+}
+
+// Drain drains every shard concurrently (each writes its final
+// checkpoint) and returns the first error.
+func (s *Shards) Drain(ctx context.Context) error {
+	errs := make([]error, len(s.brokers))
+	var wg sync.WaitGroup
+	for i := range s.brokers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.brokers[i].Drain(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", s.keys[i], err)
+		}
+	}
+	return nil
+}
+
+// Kill crash-stops every shard (no final checkpoints).
+func (s *Shards) Kill() {
+	var wg sync.WaitGroup
+	for i := range s.brokers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.brokers[i].Kill()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Results returns every shard's run accounting; safe only after the
+// fleet has stopped (same contract as Broker.Result).
+func (s *Shards) Results() []*sim.Result {
+	out := make([]*sim.Result, len(s.brokers))
+	for i, b := range s.brokers {
+		out[i] = b.Result()
+	}
+	return out
+}
+
+// shardManifestVersion guards manifest compatibility.
+const shardManifestVersion = 1
+
+// ShardManifest ties a fleet's per-shard checkpoints together: restoring
+// any shard alone would silently fork the fleet, so restore validates
+// the set as a unit (same keys, same slot everywhere).
+type ShardManifest struct {
+	Version int      `json:"version"`
+	Shards  int      `json:"shards"`
+	Slots   int      `json:"horizon_slots"`
+	Keys    []string `json:"keys"`
+	// Paths are the per-shard checkpoint paths, indexed like Keys.
+	Paths []string `json:"paths"`
+}
+
+// Manifest describes this fleet's checkpoint set.
+func (s *Shards) Manifest() ShardManifest {
+	m := ShardManifest{
+		Version: shardManifestVersion,
+		Shards:  len(s.brokers),
+		Slots:   s.slots,
+		Keys:    append([]string(nil), s.keys...),
+		Paths:   make([]string, len(s.brokers)),
+	}
+	for i, b := range s.brokers {
+		m.Paths[i] = b.opts.CheckpointPath
+	}
+	return m
+}
+
+// WriteShardManifest atomically writes the manifest JSON.
+func WriteShardManifest(path string, m ShardManifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("service: marshal shard manifest: %w", err)
+	}
+	return writeCheckpointBytes(path, data)
+}
+
+// ReadShardManifest loads a manifest file.
+func ReadShardManifest(path string) (*ShardManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read shard manifest: %w", err)
+	}
+	var m ShardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("service: parse shard manifest %s: %w", path, err)
+	}
+	if m.Version != shardManifestVersion {
+		return nil, fmt.Errorf("service: shard manifest version %d, want %d", m.Version, shardManifestVersion)
+	}
+	return &m, nil
+}
+
+// RestoreFromManifest restores every shard from its checkpoint (full
+// snapshot + delta sidecar) before Start. It refuses a manifest whose
+// shape diverges from this fleet or whose shards checkpointed at
+// different slots — a torn fleet must not resume.
+func (s *Shards) RestoreFromManifest(m *ShardManifest) error {
+	if s.started {
+		return ErrStarted
+	}
+	if m.Shards != len(s.brokers) || m.Slots != s.slots {
+		return fmt.Errorf("service: manifest has %d shards × %d slots, fleet is %d × %d",
+			m.Shards, m.Slots, len(s.brokers), s.slots)
+	}
+	for i, key := range s.keys {
+		if m.Keys[i] != key {
+			return fmt.Errorf("service: manifest shard %d is %q, fleet has %q", i, m.Keys[i], key)
+		}
+	}
+	cks := make([]*Checkpoint, len(s.brokers))
+	for i := range s.brokers {
+		ck, err := LoadCheckpoint(m.Paths[i])
+		if err != nil {
+			return fmt.Errorf("service: shard %s: %w", s.keys[i], err)
+		}
+		if ck.Slot != cks[0].refSlot(ck) {
+			return fmt.Errorf("service: torn fleet: shard %s checkpointed at slot %d, shard %s at %d",
+				s.keys[i], ck.Slot, s.keys[0], cks[0].Slot)
+		}
+		cks[i] = ck
+	}
+	for i, b := range s.brokers {
+		if err := b.Restore(cks[i]); err != nil {
+			return fmt.Errorf("service: shard %s: %w", s.keys[i], err)
+		}
+	}
+	return nil
+}
+
+// refSlot is the reference slot for torn-fleet detection: shard 0's
+// checkpoint slot once loaded, or ck's own while loading shard 0 itself.
+func (c *Checkpoint) refSlot(ck *Checkpoint) int {
+	if c == nil {
+		return ck.Slot
+	}
+	return c.Slot
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes the sharded broker over the same HTTP surface as a
+// single Broker (see Broker.Handler) — clients cannot tell how many
+// shards sit behind it, except that /v1/status returns the aggregated
+// ShardsStatus (with per-shard detail under "per_shard") and sharded
+// intake requires explicit non-negative bid IDs (400 otherwise: each
+// shard assigns its own IDs, so auto-assignment would mint duplicates
+// across the fleet).
+//
+// POST /v1/clock/step advances every shard together and republishes the
+// dual-price quotes, so the next slot's bids route against fresh prices.
+func (s *Shards) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/bids", s.handleBid)
+	mux.HandleFunc("POST /v1/bids/batch", s.handleBidBatch)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
+	mux.HandleFunc("POST /v1/clock/step", s.handleStep)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// retryAfter mirrors Broker.retryAfter; all shards share a clock mode
+// and slot duration, so shard 0 speaks for the fleet.
+func (s *Shards) retryAfter() string { return s.brokers[0].retryAfter() }
+
+func (s *Shards) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Shards) handleBid(w http.ResponseWriter, r *http.Request) {
+	sc := scratchPool.Get().(*httpScratch)
+	defer scratchPool.Put(sc)
+	var err error
+	if sc.body, err = readBody(r.Body, sc.body[:0]); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if err := decodeBid(sc.body, &sc.req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	t := sc.req.task()
+	d, err := s.Submit(r.Context(), t)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		writeErr(w, err)
+		return
+	}
+	sc.out = appendDecisionJSON(sc.out[:0], d.TaskID, &d)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.out)
+}
+
+// handleBidBatch mirrors Broker.handleBidBatch: the fleet partitions the
+// batch by the dual-price placement rule, fans the per-shard slices out
+// concurrently, and merges the responses positionally. Routing refusals
+// (unknown model, missing ID) ride as per-bid errors inside a 200.
+func (s *Shards) handleBidBatch(w http.ResponseWriter, r *http.Request) {
+	sc := scratchPool.Get().(*httpScratch)
+	reuse := true
+	defer func() {
+		if reuse {
+			scratchPool.Put(sc)
+		}
+	}()
+	var err error
+	if sc.body, err = readBody(r.Body, sc.body[:0]); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if err := decodeBids(sc.body, &sc.reqs); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	sc.tasks = sc.tasks[:0]
+	for i := range sc.reqs {
+		sc.tasks = append(sc.tasks, sc.reqs[i].task())
+	}
+	ctx := r.Context()
+	if r.URL.Query().Get("ack") != "" {
+		sc.verdicts = sc.verdicts[:0]
+		for range sc.tasks {
+			sc.verdicts = append(sc.verdicts, nil)
+		}
+		if _, err := s.SubmitBatchAck(ctx, sc.tasks, sc.verdicts); err != nil {
+			reuse = !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", s.retryAfter())
+			}
+			writeErr(w, err)
+			return
+		}
+		out := append(sc.out[:0], '[')
+		for i := range sc.tasks {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = append(out, `{"task_id":`...)
+			out = strconv.AppendInt(out, int64(sc.tasks[i].ID), 10)
+			if v := sc.verdicts[i]; v != nil {
+				out = append(out, `,"error":`...)
+				out = strconv.AppendQuote(out, v.Error())
+			}
+			out = append(out, '}')
+		}
+		sc.out = append(out, ']')
+	} else {
+		outs, err := s.SubmitBatch(ctx, sc.tasks)
+		if err != nil {
+			reuse = !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", s.retryAfter())
+			}
+			writeErr(w, err)
+			return
+		}
+		out := append(sc.out[:0], '[')
+		for i := range outs {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			if outs[i].Err != nil {
+				out = append(out, `{"task_id":`...)
+				out = strconv.AppendInt(out, int64(sc.tasks[i].ID), 10)
+				out = append(out, `,"error":`...)
+				out = strconv.AppendQuote(out, outs[i].Err.Error())
+				out = append(out, '}')
+				continue
+			}
+			d := outs[i].Decision
+			out = appendDecisionJSON(out, d.TaskID, &d)
+		}
+		sc.out = append(out, ']')
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.out)
+}
+
+func (s *Shards) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Shards) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: bad task id %q", errBadRequest, r.PathValue("id")))
+		return
+	}
+	d, _, ok, err := s.DecisionFor(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("task %d not decided", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, decisionResponse(id, d))
+}
+
+func (s *Shards) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Slots int `json:"slots"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	slot, err := s.Step(req.Slots)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"slot": slot})
+}
