@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke
 
 build:
 	$(GO) build ./...
@@ -45,10 +45,12 @@ bench-snapshot:
 BASELINE ?= BENCH_pr4.json
 SERVING_BASELINE ?= BENCH_serving_pr6.json
 SHARD_BASELINE ?= BENCH_shard_pr7.json
+SPOT_BASELINE ?= BENCH_spot_pr8.json
 bench-check:
 	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
 	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run ServeBid/unbatched,ServeBid/batched,HTTPDecodeBid,DecisionEncode,DecisionLog,CheckpointPerSlot
 	$(GO) run ./cmd/bench -compare $(SHARD_BASELINE) -run ShardRoute,ServeBid/sharded
+	$(GO) run ./cmd/bench -compare $(SPOT_BASELINE) -run SpotAdvance,SpotTraceGen
 	$(GO) test -run 'AllocBudget|SteadyStateAllocs' -count=1 . ./internal/sim/
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
@@ -92,4 +94,13 @@ shard-smoke:
 	$(GO) run ./cmd/pdftspd -chaos 1 -shards 2
 	$(GO) run ./cmd/pdftspd -chaos 7 -shards 4
 
-check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke
+# spot-smoke runs the chaos harness with an elastic spot tier attached:
+# a seeded price walk, budgeted renting against the published duals, and
+# market reclaims that revoke leases mid-plan. Both the monolithic and
+# the two-shard fleet must end bit-identical to their sim.Run twins, and
+# the run fails if the market never engaged (no leases or no reclaims —
+# a vacuous pass). Replays with `go run ./cmd/pdftspd -spot-smoke`.
+spot-smoke:
+	$(GO) run ./cmd/pdftspd -spot-smoke
+
+check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke

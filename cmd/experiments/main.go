@@ -35,7 +35,7 @@ import (
 type renderer interface{ Render() string }
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 4..13, "all", or "ablations"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 4..13, "spot", "all", or "ablations"`)
 	profile := flag.String("profile", "small", `experiment scale: "small" or "paper"`)
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = one per CPU, 1 = sequential)")
@@ -96,16 +96,17 @@ func main() {
 	p.Observer = obs.Multi(observers...)
 
 	runs := map[string]func() (renderer, error){
-		"4":  func() (renderer, error) { return p.FigScale() },
-		"5":  func() (renderer, error) { return p.FigVendors() },
-		"6":  func() (renderer, error) { return p.FigCapacity() },
-		"7":  func() (renderer, error) { return p.FigTraces() },
-		"8":  func() (renderer, error) { return p.FigWorkload() },
-		"9":  func() (renderer, error) { return p.FigDeadlines() },
-		"10": func() (renderer, error) { return p.FigTruthfulness() },
-		"11": func() (renderer, error) { return p.FigRationality() },
-		"12": func() (renderer, error) { return p.FigRatio(experiments.DefaultRatioOptions()) },
-		"13": func() (renderer, error) { return p.FigRuntime() },
+		"4":    func() (renderer, error) { return p.FigScale() },
+		"5":    func() (renderer, error) { return p.FigVendors() },
+		"6":    func() (renderer, error) { return p.FigCapacity() },
+		"7":    func() (renderer, error) { return p.FigTraces() },
+		"8":    func() (renderer, error) { return p.FigWorkload() },
+		"9":    func() (renderer, error) { return p.FigDeadlines() },
+		"10":   func() (renderer, error) { return p.FigTruthfulness() },
+		"11":   func() (renderer, error) { return p.FigRationality() },
+		"12":   func() (renderer, error) { return p.FigRatio(experiments.DefaultRatioOptions()) },
+		"13":   func() (renderer, error) { return p.FigRuntime() },
+		"spot": func() (renderer, error) { return p.FigSpot() },
 	}
 	ablations := map[string]func() (renderer, error){
 		"dual-rule":   func() (renderer, error) { return p.AblationDualRule() },
@@ -118,13 +119,13 @@ func main() {
 	var order []string
 	switch *fig {
 	case "all":
-		order = []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13"}
+		order = []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "spot"}
 	case "ablations":
 		order = []string{"dual-rule", "mask", "vendor", "admission", "calibration"}
 		runs = ablations
 	default:
 		if _, ok := runs[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..13, all, ablations)\n", *fig)
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want 4..13, spot, all, ablations)\n", *fig)
 			os.Exit(2)
 		}
 		order = []string{*fig}

@@ -253,20 +253,8 @@ func wireStack(f flags, model lora.ModelConfig, h timeslot.Horizon, specs []clus
 	return cl, sched, mkt, nil
 }
 
-// buildStack wires one deterministic auction stack for the flag set —
-// the same recipe as cmd/pdftspd, with the workload replicated -repeat
-// times before dual calibration so prices fit the actual load.
-func buildStack(f flags, h timeslot.Horizon, tasks []task.Task) (*cluster.Cluster, *core.Scheduler, lora.ModelConfig, *vendor.Marketplace, error) {
-	model := lora.GPT2Small()
-	specs, err := nodeSpecs(f, model, h)
-	if err != nil {
-		return nil, nil, model, nil, err
-	}
-	cl, sched, mkt, err := wireStack(f, model, h, specs, tasks)
-	return cl, sched, model, mkt, err
-}
-
-// shardStack is one shard's wired slice of the cluster.
+// shardStack is one shard's wired slice of the cluster; with one shard
+// it is the whole cluster, the same recipe as cmd/pdftspd.
 type shardStack struct {
 	cl    *cluster.Cluster
 	sched *core.Scheduler
@@ -520,22 +508,20 @@ func run(f flags) (*report, error) {
 		observers = append(observers, decLog)
 	}
 
-	var (
-		handler  http.Handler
-		drainFn  func(context.Context) error
-		statusFn func() (aggStatus, error)
-		verifyFn func(shed int) (bool, string)
-	)
-	if f.shards <= 1 {
-		cl, sched, model, mkt, err := buildStack(f, h, tasks)
-		if err != nil {
-			return nil, err
-		}
-		broker, err := service.New(service.Options{
-			Cluster:             cl,
-			Scheduler:           sched,
-			Model:               model,
-			Market:              mkt,
+	// One construction fork — everything downstream drives the
+	// service.Auctioneer interface, identical for a fleet of one and a
+	// fleet of many. buildShardStacks(…, 1) wires the exact stack the old
+	// monolithic path built.
+	stacks, err := buildShardStacks(f, h, tasks, f.shards)
+	if err != nil {
+		return nil, err
+	}
+	mkOpts := func(i int, st *shardStack) service.Options {
+		opts := service.Options{
+			Cluster:             st.cl,
+			Scheduler:           st.sched,
+			Model:               st.model,
+			Market:              st.mkt,
 			QueueSize:           queue,
 			VirtualClock:        true,
 			CheckpointPath:      f.ckpt,
@@ -543,85 +529,48 @@ func run(f flags) (*report, error) {
 			Observer:            obs.Multi(observers...),
 			RunLabel:            "pdftspd-load",
 			DropLosingPlans:     !f.keepPlans,
-		})
-		if err != nil {
-			return nil, err
 		}
-		if err := broker.Start(); err != nil {
-			return nil, err
-		}
-		handler = broker.Handler()
-		drainFn = broker.Drain
-		statusFn = func() (aggStatus, error) {
-			st, err := broker.Status()
-			if err != nil {
-				return aggStatus{}, err
-			}
-			return aggStatus{
-				intakeHW: st.IntakeHighWater, heldHW: st.HeldHighWater,
-				shedChan: st.ShedChannelFull, shedHeld: st.ShedHeldFull,
-				welfare: st.Welfare, revenue: st.Revenue,
-				admitted: st.Admitted, rejected: st.Rejected,
-			}, nil
-		}
-		verifyFn = func(shed int) (bool, string) { return verify(f, h, tasks, broker, shed) }
-	} else {
-		stacks, err := buildShardStacks(f, h, tasks, f.shards)
-		if err != nil {
-			return nil, err
-		}
-		specs := make([]service.ShardSpec, f.shards)
-		for i, st := range stacks {
-			opts := service.Options{
-				Cluster:             st.cl,
-				Scheduler:           st.sched,
-				Model:               st.model,
-				Market:              st.mkt,
-				QueueSize:           queue,
-				VirtualClock:        true,
-				CheckpointFullEvery: f.fullEvery,
-				Observer:            obs.Multi(observers...),
-				RunLabel:            fmt.Sprintf("pdftspd-load/%d", i),
-				DropLosingPlans:     !f.keepPlans,
-			}
+		if f.shards > 1 {
+			opts.RunLabel = fmt.Sprintf("pdftspd-load/%d", i)
 			if f.ckpt != "" {
 				opts.CheckpointPath = fmt.Sprintf("%s.shard%d", f.ckpt, i)
 			}
-			specs[i] = service.ShardSpec{Key: fmt.Sprintf("%s/%d", st.model.Name, i), Options: opts}
 		}
-		fleet, err := service.NewShards(service.ShardsOptions{ManifestPath: f.ckpt}, specs...)
-		if err != nil {
-			return nil, err
-		}
-		if err := fleet.Start(); err != nil {
-			return nil, err
-		}
-		handler = fleet.Handler()
-		drainFn = fleet.Drain
-		statusFn = func() (aggStatus, error) {
-			st, err := fleet.Status()
-			if err != nil {
-				return aggStatus{}, err
-			}
-			agg := aggStatus{
-				welfare: st.Welfare, revenue: st.Revenue,
-				admitted: st.Admitted, rejected: st.Rejected,
-			}
-			// High-waters report the worst shard; sheds sum across shards.
-			for _, ps := range st.PerShard {
-				if ps.IntakeHighWater > agg.intakeHW {
-					agg.intakeHW = ps.IntakeHighWater
-				}
-				if ps.HeldHighWater > agg.heldHW {
-					agg.heldHW = ps.HeldHighWater
-				}
-				agg.shedChan += ps.ShedChannelFull
-				agg.shedHeld += ps.ShedHeldFull
-			}
-			return agg, nil
-		}
-		verifyFn = func(shed int) (bool, string) { return verifyShards(f, h, tasks, fleet, shed) }
+		return opts
 	}
+	var a service.Auctioneer
+	if f.shards <= 1 {
+		a, err = service.New(mkOpts(0, stacks[0]))
+	} else {
+		specs := make([]service.ShardSpec, f.shards)
+		for i, st := range stacks {
+			specs[i] = service.ShardSpec{Key: fmt.Sprintf("%s/%d", st.model.Name, i), Options: mkOpts(i, st)}
+		}
+		a, err = service.NewShards(service.ShardsOptions{ManifestPath: f.ckpt}, specs...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+	handler := a.Handler()
+	drainFn := a.Drain
+	// The aggregate Status already reports worst-shard high-waters and
+	// fleet-summed sheds, so one mapping serves both shapes.
+	statusFn := func() (aggStatus, error) {
+		st, err := a.Status()
+		if err != nil {
+			return aggStatus{}, err
+		}
+		return aggStatus{
+			intakeHW: st.IntakeHighWater, heldHW: st.HeldHighWater,
+			shedChan: st.ShedChannelFull, shedHeld: st.ShedHeldFull,
+			welfare: st.Welfare, revenue: st.Revenue,
+			admitted: st.Admitted, rejected: st.Rejected,
+		}, nil
+	}
+	verifyFn := func(shed int) (bool, string) { return verifyFleet(f, h, tasks, a, shed) }
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -866,94 +815,61 @@ func step(client *http.Client, base string) error {
 	return nil
 }
 
-// verify replays the same workload sequentially through sim.Run on a
-// twin stack and diffs decisions and accounting.
-func verify(f flags, h timeslot.Horizon, tasks []task.Task, broker *service.Broker, shed int) (bool, string) {
+// verifyFleet checks every broker behind the Auctioneer against its own
+// sequential sim.Run twin: the fleet's routing decides which broker owns
+// each task (a monolith owns them all), then each broker's subsequence
+// (in input order) replays on a freshly wired twin of that broker's
+// cluster slice. Decisions and per-broker accounting must match bit for
+// bit.
+func verifyFleet(f flags, h timeslot.Horizon, tasks []task.Task, a service.Auctioneer, shed int) (bool, string) {
 	if shed > 0 {
 		return false, fmt.Sprintf("skipped: %d bids were shed, replay would diverge", shed)
 	}
-	cl2, sched2, model2, mkt2, err := buildStack(f, h, tasks)
+	brokers := a.Brokers()
+	twins, err := buildShardStacks(f, h, tasks, len(brokers))
 	if err != nil {
 		return false, err.Error()
 	}
-	res, err := sim.Run(cl2, sched2, tasks, sim.Config{
-		Model: model2, Market: mkt2, CollectDecisions: true,
-	})
-	if err != nil {
-		return false, err.Error()
-	}
-	got := broker.Result()
-	if got.Welfare != res.Welfare || got.Revenue != res.Revenue ||
-		got.VendorSpend != res.VendorSpend || got.EnergySpend != res.EnergySpend ||
-		got.Admitted != res.Admitted || got.Rejected != res.Rejected ||
-		got.Utilization != res.Utilization {
-		return false, fmt.Sprintf("accounting mismatch: broker welfare=%v revenue=%v %d/%d util=%v, replay welfare=%v revenue=%v %d/%d util=%v",
-			got.Welfare, got.Revenue, got.Admitted, got.Rejected, got.Utilization,
-			res.Welfare, res.Revenue, res.Admitted, res.Rejected, res.Utilization)
-	}
+	subs := make([][]task.Task, len(brokers))
 	for i := range tasks {
-		want := res.Decisions[i]
-		d, ok, _ := broker.DecisionFor(tasks[i].ID)
-		if !ok {
-			return false, fmt.Sprintf("task %d: no broker decision", tasks[i].ID)
+		si := -1
+		for bi, b := range brokers {
+			if _, ok, err := b.DecisionFor(tasks[i].ID); err != nil {
+				return false, err.Error()
+			} else if ok {
+				si = bi
+				break
+			}
 		}
-		if d.Admitted != want.Admitted || d.Payment != want.Payment || d.Reason != want.Reason {
-			return false, fmt.Sprintf("task %d: broker (admitted=%v payment=%v %q) vs replay (admitted=%v payment=%v %q)",
-				tasks[i].ID, d.Admitted, d.Payment, d.Reason, want.Admitted, want.Payment, want.Reason)
-		}
-	}
-	return true, ""
-}
-
-// verifyShards checks each shard against its own sequential sim.Run
-// twin: the fleet's routing decides which shard owns each task, then
-// that shard's subsequence (in input order) replays on a freshly wired
-// twin of the shard's cluster slice. Decisions and per-shard accounting
-// must match bit for bit.
-func verifyShards(f flags, h timeslot.Horizon, tasks []task.Task, fleet *service.Shards, shed int) (bool, string) {
-	if shed > 0 {
-		return false, fmt.Sprintf("skipped: %d bids were shed, replay would diverge", shed)
-	}
-	twins, err := buildShardStacks(f, h, tasks, f.shards)
-	if err != nil {
-		return false, err.Error()
-	}
-	subs := make([][]task.Task, f.shards)
-	for i := range tasks {
-		_, si, ok, err := fleet.DecisionFor(tasks[i].ID)
-		if err != nil {
-			return false, err.Error()
-		}
-		if !ok {
+		if si < 0 {
 			return false, fmt.Sprintf("task %d: no fleet decision", tasks[i].ID)
 		}
 		subs[si] = append(subs[si], tasks[i])
 	}
-	results := fleet.Results()
 	for si, tw := range twins {
 		res, err := sim.Run(tw.cl, tw.sched, subs[si], sim.Config{
 			Model: tw.model, Market: tw.mkt, CollectDecisions: true,
 		})
 		if err != nil {
-			return false, fmt.Sprintf("shard %d replay: %v", si, err)
+			return false, fmt.Sprintf("broker %d replay: %v", si, err)
 		}
-		got := results[si]
+		got := brokers[si].Result()
 		if got.Welfare != res.Welfare || got.Revenue != res.Revenue ||
 			got.VendorSpend != res.VendorSpend || got.EnergySpend != res.EnergySpend ||
 			got.Admitted != res.Admitted || got.Rejected != res.Rejected ||
 			got.Utilization != res.Utilization {
-			return false, fmt.Sprintf("shard %d accounting mismatch: broker welfare=%v revenue=%v %d/%d util=%v, replay welfare=%v revenue=%v %d/%d util=%v",
+			return false, fmt.Sprintf("broker %d accounting mismatch: broker welfare=%v revenue=%v %d/%d util=%v, replay welfare=%v revenue=%v %d/%d util=%v",
 				si, got.Welfare, got.Revenue, got.Admitted, got.Rejected, got.Utilization,
 				res.Welfare, res.Revenue, res.Admitted, res.Rejected, res.Utilization)
 		}
 		for j := range subs[si] {
 			want := res.Decisions[j]
-			d, dsi, ok, err := fleet.DecisionFor(subs[si][j].ID)
-			if err != nil || !ok || dsi != si {
-				return false, fmt.Sprintf("task %d: lost from shard %d after drain", subs[si][j].ID, si)
+			d, ok, err := brokers[si].DecisionFor(subs[si][j].ID)
+			if err != nil || !ok {
+				return false, fmt.Sprintf("task %d: lost from broker %d after drain", subs[si][j].ID, si)
 			}
 			if d.Admitted != want.Admitted || d.Payment != want.Payment || d.Reason != want.Reason {
-				return false, fmt.Sprintf("shard %d task %d: broker (admitted=%v payment=%v %q) vs replay (admitted=%v payment=%v %q)",
+				return false, fmt.Sprintf("broker %d task %d: broker (admitted=%v payment=%v %q) vs replay (admitted=%v payment=%v %q)",
 					si, subs[si][j].ID, d.Admitted, d.Payment, d.Reason, want.Admitted, want.Payment, want.Reason)
 			}
 		}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/pdftsp/pdftsp/internal/faults"
 	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/schedule"
 	"github.com/pdftsp/pdftsp/internal/service"
 	"github.com/pdftsp/pdftsp/internal/sim"
 	"github.com/pdftsp/pdftsp/internal/task"
@@ -23,31 +24,71 @@ import (
 // errChaos tags chaos-harness assertion failures.
 var errChaos = fmt.Errorf("chaos invariant violated")
 
-// runChaos is the seeded chaos self-test behind `pdftspd -chaos <seed>`.
-// It derives a deterministic fault schedule from the seed — node
-// outages, vendor quote failures and latency spikes, checkpoint-write
-// I/O errors, broker kill/restore cycles, and clock stalls — and drives
-// a virtual-clock broker through it slot by slot over loopback HTTP,
-// asserting along the way that:
+// chaosSummary is the completed harness's measured outcome, for the
+// caller's banner and for the spot smoke's activity assertions.
+type chaosSummary struct {
+	bids, generations, degraded int
+	recovered, refunded         int
+	refundedValue               float64
+	welfare                     float64
+	spotSpend                   float64
+	spotLeases, spotLeasedSlots int
+	spotRevocations             int
+}
+
+// locateDecision finds a decided bid across the fleet and reports which
+// broker owns it — the shape-blind replacement for the old per-shard
+// DecisionFor plumbing. A monolithic broker is a fleet of one.
+func locateDecision(a service.Auctioneer, id int) (schedule.Decision, int, bool, error) {
+	for i, b := range a.Brokers() {
+		d, ok, err := b.DecisionFor(id)
+		if err != nil {
+			return schedule.Decision{}, i, false, err
+		}
+		if ok {
+			return d, i, true, nil
+		}
+	}
+	return schedule.Decision{}, -1, false, nil
+}
+
+// runChaos is the seeded chaos self-test behind `pdftspd -chaos <seed>`
+// (add -shards <n> for a fleet, -spot-nodes for the elastic tier). It
+// derives a deterministic fault schedule from the seed — node outages,
+// vendor quote failures and latency spikes, checkpoint-write I/O errors,
+// kill/restore cycles, and clock stalls — and drives one
+// service.Auctioneer through it slot by slot over loopback HTTP. The
+// same loop serves a monolithic broker and a sharded fleet; nothing
+// below branches on the shape except construction and restore, which is
+// the point of the interface. Asserted along the way:
 //
 //   - every kill is survivable: the next generation restores from the
-//     checkpoint and resumes mid-outage without losing a decision;
+//     checkpoint (or shard manifest) and resumes mid-outage without
+//     losing a decision, each decision still on the broker that
+//     persisted it;
 //   - sustained checkpoint-write failures flip /healthz to 503 with a
-//     reason, while bids keep being decided (degraded ≠ down);
+//     reason while bids keep being decided (degraded ≠ down), and the
+//     aggregate Status agrees;
 //   - the auction invariants (obs.Audit) hold across every generation;
-//   - the completed run — decisions, refunds, welfare, revenue, duals,
-//     and ledger — is bit-identical to sim.Run given the same workload,
-//     outages, and vendor fault plan.
+//   - the completed run is bit-identical, broker by broker — decisions,
+//     refunds, spot rent, welfare, revenue, duals, ledger — to a
+//     sequential sim.Run of the subsequence each broker was fed, under
+//     the same outages, vendor plan, and spot trace.
 //
 // The same seed always yields the same schedule and the same final
-// state, so a chaos failure is replayable with `-chaos <seed>`.
-func runChaos(cfg stackConfig, seed int64) error {
+// state, so a chaos failure is replayable with the flags that produced it.
+func runChaos(cfg stackConfig, seed int64, n int, sc spotConfig) (chaosSummary, error) {
+	var sum chaosSummary
 	// A quick horizon unless the user overrode the defaults.
 	if cfg.slots == timeslot.DefaultHorizonSlots {
 		cfg.slots = 24
 	}
 	if cfg.nodes == 8 {
-		cfg.nodes = 4
+		if n > 1 {
+			cfg.nodes = 2 * n
+		} else {
+			cfg.nodes = 4
+		}
 	}
 	if cfg.rate == 5 {
 		cfg.rate = 3
@@ -57,11 +98,15 @@ func runChaos(cfg stackConfig, seed int64) error {
 
 	plan := faults.Generate(seed, cfg.nodes, cfg.slots, cfg.vendors)
 	if err := plan.Validate(cfg.nodes, cfg.slots, cfg.vendors); err != nil {
-		return fmt.Errorf("generated plan invalid: %w", err)
+		return sum, fmt.Errorf("generated plan invalid: %w", err)
 	}
-	failures := make([]sim.Failure, len(plan.Outages))
-	for i, o := range plan.Outages {
-		failures[i] = sim.Failure{Node: o.Node, From: o.From, To: o.To}
+	// Outages land on the broker owning the failed node: global node g
+	// lives on shard g%n at local index g/n under the round-robin
+	// partition. With one shard that's the identity mapping.
+	shardFailures := make([][]sim.Failure, n)
+	for _, o := range plan.Outages {
+		si := o.Node % n
+		shardFailures[si] = append(shardFailures[si], sim.Failure{Node: o.Node / n, From: o.From, To: o.To})
 	}
 	kills := map[int]bool{}
 	for _, k := range plan.Kills {
@@ -71,8 +116,8 @@ func runChaos(cfg stackConfig, seed int64) error {
 	for _, s := range plan.Stalls {
 		stalls[s] = true
 	}
-	fmt.Fprintf(os.Stderr, "chaos(seed %d): %d outages, %d vendor fault windows, %d checkpoint fault windows, kills at %v, stalls at %v\n",
-		seed, len(plan.Outages), len(plan.Vendor), len(plan.Checkpoint), plan.Kills, plan.Stalls)
+	fmt.Fprintf(os.Stderr, "chaos(seed %d, %d shard(s)): %d outages, %d vendor fault windows, %d checkpoint fault windows, kills at %v, stalls at %v\n",
+		seed, n, len(plan.Outages), len(plan.Vendor), len(plan.Checkpoint), plan.Kills, plan.Stalls)
 
 	// The vendor chain every engine uses: seeded fault windows under a
 	// capped-backoff retrier. Sleeps are stubbed — the spikes and
@@ -93,30 +138,32 @@ func runChaos(cfg stackConfig, seed int64) error {
 
 	dir, err := os.MkdirTemp("", "pdftspd-chaos-")
 	if err != nil {
-		return err
+		return sum, err
 	}
 	defer os.RemoveAll(dir)
-	ckptPath := filepath.Join(dir, "broker.ckpt")
+	ckptPaths := make([]string, n)
+	for i := range ckptPaths {
+		ckptPaths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", i))
+	}
+	manifest := filepath.Join(dir, "fleet.manifest") // unused for n == 1
 
-	serveStack, err := cfg.build()
+	// buildShards(1) wires the identical stack build() would — one
+	// partition holding every node — so one code path covers both shapes.
+	stacks, err := cfg.buildShards(n)
 	if err != nil {
-		return err
+		return sum, err
 	}
-	replayStack, err := cfg.build()
-	if err != nil {
-		return err
-	}
-	tasks := serveStack.tasks
+	tasks := stacks[0].tasks
 	perSlot := make([][]task.Task, cfg.slots)
 	for _, tk := range tasks {
 		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
 	}
 
-	// One auditor spans every broker generation: its checks are
-	// per-event, so a mid-run restore does not confuse it.
+	// One auditor spans every generation: its checks are per-event, so a
+	// mid-run restore does not confuse it.
 	auditor := obs.NewAudit()
-	mkBroker := func(st *stack) (*service.Broker, error) {
-		return service.New(service.Options{
+	mkOpts := func(i int, st *stack) (service.Options, error) {
+		opts := service.Options{
 			Cluster:      st.cl,
 			Scheduler:    st.sched,
 			Model:        st.model,
@@ -125,31 +172,83 @@ func runChaos(cfg stackConfig, seed int64) error {
 			VirtualClock: true,
 			// Full JSON snapshot every 4th slot, binary deltas between:
 			// every kill/restore below exercises the incremental chain.
-			CheckpointPath:      ckptPath,
+			CheckpointPath:      ckptPaths[i],
 			CheckpointEvery:     1,
 			CheckpointFullEvery: 4,
-			Failures:            failures,
+			Failures:            shardFailures[i],
 			Quotes:              chain(st.mkt),
 			CheckpointFault:     ckptFault,
 			Observer:            auditor,
-		})
+			RunLabel:            fmt.Sprintf("chaos/%d", i),
+		}
+		prov, err := sc.provider(st.cl, cfg.slots, i)
+		if err != nil {
+			return opts, err
+		}
+		if prov != nil {
+			opts.Spot = prov
+		}
+		return opts, nil
+	}
+	mk := func(stacks []*stack) (service.Auctioneer, error) {
+		if n == 1 {
+			opts, err := mkOpts(0, stacks[0])
+			if err != nil {
+				return nil, err
+			}
+			return service.New(opts)
+		}
+		specs := make([]service.ShardSpec, n)
+		for i, st := range stacks {
+			opts, err := mkOpts(i, st)
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = service.ShardSpec{Key: fmt.Sprintf("%s/%d", st.model.Name, i), Options: opts}
+		}
+		return service.NewShards(service.ShardsOptions{ManifestPath: manifest}, specs...)
+	}
+	// restoreGen loads the persisted state into a freshly built
+	// generation after a kill at slot s: the single checkpoint for a
+	// monolithic broker, the manifest (torn-fleet-checked) for a fleet.
+	restoreGen := func(a service.Auctioneer, s int) error {
+		ck, err := service.LoadCheckpoint(ckptPaths[0])
+		if err != nil {
+			return fmt.Errorf("%w: no checkpoint to restore after kill at slot %d: %v", errChaos, s, err)
+		}
+		if ck.Slot != s {
+			return fmt.Errorf("%w: checkpoint at slot %d after kill at slot %d (stale write)", errChaos, ck.Slot, s)
+		}
+		if n == 1 {
+			if err := a.Brokers()[0].Restore(ck); err != nil {
+				return fmt.Errorf("%w: restore after kill at slot %d: %v", errChaos, s, err)
+			}
+			return nil
+		}
+		m, err := service.ReadShardManifest(manifest)
+		if err != nil {
+			return fmt.Errorf("%w: no manifest to restore after fleet kill at slot %d: %v", errChaos, s, err)
+		}
+		if err := a.(*service.Shards).RestoreFromManifest(m); err != nil {
+			return fmt.Errorf("%w: restore after fleet kill at slot %d: %v", errChaos, s, err)
+		}
+		return nil
 	}
 
 	// Each generation serves real HTTP on loopback so the harness
 	// exercises the operator-facing contract, not just the Go API.
 	type generation struct {
-		broker *service.Broker
-		srv    *http.Server
-		base   string
+		srv  *http.Server
+		base string
 	}
-	serve := func(b *service.Broker) (*generation, error) {
+	serve := func(a service.Auctioneer) (*generation, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
-		srv := &http.Server{Handler: b.Handler()}
+		srv := &http.Server{Handler: a.Handler()}
 		go srv.Serve(ln)
-		return &generation{broker: b, srv: srv, base: "http://" + ln.Addr().String()}, nil
+		return &generation{srv: srv, base: "http://" + ln.Addr().String()}, nil
 	}
 	get := func(gen *generation, path string, out any) (int, error) {
 		resp, err := http.Get(gen.base + path)
@@ -165,183 +264,248 @@ func runChaos(cfg stackConfig, seed int64) error {
 		return resp.StatusCode, nil
 	}
 
-	b, err := mkBroker(serveStack)
+	a, err := mk(stacks)
 	if err != nil {
-		return err
+		return sum, err
 	}
-	if err := b.Start(); err != nil {
-		return err
+	if err := a.Start(); err != nil {
+		return sum, err
 	}
-	gen, err := serve(b)
+	gen, err := serve(a)
 	if err != nil {
-		return err
+		return sum, err
 	}
 	generations := 1
 	degradedSeen := 0
 
+	// assigned records each bid's broker as slots close. The broker never
+	// changes, but the decision itself may (a later outage or spot
+	// revocation can flip an admission to failed-node), so decisions are
+	// only compared at like-for-like instants: checkpoint vs restore, and
+	// final vs sim.
+	assigned := map[int]int{}
+
 	for s := 0; s < cfg.slots; s++ {
 		if kills[s] {
-			// Kill mid-run (possibly mid-outage) and restore a new
-			// generation on a fresh stack from the checkpoint.
-			gen.broker.Kill()
+			// Crash-stop the whole fleet mid-run (possibly mid-outage,
+			// possibly mid-lease) and restore a new generation on fresh
+			// stacks.
+			a.Kill()
 			gen.srv.Close()
-			ck, err := service.LoadCheckpoint(ckptPath)
+			freshStacks, err := cfg.buildShards(n)
 			if err != nil {
-				return fmt.Errorf("%w: no checkpoint to restore after kill at slot %d: %v", errChaos, s, err)
+				return sum, err
 			}
-			if ck.Slot != s {
-				return fmt.Errorf("%w: checkpoint at slot %d after kill at slot %d (stale write)", errChaos, ck.Slot, s)
-			}
-			freshStack, err := cfg.build()
+			na, err := mk(freshStacks)
 			if err != nil {
-				return err
+				return sum, err
 			}
-			nb, err := mkBroker(freshStack)
-			if err != nil {
-				return err
+			if err := restoreGen(na, s); err != nil {
+				return sum, err
 			}
-			if err := nb.Restore(ck); err != nil {
-				return fmt.Errorf("%w: restore after kill at slot %d: %v", errChaos, s, err)
+			if err := na.Start(); err != nil {
+				return sum, err
 			}
-			if err := nb.Start(); err != nil {
-				return err
-			}
-			// Restored decisions must be bit-identical to the killed
-			// generation's (DecisionFor needs the started core loop).
-			for id, want := range ck.Decisions {
-				got, ok, err := nb.DecisionFor(id)
-				if err != nil || !ok {
-					return fmt.Errorf("%w: decision %d lost across restore (ok=%v err=%v)", errChaos, id, ok, err)
+			// Every persisted decision survived the restore, on the broker
+			// that checkpointed it, bit-identical.
+			for i := range ckptPaths {
+				ck, err := service.LoadCheckpoint(ckptPaths[i])
+				if err != nil {
+					return sum, fmt.Errorf("%w: broker %d checkpoint unreadable after kill at slot %d: %v", errChaos, i, s, err)
 				}
-				d := want.Decision
-				if got.Admitted != d.Admitted || got.Payment != d.Payment || got.Reason != d.Reason {
-					return fmt.Errorf("%w: decision %d mutated across restore", errChaos, id)
+				for id, want := range ck.Decisions {
+					got, si, ok, err := locateDecision(na, id)
+					if err != nil || !ok {
+						return sum, fmt.Errorf("%w: decision %d lost across restore (ok=%v err=%v)", errChaos, id, ok, err)
+					}
+					d := want.Decision
+					if si != i || got.Admitted != d.Admitted || got.Payment != d.Payment || got.Reason != d.Reason {
+						return sum, fmt.Errorf("%w: decision %d mutated across restore: broker %d→%d, got %+v, want %+v",
+							errChaos, id, i, si, got, d)
+					}
 				}
 			}
-			serveStack = freshStack
-			b = nb
-			gen, err = serve(b)
+			stacks = freshStacks
+			a = na
+			gen, err = serve(a)
 			if err != nil {
-				return err
+				return sum, err
 			}
 			generations++
 		}
 		if stalls[s] {
 			// A stalled clock: the slot refuses to close for a while.
-			// Status and health must keep answering.
+			// Status must keep answering with the stalled slot — the
+			// "slot" field is common to both status payload shapes.
 			for i := 0; i < 3; i++ {
-				var st service.Status
+				var st struct {
+					Slot int `json:"slot"`
+				}
 				if code, err := get(gen, "/v1/status", &st); err != nil || code != http.StatusOK {
-					return fmt.Errorf("%w: status during clock stall at slot %d: code=%d err=%v", errChaos, s, code, err)
+					return sum, fmt.Errorf("%w: status during clock stall at slot %d: code=%d err=%v", errChaos, s, code, err)
 				}
 				if st.Slot != s {
-					return fmt.Errorf("%w: clock moved during a stall: slot %d, want %d", errChaos, st.Slot, s)
+					return sum, fmt.Errorf("%w: clock moved during a stall: slot %d, want %d", errChaos, st.Slot, s)
 				}
 			}
 		}
 
 		arriving := perSlot[s]
-		outcomes := make([]<-chan service.Outcome, len(arriving))
-		for i, tk := range arriving {
-			ch, err := b.SubmitAsync(context.Background(), tk)
-			if err != nil {
-				return fmt.Errorf("submit task %d at slot %d: %w", tk.ID, s, err)
+		if len(arriving) > 0 {
+			batch := append([]task.Task(nil), arriving...)
+			verdicts := make([]error, len(batch))
+			if _, err := a.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+				return sum, fmt.Errorf("submit batch at slot %d: %w", s, err)
 			}
-			outcomes[i] = ch
-		}
-		if _, err := b.Step(1); err != nil {
-			return fmt.Errorf("step at slot %d: %w", s, err)
-		}
-		for i, ch := range outcomes {
-			out := <-ch
-			if out.Err != nil {
-				return fmt.Errorf("task %d at slot %d: %w", arriving[i].ID, s, out.Err)
+			for i, v := range verdicts {
+				if v != nil {
+					return sum, fmt.Errorf("task %d at slot %d refused: %w", batch[i].ID, s, v)
+				}
 			}
+		}
+		if _, err := a.Step(1); err != nil {
+			return sum, fmt.Errorf("step at slot %d: %w", s, err)
+		}
+		for _, tk := range arriving {
+			_, si, ok, err := locateDecision(a, tk.ID)
+			if err != nil || !ok {
+				return sum, fmt.Errorf("%w: task %d undecided after slot %d closed (ok=%v err=%v)", errChaos, tk.ID, s, ok, err)
+			}
+			assigned[tk.ID] = si
 		}
 
 		var h service.Health
 		code, err := get(gen, "/healthz", &h)
 		if err != nil {
-			return fmt.Errorf("healthz after slot %d: %w", s, err)
+			return sum, fmt.Errorf("healthz after slot %d: %w", s, err)
 		}
 		switch code {
 		case http.StatusOK:
 		case http.StatusServiceUnavailable:
 			if h.Reason == "" {
-				return fmt.Errorf("%w: degraded healthz without a reason at slot %d", errChaos, s)
+				return sum, fmt.Errorf("%w: degraded healthz without a reason at slot %d", errChaos, s)
 			}
 			degradedSeen++
-			// Degraded ≠ down: the status endpoint keeps serving and
-			// agrees with the health verdict.
-			var st service.Status
-			if code, err := get(gen, "/v1/status", &st); err != nil || code != http.StatusOK {
-				return fmt.Errorf("%w: degraded broker stopped serving status at slot %d: code=%d err=%v", errChaos, s, code, err)
+			// Degraded ≠ down: the aggregate Status keeps serving and
+			// agrees with the health verdict, whatever the fleet shape.
+			st, err := a.Status()
+			if err != nil {
+				return sum, fmt.Errorf("%w: degraded fleet stopped serving status at slot %d: %v", errChaos, s, err)
 			}
 			if !st.Degraded || st.CheckpointFailures == 0 {
-				return fmt.Errorf("%w: healthz degraded but status says %+v", errChaos, st)
+				return sum, fmt.Errorf("%w: healthz degraded but status says %+v", errChaos, st)
 			}
 		default:
-			return fmt.Errorf("%w: healthz returned %d at slot %d", errChaos, code, s)
+			return sum, fmt.Errorf("%w: healthz returned %d at slot %d", errChaos, code, s)
 		}
 	}
 
 	if len(plan.Checkpoint) > 0 && degradedSeen == 0 {
-		return fmt.Errorf("%w: checkpoint fault windows %v never degraded /healthz", errChaos, plan.Checkpoint)
+		return sum, fmt.Errorf("%w: checkpoint fault windows %v never degraded /healthz", errChaos, plan.Checkpoint)
 	}
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := b.Drain(drainCtx); err != nil {
-		return fmt.Errorf("drain: %w", err)
+	if err := a.Drain(drainCtx); err != nil {
+		return sum, fmt.Errorf("drain: %w", err)
 	}
 	gen.srv.Close()
 	if err := auditor.Err(); err != nil {
-		return fmt.Errorf("%w: %v", errChaos, err)
+		return sum, fmt.Errorf("%w: %v", errChaos, err)
 	}
 
-	// Ground truth: the batch simulator under the same workload, outages,
-	// and vendor fault plan (its own fresh Flaky chain — the fault
-	// windows are positional, so the twin sees the same faults).
-	want, err := sim.Run(replayStack.cl, replayStack.sched, tasks, sim.Config{
-		Model:            replayStack.model,
-		Market:           replayStack.mkt,
-		Failures:         failures,
-		Quotes:           chain(replayStack.mkt),
-		CollectDecisions: true,
-	})
+	// Ground truth, broker by broker: a fresh twin of each broker's stack
+	// replays the subsequence the router fed it (everything, for a
+	// monolith) under the same outages, vendor plan, and spot trace.
+	twins, err := cfg.buildShards(n)
 	if err != nil {
-		return err
+		return sum, err
+	}
+	brokers := a.Brokers()
+	spread := 0
+	var liveW, twinW float64
+	for si := 0; si < n; si++ {
+		var sub []task.Task
+		for _, tk := range tasks {
+			if assigned[tk.ID] == si {
+				sub = append(sub, tk)
+			}
+		}
+		if len(sub) > 0 {
+			spread++
+		}
+		tw := twins[si]
+		simCfg := sim.Config{
+			Model:            tw.model,
+			Market:           tw.mkt,
+			Failures:         shardFailures[si],
+			Quotes:           chain(tw.mkt),
+			CollectDecisions: true,
+		}
+		prov, err := sc.provider(tw.cl, cfg.slots, si)
+		if err != nil {
+			return sum, err
+		}
+		if prov != nil {
+			simCfg.Spot = prov
+		}
+		want, err := sim.Run(tw.cl, tw.sched, sub, simCfg)
+		if err != nil {
+			return sum, fmt.Errorf("broker %d replay: %w", si, err)
+		}
+		for i, tk := range sub {
+			got, ok, err := brokers[si].DecisionFor(tk.ID)
+			if err != nil || !ok {
+				return sum, fmt.Errorf("%w: no final decision for task %d on broker %d (ok=%v err=%v)", errChaos, tk.ID, si, ok, err)
+			}
+			w := want.Decisions[i]
+			if got.Admitted != w.Admitted || got.Payment != w.Payment || got.Reason != w.Reason {
+				return sum, fmt.Errorf("%w: broker %d task %d (admitted=%v payment=%v reason=%q) vs sim (admitted=%v payment=%v reason=%q)",
+					errChaos, si, tk.ID, got.Admitted, got.Payment, got.Reason, w.Admitted, w.Payment, w.Reason)
+			}
+		}
+		res := brokers[si].Result()
+		if res.Welfare != want.Welfare || res.Revenue != want.Revenue ||
+			res.Admitted != want.Admitted || res.Rejected != want.Rejected ||
+			res.FailuresInjected != want.FailuresInjected ||
+			res.RecoveredTasks != want.RecoveredTasks ||
+			res.FailedTasks != want.FailedTasks ||
+			res.RefundedValue != want.RefundedValue ||
+			res.SpotSpend != want.SpotSpend ||
+			res.SpotLeases != want.SpotLeases ||
+			res.SpotLeasedSlots != want.SpotLeasedSlots ||
+			res.SpotRevocations != want.SpotRevocations {
+			return sum, fmt.Errorf("%w: broker %d accounting diverged\nbroker %+v\nsim    %+v", errChaos, si, res, want)
+		}
+		if !stacks[si].sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
+			return sum, fmt.Errorf("%w: broker %d final dual prices diverge from sim.Run", errChaos, si)
+		}
+		if !reflect.DeepEqual(stacks[si].cl.Snapshot(), tw.cl.Snapshot()) {
+			return sum, fmt.Errorf("%w: broker %d final cluster ledgers diverge from sim.Run", errChaos, si)
+		}
+		liveW += res.Welfare
+		twinW += want.Welfare
+		sum.recovered += res.RecoveredTasks
+		sum.refunded += res.FailedTasks
+		sum.refundedValue += res.RefundedValue
+		sum.spotSpend += res.SpotSpend
+		sum.spotLeases += res.SpotLeases
+		sum.spotLeasedSlots += res.SpotLeasedSlots
+		sum.spotRevocations += res.SpotRevocations
+	}
+	if n > 1 && spread < 2 && len(tasks) >= 2*n {
+		return sum, fmt.Errorf("%w: router collapsed the whole workload onto one shard", errChaos)
+	}
+	if liveW != twinW {
+		return sum, fmt.Errorf("%w: fleet welfare %v, per-broker sim.Run sum %v", errChaos, liveW, twinW)
 	}
 
-	for i, tk := range tasks {
-		got, ok, err := b.DecisionFor(tk.ID)
-		if err != nil || !ok {
-			return fmt.Errorf("%w: no final decision for task %d (ok=%v err=%v)", errChaos, tk.ID, ok, err)
-		}
-		w := want.Decisions[i]
-		if got.Admitted != w.Admitted || got.Payment != w.Payment || got.Reason != w.Reason {
-			return fmt.Errorf("%w: task %d broker (admitted=%v payment=%v reason=%q) vs sim (admitted=%v payment=%v reason=%q)",
-				errChaos, tk.ID, got.Admitted, got.Payment, got.Reason, w.Admitted, w.Payment, w.Reason)
-		}
-	}
-	res := b.Result()
-	if res.Welfare != want.Welfare || res.Revenue != want.Revenue ||
-		res.Admitted != want.Admitted || res.Rejected != want.Rejected ||
-		res.FailuresInjected != want.FailuresInjected ||
-		res.RecoveredTasks != want.RecoveredTasks ||
-		res.FailedTasks != want.FailedTasks ||
-		res.RefundedValue != want.RefundedValue {
-		return fmt.Errorf("%w: accounting diverged\nbroker %+v\nsim    %+v", errChaos, res, want)
-	}
-	if !serveStack.sched.SnapshotDuals().Equal(replayStack.sched.SnapshotDuals()) {
-		return fmt.Errorf("%w: final dual prices diverge from sim.Run", errChaos)
-	}
-	if !reflect.DeepEqual(serveStack.cl.Snapshot(), replayStack.cl.Snapshot()) {
-		return fmt.Errorf("%w: final cluster ledgers diverge from sim.Run", errChaos)
-	}
-
+	sum.bids = len(tasks)
+	sum.generations = generations
+	sum.degraded = degradedSeen
+	sum.welfare = liveW
 	fmt.Fprintf(os.Stderr,
-		"chaos(seed %d): %d bids over %d slots, %d generations, %d recovered, %d refunded (%.2f returned), degraded %d slot(s), welfare %.2f\n",
-		seed, len(tasks), cfg.slots, generations, res.RecoveredTasks, res.FailedTasks, res.RefundedValue, degradedSeen, res.Welfare)
-	return nil
+		"chaos(seed %d): %d bids over %d slots across %d broker(s), %d generations, %d recovered, %d refunded (%.2f returned), degraded %d slot(s), welfare %.2f\n",
+		seed, sum.bids, cfg.slots, n, generations, sum.recovered, sum.refunded, sum.refundedValue, degradedSeen, liveW)
+	return sum, nil
 }

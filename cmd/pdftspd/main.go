@@ -32,8 +32,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
@@ -78,9 +76,20 @@ func main() {
 	smoke := flag.Bool("smoke", false, "run the in-process serve-smoke self-test and exit")
 	chaos := flag.Int64("chaos", -1, "run the seeded chaos self-test (outages, vendor faults, kill/restore) with this seed and exit")
 	shards := flag.Int("shards", 1, "partition the cluster into this many shard brokers behind a dual-price router")
+	spotNodes := flag.Int("spot-nodes", 0, "rent this many revocable spot-market nodes per broker (the cluster's tail indices); 0 disables the elastic tier")
+	spotBudget := flag.Float64("spot-budget", 0, "cap each broker's cumulative spot rent (0 auto-sizes to base price x horizon x nodes)")
+	spotSeed := flag.Int64("spot-seed", 11, "spot price/reclaim trace seed (shards decorrelate from it deterministically)")
+	spotDiscount := flag.Float64("spot-discount", 0, "mean spot quote as a fraction of the on-demand reference cost (0 = default 0.4)")
+	spotLease := flag.Int("spot-lease", 0, "spot lease length in slots (0 = provider default)")
+	spotPredictive := flag.Bool("spot-predictive", false, "admission uses the trace's future quotes and known reclaims instead of the current quote")
+	spotSmoke := flag.Bool("spot-smoke", false, "run the spot-tier self-test (chaos harness + lease/revocation activity, monolithic and 2-shard) and exit")
 	flag.Parse()
 	if *shards < 1 {
 		fail("-shards must be >= 1")
+	}
+	sc := spotConfig{
+		nodes: *spotNodes, budget: *spotBudget, seed: *spotSeed,
+		discount: *spotDiscount, leaseLen: *spotLease, predictive: *spotPredictive,
 	}
 
 	var observers []obs.Observer
@@ -132,101 +141,40 @@ func main() {
 		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
-	if *chaos >= 0 {
-		if *shards > 1 {
-			if err := runShardChaos(cfg, *chaos, *shards); err != nil {
-				fail("shard-chaos: %v", err)
-			}
-			fmt.Printf("shard-chaos(seed %d, %d shards): fleet survived the fault schedule, kill/restore of the full manifest, and matches per-shard sim.Run\n", *chaos, *shards)
-			finishObs(jsonlSink, auditor, decSink)
-			return
+	if *spotSmoke {
+		if err := runSpotSmoke(cfg, *spotSeed, sc); err != nil {
+			fail("spot-smoke: %v", err)
 		}
-		if err := runChaos(cfg, *chaos); err != nil {
-			fail("chaos: %v", err)
-		}
-		fmt.Printf("chaos-smoke(seed %d): broker survived the fault schedule and matches sim.Run (decisions, refunds, duals, ledger)\n", *chaos)
+		fmt.Println("spot-smoke: elastic spot tier rented, was revoked, and survived chaos bit-identical to sim.Run (monolithic and 2-shard)")
 		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
-	if *shards > 1 {
-		serveShards(cfg, *shards, shardServeOpts{
-			addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
-			ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
-			restore: *restore, serveDebug: *serveDebug, observer: observer,
-		})
+	if *chaos >= 0 {
+		if _, err := runChaos(cfg, *chaos, *shards, sc); err != nil {
+			fail("chaos: %v", err)
+		}
+		if *shards > 1 {
+			fmt.Printf("chaos-smoke(seed %d, %d shards): fleet survived the fault schedule, kill/restore of the full manifest, and matches per-shard sim.Run\n", *chaos, *shards)
+		} else {
+			fmt.Printf("chaos-smoke(seed %d): broker survived the fault schedule and matches sim.Run (decisions, refunds, duals, ledger)\n", *chaos)
+		}
 		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
 
-	st, err := cfg.build()
+	a, totalNodes, err := buildAuctioneer(cfg, *shards, sc, serveOpts{
+		addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
+		ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
+		restore: *restore, serveDebug: *serveDebug, observer: observer,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
-	broker, err := service.New(service.Options{
-		Cluster:             st.cl,
-		Scheduler:           st.sched,
-		Model:               st.model,
-		Market:              st.mkt,
-		QueueSize:           *queue,
-		VirtualClock:        *virtual,
-		SlotDuration:        *slotDur,
-		CheckpointPath:      *ckpt,
-		CheckpointEvery:     *ckptEvery,
-		CheckpointFullEvery: *fullEvery,
-		Observer:            observer,
-	})
-	if err != nil {
-		fail("broker: %v", err)
-	}
-	if *restore {
-		if *ckpt == "" {
-			fail("-restore requires -checkpoint")
-		}
-		ck, err := service.LoadCheckpoint(*ckpt)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := broker.Restore(ck); err != nil {
-			fail("%v", err)
-		}
-		fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
-	}
-	if *serveDebug != "" {
-		broker.ExposeExpvar("pdftspd_broker")
-	}
-	if err := broker.Start(); err != nil {
-		fail("broker: %v", err)
-	}
-
-	srv := &http.Server{Addr: *addr, Handler: broker.Handler()}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail("listen: %v", err)
-	}
-	clock := "real clock"
-	if *virtual {
-		clock = "virtual clock"
-	}
-	fmt.Fprintf(os.Stderr, "pdftspd serving on http://%s (%s, %d nodes, %d slots)\n",
-		ln.Addr(), clock, st.cl.NumNodes(), *slots)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-
-	select {
-	case err := <-errCh:
-		fail("serve: %v", err)
-	case <-ctx.Done():
-	}
-	fmt.Fprintln(os.Stderr, "pdftspd: draining (held bids refused; clients resubmit after restart)")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := broker.Drain(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
-	}
-	_ = srv.Shutdown(shutCtx)
+	serveAuctioneer(a, cfg, *shards, sc, serveOpts{
+		addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
+		ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
+		restore: *restore, serveDebug: *serveDebug, observer: observer,
+	}, totalNodes)
 	finishObs(jsonlSink, auditor, decSink)
 }
 

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/obs"
+	"github.com/pdftsp/pdftsp/internal/service"
+)
+
+// serveOpts carries the serving flags into the unified serve path.
+type serveOpts struct {
+	addr       string
+	virtual    bool
+	slotDur    time.Duration
+	queue      int
+	ckpt       string
+	ckptEvery  int
+	fullEvery  int
+	restore    bool
+	serveDebug string
+	observer   obs.Observer
+}
+
+// shardSpecs wires the per-shard broker options from the common serving
+// flags: checkpoint paths get a ".shard<i>" suffix (the manifest at the
+// base path ties them together), run labels a "/<i>" suffix, and the
+// intake queue is split evenly so the fleet's total admission capacity
+// matches the monolithic broker's. Each shard also gets its own spot
+// provider over its own cluster's elastic tail when the tier is on.
+func shardSpecs(stacks []*stack, sc spotConfig, o serveOpts) ([]service.ShardSpec, error) {
+	specs := make([]service.ShardSpec, len(stacks))
+	queue := o.queue/len(stacks) + 1
+	for i, st := range stacks {
+		opts := service.Options{
+			Cluster:             st.cl,
+			Scheduler:           st.sched,
+			Model:               st.model,
+			Market:              st.mkt,
+			QueueSize:           queue,
+			VirtualClock:        o.virtual,
+			SlotDuration:        o.slotDur,
+			CheckpointEvery:     o.ckptEvery,
+			CheckpointFullEvery: o.fullEvery,
+			Observer:            o.observer,
+			RunLabel:            fmt.Sprintf("pdftspd/%d", i),
+		}
+		if o.ckpt != "" {
+			opts.CheckpointPath = fmt.Sprintf("%s.shard%d", o.ckpt, i)
+		}
+		prov, err := sc.provider(st.cl, st.cl.Horizon().T, i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if prov != nil {
+			opts.Spot = prov
+		}
+		specs[i] = service.ShardSpec{
+			Key:     fmt.Sprintf("%s/%d", st.model.Name, i),
+			Options: opts,
+		}
+	}
+	return specs, nil
+}
+
+// buildAuctioneer wires the serving fleet for the flag set — a
+// monolithic Broker for -shards 1, a Shards fleet otherwise — restored
+// from its checkpoint (or manifest) when asked, and returns it behind
+// the one service.Auctioneer surface the serve loop drives. The second
+// return is the total node count, for the banner.
+func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (service.Auctioneer, int, error) {
+	if n == 1 {
+		st, err := cfg.build()
+		if err != nil {
+			return nil, 0, err
+		}
+		opts := service.Options{
+			Cluster:             st.cl,
+			Scheduler:           st.sched,
+			Model:               st.model,
+			Market:              st.mkt,
+			QueueSize:           o.queue,
+			VirtualClock:        o.virtual,
+			SlotDuration:        o.slotDur,
+			CheckpointPath:      o.ckpt,
+			CheckpointEvery:     o.ckptEvery,
+			CheckpointFullEvery: o.fullEvery,
+			Observer:            o.observer,
+		}
+		prov, err := sc.provider(st.cl, cfg.slots, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		if prov != nil {
+			opts.Spot = prov
+		}
+		broker, err := service.New(opts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("broker: %w", err)
+		}
+		if o.restore {
+			if o.ckpt == "" {
+				return nil, 0, fmt.Errorf("-restore requires -checkpoint")
+			}
+			ck, err := service.LoadCheckpoint(o.ckpt)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := broker.Restore(ck); err != nil {
+				return nil, 0, err
+			}
+			fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
+		}
+		return broker, st.cl.NumNodes(), nil
+	}
+
+	stacks, err := cfg.buildShards(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	specs, err := shardSpecs(stacks, sc, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	fleet, err := service.NewShards(service.ShardsOptions{ManifestPath: o.ckpt}, specs...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shards: %w", err)
+	}
+	if o.restore {
+		if o.ckpt == "" {
+			return nil, 0, fmt.Errorf("-restore requires -checkpoint")
+		}
+		m, err := service.ReadShardManifest(o.ckpt)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := fleet.RestoreFromManifest(m); err != nil {
+			return nil, 0, err
+		}
+		slot := 0
+		if ck, err := service.LoadCheckpoint(m.Paths[0]); err == nil {
+			slot = ck.Slot
+		}
+		fmt.Fprintf(os.Stderr, "restored %d-shard manifest at slot %d\n", m.Shards, slot)
+	}
+	nodes := 0
+	for _, st := range stacks {
+		nodes += st.cl.NumNodes()
+	}
+	return fleet, nodes, nil
+}
+
+// serveAuctioneer is the one serve loop: expvar exposure, Start, the
+// HTTP listener, and the signal-driven graceful drain — identical for a
+// fleet of one and a fleet of many.
+func serveAuctioneer(a service.Auctioneer, cfg stackConfig, n int, sc spotConfig, o serveOpts, nodes int) {
+	if o.serveDebug != "" {
+		brokers := a.Brokers()
+		for i, b := range brokers {
+			name := "pdftspd_broker"
+			if len(brokers) > 1 {
+				name = fmt.Sprintf("pdftspd_broker_%d", i)
+			}
+			b.ExposeExpvar(name)
+		}
+	}
+	if err := a.Start(); err != nil {
+		fail("start: %v", err)
+	}
+
+	srv := &http.Server{Addr: o.addr, Handler: a.Handler()}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	clock := "real clock"
+	if o.virtual {
+		clock = "virtual clock"
+	}
+	shape := fmt.Sprintf("%d nodes", nodes)
+	if n > 1 {
+		shape = fmt.Sprintf("%d shards × ~%d nodes = %d", n, nodes/n, nodes)
+	}
+	tier := ""
+	if sc.enabled() {
+		tier = fmt.Sprintf(", spot tier %d node(s)/broker", sc.nodes)
+	}
+	fmt.Fprintf(os.Stderr, "pdftspd serving on http://%s (%s, %s, %d slots%s)\n",
+		ln.Addr(), clock, shape, cfg.slots, tier)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "pdftspd: draining (held bids refused; clients resubmit after restart)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.Drain(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	_ = srv.Shutdown(shutCtx)
+}

@@ -13,8 +13,8 @@ import (
 func Example() {
 	model := pdftsp.GPT2Small()
 	h := pdftsp.NewHorizon(48)
-	cl, err := pdftsp.NewClusterWithPrice(h, model, pdftsp.FlatPrice(1),
-		pdftsp.NodeGroup{Spec: pdftsp.A100(), Count: 2})
+	cl, err := pdftsp.NewCluster(h, model,
+		pdftsp.WithNodes(pdftsp.A100(), 2), pdftsp.WithPrice(pdftsp.FlatPrice(1)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,8 +44,8 @@ func Example() {
 func ExampleNewScheduler_offer() {
 	model := pdftsp.GPT2Small()
 	h := pdftsp.NewHorizon(24)
-	cl, _ := pdftsp.NewClusterWithPrice(h, model, pdftsp.FlatPrice(1),
-		pdftsp.NodeGroup{Spec: pdftsp.A100(), Count: 1})
+	cl, _ := pdftsp.NewCluster(h, model,
+		pdftsp.WithNodes(pdftsp.A100(), 1), pdftsp.WithPrice(pdftsp.FlatPrice(1)))
 	sch, _ := pdftsp.NewScheduler(cl, pdftsp.SchedulerOptions{Alpha: 2, Beta: 10})
 	bid := pdftsp.Task{
 		ID: 0, Arrival: 1, Deadline: 10, DatasetSamples: 27000, Epochs: 1,

@@ -52,6 +52,8 @@ func Suite() []Bench {
 		{Name: "CheckpointPerSlot/none", Func: CheckpointPerSlotNone},
 		{Name: "CheckpointPerSlot/json-full", Func: CheckpointPerSlotJSONFull},
 		{Name: "CheckpointPerSlot/binary-delta", Func: CheckpointPerSlotBinaryDelta},
+		{Name: "SpotAdvance", Func: SpotAdvance},
+		{Name: "SpotTraceGen", Func: SpotTraceGen},
 	}
 }
 

@@ -48,10 +48,18 @@ type Cluster struct {
 	// down marks (node, slot) cells unavailable due to injected failures;
 	// nil until the first SetDown call.
 	down [][]bool
+	// elastic marks nodes whose capacity is rented from the spot market;
+	// nil until the first MarkElastic call. An elastic node's cells are
+	// unavailable unless covered by a lease.
+	elastic []bool
+	// leased[k][t] is true while elastic node k holds a capacity lease at
+	// slot t; rows of non-elastic nodes are ignored. Allocated together
+	// with elastic.
+	leased [][]bool
 	// gen counts mutations that can increase availability (Release, Reset,
-	// Restore). Schedulers use it to invalidate saturation caches: Commit
-	// and SetDown only shrink availability, so caches that skip known-full
-	// cells stay conservative across them.
+	// Restore, Lease). Schedulers use it to invalidate saturation caches:
+	// Commit, SetDown, and EndLease only shrink availability, so caches
+	// that skip known-full cells stay conservative across them.
 	gen uint64
 }
 
@@ -187,7 +195,10 @@ func (c *Cluster) CanPlace(k, t, workUnits int, memGB float64) bool {
 	if !c.horizon.Contains(t) || k < 0 || k >= len(c.nodes) {
 		return false
 	}
-	if c.IsDown(k, t) {
+	if c.down != nil && c.down[k][t] {
+		return false
+	}
+	if c.elastic != nil && c.elastic[k] && !c.leased[k][t] {
 		return false
 	}
 	if c.usedWork[k][t]+workUnits > c.nodes[k].CapWork {
@@ -199,7 +210,7 @@ func (c *Cluster) CanPlace(k, t, workUnits int, memGB float64) bool {
 
 // RemainingWork returns the free compute capacity on node k at slot t.
 func (c *Cluster) RemainingWork(k, t int) int {
-	if c.IsDown(k, t) {
+	if c.IsDown(k, t) || !c.Available(k, t) {
 		return 0
 	}
 	return c.nodes[k].CapWork - c.usedWork[k][t]
@@ -207,7 +218,7 @@ func (c *Cluster) RemainingWork(k, t int) int {
 
 // RemainingMem returns the free task memory on node k at slot t.
 func (c *Cluster) RemainingMem(k, t int) float64 {
-	if c.IsDown(k, t) {
+	if c.IsDown(k, t) || !c.Available(k, t) {
 		return 0
 	}
 	return c.TaskMemCap(k) - c.usedMem[k][t]
@@ -236,6 +247,68 @@ func (c *Cluster) SetDown(k, from, to int) {
 // IsDown reports whether node k is failed at slot t.
 func (c *Cluster) IsDown(k, t int) bool {
 	return c.down != nil && c.horizon.Contains(t) && c.down[k][t]
+}
+
+// MarkElastic flags node k as spot-market capacity: its cells are
+// unavailable (CanPlace false, Remaining* zero) until a Lease covers
+// them. Marking is structural — it survives Reset — so pooled clusters
+// stay bit-compatible with a freshly built elastic fleet.
+func (c *Cluster) MarkElastic(k int) {
+	if k < 0 || k >= len(c.nodes) {
+		return
+	}
+	if c.elastic == nil {
+		c.elastic = make([]bool, len(c.nodes))
+		c.leased = make([][]bool, len(c.nodes))
+		back := make([]bool, len(c.nodes)*c.horizon.T)
+		for i := range c.leased {
+			c.leased[i], back = back[:c.horizon.T:c.horizon.T], back[c.horizon.T:]
+		}
+	}
+	c.elastic[k] = true
+}
+
+// IsElastic reports whether node k is spot-market capacity.
+func (c *Cluster) IsElastic(k int) bool {
+	return c.elastic != nil && k >= 0 && k < len(c.nodes) && c.elastic[k]
+}
+
+// Available reports whether node k's capacity exists at slot t: always
+// true for on-demand nodes, true for elastic nodes only under a lease.
+// Failure state is separate — see IsDown.
+func (c *Cluster) Available(k, t int) bool {
+	if c.elastic == nil || k < 0 || k >= len(c.nodes) || !c.elastic[k] {
+		return true
+	}
+	return c.horizon.Contains(t) && c.leased[k][t]
+}
+
+// Lease opens elastic node k for slots [from, to] (clipped to the
+// horizon). Leasing increases availability, so it bumps Generation —
+// saturation caches must re-scan the newly opened cells.
+func (c *Cluster) Lease(k, from, to int) {
+	if !c.IsElastic(k) {
+		return
+	}
+	w := (timeslot.Window{Start: from, End: to}).ClipTo(c.horizon)
+	for t := w.Start; t <= w.End && w.Len() > 0; t++ {
+		c.leased[k][t] = true
+	}
+	c.gen++
+}
+
+// EndLease withdraws elastic node k's lease over [from, to] (clipped).
+// Shrinking availability needs no Generation bump. Committed work on the
+// withdrawn cells is the caller's problem: a revocation must release or
+// refund those placements (see sim.FailureTracker.Revoke).
+func (c *Cluster) EndLease(k, from, to int) {
+	if !c.IsElastic(k) {
+		return
+	}
+	w := (timeslot.Window{Start: from, End: to}).ClipTo(c.horizon)
+	for t := w.Start; t <= w.End && w.Len() > 0; t++ {
+		c.leased[k][t] = false
+	}
 }
 
 // Commit reserves workUnits and memGB on node k at slot t. It does not
@@ -274,8 +347,14 @@ func (c *Cluster) Reset() {
 	clear(c.cntBack)
 	// A fresh cluster has down == nil; dropping the lazily-built failure
 	// grid keeps Reset bit-compatible with New (Snapshot captures down
-	// only when non-nil).
+	// only when non-nil). Elastic marks are structural and survive, but
+	// leases are runtime state and clear with the ledger.
 	c.down = nil
+	if c.leased != nil {
+		for k := range c.leased {
+			clear(c.leased[k])
+		}
+	}
 	c.gen++
 }
 
@@ -310,6 +389,13 @@ func (c *Cluster) Clone() *Cluster {
 		out.down = make([][]bool, K)
 		for k := 0; k < K; k++ {
 			out.down[k] = append(make([]bool, 0, T), c.down[k]...)
+		}
+	}
+	if c.elastic != nil {
+		out.elastic = append([]bool(nil), c.elastic...)
+		out.leased = make([][]bool, K)
+		for k := 0; k < K; k++ {
+			out.leased[k] = append(make([]bool, 0, T), c.leased[k]...)
 		}
 	}
 	return out

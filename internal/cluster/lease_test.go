@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/pdftsp/pdftsp/internal/gpu"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+func leaseCluster(t *testing.T, nodes, slots int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Horizon:     timeslot.NewHorizon(slots),
+		BaseModelGB: 2,
+		Price:       gpu.FlatPrice(1),
+	}, Uniform(nodes, gpu.A100, 40, 80))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// TestElasticLeaseLifecycle: an elastic node's cells open only under a
+// lease, leasing bumps Generation (new capacity appeared), and ending a
+// lease withdraws the cells without a bump.
+func TestElasticLeaseLifecycle(t *testing.T) {
+	cl := leaseCluster(t, 3, 12)
+	if cl.IsElastic(1) || !cl.Available(1, 0) {
+		t.Fatal("fresh cluster should be all on-demand")
+	}
+	cl.MarkElastic(1)
+	if !cl.IsElastic(1) || cl.IsElastic(0) {
+		t.Fatal("MarkElastic scoped wrong")
+	}
+	for s := 0; s < 12; s++ {
+		if cl.Available(1, s) {
+			t.Fatalf("unleased elastic slot %d available", s)
+		}
+		if !cl.Available(0, s) {
+			t.Fatalf("on-demand node lost slot %d", s)
+		}
+	}
+	if cl.CanPlace(1, 3, 1, 1) || cl.RemainingWork(1, 3) != 0 || cl.RemainingMem(1, 3) != 0 {
+		t.Fatal("unleased elastic cell still places work")
+	}
+
+	gen := cl.Generation()
+	cl.Lease(1, 2, 20) // clips to [2, 11]
+	if cl.Generation() == gen {
+		t.Fatal("lease opened capacity without a generation bump")
+	}
+	if cl.Available(1, 1) || !cl.Available(1, 2) || !cl.Available(1, 11) {
+		t.Fatal("lease window wrong")
+	}
+	if !cl.CanPlace(1, 3, 1, 1) || cl.RemainingWork(1, 3) == 0 {
+		t.Fatal("leased elastic cell refuses work")
+	}
+
+	gen = cl.Generation()
+	cl.EndLease(1, 5, 7)
+	if cl.Generation() != gen {
+		t.Fatal("ending a lease must not bump the generation")
+	}
+	for s := 2; s < 12; s++ {
+		want := s < 5 || s > 7
+		if cl.Available(1, s) != want {
+			t.Fatalf("slot %d availability %v after partial withdrawal", s, !want)
+		}
+	}
+
+	// Lease/EndLease on a non-elastic node are no-ops.
+	gen = cl.Generation()
+	cl.Lease(0, 0, 5)
+	cl.EndLease(0, 0, 5)
+	if cl.Generation() != gen || !cl.Available(0, 3) {
+		t.Fatal("on-demand node reacted to lease calls")
+	}
+}
+
+// TestElasticSurvivesReset: elasticity is structural, leases are state.
+func TestElasticSurvivesReset(t *testing.T) {
+	cl := leaseCluster(t, 2, 8)
+	cl.MarkElastic(1)
+	cl.Lease(1, 0, 7)
+	cl.Reset()
+	if !cl.IsElastic(1) {
+		t.Fatal("Reset dropped the elastic mark")
+	}
+	if cl.Available(1, 0) {
+		t.Fatal("Reset kept a lease alive")
+	}
+}
+
+// TestElasticClone: Clone carries both planes and detaches them.
+func TestElasticClone(t *testing.T) {
+	cl := leaseCluster(t, 2, 8)
+	cl.MarkElastic(1)
+	cl.Lease(1, 2, 4)
+	cp := cl.Clone()
+	if !cp.IsElastic(1) || !cp.Available(1, 3) || cp.Available(1, 5) {
+		t.Fatal("clone lost lease state")
+	}
+	cp.EndLease(1, 2, 4)
+	if !cl.Available(1, 3) {
+		t.Fatal("clone shares the leased plane with its source")
+	}
+}
+
+// TestElasticSnapshotRestore: Snapshot carries the Elastic/Leased planes
+// and Restore reproduces them; restoring an elastic snapshot into a
+// matching fleet round-trips exactly.
+func TestElasticSnapshotRestore(t *testing.T) {
+	cl := leaseCluster(t, 3, 10)
+	cl.MarkElastic(2)
+	cl.Lease(2, 1, 6)
+	cl.Commit(2, 3, 2, 1.5)
+	snap := cl.Snapshot()
+	if snap.Elastic == nil || snap.Leased == nil {
+		t.Fatal("snapshot dropped the spot planes")
+	}
+
+	// Mutate, then restore: the lease map and ledger must match again.
+	cl.EndLease(2, 1, 6)
+	cl.Lease(2, 8, 9)
+	cl.Release(2, 3, 2, 1.5)
+	if err := cl.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Available(2, 1) || !cl.Available(2, 6) || cl.Available(2, 8) {
+		t.Fatal("restore did not reproduce the lease map")
+	}
+	if cl.UsedWork(2, 3) != 2 {
+		t.Fatal("restore did not reproduce the ledger")
+	}
+	if !reflect.DeepEqual(cl.Snapshot(), snap) {
+		t.Fatal("snapshot/restore round trip diverged")
+	}
+
+	// A snapshot without spot planes restores onto an elastic fleet by
+	// clearing its leases (the snapshot was taken before any MarkElastic).
+	plain := leaseCluster(t, 3, 10)
+	plainSnap := plain.Snapshot()
+	if plainSnap.Elastic != nil {
+		t.Fatal("plain snapshot grew spot planes")
+	}
+	if err := cl.Restore(plainSnap); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Available(2, 1) {
+		t.Fatal("restoring a pre-elastic snapshot must clear leases")
+	}
+	if !cl.IsElastic(2) {
+		t.Fatal("restoring a pre-elastic snapshot must keep the structural mark")
+	}
+}

@@ -14,6 +14,12 @@ type Snapshot struct {
 	TasksOn [][]int `json:"tasks_on"`
 	// Down[k][t] mirrors injected failures; nil when none were injected.
 	Down [][]bool `json:"down,omitempty"`
+	// Elastic mirrors the spot-market node marks; nil on all-on-demand
+	// fleets.
+	Elastic []bool `json:"elastic,omitempty"`
+	// Leased[k][t] mirrors the live capacity leases; nil whenever Elastic
+	// is nil.
+	Leased [][]bool `json:"leased,omitempty"`
 }
 
 // Snapshot deep-copies the ledger.
@@ -35,6 +41,13 @@ func (c *Cluster) Snapshot() Snapshot {
 			s.Down[k] = append([]bool(nil), c.down[k]...)
 		}
 	}
+	if c.elastic != nil {
+		s.Elastic = append([]bool(nil), c.elastic...)
+		s.Leased = make([][]bool, K)
+		for k := 0; k < K; k++ {
+			s.Leased[k] = append([]bool(nil), c.leased[k]...)
+		}
+	}
 	return s
 }
 
@@ -49,6 +62,9 @@ func (c *Cluster) Restore(s Snapshot) error {
 	if s.Down != nil && len(s.Down) != K {
 		return fmt.Errorf("cluster: snapshot down-map covers %d nodes, cluster has %d", len(s.Down), K)
 	}
+	if s.Elastic != nil && (len(s.Elastic) != K || len(s.Leased) != K) {
+		return fmt.Errorf("cluster: snapshot lease-map covers %d nodes, cluster has %d", len(s.Elastic), K)
+	}
 	for k := 0; k < K; k++ {
 		if len(s.UsedWork[k]) != T || len(s.UsedMem[k]) != T || len(s.TasksOn[k]) != T {
 			return fmt.Errorf("cluster: snapshot node %d covers %d slots, horizon has %d",
@@ -58,6 +74,10 @@ func (c *Cluster) Restore(s Snapshot) error {
 			return fmt.Errorf("cluster: snapshot down-map node %d covers %d slots, horizon has %d",
 				k, len(s.Down[k]), T)
 		}
+		if s.Elastic != nil && len(s.Leased[k]) != T {
+			return fmt.Errorf("cluster: snapshot lease-map node %d covers %d slots, horizon has %d",
+				k, len(s.Leased[k]), T)
+		}
 	}
 	for k := 0; k < K; k++ {
 		copy(c.usedWork[k], s.UsedWork[k])
@@ -66,6 +86,20 @@ func (c *Cluster) Restore(s Snapshot) error {
 	}
 	// Restoring can re-open previously saturated cells.
 	c.gen++
+	if s.Elastic != nil {
+		for k := 0; k < K; k++ {
+			if s.Elastic[k] {
+				c.MarkElastic(k)
+			}
+		}
+		for k := 0; k < K; k++ {
+			copy(c.leased[k], s.Leased[k])
+		}
+	} else if c.leased != nil {
+		for k := range c.leased {
+			clear(c.leased[k])
+		}
+	}
 	if s.Down == nil {
 		c.down = nil
 		return nil

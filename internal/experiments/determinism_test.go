@@ -206,3 +206,11 @@ func TestParallelDeterminismAblations(t *testing.T) {
 		})
 	}
 }
+
+// TestParallelDeterminismSpot: the spot frontier's rows are independent
+// jobs; parallel fan-out must not change a single cell.
+func TestParallelDeterminismSpot(t *testing.T) {
+	assertSame(t, "FigSpot", func(p Profile) (*SpotResult, error) {
+		return p.FigSpot()
+	})
+}

@@ -55,6 +55,10 @@ type Checkpoint struct {
 	// Failures is the fault tracker's progress (applied outages, live
 	// committed plans); nil when the broker has no fault plan.
 	Failures *sim.FailureTrackerState `json:"failures,omitempty"`
+	// Spot is the spot provider's progress (trace cursor, budget spent,
+	// live leases); nil when no spot tier is attached. The cluster's
+	// lease map itself rides in Ledger.
+	Spot *sim.SpotState `json:"spot,omitempty"`
 }
 
 // CheckpointDecision is a Decision on the checkpoint wire. JSON cannot
@@ -118,6 +122,10 @@ func (b *Broker) snapshot() *Checkpoint {
 	if b.faults != nil {
 		st := b.faults.State()
 		ck.Failures = &st
+	}
+	if b.spot != nil {
+		st := b.spot.State()
+		ck.Spot = &st
 	}
 	return ck
 }
@@ -278,6 +286,13 @@ func (b *Broker) Restore(ck *Checkpoint) error {
 		}
 	} else if ck.Failures != nil && (ck.Failures.Next > 0 || len(ck.Failures.Records) > 0) {
 		return fmt.Errorf("service: checkpoint carries failure state but broker has no fault plan")
+	}
+	if b.spot != nil {
+		if err := b.spot.RestoreState(ck.Spot); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+	} else if ck.Spot != nil && (ck.Spot.Next > 0 || len(ck.Spot.Leases) > 0) {
+		return fmt.Errorf("service: checkpoint carries spot state but broker has no spot provider")
 	}
 	b.ckptSlot = ck.Slot
 	return nil

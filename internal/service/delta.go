@@ -42,8 +42,10 @@ import (
 // them — the same "no slot left behind" guarantee the full-snapshot
 // path gets from rewriting everything.
 
-// deltaVersion guards the sidecar record layout.
-const deltaVersion = 1
+// deltaVersion guards the sidecar record layout. v2 added the spot-tier
+// accounting scalars, the lease plane of ledger cells, and the spot
+// provider state block.
+const deltaVersion = 2
 
 // deltaMagic opens every sidecar file.
 var deltaMagic = []byte("PDFTSPD\x01")
@@ -65,6 +67,7 @@ type deltaWriter struct {
 	ledger   cluster.Snapshot
 	latLen   int
 	failJSON []byte
+	spotJSON []byte
 }
 
 func (w *deltaWriter) close() {
@@ -121,6 +124,11 @@ func (w *deltaWriter) captureShadows(b *Broker) {
 		st := b.faults.State()
 		w.failJSON, _ = json.Marshal(&st)
 	}
+	w.spotJSON = nil
+	if b.spot != nil {
+		st := b.spot.State()
+		w.spotJSON, _ = json.Marshal(&st)
+	}
 }
 
 // appendDelta writes one CRC-framed delta record for the current broker
@@ -149,6 +157,10 @@ func (b *Broker) appendDelta() error {
 	p = appendF64(p, b.res.RefundedValue)
 	p = appendF64(p, b.res.TrainLossEarly)
 	p = appendF64(p, b.res.TrainLossLate)
+	p = appendF64(p, b.res.SpotSpend)
+	p = appendInt(p, b.res.SpotLeases)
+	p = appendInt(p, b.res.SpotLeasedSlots)
+	p = appendInt(p, b.res.SpotRevocations)
 
 	p = appendU64(p, uint64(len(b.res.RejectReasons)))
 	for reason, n := range b.res.RejectReasons {
@@ -208,6 +220,21 @@ func (b *Broker) appendDelta() error {
 		p = append(p, 0)
 	}
 
+	// Spot provider state (trace cursor, budget spent, live leases), only
+	// when it moved.
+	var curSpot []byte
+	if b.spot != nil {
+		st := b.spot.State()
+		curSpot, _ = json.Marshal(&st)
+	}
+	if string(curSpot) != string(w.spotJSON) {
+		p = append(p, 1)
+		p = appendU64(p, uint64(len(curSpot)))
+		p = append(p, curSpot...)
+	} else {
+		p = append(p, 0)
+	}
+
 	h := w.head[:0]
 	h = appendU64(h, uint64(len(p)))
 	h = binary.LittleEndian.AppendUint32(h, crc32.ChecksumIEEE(p))
@@ -224,6 +251,7 @@ func (b *Broker) appendDelta() error {
 	w.ledger = curLedger
 	w.latLen = len(b.res.OfferLatency)
 	w.failJSON = curFail
+	w.spotJSON = curSpot
 	b.dirty = b.dirty[:0]
 	return nil
 }
@@ -325,11 +353,16 @@ func ledgerCellChanged(prev, cur *cluster.Snapshot, k, t int) bool {
 		prev.TasksOn[k][t] != cur.TasksOn[k][t] {
 		return true
 	}
-	return downAt(prev, k, t) != downAt(cur, k, t)
+	return downAt(prev, k, t) != downAt(cur, k, t) ||
+		leasedAt(prev, k, t) != leasedAt(cur, k, t)
 }
 
 func downAt(s *cluster.Snapshot, k, t int) bool {
 	return s.Down != nil && s.Down[k][t]
+}
+
+func leasedAt(s *cluster.Snapshot, k, t int) bool {
+	return s.Leased != nil && s.Leased[k][t]
 }
 
 // appendLedgerDiff emits full cell records for every ledger cell that
@@ -361,6 +394,14 @@ func appendLedgerDiff(p []byte, prev, cur *cluster.Snapshot) []byte {
 			case cur.Down == nil:
 				p = append(p, 0)
 			case cur.Down[k][t]:
+				p = append(p, 2)
+			default:
+				p = append(p, 1)
+			}
+			switch {
+			case cur.Leased == nil:
+				p = append(p, 0)
+			case cur.Leased[k][t]:
 				p = append(p, 2)
 			default:
 				p = append(p, 1)
@@ -481,6 +522,10 @@ func applyDeltaRecord(ck *Checkpoint, payload []byte) error {
 	res.RefundedValue = r.f64()
 	res.TrainLossEarly = r.f64()
 	res.TrainLossLate = r.f64()
+	res.SpotSpend = r.f64()
+	res.SpotLeases = r.int()
+	res.SpotLeasedSlots = r.int()
+	res.SpotRevocations = r.int()
 
 	nReasons := int(r.u64())
 	if r.err == nil {
@@ -540,13 +585,13 @@ func applyDeltaRecord(ck *Checkpoint, payload []byte) error {
 		work := r.int()
 		mem := r.f64()
 		on := r.int()
-		var down byte
+		var down, leased byte
 		if r.err == nil {
-			if len(r.b) < 1 {
-				r.fail("down byte")
+			if len(r.b) < 2 {
+				r.fail("down/leased bytes")
 			} else {
-				down = r.b[0]
-				r.b = r.b[1:]
+				down, leased = r.b[0], r.b[1]
+				r.b = r.b[2:]
 			}
 		}
 		if r.err != nil {
@@ -568,6 +613,15 @@ func applyDeltaRecord(ck *Checkpoint, payload []byte) error {
 			}
 			ck.Ledger.Down[k][t] = down == 2
 		}
+		if leased != 0 {
+			if ck.Ledger.Leased == nil {
+				// The lease plane only exists alongside elastic marks, and
+				// those are static from construction: a full snapshot missing
+				// them cannot be extended by a lease-bearing delta.
+				return fmt.Errorf("service: delta carries lease state but snapshot has none")
+			}
+			ck.Ledger.Leased[k][t] = leased == 2
+		}
 	}
 
 	if r.bool() { // failure state replaced
@@ -578,6 +632,16 @@ func applyDeltaRecord(ck *Checkpoint, payload []byte) error {
 				return fmt.Errorf("service: delta failure state: %w", err)
 			}
 			ck.Failures = &st
+		}
+	}
+	if r.bool() { // spot provider state replaced
+		blob := r.bytes()
+		if r.err == nil {
+			var st sim.SpotState
+			if err := json.Unmarshal(blob, &st); err != nil {
+				return fmt.Errorf("service: delta spot state: %w", err)
+			}
+			ck.Spot = &st
 		}
 	}
 	if r.err != nil {

@@ -278,7 +278,18 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
 }
 
-// Handler exposes the broker over HTTP:
+// Handler exposes the broker over HTTP; see apiHandler for the surface.
+func (b *Broker) Handler() http.Handler { return apiHandler(b) }
+
+// Handler exposes the sharded fleet over the identical HTTP surface —
+// clients cannot tell how many shards sit behind it, except that
+// /v1/status returns the aggregated ShardsStatus (per-shard detail under
+// "per_shard") and sharded intake requires explicit non-negative bid IDs
+// (400 otherwise: each shard assigns its own IDs, so auto-assignment
+// would mint duplicates across the fleet).
+func (s *Shards) Handler() http.Handler { return apiHandler(s) }
+
+// apiHandler is the one HTTP facade, generic over the Auctioneer:
 //
 //	POST /v1/bids            submit a bid; blocks until its slot closes,
 //	                         responds with the irrevocable decision
@@ -287,8 +298,9 @@ func writeErr(w http.ResponseWriter, err error) {
 //	                         of waiting for the decisions
 //	GET  /v1/status          operational summary (slot, queue, welfare, duals)
 //	GET  /v1/decisions/{id}  a decided bid's outcome
-//	POST /v1/clock/step      advance a virtual-clock broker {"slots": n}
+//	POST /v1/clock/step      advance a virtual-clock fleet {"slots": n}
 //	GET  /healthz            liveness; 503 + reason while degraded
+//	GET  /v1/healthz         alias, for probes confined to the /v1 prefix
 //
 // A bid's request context is its cancellation: a client that disconnects
 // before its slot closes is skipped at round time.
@@ -297,19 +309,72 @@ func writeErr(w http.ResponseWriter, err error) {
 // failing answers /healthz with 503 (so orchestrators can alert or
 // reschedule it) while /v1/bids keeps accepting bids — the auction state
 // is still sound, only its durability is at risk.
-func (b *Broker) Handler() http.Handler {
+//
+// Every response on this surface is JSON, errors included: the mux's
+// built-in plain-text 404/405 refusals are rewritten into the API's
+// {"error": ...} shape.
+func apiHandler(a Auctioneer) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/bids", b.handleBid)
-	mux.HandleFunc("POST /v1/bids/batch", b.handleBidBatch)
-	mux.HandleFunc("GET /v1/status", b.handleStatus)
-	mux.HandleFunc("GET /v1/decisions/{id}", b.handleDecision)
-	mux.HandleFunc("POST /v1/clock/step", b.handleStep)
-	mux.HandleFunc("GET /healthz", b.handleHealthz)
-	return mux
+	mux.HandleFunc("POST /v1/bids", func(w http.ResponseWriter, r *http.Request) { handleBid(a, w, r) })
+	mux.HandleFunc("POST /v1/bids/batch", func(w http.ResponseWriter, r *http.Request) { handleBidBatch(a, w, r) })
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) { handleStatus(a, w, r) })
+	mux.HandleFunc("GET /v1/decisions/{id}", func(w http.ResponseWriter, r *http.Request) { handleDecision(a, w, r) })
+	mux.HandleFunc("POST /v1/clock/step", func(w http.ResponseWriter, r *http.Request) { handleStep(a, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(a, w, r) })
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(a, w, r) })
+	return jsonErrors(mux)
 }
 
-func (b *Broker) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := b.Health()
+// jsonErrors wraps the mux so its built-in refusals (404 for unknown
+// paths, 405 for wrong methods) come back as JSON error bodies like
+// every other response on the API; handler-written JSON errors pass
+// through untouched.
+func jsonErrors(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+// jsonErrorWriter rewrites non-JSON error responses at WriteHeader time:
+// an error status whose Content-Type is not already application/json is
+// the mux (or http.Error) speaking plain text — substitute the JSON
+// shape and swallow the text body.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	rewrote     bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	if status >= 400 && w.Header().Get("Content-Type") != "application/json" {
+		w.rewrote = true
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("Content-Length")
+		w.ResponseWriter.WriteHeader(status)
+		body := append([]byte(`{"error":`), strconv.AppendQuote(nil, http.StatusText(status))...)
+		w.ResponseWriter.Write(append(body, '}'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.rewrote {
+		// The plain-text body the JSON shape replaced; report it written.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func handleHealthz(a Auctioneer, w http.ResponseWriter, r *http.Request) {
+	h := a.Health()
 	status := http.StatusOK
 	if h.Status != "ok" {
 		status = http.StatusServiceUnavailable
@@ -332,7 +397,7 @@ func (b *Broker) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
+func handleBid(a Auctioneer, w http.ResponseWriter, r *http.Request) {
 	sc := scratchPool.Get().(*httpScratch)
 	defer scratchPool.Put(sc)
 	var err error
@@ -345,12 +410,12 @@ func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := sc.req.task()
-	d, err := b.Submit(r.Context(), t)
+	d, err := a.Submit(r.Context(), t)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			// Overload sheds rather than queues unboundedly; tell the
 			// client when capacity plausibly returns (next slot close).
-			w.Header().Set("Retry-After", b.retryAfter())
+			w.Header().Set("Retry-After", a.retryAfter())
 		}
 		writeErr(w, err)
 		return
@@ -362,16 +427,18 @@ func (b *Broker) handleBid(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleBidBatch is POST /v1/bids/batch: a JSON array of the /v1/bids
-// wire shape, submitted to the broker as one coalesced intake message.
-// By default it blocks like /v1/bids and responds with one decision (or
-// per-bid error) object per input, positionally. With ?ack=1 it returns
-// as soon as the intake verdicts are known — {"task_id": n} per held
-// bid (IDs the broker assigned included), plus an "error" field for
-// refusals — and the decisions are later readable from /v1/decisions or
-// an observer sink. Per-bid failures ride inside a 200; whole-batch
-// failures (malformed JSON, a full intake channel, a stopping broker)
-// use the same status codes as /v1/bids.
-func (b *Broker) handleBidBatch(w http.ResponseWriter, r *http.Request) {
+// wire shape, submitted to the fleet as one coalesced intake message
+// (a sharded fleet partitions it by the dual-price placement rule and
+// fans the slices out concurrently). By default it blocks like /v1/bids
+// and responds with one decision (or per-bid error) object per input,
+// positionally. With ?ack=1 it returns as soon as the intake verdicts
+// are known — {"task_id": n} per held bid (IDs the broker assigned
+// included), plus an "error" field for refusals — and the decisions are
+// later readable from /v1/decisions or an observer sink. Per-bid
+// failures ride inside a 200; whole-batch failures (malformed JSON, a
+// full intake channel, a stopping broker) use the same status codes as
+// /v1/bids.
+func handleBidBatch(a Auctioneer, w http.ResponseWriter, r *http.Request) {
 	sc := scratchPool.Get().(*httpScratch)
 	reuse := true
 	defer func() {
@@ -398,12 +465,12 @@ func (b *Broker) handleBidBatch(w http.ResponseWriter, r *http.Request) {
 		for range sc.tasks {
 			sc.verdicts = append(sc.verdicts, nil)
 		}
-		if _, err := b.SubmitBatchAck(ctx, sc.tasks, sc.verdicts); err != nil {
+		if _, err := a.SubmitBatchAck(ctx, sc.tasks, sc.verdicts); err != nil {
 			// On a context error the core goroutine may still own the
 			// task/verdict slices; retire this scratch instead of pooling.
 			reuse = !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 			if errors.Is(err, ErrQueueFull) {
-				w.Header().Set("Retry-After", b.retryAfter())
+				w.Header().Set("Retry-After", a.retryAfter())
 			}
 			writeErr(w, err)
 			return
@@ -423,11 +490,11 @@ func (b *Broker) handleBidBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		sc.out = append(out, ']')
 	} else {
-		outs, err := b.SubmitBatch(ctx, sc.tasks)
+		outs, err := a.SubmitBatch(ctx, sc.tasks)
 		if err != nil {
 			reuse = !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 			if errors.Is(err, ErrQueueFull) {
-				w.Header().Set("Retry-After", b.retryAfter())
+				w.Header().Set("Retry-After", a.retryAfter())
 			}
 			writeErr(w, err)
 			return
@@ -455,8 +522,8 @@ func (b *Broker) handleBidBatch(w http.ResponseWriter, r *http.Request) {
 	w.Write(sc.out)
 }
 
-func (b *Broker) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := b.Status()
+func handleStatus(a Auctioneer, w http.ResponseWriter, r *http.Request) {
+	st, err := a.statusPayload()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -464,13 +531,13 @@ func (b *Broker) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-func (b *Broker) handleDecision(w http.ResponseWriter, r *http.Request) {
+func handleDecision(a Auctioneer, w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, fmt.Errorf("%w: bad task id %q", errBadRequest, r.PathValue("id")))
 		return
 	}
-	d, ok, err := b.DecisionFor(id)
+	d, ok, err := a.DecisionFor(id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -482,7 +549,7 @@ func (b *Broker) handleDecision(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, decisionResponse(id, d))
 }
 
-func (b *Broker) handleStep(w http.ResponseWriter, r *http.Request) {
+func handleStep(a Auctioneer, w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Slots int `json:"slots"`
 	}
@@ -493,7 +560,7 @@ func (b *Broker) handleStep(w http.ResponseWriter, r *http.Request) {
 	if req.Slots <= 0 {
 		req.Slots = 1
 	}
-	slot, err := b.Step(req.Slots)
+	slot, err := a.Step(req.Slots)
 	if err != nil {
 		writeErr(w, err)
 		return

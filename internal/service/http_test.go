@@ -123,6 +123,59 @@ func TestHTTPRoundTrip(t *testing.T) {
 		http.StatusGone, nil)
 }
 
+// TestHTTPErrorSurface: /healthz is aliased under the /v1 prefix for
+// probes confined to it, and the mux's built-in text refusals (404 for
+// unknown paths, 405 for wrong methods) are rewritten into the JSON
+// error envelope every other endpoint speaks.
+func TestHTTPErrorSurface(t *testing.T) {
+	s := newStack(t, 12, 2, 2, 5)
+	b := startBroker(t, s.brokerOptions())
+	defer b.Kill()
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+
+	var h1, h2 Health
+	httpJSON(t, srv, "GET", "/healthz", nil, http.StatusOK, &h1)
+	httpJSON(t, srv, "GET", "/v1/healthz", nil, http.StatusOK, &h2)
+	if h1 != h2 {
+		t.Fatalf("alias diverges: /healthz %+v vs /v1/healthz %+v", h1, h2)
+	}
+
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/v1/nosuch", http.StatusNotFound},
+		{"DELETE", "/v1/status", http.StatusMethodNotAllowed},
+		{"GET", "/v1/bids", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s %s: HTTP %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s %s: Content-Type %q, want application/json", tc.method, tc.path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s %s: error body is not JSON: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if body.Error == "" {
+			t.Fatalf("%s %s: empty error field", tc.method, tc.path)
+		}
+	}
+}
+
 // TestHTTPRealClockStep: stepping a real-clock broker is a 409.
 func TestHTTPRealClockStep(t *testing.T) {
 	s := newStack(t, 12, 2, 2, 5)

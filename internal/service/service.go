@@ -159,6 +159,15 @@ type Options struct {
 	// after which /healthz reports degraded (bids keep flowing either
 	// way). Default 3.
 	DegradeAfter int
+	// Spot, when non-nil, attaches an elastic spot-capacity tier
+	// (internal/spot.Provider): the provider's nodes become unavailable
+	// until leased, leases are rented and released against the published
+	// duals, and market reclaims revoke capacity with the failure
+	// tracker's re-plan/refund semantics. The broker drives the provider
+	// at exactly the simulator's trigger points, so a spot-enabled broker
+	// stays bit-identical to sim.Run with Config.Spot. The provider must
+	// be dedicated to this broker (its state binds to the cluster).
+	Spot sim.SpotProvider
 }
 
 // withDefaults fills unset knobs.
@@ -318,8 +327,11 @@ type Broker struct {
 	ckptFails int
 	// faults replays Options.Failures with the simulator's semantics;
 	// nil when no failures are configured (the steady state pays only
-	// nil checks).
+	// nil checks). A spot provider forces a (possibly empty) tracker:
+	// revocations break plans through it.
 	faults *sim.FailureTracker
+	// spot is Options.Spot, bound to this broker's cluster and tracker.
+	spot sim.SpotProvider
 	// procIdx numbers processed bids in offer order — the tracker index
 	// stream that makes recovery re-planning deterministic.
 	procIdx int
@@ -350,6 +362,11 @@ func New(opts Options) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	if opts.Spot != nil && ft == nil {
+		// Spot revocations flow through the tracker's plan-breaking
+		// machinery even when no static outages are configured.
+		ft = sim.NewEmptyFailureTracker(opts.Cluster)
+	}
 	if ft != nil {
 		// A refunded task's decided outcome flips exactly as sim.Run
 		// flips Result.Decisions: the admission is reversed, the payment
@@ -363,6 +380,12 @@ func New(opts Options) (*Broker, error) {
 			}
 		}
 		b.faults = ft
+	}
+	if opts.Spot != nil {
+		if err := opts.Spot.Bind(opts.Cluster, b.faults); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		b.spot = opts.Spot
 	}
 	return b, nil
 }
@@ -726,6 +749,11 @@ type Status struct {
 	RecoveredTasks   int     `json:"recovered_tasks,omitempty"`
 	FailedTasks      int     `json:"failed_tasks,omitempty"`
 	RefundedValue    float64 `json:"refunded_value,omitempty"`
+	// Spot-market accounting (zero unless Options.Spot is set).
+	SpotSpend       float64 `json:"spot_spend,omitempty"`
+	SpotLeases      int     `json:"spot_leases,omitempty"`
+	SpotLeasedSlots int     `json:"spot_leased_slots,omitempty"`
+	SpotRevocations int     `json:"spot_revocations,omitempty"`
 }
 
 // Status reports the broker's current state.
@@ -803,6 +831,10 @@ func (b *Broker) status() Status {
 	st.RecoveredTasks = b.res.RecoveredTasks
 	st.FailedTasks = b.res.FailedTasks
 	st.RefundedValue = b.res.RefundedValue
+	st.SpotSpend = b.res.SpotSpend
+	st.SpotLeases = b.res.SpotLeases
+	st.SpotLeasedSlots = b.res.SpotLeasedSlots
+	st.SpotRevocations = b.res.SpotRevocations
 	if dc, ok := b.sched.(DualCheckpointer); ok {
 		ds := dc.SnapshotDuals()
 		for k := range ds.Lambda {
@@ -1069,8 +1101,13 @@ func (b *Broker) closeSlot() {
 	// mirroring sim.Run, which applies failures only when an arrival
 	// forces the clock forward. An empty (or fully canceled) round leaves
 	// them pending, so the replan-time ledger matches a sequential replay
-	// of the same bids exactly.
+	// of the same bids exactly. Spot-market events run first at the same
+	// trigger points — reclaims of a slot surface before its static
+	// outages in both engines.
 	if len(live) > 0 {
+		if b.spot != nil {
+			b.spot.AdvanceTo(b.slot, b.sched, b.res)
+		}
 		b.faults.ApplyUpTo(b.slot, b.sched, b.res)
 	}
 	for i := range live {
@@ -1084,6 +1121,9 @@ func (b *Broker) closeSlot() {
 	if b.slot >= b.horizon.T {
 		// Outages after the last round still break committed plans,
 		// exactly as sim.Run applies them after its last arrival.
+		if b.spot != nil {
+			b.spot.AdvanceTo(b.horizon.T-1, b.sched, b.res)
+		}
 		b.faults.ApplyUpTo(b.horizon.T-1, b.sched, b.res)
 		b.emitRunEnd()
 	}
@@ -1162,6 +1202,12 @@ func (b *Broker) emitRunEnd() {
 		ob.SetObserver(nil)
 	}
 }
+
+// Brokers returns the fleet members behind this Auctioneer — for a
+// monolithic broker, itself. Callers that need per-shard detail (chaos
+// harnesses, verify twins) iterate this instead of special-casing the
+// fleet shape.
+func (b *Broker) Brokers() []*Broker { return []*Broker{b} }
 
 // Result returns the run accounting. Safe only after Done (the tests
 // call it post-drain); a live broker reports through Status instead.

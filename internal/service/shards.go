@@ -367,20 +367,32 @@ func (s *Shards) Step(n int) (int, error) {
 // Slot returns the common current slot.
 func (s *Shards) Slot() (int, error) { return s.brokers[0].Slot() }
 
-// DecisionFor finds a decided bid across the fleet, returning the shard
-// index that decided it.
-func (s *Shards) DecisionFor(id int) (schedule.Decision, int, bool, error) {
-	for i, b := range s.brokers {
+// DecisionFor finds a decided bid across the fleet — same signature as
+// Broker.DecisionFor, so the Auctioneer surface is shape-blind. Callers
+// that need to know which shard decided a bid iterate Brokers().
+func (s *Shards) DecisionFor(id int) (schedule.Decision, bool, error) {
+	for _, b := range s.brokers {
 		d, ok, err := b.DecisionFor(id)
 		if err != nil {
-			return schedule.Decision{}, 0, false, err
+			return schedule.Decision{}, false, err
 		}
 		if ok {
-			return d, i, true, nil
+			return d, true, nil
 		}
 	}
-	return schedule.Decision{}, 0, false, nil
+	return schedule.Decision{}, false, nil
 }
+
+// Brokers returns the fleet members in shard order.
+func (s *Shards) Brokers() []*Broker { return append([]*Broker(nil), s.brokers...) }
+
+// retryAfter mirrors Broker.retryAfter; all shards share a clock mode
+// and slot duration, so shard 0 speaks for the fleet.
+func (s *Shards) retryAfter() string { return s.brokers[0].retryAfter() }
+
+// statusPayload serves the aggregated FleetStatus — per-shard detail
+// included — on /v1/status.
+func (s *Shards) statusPayload() (any, error) { return s.FleetStatus() }
 
 // ShardsStatus aggregates the fleet's operational state; PerShard keeps
 // each broker's full Status under its key.
@@ -402,8 +414,9 @@ type ShardsStatus struct {
 	PerShard map[string]Status `json:"per_shard"`
 }
 
-// Status aggregates every shard's Status.
-func (s *Shards) Status() (ShardsStatus, error) {
+// FleetStatus aggregates every shard's Status, keeping the per-shard
+// detail (the pre-Auctioneer Shards.Status).
+func (s *Shards) FleetStatus() (ShardsStatus, error) {
 	st := ShardsStatus{
 		Shards:      len(s.brokers),
 		Slots:       s.slots,
@@ -431,6 +444,73 @@ func (s *Shards) Status() (ShardsStatus, error) {
 		st.PerShard[s.keys[i]] = bs
 	}
 	return st, nil
+}
+
+// Status aggregates the fleet into the Auctioneer's shape-blind Status:
+// counts, welfare, revenue, shed tallies, and failure/spot accounting
+// sum across shards; high-water marks and dual prices take the fleet
+// maximum; clock fields come from shard 0 (all shards share a clock).
+// Degradation is sticky: the first degraded shard's reason surfaces.
+// Per-shard detail remains available from FleetStatus.
+func (s *Shards) Status() (Status, error) {
+	var agg Status
+	for i, b := range s.brokers {
+		bs, err := b.Status()
+		if err != nil {
+			return agg, fmt.Errorf("shard %s: %w", s.keys[i], err)
+		}
+		if i == 0 {
+			agg = bs
+			agg.Run = bs.Run + "/fleet"
+			continue
+		}
+		agg.Held += bs.Held
+		agg.QueueCap += bs.QueueCap
+		agg.IntakeDepth += bs.IntakeDepth
+		agg.IntakeCap += bs.IntakeCap
+		agg.ShedChannelFull += bs.ShedChannelFull
+		agg.ShedHeldFull += bs.ShedHeldFull
+		agg.Decided += bs.Decided
+		agg.Admitted += bs.Admitted
+		agg.Rejected += bs.Rejected
+		agg.Canceled += bs.Canceled
+		agg.Welfare += bs.Welfare
+		agg.Revenue += bs.Revenue
+		agg.FailuresInjected += bs.FailuresInjected
+		agg.RecoveredTasks += bs.RecoveredTasks
+		agg.FailedTasks += bs.FailedTasks
+		agg.RefundedValue += bs.RefundedValue
+		agg.SpotSpend += bs.SpotSpend
+		agg.SpotLeases += bs.SpotLeases
+		agg.SpotLeasedSlots += bs.SpotLeasedSlots
+		agg.SpotRevocations += bs.SpotRevocations
+		if bs.IntakeHighWater > agg.IntakeHighWater {
+			agg.IntakeHighWater = bs.IntakeHighWater
+		}
+		if bs.HeldHighWater > agg.HeldHighWater {
+			agg.HeldHighWater = bs.HeldHighWater
+		}
+		if bs.MaxLambda > agg.MaxLambda {
+			agg.MaxLambda = bs.MaxLambda
+		}
+		if bs.MaxPhi > agg.MaxPhi {
+			agg.MaxPhi = bs.MaxPhi
+		}
+		if bs.Utilization > agg.Utilization {
+			agg.Utilization = bs.Utilization
+		}
+		if bs.CheckpointFailures > agg.CheckpointFailures {
+			agg.CheckpointFailures = bs.CheckpointFailures
+		}
+		if bs.SlotsSinceCheckpoint > agg.SlotsSinceCheckpoint {
+			agg.SlotsSinceCheckpoint = bs.SlotsSinceCheckpoint
+		}
+		if !agg.Degraded && bs.Degraded {
+			agg.Degraded = true
+			agg.DegradedReason = fmt.Sprintf("shard %s: %s", s.keys[i], bs.DegradedReason)
+		}
+	}
+	return agg, nil
 }
 
 // Health aggregates shard health: degraded if any shard is, with the

@@ -1,0 +1,51 @@
+package sim
+
+import "github.com/pdftsp/pdftsp/internal/cluster"
+
+// SpotProvider is the elastic-capacity hook both engines drive: an
+// implementation (internal/spot.Provider) rents and releases revocable
+// spot nodes against the run's published dual prices. sim defines only
+// the contract so the dependency points outward — spot imports sim, the
+// engines hold the interface.
+//
+// Call discipline, shared verbatim by sim.Run and the service broker so
+// the two stay bit-identical:
+//
+//   - Bind runs once, before the first bid, attaching the provider to
+//     the run's cluster and failure tracker (revocations reuse the
+//     tracker's plan-breaking machinery).
+//   - AdvanceTo(now) runs at EXACTLY the points FailureTracker.ApplyUpTo
+//     does — immediately before it, at every bid-bearing slot and once
+//     at the horizon's last slot — so spot reclaims surface before
+//     static outages of the same slot in both engines.
+type SpotProvider interface {
+	Bind(cl *cluster.Cluster, faults *FailureTracker) error
+	AdvanceTo(now int, sched Scheduler, res *Result)
+	// State snapshots the provider for a checkpoint; RestoreState
+	// rebuilds it (the cluster's lease map is persisted separately in the
+	// ledger snapshot).
+	State() SpotState
+	RestoreState(st *SpotState) error
+}
+
+// SpotState is the JSON persistence form of a spot provider: how far the
+// price/reclaim trace has been consumed, the budget spent, and every
+// live lease. The broker embeds it in its checkpoint; the trace itself
+// is configuration and is not persisted.
+type SpotState struct {
+	// Next is the first trace slot AdvanceTo has not processed yet.
+	Next int `json:"next"`
+	// Spent is the cumulative rent paid against the budget.
+	Spent float64 `json:"spent"`
+	// Leases are the live capacity leases, ordered by (node, from).
+	Leases []SpotLease `json:"leases,omitempty"`
+}
+
+// SpotLease is one live rental on the checkpoint wire.
+type SpotLease struct {
+	Node int `json:"node"`
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Rate is the per-slot rent locked in when the lease was taken.
+	Rate float64 `json:"rate"`
+}

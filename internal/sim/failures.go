@@ -96,6 +96,18 @@ func NewFailureTracker(fs []Failure, cl *cluster.Cluster) (*FailureTracker, erro
 	}, nil
 }
 
+// NewEmptyFailureTracker returns a live tracker with no scheduled
+// outages. Spot-market runs need one even when Config.Failures is empty:
+// revocations reuse the tracker's plan-breaking machinery (Revoke), so
+// the engine must track admitted plans from the first bid on.
+func NewEmptyFailureTracker(cl *cluster.Cluster) *FailureTracker {
+	return &FailureTracker{
+		cl:      cl,
+		records: map[int]*commitRecord{},
+		contID:  1 << 30,
+	}
+}
+
 // Track remembers an admitted plan for possible recovery. idx is the
 // bid's position in the offer stream; it orders recovery re-planning
 // deterministically and indexes Result.Decisions in Run.
@@ -129,8 +141,28 @@ func (fs *FailureTracker) ApplyUpTo(now int, sched Scheduler, res *Result) {
 func (fs *FailureTracker) apply(f Failure, sched Scheduler, res *Result) {
 	res.FailuresInjected++
 	// The outage becomes visible to every subsequent planning decision.
+	fs.cl.SetDown(f.Node, f.From, f.To)
+	fs.breakPlans(f, sched, res)
+}
+
+// Revoke withdraws capacity like an outage but without marking the node
+// down: a spot revocation is a lease ending early, and the node can be
+// re-rented later. The caller must have already withdrawn the lease
+// (cluster.EndLease) so recovery re-planning cannot land back on the
+// revoked cells. Revocations tally Result.SpotRevocations, keeping
+// FailuresInjected the pure count of Config.Failures outages.
+func (fs *FailureTracker) Revoke(f Failure, sched Scheduler, res *Result) {
+	if fs == nil {
+		return
+	}
+	res.SpotRevocations++
+	fs.breakPlans(f, sched, res)
+}
+
+// breakPlans releases, re-plans, or refunds every committed plan the
+// capacity loss f intersects, and emits the failure event.
+func (fs *FailureTracker) breakPlans(f Failure, sched Scheduler, res *Result) {
 	cl := fs.cl
-	cl.SetDown(f.Node, f.From, f.To)
 
 	// Recovery re-offers move duals and commit ledger cells, so when one
 	// outage breaks several plans the processing order is part of the

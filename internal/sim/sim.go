@@ -63,6 +63,12 @@ type Config struct {
 	// the committed plans it breaks. pdFTSP recovers best with
 	// Options.MaskFullCells set, so its DP routes around downed nodes.
 	Failures []Failure
+	// Spot, when non-nil, drives the elastic spot-capacity tier: the
+	// provider is bound to the run's cluster and failure tracker before
+	// the first bid and advanced at exactly the failure trigger points,
+	// renting and revoking leases on the cluster's elastic nodes. See
+	// SpotProvider and internal/spot.
+	Spot SpotProvider
 	// Quotes, when non-nil, replaces direct Market lookups for
 	// pre-processing bids with a fallible vendor client (vendor.Retrier
 	// over vendor.Flaky injects transient faults and backoff). A purchase
@@ -118,6 +124,12 @@ type Result struct {
 	RecoveredTasks   int
 	FailedTasks      int
 	RefundedValue    float64
+	// Spot-market accounting (zero unless Config.Spot is set): rent paid,
+	// leases taken, node-slots leased, and leases revoked by the market.
+	SpotSpend       float64
+	SpotLeases      int
+	SpotLeasedSlots int
+	SpotRevocations int
 }
 
 // AcceptanceRate returns admitted / total.
@@ -145,6 +157,16 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 	failures, err := NewFailureTracker(cfg.Failures, cl)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Spot != nil {
+		// Revocations flow through the shared plan-breaking machinery, so
+		// a spot run always carries a live (possibly outage-free) tracker.
+		if failures == nil {
+			failures = NewEmptyFailureTracker(cl)
+		}
+		if err := cfg.Spot.Bind(cl, failures); err != nil {
+			return nil, err
+		}
 	}
 	events := newEventLogger(cfg.EventLog)
 	batcher, isBatch := sched.(BatchScheduler)
@@ -261,8 +283,11 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		if err := tk.Validate(h); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		// Outages that begin at or before this slot surface now, before
-		// the slot's bids are considered.
+		// Spot-market events, then outages, that begin at or before this
+		// slot surface now, before the slot's bids are considered.
+		if cfg.Spot != nil {
+			cfg.Spot.AdvanceTo(tk.Arrival, sched, res)
+		}
 		failures.ApplyUpTo(tk.Arrival, sched, res)
 		// Group the whole slot for batch schedulers.
 		j := i + 1
@@ -306,7 +331,11 @@ func Run(cl *cluster.Cluster, sched Scheduler, tasks []task.Task, cfg Config) (*
 		failures.Track(i, env, &d)
 		i++
 	}
-	// Outages after the last arrival still break committed plans.
+	// Spot events and outages after the last arrival still break
+	// committed plans.
+	if cfg.Spot != nil {
+		cfg.Spot.AdvanceTo(h.T-1, sched, res)
+	}
 	failures.ApplyUpTo(h.T-1, sched, res)
 	if logErr != nil {
 		return nil, fmt.Errorf("sim: event log: %w", logErr)

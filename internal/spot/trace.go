@@ -1,0 +1,136 @@
+// Package spot models the elastic spot-capacity tier: a seeded,
+// replayable spot-price process with revocation (reclaim) events, and a
+// budgeted Provider that rents and releases revocable nodes against the
+// auction's published dual prices. A revocation is an outage with a
+// price signal attached — the Provider withdraws the lease and routes
+// the broken plans through sim.FailureTracker.Revoke, reusing the
+// re-plan/refund machinery node outages already exercise.
+//
+// Everything here is deterministic given (seed, config): the same trace
+// drives a sim.Run and a serving broker to bit-identical results, which
+// is how the spot tier is verified end to end.
+package spot
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pdftsp/pdftsp/internal/cluster"
+)
+
+// TraceConfig parameterizes the spot-market process.
+type TraceConfig struct {
+	// Seed makes the trace replayable.
+	Seed int64
+	// Slots is the horizon length; the trace carries one price per slot.
+	Slots int
+	// Nodes are the cluster node indices sold on the spot market —
+	// reclaim events are drawn per node per slot.
+	Nodes []int
+	// BasePrice is the mean rent per node-slot the price walk reverts
+	// to. See ReferencePrice for a cluster-calibrated choice.
+	BasePrice float64
+	// Volatility is the per-slot shock magnitude as a fraction of
+	// BasePrice (default 0.15).
+	Volatility float64
+	// Revert is the mean-reversion strength in (0, 1] (default 0.25).
+	Revert float64
+	// SpikeProb is the per-slot probability of a demand spike that
+	// multiplies the slot's price by SpikeMult (defaults 0.06, 3).
+	SpikeProb float64
+	SpikeMult float64
+	// ReclaimProb is the per-node per-slot probability the market
+	// reclaims that node's capacity (default 0.02). A reclaim only
+	// matters if a lease covers the slot.
+	ReclaimProb float64
+}
+
+// withDefaults fills zero fields.
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Volatility == 0 {
+		c.Volatility = 0.15
+	}
+	if c.Revert == 0 {
+		c.Revert = 0.25
+	}
+	if c.SpikeProb == 0 {
+		c.SpikeProb = 0.06
+	}
+	if c.SpikeMult == 0 {
+		c.SpikeMult = 3
+	}
+	if c.ReclaimProb == 0 {
+		c.ReclaimProb = 0.02
+	}
+	return c
+}
+
+// Trace is a fully materialized spot-market history: one quote per slot
+// and the reclaim events per slot. Precomputing it (rather than sampling
+// online) is what makes spot runs replayable — the trace is
+// configuration, shared read-only by an engine and its verify twin.
+type Trace struct {
+	// Prices[t] is the rent per node-slot quoted at slot t.
+	Prices []float64
+	// Reclaims[t] lists the node indices whose capacity the market
+	// withdraws at the beginning of slot t, in ascending order.
+	Reclaims [][]int
+	// Base echoes the configured BasePrice for policy thresholds.
+	Base float64
+}
+
+// GenerateTrace draws the price walk and reclaim schedule for cfg. The
+// price follows a mean-reverting walk with multiplicative spikes,
+// floored at BasePrice/4 so quotes stay positive.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("spot: trace needs positive slots, got %d", cfg.Slots)
+	}
+	if cfg.BasePrice <= 0 {
+		return nil, fmt.Errorf("spot: trace needs positive base price, got %v", cfg.BasePrice)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{
+		Prices:   make([]float64, cfg.Slots),
+		Reclaims: make([][]int, cfg.Slots),
+		Base:     cfg.BasePrice,
+	}
+	floor := cfg.BasePrice / 4
+	p := cfg.BasePrice
+	for t := 0; t < cfg.Slots; t++ {
+		p += cfg.Revert*(cfg.BasePrice-p) + cfg.Volatility*cfg.BasePrice*rng.NormFloat64()
+		if p < floor {
+			p = floor
+		}
+		quote := p
+		if rng.Float64() < cfg.SpikeProb {
+			quote *= cfg.SpikeMult
+		}
+		tr.Prices[t] = quote
+		for _, k := range cfg.Nodes {
+			if rng.Float64() < cfg.ReclaimProb {
+				tr.Reclaims[t] = append(tr.Reclaims[t], k)
+			}
+		}
+	}
+	return tr, nil
+}
+
+// ReferencePrice returns the cluster's mean on-demand operating cost per
+// node-slot — the natural unit for TraceConfig.BasePrice (spot markets
+// typically quote a discount to it, e.g. 0.4×).
+func ReferencePrice(cl *cluster.Cluster) float64 {
+	K, T := cl.NumNodes(), cl.Horizon().T
+	if K == 0 || T == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := 0; k < K; k++ {
+		cap := float64(cl.Node(k).CapWork)
+		for t := 0; t < T; t++ {
+			sum += cl.UnitEnergyCost(k, t) * cap
+		}
+	}
+	return sum / float64(K*T)
+}

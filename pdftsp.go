@@ -212,19 +212,6 @@ func NewCluster(h Horizon, model ModelConfig, opts ...ClusterOption) (*Cluster, 
 	}, nodes)
 }
 
-// NewClusterWithPrice is NewCluster with an explicit operational-cost
-// multiplier curve.
-//
-// Deprecated: use NewCluster with WithPrice.
-func NewClusterWithPrice(h Horizon, model ModelConfig, price PriceCurve, groups ...NodeGroup) (*Cluster, error) {
-	opts := make([]ClusterOption, 0, len(groups)+1)
-	for _, g := range groups {
-		opts = append(opts, g)
-	}
-	opts = append(opts, WithPrice(price))
-	return NewCluster(h, model, opts...)
-}
-
 // FlatPrice returns a constant cost multiplier.
 func FlatPrice(mult float64) PriceCurve { return gpu.FlatPrice(mult) }
 

@@ -68,9 +68,8 @@ func TestFacadeBaselines(t *testing.T) {
 	}
 }
 
-// TestFacadeClusterOptions: the functional-option constructor, the bare
-// NodeGroup form, and the deprecated NewClusterWithPrice all assemble the
-// same cluster.
+// TestFacadeClusterOptions: the functional-option constructor and the
+// bare NodeGroup form assemble the same cluster.
 func TestFacadeClusterOptions(t *testing.T) {
 	model := GPT2Small()
 	h := NewHorizon(24)
@@ -85,12 +84,7 @@ func TestFacadeClusterOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewClusterWithPrice(h, model, FlatPrice(1),
-		NodeGroup{Spec: A100(), Count: 2}, NodeGroup{Spec: A40(), Count: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, cl := range []*Cluster{b, c} {
+	for _, cl := range []*Cluster{b} {
 		if cl.NumNodes() != a.NumNodes() {
 			t.Fatalf("node counts diverge: %d vs %d", cl.NumNodes(), a.NumNodes())
 		}
@@ -189,7 +183,7 @@ func TestFacadeBroker(t *testing.T) {
 func TestFacadeSingleOffer(t *testing.T) {
 	model := GPT2Small()
 	h := Day()
-	cl, err := NewClusterWithPrice(h, model, FlatPrice(1), NodeGroup{Spec: A100(), Count: 1})
+	cl, err := NewCluster(h, model, WithNodes(A100(), 1), WithPrice(FlatPrice(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
