@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke spec-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ test-short:
 # keeps the node-bound Titan figures out of the 10-20x race slowdown;
 # the full determinism suite runs under `make test`.
 race:
-	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/service/ ./internal/sim/ ./internal/vendor/ ./internal/zones/
+	$(GO) test -race -short ./internal/runner/ ./internal/experiments/ ./internal/auction/ ./internal/core/ ./internal/obs/ ./internal/service/ ./internal/sim/ ./internal/vendor/ ./internal/zones/
 
 vet:
 	$(GO) vet ./...
@@ -42,15 +42,21 @@ bench-snapshot:
 # host — so the gate stays meaningful on shared CI runners. The alloc
 # budget tests guard the other axis: the failure-free hot path must stay
 # allocation-free with the fault layer compiled in but disabled.
+# The slot-close line carries wider tolerances: those rows do real file
+# I/O (checkpoints to a temp dir) and allocate per admitted plan, both
+# of which swing run-to-run on identical code; the wide band still
+# catches order-of-magnitude breakage, and allocs/op stays tight.
 BASELINE ?= BENCH_pr4.json
 SERVING_BASELINE ?= BENCH_serving_pr6.json
 SHARD_BASELINE ?= BENCH_shard_pr7.json
 SPOT_BASELINE ?= BENCH_spot_pr8.json
+SLOTCLOSE_BASELINE ?= BENCH_slotclose_pr9.json
 bench-check:
 	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
-	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run ServeBid/unbatched,ServeBid/batched,HTTPDecodeBid,DecisionEncode,DecisionLog,CheckpointPerSlot
-	$(GO) run ./cmd/bench -compare $(SHARD_BASELINE) -run ShardRoute,ServeBid/sharded
+	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run HTTPDecodeBid,DecisionEncode,DecisionLog
+	$(GO) run ./cmd/bench -compare $(SHARD_BASELINE) -run ShardRoute
 	$(GO) run ./cmd/bench -compare $(SPOT_BASELINE) -run SpotAdvance,SpotTraceGen
+	$(GO) run ./cmd/bench -compare $(SLOTCLOSE_BASELINE) -run ServeBid,SlotClose,CheckpointPerSlot -ns-tol 0.5 -bytes-tol 0.3
 	$(GO) test -run 'AllocBudget|SteadyStateAllocs' -count=1 . ./internal/sim/
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
@@ -103,4 +109,13 @@ shard-smoke:
 spot-smoke:
 	$(GO) run ./cmd/pdftspd -spot-smoke
 
-check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke
+# spec-smoke replays the load-smoke workload through the speculative
+# parallel slot-close with the async checkpoint and decision-log writers
+# on, at GOMAXPROCS=4, and verifies the run stays bit-identical to the
+# sequential sim.Run twin — the end-to-end gate on the parallel round.
+spec-smoke:
+	GOMAXPROCS=4 $(GO) run ./cmd/pdftspd-load -slots 24 -rate 40 -nodes 4 -seed 1 \
+		-spec-workers 4 -async-checkpoint -async-log -verify \
+		-checkpoint /tmp/pdftsp-spec.ckpt -full-every 4 -decision-log /tmp/pdftsp-spec.declog
+
+check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke spec-smoke

@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -42,8 +43,11 @@ type Result struct {
 	BytesPerOp int64   `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	// GOMAXPROCS records the worker ceiling this benchmark ran with;
-	// meaningful for the `/parallel` variants.
+	// multi-core rows appear once per core count.
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// Metrics carries custom b.ReportMetric values (e.g. the SlotClose
+	// speculation hit-rate).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the BENCH_<label>.json schema.
@@ -115,29 +119,48 @@ func main() {
 		CPUList:    []int{baseProcs, parallelProcs},
 	}
 
-	fmt.Printf("%-30s %12s %14s %12s %12s %6s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op", "procs")
+	// Multi-core serving rows run once per GOMAXPROCS so the snapshot
+	// records the scaling curve. GOMAXPROCS is set above NumCPU on small
+	// hosts on purpose: the workers then time-share one core, which still
+	// exercises the concurrent machinery and records an honest (flat)
+	// curve — the snapshot's num_cpu says how to read it.
+	multiProcs := []int{1, 4}
+
+	fmt.Printf("%-38s %12s %14s %12s %12s %6s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op", "procs")
 	for _, bm := range benchsuite.Suite() {
 		if !matches(bm.Name, *run) {
 			continue
 		}
-		procs := baseProcs
-		if strings.Contains(bm.Name, "/parallel") {
-			procs = parallelProcs
+		procsList := []int{baseProcs}
+		switch {
+		case strings.Contains(bm.Name, "/parallel"):
+			procsList = []int{parallelProcs}
+		case bm.MultiCore:
+			procsList = multiProcs
 		}
-		prev := runtime.GOMAXPROCS(procs)
-		r := testing.Benchmark(bm.Func)
-		runtime.GOMAXPROCS(prev)
-		res := Result{
-			Name:        bm.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			GOMAXPROCS:  procs,
+		for _, procs := range procsList {
+			prev := runtime.GOMAXPROCS(procs)
+			r := testing.Benchmark(bm.Func)
+			runtime.GOMAXPROCS(prev)
+			res := Result{
+				Name:        bm.Name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				GOMAXPROCS:  procs,
+			}
+			if len(r.Extra) > 0 {
+				res.Metrics = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					res.Metrics[k] = v
+				}
+			}
+			snap.Benchmarks = append(snap.Benchmarks, res)
+			fmt.Printf("%-38s %12d %14.0f %12d %12d %6d%s\n",
+				res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.GOMAXPROCS,
+				metricsSuffix(res.Metrics))
 		}
-		snap.Benchmarks = append(snap.Benchmarks, res)
-		fmt.Printf("%-30s %12d %14.0f %12d %12d %6d\n",
-			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.GOMAXPROCS)
 	}
 	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintf(os.Stderr, "bench: no benchmarks matched -run %q\n", *run)
@@ -165,10 +188,32 @@ func main() {
 	fmt.Printf("\nwrote %s (gomaxprocs=%d, cpus=%d)\n", path, snap.GOMAXPROCS, snap.NumCPU)
 }
 
+// metricsSuffix renders custom metrics for the console table, keys
+// sorted so runs diff cleanly.
+func metricsSuffix(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  %s=%.3f", k, m[k])
+	}
+	return sb.String()
+}
+
 // compareAgainst checks fresh measurements against a recorded baseline
 // and returns an error naming every metric that regressed beyond its
-// tolerance. Benchmarks absent from the baseline are reported but do not
-// fail the run, so the suite can grow without invalidating old snapshots.
+// tolerance. Rows are matched by (name, gomaxprocs) so a multi-core
+// benchmark compares against the baseline row at the same core count;
+// baselines recorded before rows carried distinct core counts fall back
+// to a bare-name match. Benchmarks absent from the baseline are
+// reported but do not fail the run, so the suite can grow without
+// invalidating old snapshots.
 func compareAgainst(path string, fresh []Result, nsTol, bytesTol, allocsTol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -178,9 +223,13 @@ func compareAgainst(path string, fresh []Result, nsTol, bytesTol, allocsTol floa
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	baseline := make(map[string]Result, len(base.Benchmarks))
+	key := func(r Result) string { return fmt.Sprintf("%s@%d", r.Name, r.GOMAXPROCS) }
+	baseline := make(map[string]Result, 2*len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
-		baseline[r.Name] = r
+		baseline[key(r)] = r
+		if _, dup := baseline[r.Name]; !dup {
+			baseline[r.Name] = r
+		}
 	}
 
 	var regressions []string
@@ -191,28 +240,31 @@ func compareAgainst(path string, fresh []Result, nsTol, bytesTol, allocsTol floa
 		return fmt.Sprintf("%+.1f%%", 100*(now-then)/then)
 	}
 	fmt.Printf("\ncompare vs %s (label %q):\n", path, base.Label)
-	fmt.Printf("%-30s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	fmt.Printf("%-38s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 	for _, r := range fresh {
-		b, ok := baseline[r.Name]
+		b, ok := baseline[key(r)]
 		if !ok {
-			fmt.Printf("%-30s %s\n", r.Name, "(not in baseline)")
+			b, ok = baseline[r.Name]
+		}
+		if !ok {
+			fmt.Printf("%-38s %s\n", rowLabel(r), "(not in baseline)")
 			continue
 		}
-		fmt.Printf("%-30s %14s %12s %12s\n", r.Name,
+		fmt.Printf("%-38s %14s %12s %12s\n", rowLabel(r),
 			pct(r.NsPerOp, b.NsPerOp),
 			pct(float64(r.BytesPerOp), float64(b.BytesPerOp)),
 			pct(float64(r.AllocsPerOp), float64(b.AllocsPerOp)))
 		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+nsTol) {
 			regressions = append(regressions, fmt.Sprintf(
-				"%s ns/op %.0f > baseline %.0f (+%.0f%% tolerance)", r.Name, r.NsPerOp, b.NsPerOp, 100*nsTol))
+				"%s ns/op %.0f > baseline %.0f (+%.0f%% tolerance)", rowLabel(r), r.NsPerOp, b.NsPerOp, 100*nsTol))
 		}
 		if r.BytesPerOp > int64(float64(b.BytesPerOp)*(1+bytesTol)) {
 			regressions = append(regressions, fmt.Sprintf(
-				"%s bytes/op %d > baseline %d (+%.0f%% tolerance)", r.Name, r.BytesPerOp, b.BytesPerOp, 100*bytesTol))
+				"%s bytes/op %d > baseline %d (+%.0f%% tolerance)", rowLabel(r), r.BytesPerOp, b.BytesPerOp, 100*bytesTol))
 		}
 		if r.AllocsPerOp > int64(float64(b.AllocsPerOp)*(1+allocsTol)) {
 			regressions = append(regressions, fmt.Sprintf(
-				"%s allocs/op %d > baseline %d (+%.0f%% tolerance)", r.Name, r.AllocsPerOp, b.AllocsPerOp, 100*allocsTol))
+				"%s allocs/op %d > baseline %d (+%.0f%% tolerance)", rowLabel(r), r.AllocsPerOp, b.AllocsPerOp, 100*allocsTol))
 		}
 	}
 	if len(regressions) > 0 {
@@ -220,4 +272,10 @@ func compareAgainst(path string, fresh []Result, nsTol, bytesTol, allocsTol floa
 	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+// rowLabel is the human-readable row identity in compare output —
+// name plus core count, since multi-core rows repeat the name.
+func rowLabel(r Result) string {
+	return fmt.Sprintf("%s@%d", r.Name, r.GOMAXPROCS)
 }

@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -88,6 +89,13 @@ type flags struct {
 	decLog    string
 	keepPlans bool
 
+	specWorkers int
+	asyncCkpt   bool
+	asyncLog    bool
+
+	cpuProfile string
+	memProfile string
+
 	shards int
 	scale  string
 
@@ -118,6 +126,11 @@ func main() {
 	flag.IntVar(&f.fullEvery, "full-every", 1, "full snapshot every n checkpoint writes (binary deltas between)")
 	flag.StringVar(&f.decLog, "decision-log", "", "stream the binary decision log to this path")
 	flag.BoolVar(&f.keepPlans, "keep-losing-plans", false, "retain rejected bids' candidate plans (more memory)")
+	flag.IntVar(&f.specWorkers, "spec-workers", 0, "close slots through the speculative parallel round with this many workers (0/1 = sequential)")
+	flag.BoolVar(&f.asyncCkpt, "async-checkpoint", false, "move checkpoint file writes off the core goroutine (double-buffered, backpressured)")
+	flag.BoolVar(&f.asyncLog, "async-log", false, "move decision-log writes onto a background writer (double-buffered, backpressured)")
+	flag.StringVar(&f.cpuProfile, "profile", "", "write a CPU profile of the whole run to this path")
+	flag.StringVar(&f.memProfile, "memprofile", "", "write a heap profile at the end of the run to this path")
 	flag.IntVar(&f.shards, "shards", 1, "partition the cluster into this many shard brokers behind the dual-price router")
 	flag.StringVar(&f.scale, "scale", "", "comma-separated shard counts (e.g. 1,2,4): run the same workload per count and print a scaling table")
 	flag.BoolVar(&f.verify, "verify", false, "diff the broker's decisions and accounting against sim.Run (per shard when -shards > 1)")
@@ -138,24 +151,59 @@ func main() {
 		fail("-shards must be >= 1")
 	}
 
-	if f.scale != "" {
-		if err := runScale(f); err != nil {
-			fail("%v", err)
+	if err := execute(f); err != nil {
+		fail("%v", err)
+	}
+}
+
+// execute runs the harness with the profile hooks installed; keeping it
+// out of main lets the deferred profile flushes run before any exit.
+func execute(f flags) error {
+	if f.cpuProfile != "" {
+		pf, err := os.Create(f.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
 		}
-		return
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return fmt.Errorf("profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if f.memProfile != "" {
+		defer func() {
+			mf, err := os.Create(f.memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pdftspd-load: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "pdftspd-load: memprofile: %v\n", err)
+			}
+			mf.Close()
+		}()
+	}
+
+	if f.scale != "" {
+		return runScale(f)
 	}
 
 	rep, err := run(f)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	rep.print(os.Stdout, f.jsonOut)
 	if f.minRate > 0 && rep.SustainedBidsPerSec < f.minRate {
-		fail("sustained %.0f bids/s below -min-rate %.0f", rep.SustainedBidsPerSec, f.minRate)
+		return fmt.Errorf("sustained %.0f bids/s below -min-rate %.0f", rep.SustainedBidsPerSec, f.minRate)
 	}
 	if f.verify && !rep.Verified {
-		fail("verification failed: %s", rep.VerifyNote)
+		return fmt.Errorf("verification failed: %s", rep.VerifyNote)
 	}
+	return nil
 }
 
 // runScale runs the same workload once per shard count and prints the
@@ -391,10 +439,11 @@ func (l *latObserver) OnOutcome(e *obs.OutcomeEvent) {
 // aggStatus is the slice of broker status the report needs, aggregated
 // across shards when -shards > 1.
 type aggStatus struct {
-	intakeHW, heldHW   int
-	shedChan, shedHeld int64
-	welfare, revenue   float64
-	admitted, rejected int
+	intakeHW, heldHW     int
+	shedChan, shedHeld   int64
+	welfare, revenue     float64
+	admitted, rejected   int
+	specHits, specMisses uint64
 }
 
 // report is the run's measured outcome.
@@ -427,6 +476,9 @@ type report struct {
 	ShedChannelFull int64   `json:"shed_channel_full"`
 	ShedHeldFull    int64   `json:"shed_held_full"`
 	AllocsPerBid    float64 `json:"allocs_per_bid"`
+	SpecHits        uint64  `json:"spec_hits,omitempty"`
+	SpecMisses      uint64  `json:"spec_misses,omitempty"`
+	SpecHitRate     float64 `json:"spec_hit_rate,omitempty"`
 	Welfare         float64 `json:"welfare"`
 	Revenue         float64 `json:"revenue"`
 	Admitted        int     `json:"admitted"`
@@ -457,6 +509,10 @@ func (r *report) print(w io.Writer, asJSON bool) {
 	fmt.Fprintf(w, "  intake high-water %d  held high-water %d  shed: channel %d held %d\n",
 		r.IntakeHighWater, r.HeldHighWater, r.ShedChannelFull, r.ShedHeldFull)
 	fmt.Fprintf(w, "  allocs/served bid (whole process, both sides of the wire) %.1f\n", r.AllocsPerBid)
+	if r.SpecHits+r.SpecMisses > 0 {
+		fmt.Fprintf(w, "  speculation  hits %d  misses %d  hit-rate %.1f%%\n",
+			r.SpecHits, r.SpecMisses, r.SpecHitRate*100)
+	}
 	fmt.Fprintf(w, "  welfare %.2f  revenue %.2f  admitted %d  rejected %d\n",
 		r.Welfare, r.Revenue, r.Admitted, r.Rejected)
 	if r.Verified {
@@ -505,6 +561,9 @@ func run(f flags) (*report, error) {
 		if decLog, err = obs.NewDecisionLogFile(f.decLog); err != nil {
 			return nil, err
 		}
+		if f.asyncLog {
+			decLog.Async()
+		}
 		observers = append(observers, decLog)
 	}
 
@@ -529,6 +588,8 @@ func run(f flags) (*report, error) {
 			Observer:            obs.Multi(observers...),
 			RunLabel:            "pdftspd-load",
 			DropLosingPlans:     !f.keepPlans,
+			SpecWorkers:         f.specWorkers,
+			AsyncCheckpoint:     f.asyncCkpt,
 		}
 		if f.shards > 1 {
 			opts.RunLabel = fmt.Sprintf("pdftspd-load/%d", i)
@@ -568,6 +629,7 @@ func run(f flags) (*report, error) {
 			shedChan: st.ShedChannelFull, shedHeld: st.ShedHeldFull,
 			welfare: st.Welfare, revenue: st.Revenue,
 			admitted: st.Admitted, rejected: st.Rejected,
+			specHits: st.SpecHits, specMisses: st.SpecMisses,
 		}, nil
 	}
 	verifyFn := func(shed int) (bool, string) { return verifyFleet(f, h, tasks, a, shed) }
@@ -701,6 +763,10 @@ func run(f flags) (*report, error) {
 	}
 	if decided > 0 {
 		rep.AllocsPerBid = float64(m1.Mallocs-m0.Mallocs) / float64(decided)
+	}
+	rep.SpecHits, rep.SpecMisses = st.specHits, st.specMisses
+	if n := st.specHits + st.specMisses; n > 0 {
+		rep.SpecHitRate = float64(st.specHits) / float64(n)
 	}
 	rep.IntakeP50Ms, rep.IntakeP90Ms, rep.IntakeP99Ms, rep.IntakeMaxMs = percentilesMs(intakeRTT)
 	rep.DecisionP50Ms, rep.DecisionP90Ms, rep.DecisionP99Ms, rep.DecisionMaxMs = percentilesMs(decLat)
@@ -854,13 +920,8 @@ func verifyFleet(f flags, h timeslot.Horizon, tasks []task.Task, a service.Aucti
 			return false, fmt.Sprintf("broker %d replay: %v", si, err)
 		}
 		got := brokers[si].Result()
-		if got.Welfare != res.Welfare || got.Revenue != res.Revenue ||
-			got.VendorSpend != res.VendorSpend || got.EnergySpend != res.EnergySpend ||
-			got.Admitted != res.Admitted || got.Rejected != res.Rejected ||
-			got.Utilization != res.Utilization {
-			return false, fmt.Sprintf("broker %d accounting mismatch: broker welfare=%v revenue=%v %d/%d util=%v, replay welfare=%v revenue=%v %d/%d util=%v",
-				si, got.Welfare, got.Revenue, got.Admitted, got.Rejected, got.Utilization,
-				res.Welfare, res.Revenue, res.Admitted, res.Rejected, res.Utilization)
+		if msg := sim.DiffResults(got, res); msg != "" {
+			return false, fmt.Sprintf("broker %d accounting mismatch: %s", si, msg)
 		}
 		for j := range subs[si] {
 			want := res.Decisions[j]
@@ -868,9 +929,8 @@ func verifyFleet(f flags, h timeslot.Horizon, tasks []task.Task, a service.Aucti
 			if err != nil || !ok {
 				return false, fmt.Sprintf("task %d: lost from broker %d after drain", subs[si][j].ID, si)
 			}
-			if d.Admitted != want.Admitted || d.Payment != want.Payment || d.Reason != want.Reason {
-				return false, fmt.Sprintf("broker %d task %d: broker (admitted=%v payment=%v %q) vs replay (admitted=%v payment=%v %q)",
-					si, subs[si][j].ID, d.Admitted, d.Payment, d.Reason, want.Admitted, want.Payment, want.Reason)
+			if msg := sim.DiffDecisions(&d, &want, false); msg != "" {
+				return false, fmt.Sprintf("broker %d vs replay: %s", si, msg)
 			}
 		}
 	}

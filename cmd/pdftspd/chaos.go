@@ -77,7 +77,7 @@ func locateDecision(a service.Auctioneer, id int) (schedule.Decision, int, bool,
 //
 // The same seed always yields the same schedule and the same final
 // state, so a chaos failure is replayable with the flags that produced it.
-func runChaos(cfg stackConfig, seed int64, n int, sc spotConfig) (chaosSummary, error) {
+func runChaos(cfg stackConfig, seed int64, n int, sc spotConfig, pc perfConfig) (chaosSummary, error) {
 	var sum chaosSummary
 	// A quick horizon unless the user overrode the defaults.
 	if cfg.slots == timeslot.DefaultHorizonSlots {
@@ -180,6 +180,8 @@ func runChaos(cfg stackConfig, seed int64, n int, sc spotConfig) (chaosSummary, 
 			CheckpointFault:     ckptFault,
 			Observer:            auditor,
 			RunLabel:            fmt.Sprintf("chaos/%d", i),
+			SpecWorkers:         pc.specWorkers,
+			AsyncCheckpoint:     pc.asyncCkpt,
 		}
 		prov, err := sc.provider(st.cl, cfg.slots, i)
 		if err != nil {
@@ -459,23 +461,13 @@ func runChaos(cfg stackConfig, seed int64, n int, sc spotConfig) (chaosSummary, 
 				return sum, fmt.Errorf("%w: no final decision for task %d on broker %d (ok=%v err=%v)", errChaos, tk.ID, si, ok, err)
 			}
 			w := want.Decisions[i]
-			if got.Admitted != w.Admitted || got.Payment != w.Payment || got.Reason != w.Reason {
-				return sum, fmt.Errorf("%w: broker %d task %d (admitted=%v payment=%v reason=%q) vs sim (admitted=%v payment=%v reason=%q)",
-					errChaos, si, tk.ID, got.Admitted, got.Payment, got.Reason, w.Admitted, w.Payment, w.Reason)
+			if msg := sim.DiffDecisions(&got, &w, false); msg != "" {
+				return sum, fmt.Errorf("%w: broker %d vs sim: %s", errChaos, si, msg)
 			}
 		}
 		res := brokers[si].Result()
-		if res.Welfare != want.Welfare || res.Revenue != want.Revenue ||
-			res.Admitted != want.Admitted || res.Rejected != want.Rejected ||
-			res.FailuresInjected != want.FailuresInjected ||
-			res.RecoveredTasks != want.RecoveredTasks ||
-			res.FailedTasks != want.FailedTasks ||
-			res.RefundedValue != want.RefundedValue ||
-			res.SpotSpend != want.SpotSpend ||
-			res.SpotLeases != want.SpotLeases ||
-			res.SpotLeasedSlots != want.SpotLeasedSlots ||
-			res.SpotRevocations != want.SpotRevocations {
-			return sum, fmt.Errorf("%w: broker %d accounting diverged\nbroker %+v\nsim    %+v", errChaos, si, res, want)
+		if msg := sim.DiffResults(res, want); msg != "" {
+			return sum, fmt.Errorf("%w: broker %d accounting diverged (%s)\nbroker %+v\nsim    %+v", errChaos, si, msg, res, want)
 		}
 		if !stacks[si].sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
 			return sum, fmt.Errorf("%w: broker %d final dual prices diverge from sim.Run", errChaos, si)

@@ -83,6 +83,8 @@ func main() {
 	spotLease := flag.Int("spot-lease", 0, "spot lease length in slots (0 = provider default)")
 	spotPredictive := flag.Bool("spot-predictive", false, "admission uses the trace's future quotes and known reclaims instead of the current quote")
 	spotSmoke := flag.Bool("spot-smoke", false, "run the spot-tier self-test (chaos harness + lease/revocation activity, monolithic and 2-shard) and exit")
+	specWorkers := flag.Int("spec-workers", 0, "close slots through the speculative parallel round with this many workers (0/1 = sequential; output is bit-identical either way)")
+	asyncCkpt := flag.Bool("async-checkpoint", false, "write checkpoints on a dedicated goroutine (serialized synchronously; at most 2 writes in flight)")
 	flag.Parse()
 	if *shards < 1 {
 		fail("-shards must be >= 1")
@@ -91,6 +93,7 @@ func main() {
 		nodes: *spotNodes, budget: *spotBudget, seed: *spotSeed,
 		discount: *spotDiscount, leaseLen: *spotLease, predictive: *spotPredictive,
 	}
+	pc := perfConfig{specWorkers: *specWorkers, asyncCkpt: *asyncCkpt}
 
 	var observers []obs.Observer
 	var jsonlSink *obs.JSONL
@@ -134,7 +137,7 @@ func main() {
 	}
 
 	if *smoke {
-		if err := runSmoke(cfg); err != nil {
+		if err := runSmoke(cfg, pc); err != nil {
 			fail("smoke: %v", err)
 		}
 		fmt.Println("serve-smoke: concurrent HTTP fan-in matches sequential sim.Run (welfare, payments, duals)")
@@ -142,7 +145,7 @@ func main() {
 		return
 	}
 	if *spotSmoke {
-		if err := runSpotSmoke(cfg, *spotSeed, sc); err != nil {
+		if err := runSpotSmoke(cfg, *spotSeed, sc, pc); err != nil {
 			fail("spot-smoke: %v", err)
 		}
 		fmt.Println("spot-smoke: elastic spot tier rented, was revoked, and survived chaos bit-identical to sim.Run (monolithic and 2-shard)")
@@ -150,7 +153,7 @@ func main() {
 		return
 	}
 	if *chaos >= 0 {
-		if _, err := runChaos(cfg, *chaos, *shards, sc); err != nil {
+		if _, err := runChaos(cfg, *chaos, *shards, sc, pc); err != nil {
 			fail("chaos: %v", err)
 		}
 		if *shards > 1 {
@@ -162,19 +165,17 @@ func main() {
 		return
 	}
 
-	a, totalNodes, err := buildAuctioneer(cfg, *shards, sc, serveOpts{
+	so := serveOpts{
 		addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
 		ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
 		restore: *restore, serveDebug: *serveDebug, observer: observer,
-	})
+		perf: pc,
+	}
+	a, totalNodes, err := buildAuctioneer(cfg, *shards, sc, so)
 	if err != nil {
 		fail("%v", err)
 	}
-	serveAuctioneer(a, cfg, *shards, sc, serveOpts{
-		addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
-		ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
-		restore: *restore, serveDebug: *serveDebug, observer: observer,
-	}, totalNodes)
+	serveAuctioneer(a, cfg, *shards, sc, so, totalNodes)
 	finishObs(jsonlSink, auditor, decSink)
 }
 
@@ -198,6 +199,16 @@ func finishObs(j *obs.JSONL, a *obs.Audit, d *obs.DecisionLog) {
 		}
 		fmt.Fprintln(os.Stderr, "audit: zero invariant violations")
 	}
+}
+
+// perfConfig carries the serving-performance knobs (ISSUE 9) into every
+// harness. Both default off; neither changes auction output — the
+// speculative round commits bid-by-bid against validated state and the
+// async checkpoint serializes synchronously — so every self-test may run
+// with them on and still diff bit-identical against sequential sim.Run.
+type perfConfig struct {
+	specWorkers int
+	asyncCkpt   bool
 }
 
 // stackConfig captures the flags an auction stack is built from; the
@@ -359,7 +370,7 @@ var errSmoke = errors.New("mismatch")
 // concurrent clients, steps the clock over the horizon via the HTTP
 // endpoint, and diffs every decision — and the final duals — against a
 // sequential sim.Run replay of the same workload on a twin stack.
-func runSmoke(cfg stackConfig) error {
+func runSmoke(cfg stackConfig, pc perfConfig) error {
 	// Smoke wants a quick horizon; shrink unless the user overrode.
 	if cfg.slots == timeslot.DefaultHorizonSlots {
 		cfg.slots = 24
@@ -388,6 +399,7 @@ func runSmoke(cfg stackConfig) error {
 		Market:       serveStack.mkt,
 		QueueSize:    len(tasks) + 8,
 		VirtualClock: true,
+		SpecWorkers:  pc.specWorkers,
 	})
 	if err != nil {
 		return err

@@ -26,6 +26,7 @@ type serveOpts struct {
 	restore    bool
 	serveDebug string
 	observer   obs.Observer
+	perf       perfConfig
 }
 
 // shardSpecs wires the per-shard broker options from the common serving
@@ -50,6 +51,8 @@ func shardSpecs(stacks []*stack, sc spotConfig, o serveOpts) ([]service.ShardSpe
 			CheckpointFullEvery: o.fullEvery,
 			Observer:            o.observer,
 			RunLabel:            fmt.Sprintf("pdftspd/%d", i),
+			SpecWorkers:         o.perf.specWorkers,
+			AsyncCheckpoint:     o.perf.asyncCkpt,
 		}
 		if o.ckpt != "" {
 			opts.CheckpointPath = fmt.Sprintf("%s.shard%d", o.ckpt, i)
@@ -92,6 +95,8 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 			CheckpointEvery:     o.ckptEvery,
 			CheckpointFullEvery: o.fullEvery,
 			Observer:            o.observer,
+			SpecWorkers:         o.perf.specWorkers,
+			AsyncCheckpoint:     o.perf.asyncCkpt,
 		}
 		prov, err := sc.provider(st.cl, cfg.slots, 0)
 		if err != nil {

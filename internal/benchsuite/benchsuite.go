@@ -23,10 +23,13 @@ import (
 	"github.com/pdftsp/pdftsp/internal/vendor"
 )
 
-// Bench is one named benchmark of the tracked suite.
+// Bench is one named benchmark of the tracked suite. MultiCore marks
+// serving-path rows that cmd/bench runs at GOMAXPROCS 1 and 4 so the
+// snapshot records the scaling, not just one arbitrary core count.
 type Bench struct {
-	Name string
-	Func func(b *testing.B)
+	Name      string
+	Func      func(b *testing.B)
+	MultiCore bool
 }
 
 // Suite returns the tracked benchmarks in reporting order.
@@ -39,9 +42,13 @@ func Suite() []Bench {
 		{Name: "FigWorkload/parallel", Func: FigWorkloadParallel},
 		{Name: "FigTruthfulness/sequential", Func: FigTruthfulnessSequential},
 		{Name: "FigTruthfulness/parallel", Func: FigTruthfulnessParallel},
-		{Name: "ServeBid/unbatched", Func: ServeBidUnbatched},
-		{Name: "ServeBid/batched", Func: ServeBidBatched},
-		{Name: "ServeBid/sharded", Func: ServeBidSharded},
+		{Name: "ServeBid/unbatched", Func: ServeBidUnbatched, MultiCore: true},
+		{Name: "ServeBid/batched-1", Func: ServeBidBatched1, MultiCore: true},
+		{Name: "ServeBid/batched-16", Func: ServeBidBatched16, MultiCore: true},
+		{Name: "ServeBid/batched-256", Func: ServeBidBatched256, MultiCore: true},
+		{Name: "ServeBid/sharded", Func: ServeBidSharded, MultiCore: true},
+		{Name: "SlotClose/seq", Func: SlotCloseSequential, MultiCore: true},
+		{Name: "SlotClose/spec", Func: SlotCloseSpeculative, MultiCore: true},
 		{Name: "ShardRoute", Func: ShardRoute},
 		{Name: "HTTPDecodeBid/stdjson", Func: HTTPDecodeBidStdJSON},
 		{Name: "HTTPDecodeBid/pooled", Func: HTTPDecodeBidPooled},
@@ -49,9 +56,10 @@ func Suite() []Bench {
 		{Name: "DecisionEncode/pooled", Func: DecisionEncodePooled},
 		{Name: "DecisionLog/jsonl", Func: DecisionLogJSONL},
 		{Name: "DecisionLog/binary", Func: DecisionLogBinary},
-		{Name: "CheckpointPerSlot/none", Func: CheckpointPerSlotNone},
-		{Name: "CheckpointPerSlot/json-full", Func: CheckpointPerSlotJSONFull},
-		{Name: "CheckpointPerSlot/binary-delta", Func: CheckpointPerSlotBinaryDelta},
+		{Name: "CheckpointPerSlot/none", Func: CheckpointPerSlotNone, MultiCore: true},
+		{Name: "CheckpointPerSlot/json-full", Func: CheckpointPerSlotJSONFull, MultiCore: true},
+		{Name: "CheckpointPerSlot/binary-delta", Func: CheckpointPerSlotBinaryDelta, MultiCore: true},
+		{Name: "CheckpointPerSlot/binary-delta-async", Func: CheckpointPerSlotBinaryDeltaAsync, MultiCore: true},
 		{Name: "SpotAdvance", Func: SpotAdvance},
 		{Name: "SpotTraceGen", Func: SpotTraceGen},
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"runtime"
 	"testing"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
@@ -84,8 +85,10 @@ func retimeTask(t task.Task, id, slot int) task.Task {
 	return t
 }
 
-// servingBroker builds a virtual-clock broker on the bench cluster.
-func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.Observer) (*service.Broker, []task.Task) {
+// servingBroker builds a virtual-clock broker on the bench cluster;
+// specWorkers > 1 closes slots through the speculative parallel round,
+// asyncCkpt moves checkpoint file I/O off the core goroutine.
+func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.Observer, specWorkers int, asyncCkpt bool) (*service.Broker, []task.Task) {
 	b.Helper()
 	model, h := benchServingModel()
 	cl := benchServingCluster(b, h, model)
@@ -106,6 +109,8 @@ func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.
 		Observer:            observer,
 		RunLabel:            "bench",
 		DropLosingPlans:     true,
+		SpecWorkers:         specWorkers,
+		AsyncCheckpoint:     asyncCkpt,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -123,9 +128,9 @@ func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.
 // channel each), and its decision written through a fresh json.Encoder
 // (the old writeJSON).
 func ServeBidUnbatched(b *testing.B) {
-	broker, tasks := servingBroker(b, "", 0, nil)
+	broker, tasks := servingBroker(b, "", 0, nil, 0, false)
 	defer broker.Kill()
-	payloads := bidPayloads(b, tasks, 1)
+	payloads := bidPayloads(b, tasks, 1, false)
 	var (
 		chans = make([]<-chan service.Outcome, 0, servingBidsPerSlot)
 		slot  int
@@ -148,7 +153,7 @@ func ServeBidUnbatched(b *testing.B) {
 		}
 		chans = append(chans, ch)
 		if len(chans) == servingBidsPerSlot || i == b.N-1 {
-			slot = stepServing(b, broker, slot, func() { broker, tasks = rebuildServing(b, broker, "", 0, nil) })
+			slot = stepServing(b, broker, slot, func() { broker, tasks = rebuildServing(b, broker, "", 0, nil, 0, false) })
 			for _, ch := range chans {
 				out := <-ch
 				if out.Err != nil {
@@ -169,27 +174,33 @@ func ServeBidUnbatched(b *testing.B) {
 	}
 }
 
-// ServeBidBatched is the fast path: one pooled decode per 64-bid batch,
-// one SubmitBatchAck per batch, decisions streamed through the
-// reflection-free encoder by an observer on the core goroutine.
-func ServeBidBatched(b *testing.B) {
+// serveBidBatched is the fast path at a fixed batch size: one pooled
+// decode per batch, one SubmitBatchAck per batch, one slot close per
+// batch, decisions streamed through the reflection-free encoder by an
+// observer on the core goroutine. One op is one served bid, so the
+// ns/op across sizes is directly the amortization curve of the batch
+// machinery — the single-size variant this replaces could not show
+// where coalescing stops paying.
+func serveBidBatched(b *testing.B, size int) {
 	enc := &encodingObserver{}
-	broker, tasks := servingBroker(b, "", 0, enc)
+	broker, tasks := servingBroker(b, "", 0, enc, 0, false)
 	defer broker.Kill()
-	payloads := bidPayloads(b, tasks, servingBidsPerSlot)
+	payloads := bidPayloads(b, tasks, size, true)
 	var (
 		reqs     []service.BidRequest
-		batch    = make([]task.Task, 0, servingBidsPerSlot)
-		verdicts = make([]error, servingBidsPerSlot)
+		batch    = make([]task.Task, 0, size)
+		verdicts = make([]error, size)
 		slot     int
 		id       = 1 << 20
+		batches  int
 	)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; {
-		if err := service.DecodeBids(payloads[(n/servingBidsPerSlot)%len(payloads)], &reqs); err != nil {
+		if err := service.DecodeBids(payloads[batches%len(payloads)], &reqs); err != nil {
 			b.Fatal(err)
 		}
+		batches++
 		k := b.N - n
 		if k > len(reqs) {
 			k = len(reqs)
@@ -209,10 +220,21 @@ func ServeBidBatched(b *testing.B) {
 		}
 		n += k
 		slot = stepServing(b, broker, slot, func() {
-			broker, tasks = rebuildServing(b, broker, "", 0, enc)
+			broker, tasks = rebuildServing(b, broker, "", 0, enc, 0, false)
 		})
 	}
 }
+
+// ServeBidBatched1 serves one-bid batches — all batch overhead, no
+// amortization; the floor the larger sizes are measured against.
+func ServeBidBatched1(b *testing.B) { serveBidBatched(b, 1) }
+
+// ServeBidBatched16 serves 16-bid batches.
+func ServeBidBatched16(b *testing.B) { serveBidBatched(b, 16) }
+
+// ServeBidBatched256 serves 256-bid batches — several slots' worth of
+// intake coalesced into one request.
+func ServeBidBatched256(b *testing.B) { serveBidBatched(b, 256) }
 
 // encodingObserver streams each decision through the pooled wire
 // encoder, standing in for a batch responder on the core goroutine.
@@ -244,15 +266,17 @@ func stepServing(b *testing.B, broker *service.Broker, slot int, rebuild func())
 	return slot
 }
 
-func rebuildServing(b *testing.B, old *service.Broker, checkpoint string, fullEvery int, observer obs.Observer) (*service.Broker, []task.Task) {
+func rebuildServing(b *testing.B, old *service.Broker, checkpoint string, fullEvery int, observer obs.Observer, specWorkers int, asyncCkpt bool) (*service.Broker, []task.Task) {
 	b.Helper()
 	old.Kill()
-	return servingBroker(b, checkpoint, fullEvery, observer)
+	return servingBroker(b, checkpoint, fullEvery, observer, specWorkers, asyncCkpt)
 }
 
 // bidPayloads renders wire JSON for batches of size k from the bench
-// workload — the request bodies the decode benchmarks replay.
-func bidPayloads(b *testing.B, tasks []task.Task, k int) [][]byte {
+// workload — the request bodies the decode benchmarks replay. asArray
+// forces the batch-endpoint shape even at k == 1; without it a k of 1
+// renders the single-object body the unbatched endpoint reads.
+func bidPayloads(b *testing.B, tasks []task.Task, k int, asArray bool) [][]byte {
 	b.Helper()
 	if len(tasks) < k {
 		b.Fatalf("bench workload too small: %d tasks, need %d", len(tasks), k)
@@ -270,7 +294,7 @@ func bidPayloads(b *testing.B, tasks []task.Task, k int) [][]byte {
 		}
 		var data []byte
 		var err error
-		if k == 1 {
+		if k == 1 && !asArray {
 			data, err = json.Marshal(&reqs[0])
 		} else {
 			data, err = json.Marshal(reqs)
@@ -317,7 +341,7 @@ func servingPayloads(b *testing.B) [][]byte {
 	model, h := benchServingModel()
 	cl := benchServingCluster(b, h, model)
 	_, tasks, _ := benchServingStack(b, model, cl)
-	return bidPayloads(b, tasks, servingBidsPerSlot)
+	return bidPayloads(b, tasks, servingBidsPerSlot, true)
 }
 
 // DecisionEncodeStdJSON marshals one decision response via
@@ -395,11 +419,13 @@ func DecisionLogBinary(b *testing.B) {
 }
 
 // checkpointPerSlot measures one slot-close round (64 bids) under a
-// checkpoint cadence: none, a full JSON snapshot every slot, or binary
-// per-slot deltas under a distant full boundary.
+// checkpoint cadence: none, a full JSON snapshot every slot, binary
+// per-slot deltas under a distant full boundary, or the same deltas
+// with the file I/O handed to the async writer goroutine.
 func checkpointPerSlot(b *testing.B, mode string) {
 	path := ""
 	fullEvery := 0
+	async := false
 	switch mode {
 	case "none":
 	case "json-full":
@@ -408,8 +434,12 @@ func checkpointPerSlot(b *testing.B, mode string) {
 	case "binary-delta":
 		path = b.TempDir() + "/bench.ckpt"
 		fullEvery = 1 << 30
+	case "binary-delta-async":
+		path = b.TempDir() + "/bench.ckpt"
+		fullEvery = 1 << 30
+		async = true
 	}
-	broker, tasks := servingBroker(b, path, fullEvery, nil)
+	broker, tasks := servingBroker(b, path, fullEvery, nil, 0, async)
 	defer broker.Kill()
 	batch := make([]task.Task, servingBidsPerSlot)
 	verdicts := make([]error, servingBidsPerSlot)
@@ -426,7 +456,7 @@ func checkpointPerSlot(b *testing.B, mode string) {
 			b.Fatal(err)
 		}
 		slot = stepServing(b, broker, slot, func() {
-			broker, tasks = rebuildServing(b, broker, path, fullEvery, nil)
+			broker, tasks = rebuildServing(b, broker, path, fullEvery, nil, 0, async)
 		})
 	}
 }
@@ -440,3 +470,81 @@ func CheckpointPerSlotJSONFull(b *testing.B) { checkpointPerSlot(b, "json-full")
 
 // CheckpointPerSlotBinaryDelta appends one binary delta per slot close.
 func CheckpointPerSlotBinaryDelta(b *testing.B) { checkpointPerSlot(b, "binary-delta") }
+
+// CheckpointPerSlotBinaryDeltaAsync appends the same deltas through the
+// async writer: serialization stays on the core goroutine, the write
+// and fsync-adjacent file work overlap with the next auction round.
+func CheckpointPerSlotBinaryDeltaAsync(b *testing.B) { checkpointPerSlot(b, "binary-delta-async") }
+
+// slotClose measures one full slot close — 64 bids submitted, the slot
+// stepped, every decision priced — sequentially (spec == 0) or through
+// the speculative parallel round with spec workers. One op is one
+// closed slot. The speculative variant reports its hit rate: the
+// fraction of offers that committed from the parallel phase without a
+// sequential re-execution.
+func slotClose(b *testing.B, spec int) {
+	broker, tasks := servingBroker(b, "", 0, nil, spec, false)
+	defer broker.Kill()
+	batch := make([]task.Task, servingBidsPerSlot)
+	verdicts := make([]error, servingBidsPerSlot)
+	slot := 0
+	id := 1 << 20
+	var hits, misses uint64
+	harvest := func(br *service.Broker) {
+		if st, err := br.Status(); err == nil {
+			hits += st.SpecHits
+			misses += st.SpecMisses
+		}
+	}
+	// Warm the cluster to steady state before the timer: early slots have
+	// spare capacity everywhere, so admissions (and speculation misses)
+	// are phase-dependent until the frontier fills. Without this the
+	// measured window — and the hit rate — would depend on b.N.
+	const warmSlots = 128
+	for i := 0; i < warmSlots; i++ {
+		for j := range batch {
+			batch[j] = retimeTask(tasks[(i*servingBidsPerSlot+j)%len(tasks)], id, slot)
+			id++
+		}
+		if _, err := broker.SubmitBatchAck(nil, batch, verdicts); err != nil {
+			b.Fatal(err)
+		}
+		slot = stepServing(b, broker, slot, func() { b.Fatal("warmup exceeded horizon") })
+	}
+	// The broker's counters are cumulative and the warmup ran on this
+	// broker, so remember the warmup's share and deduct it at the end.
+	var warmHits, warmMisses uint64
+	if st, err := broker.Status(); err == nil {
+		warmHits, warmMisses = st.SpecHits, st.SpecMisses
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = retimeTask(tasks[(i*servingBidsPerSlot+j)%len(tasks)], id, slot)
+			id++
+		}
+		if _, err := broker.SubmitBatchAck(nil, batch, verdicts); err != nil {
+			b.Fatal(err)
+		}
+		slot = stepServing(b, broker, slot, func() {
+			harvest(broker)
+			broker, tasks = rebuildServing(b, broker, "", 0, nil, spec, false)
+		})
+	}
+	b.StopTimer()
+	harvest(broker)
+	hits -= warmHits
+	misses -= warmMisses
+	if n := hits + misses; n > 0 {
+		b.ReportMetric(float64(hits)/float64(n), "hit-rate")
+	}
+}
+
+// SlotCloseSequential closes slots on the core goroutine alone — the
+// baseline the speculative round is measured against.
+func SlotCloseSequential(b *testing.B) { slotClose(b, 0) }
+
+// SlotCloseSpeculative closes slots through the speculative parallel
+// round with one worker per available core.
+func SlotCloseSpeculative(b *testing.B) { slotClose(b, runtime.GOMAXPROCS(0)) }

@@ -112,8 +112,26 @@ type Scheduler struct {
 	// lambda[k][t] is λ_kt, the compute shadow price; phi[k][t] is φ_kt,
 	// the memory shadow price.
 	lambda, phi [][]float64
-	// DP scratch buffers, reused across offers (the scheduler is
-	// single-threaded by the online model, so reuse is safe).
+	// scratch backs the sequential Offer path (the scheduler is
+	// single-threaded by the online model, so reuse is safe). Speculative
+	// workers bring their own offerScratch instead (see speculate.go).
+	scratch offerScratch
+	// decSched/decPlan back the Decision returned under Options.ReusePlans:
+	// one schedule struct and placement buffer, overwritten per offer.
+	decSched schedule.Schedule
+	decPlan  []schedule.Placement
+	// obs receives decision-path events (per-vendor DP outcomes, dual
+	// moves, payment breakdowns); nil keeps the hot path allocation-free.
+	obs obs.Observer
+}
+
+// offerScratch is the per-offer scratch state of one DP execution: every
+// buffer Offer reuses across bids. The sequential path owns one embedded
+// in the Scheduler; the speculative slot-close pool owns one per worker,
+// so tentative offers share the read-only dual/ledger state but never a
+// buffer.
+type offerScratch struct {
+	// DP scratch buffers, reused across offers.
 	dpBuf      []float64
 	parentKBuf []int32
 	parentWBuf []int32
@@ -140,15 +158,16 @@ type Scheduler struct {
 	// MaskFullCells DP skips it without consulting the ledger. Commit and
 	// SetDown only shrink availability, keeping the prefix conservative;
 	// genSeen tracks cluster.Generation so Release/Reset/Restore clear it.
+	// The prefix is an exact cache (it only records provably-saturated
+	// cells), so per-worker copies cannot change any DP result.
 	fullPrefix []int32
 	genSeen    uint64
-	// decSched/decPlan back the Decision returned under Options.ReusePlans:
-	// one schedule struct and placement buffer, overwritten per offer.
-	decSched schedule.Schedule
-	decPlan  []schedule.Placement
-	// obs receives decision-path events (per-vendor DP outcomes, dual
-	// moves, payment breakdowns); nil keeps the hot path allocation-free.
-	obs obs.Observer
+}
+
+// init sizes the scratch for a K-node cluster at ledger generation gen.
+func (sc *offerScratch) init(K int, gen uint64) {
+	sc.fullPrefix = make([]int32, K)
+	sc.genSeen = gen
 }
 
 // float64Rows groups one DP row triple so a single scratch slice carries
@@ -175,8 +194,7 @@ func New(cl *cluster.Cluster, opts Options) (*Scheduler, error) {
 		s.lambda[k], lamBack = lamBack[:T:T], lamBack[T:]
 		s.phi[k], phiBack = phiBack[:T:T], phiBack[T:]
 	}
-	s.fullPrefix = make([]int32, K)
-	s.genSeen = cl.Generation()
+	s.scratch.init(K, cl.Generation())
 	return s, nil
 }
 
@@ -222,13 +240,14 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 
 	// Algorithm 2: per vendor, find the cost-minimizing plan, then pick
 	// the vendor maximizing F(il_n).
-	candidates := s.candidateNodes(env)
-	best, bestF := s.bestSchedule(env, quotes, candidates)
-	if best == nil {
+	candidates := s.candidateNodes(env, &s.scratch)
+	best, bestF, found := s.bestSchedule(env, quotes, candidates, &s.scratch, nil)
+	if !found {
 		d.Reason = schedule.ReasonNoSchedule
 		return d
 	}
-	d.Schedule = best
+	plan := s.finishPlan(&best)
+	d.Schedule = plan
 	d.F = bestF
 
 	if bestF <= 0 {
@@ -238,11 +257,11 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 	}
 
 	// Payment (14) uses the pre-update marginal prices λ^(i-1), φ^(i-1).
-	maxLam, maxPhi := s.maxPrices(best)
-	payment := best.VendorPrice +
-		maxLam*float64(best.TotalWork(env)) +
-		maxPhi*best.TotalMem(env)
-	energy := best.EnergyCost(env)
+	maxLam, maxPhi := s.maxPrices(plan)
+	payment := plan.VendorPrice +
+		maxLam*float64(plan.TotalWork(env)) +
+		maxPhi*plan.TotalMem(env)
+	energy := plan.EnergyCost(env)
 	if s.opts.ChargeEnergy {
 		payment += energy
 	}
@@ -250,20 +269,20 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 	// Algorithm 1, line 7: F(il) > 0 updates the duals even if the
 	// capacity check below rejects the task (the "almost-feasible"
 	// solution of Lemma 1 includes this task).
-	s.updateDuals(env, best)
+	s.updateDuals(env, plan)
 	d.DualsUpdated = true
 
 	// Algorithm 1, line 8: admit only if every placement truly fits.
-	if !s.fits(env, best) {
+	if !s.fits(env, plan) {
 		d.Reason = schedule.ReasonCapacity
 		return d
 	}
-	for _, p := range best.Placements {
+	for _, p := range plan.Placements {
 		s.cl.Commit(p.Node, p.Slot, env.Speed[p.Node], env.Task.MemGB)
 	}
 	d.Admitted = true
 	d.Payment = payment
-	d.VendorCost = best.VendorPrice
+	d.VendorCost = plan.VendorPrice
 	d.EnergyCost = energy
 	if s.obs != nil {
 		energyTerm := 0.0
@@ -272,9 +291,9 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 		}
 		s.obs.OnPayment(&obs.PaymentEvent{
 			TaskID:      env.Task.ID,
-			VendorTerm:  best.VendorPrice,
-			ComputeTerm: maxLam * float64(best.TotalWork(env)),
-			MemoryTerm:  maxPhi * best.TotalMem(env),
+			VendorTerm:  plan.VendorPrice,
+			ComputeTerm: maxLam * float64(plan.TotalWork(env)),
+			MemoryTerm:  maxPhi * plan.TotalMem(env),
 			EnergyTerm:  energyTerm,
 			Total:       payment,
 			MaxLambda:   maxLam,
@@ -282,6 +301,23 @@ func (s *Scheduler) Offer(env *schedule.TaskEnv) schedule.Decision {
 		})
 	}
 	return d
+}
+
+// finishPlan turns the bestSchedule winner (whose Placements alias
+// scratch) into the Decision's Schedule: scheduler-owned reusable buffers
+// under Options.ReusePlans, a caller-owned deep copy otherwise.
+func (s *Scheduler) finishPlan(best *schedule.Schedule) *schedule.Schedule {
+	if s.opts.ReusePlans {
+		// The winner aliases scheduler-owned buffers, valid until the
+		// next Offer; retainers must deep-copy (see Options.ReusePlans).
+		s.decPlan = append(s.decPlan[:0], best.Placements...)
+		s.decSched = *best
+		s.decSched.Placements = s.decPlan
+		return &s.decSched
+	}
+	out := *best
+	out.Placements = append([]schedule.Placement(nil), best.Placements...)
+	return &out
 }
 
 // fits checks constraints (4f)/(4g) for every placement of the plan.
@@ -388,23 +424,23 @@ func (c byTypeLoad) Less(i, j int) bool {
 
 // candidateNodes returns the node set the DP scans: all nodes, or the
 // MaxCandidateNodes least-loaded per GPU type within the task's loosest
-// execution window. The returned slice is scheduler-owned scratch, valid
-// until the next call.
-func (s *Scheduler) candidateNodes(env *schedule.TaskEnv) []int {
+// execution window. The returned slice is scratch-owned, valid until the
+// next call with the same scratch.
+func (s *Scheduler) candidateNodes(env *schedule.TaskEnv, sc *offerScratch) []int {
 	K := s.cl.NumNodes()
 	limit := s.opts.MaxCandidateNodes
 	if limit <= 0 || K <= limit {
-		if s.allNodes == nil {
-			s.allNodes = make([]int, K)
-			for k := range s.allNodes {
-				s.allNodes[k] = k
+		if sc.allNodes == nil {
+			sc.allNodes = make([]int, K)
+			for k := range sc.allNodes {
+				sc.allNodes[k] = k
 			}
 		}
-		return s.allNodes
+		return sc.allNodes
 	}
 	window := env.Task.ExecWindow(s.cl.Horizon(), 0)
 	hasWindow := window.Len() > 0
-	cands := s.candLoad[:0]
+	cands := sc.candLoad[:0]
 	for k := 0; k < K; k++ {
 		if env.Speed[k] <= 0 {
 			continue
@@ -417,9 +453,9 @@ func (s *Scheduler) candidateNodes(env *schedule.TaskEnv) []int {
 		}
 		cands = append(cands, candLoad{name: s.cl.Node(k).Spec.Name, load: load, k: k})
 	}
-	s.candLoad = cands
+	sc.candLoad = cands
 	sort.Sort(byTypeLoad(cands))
-	out := s.candOut[:0]
+	out := sc.candOut[:0]
 	taken, prev := 0, ""
 	for i := range cands {
 		if cands[i].name != prev {
@@ -430,23 +466,28 @@ func (s *Scheduler) candidateNodes(env *schedule.TaskEnv) []int {
 			taken++
 		}
 	}
-	s.candOut = out
+	sc.candOut = out
 	sort.Ints(out)
 	return out
 }
 
 // bestSchedule implements Algorithm 2: for each vendor quote, run the
 // findSchedule DP, evaluate F(il_n), and return the plan maximizing it.
-func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, candidates []int) (*schedule.Schedule, float64) {
+// The winner's Placements alias scratch buffers; callers keep them only
+// through finishPlan (sequential path) or a copy (speculative path).
+// When rec is non-nil the per-quote vendor events are appended to *rec
+// instead of being emitted, so speculative workers never touch the
+// (single-threaded) observer; the commit pass replays them in order.
+func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, candidates []int, sc *offerScratch, rec *[]obs.VendorEvent) (schedule.Schedule, float64, bool) {
 	var best schedule.Schedule
 	found := false
 	bestF := math.Inf(-1)
 	for _, q := range quotes {
-		plan, ok := s.findSchedule(env, q, candidates)
+		plan, ok := s.findSchedule(env, q, candidates, sc)
 		if !ok {
-			if s.obs != nil {
+			if s.obs != nil || rec != nil {
 				window := env.Task.ExecWindow(s.cl.Horizon(), q.DelaySlots)
-				s.obs.OnVendor(&obs.VendorEvent{
+				ev := obs.VendorEvent{
 					TaskID:      env.Task.ID,
 					Vendor:      q.Vendor,
 					Price:       q.Price,
@@ -454,15 +495,20 @@ func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, c
 					WindowStart: window.Start,
 					WindowEnd:   window.End,
 					Candidates:  len(candidates),
-				})
+				}
+				if rec != nil {
+					*rec = append(*rec, ev)
+				} else {
+					s.obs.OnVendor(&ev)
+				}
 			}
 			continue
 		}
 		f := s.surplus(env, &plan)
 		isBest := f > bestF
-		if s.obs != nil {
+		if s.obs != nil || rec != nil {
 			window := env.Task.ExecWindow(s.cl.Horizon(), q.DelaySlots)
-			s.obs.OnVendor(&obs.VendorEvent{
+			ev := obs.VendorEvent{
 				TaskID:      env.Task.ID,
 				Vendor:      q.Vendor,
 				Price:       q.Price,
@@ -474,28 +520,23 @@ func (s *Scheduler) bestSchedule(env *schedule.TaskEnv, quotes []vendor.Quote, c
 				Cost:        s.planCost(env, &plan),
 				Surplus:     f,
 				Best:        isBest,
-			})
+			}
+			if rec != nil {
+				*rec = append(*rec, ev)
+			} else {
+				s.obs.OnVendor(&ev)
+			}
 		}
 		if isBest {
 			best, bestF, found = plan, f, true
 			// Protect the incumbent's scratch buffer from the next DP.
-			s.planCur ^= 1
+			sc.planCur ^= 1
 		}
 	}
 	if !found {
-		return nil, math.Inf(-1)
+		return schedule.Schedule{}, math.Inf(-1), false
 	}
-	if s.opts.ReusePlans {
-		// The winner aliases scheduler-owned buffers, valid until the
-		// next Offer; retainers must deep-copy (see Options.ReusePlans).
-		s.decPlan = append(s.decPlan[:0], best.Placements...)
-		s.decSched = best
-		s.decSched.Placements = s.decPlan
-		return &s.decSched, bestF
-	}
-	out := best
-	out.Placements = append([]schedule.Placement(nil), best.Placements...)
-	return &out, bestF
+	return best, bestF, true
 }
 
 // planCost recomputes a plan's price-adjusted execution cost — the
@@ -521,10 +562,10 @@ var dpInf = math.Inf(1)
 // using the first τ slots of the execution window, with per-cell cost
 // Δ_kt = s_ik·λ_kt + r_i·φ_kt + e_ikt. It reports false when the task
 // cannot accumulate M_i units inside the window. The returned plan's
-// Placements alias scheduler scratch (planBuf[planCur]); callers that
-// keep the plan past the next findSchedule call must flip planCur or
-// clone the slice (see bestSchedule).
-func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidates []int) (schedule.Schedule, bool) {
+// Placements alias the scratch (planBuf[planCur]); callers that keep the
+// plan past the next findSchedule call must flip planCur or clone the
+// slice (see bestSchedule).
+func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidates []int, sc *offerScratch) (schedule.Schedule, bool) {
 	t := env.Task
 	h := s.cl.Horizon()
 	window := t.ExecWindow(h, q.DelaySlots)
@@ -542,38 +583,38 @@ func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidat
 	// always written before the back-walk reads them, because the walk
 	// visits only cells the forward pass reached this offer.
 	cells := (L + 1) * (W + 1)
-	if cap(s.dpBuf) < cells {
-		s.dpBuf = make([]float64, cells)
-		s.parentKBuf = make([]int32, cells)
-		s.parentWBuf = make([]int32, cells)
+	if cap(sc.dpBuf) < cells {
+		sc.dpBuf = make([]float64, cells)
+		sc.parentKBuf = make([]int32, cells)
+		sc.parentWBuf = make([]int32, cells)
 	}
-	if cap(s.dpRows) < L+1 {
-		s.dpRows = make([]float64Rows, L+1)
+	if cap(sc.dpRows) < L+1 {
+		sc.dpRows = make([]float64Rows, L+1)
 	}
-	dpFlat := s.dpBuf[:cells]
+	dpFlat := sc.dpBuf[:cells]
 	for i := range dpFlat {
 		dpFlat[i] = dpInf
 	}
-	rows := s.dpRows[:L+1]
+	rows := sc.dpRows[:L+1]
 	for i := range rows {
 		rows[i].dp = dpFlat[i*(W+1) : (i+1)*(W+1)]
-		rows[i].parentK = s.parentKBuf[i*(W+1) : (i+1)*(W+1)] // node index +1, 0 = idle
-		rows[i].parentW = s.parentWBuf[i*(W+1) : (i+1)*(W+1)] // predecessor work level
+		rows[i].parentK = sc.parentKBuf[i*(W+1) : (i+1)*(W+1)] // node index +1, 0 = idle
+		rows[i].parentW = sc.parentWBuf[i*(W+1) : (i+1)*(W+1)] // predecessor work level
 	}
 	rows[0].dp[0] = 0
 
-	if cap(s.candID) < len(candidates) {
-		s.candID = make([]int32, len(candidates))
-		s.candSpeed = make([]int32, len(candidates))
-		s.candDelta = make([]float64, len(candidates))
+	if cap(sc.candID) < len(candidates) {
+		sc.candID = make([]int32, len(candidates))
+		sc.candSpeed = make([]int32, len(candidates))
+		sc.candDelta = make([]float64, len(candidates))
 	}
 
 	// The saturation prefix survives across offers only while the ledger
 	// moves monotonically toward full; any availability-increasing
 	// mutation bumps the cluster generation and resets it.
-	if s.opts.MaskFullCells && s.genSeen != s.cl.Generation() {
-		clear(s.fullPrefix)
-		s.genSeen = s.cl.Generation()
+	if s.opts.MaskFullCells && sc.genSeen != s.cl.Generation() {
+		clear(sc.fullPrefix)
+		sc.genSeen = s.cl.Generation()
 	}
 
 	for tau := 0; tau < L; tau++ {
@@ -590,29 +631,29 @@ func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidat
 			if s.opts.MaskFullCells {
 				// Slots below the saturation prefix are known full;
 				// skip them without touching the ledger.
-				if slot < int(s.fullPrefix[k]) {
+				if slot < int(sc.fullPrefix[k]) {
 					continue
 				}
 				if !s.cl.CanPlace(k, slot, sk, t.MemGB) {
 					// Extend the prefix only when the slot is full for
 					// every possible task (zero free work), so the skip
 					// stays exact for later offers with other speeds.
-					if slot == int(s.fullPrefix[k]) && s.cl.RemainingWork(k, slot) == 0 {
-						s.fullPrefix[k] = int32(slot + 1)
+					if slot == int(sc.fullPrefix[k]) && s.cl.RemainingWork(k, slot) == 0 {
+						sc.fullPrefix[k] = int32(slot + 1)
 					}
 					continue
 				}
 			}
-			s.candID[nc] = int32(k + 1)
-			s.candSpeed[nc] = int32(sk)
-			s.candDelta[nc] = float64(sk)*s.lambda[k][slot] +
+			sc.candID[nc] = int32(k + 1)
+			sc.candSpeed[nc] = int32(sk)
+			sc.candDelta[nc] = float64(sk)*s.lambda[k][slot] +
 				t.MemGB*s.phi[k][slot] +
 				s.cl.EnergyCost(k, slot, sk)
 			nc++
 		}
-		candID := s.candID[:nc]
-		candSpeed := s.candSpeed[:nc]
-		candDelta := s.candDelta[:nc]
+		candID := sc.candID[:nc]
+		candSpeed := sc.candSpeed[:nc]
+		candDelta := sc.candDelta[:nc]
 		curRow := rows[tau].dp
 		nextRow := rows[tau+1].dp
 		pkRow := rows[tau+1].parentK
@@ -650,7 +691,7 @@ func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidat
 
 	// Reconstruct placements by walking parents back from (L, W) into the
 	// scratch buffer (reverse order), then reverse in place.
-	placements := s.planBuf[s.planCur][:0]
+	placements := sc.planBuf[sc.planCur][:0]
 	w := W
 	for tau := L; tau > 0; tau-- {
 		if p := rows[tau].parentK[w]; p != 0 {
@@ -661,7 +702,7 @@ func (s *Scheduler) findSchedule(env *schedule.TaskEnv, q vendor.Quote, candidat
 	for i, j := 0, len(placements)-1; i < j; i, j = i+1, j-1 {
 		placements[i], placements[j] = placements[j], placements[i]
 	}
-	s.planBuf[s.planCur] = placements
+	sc.planBuf[sc.planCur] = placements
 	vendorIdx := q.Vendor
 	price, delay := q.Price, q.DelaySlots
 	if !t.NeedsPrep {

@@ -11,6 +11,7 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/pdftsp/pdftsp/internal/cluster"
@@ -255,6 +256,43 @@ type Decision struct {
 	// plan touched despite losing. It stays false for rejections that
 	// never reached the update step.
 	DualsUpdated bool
+}
+
+// Equal reports whether two schedules are bit-identical: same task,
+// vendor terms, and placement sequence. Used by the equivalence checks
+// that pin the speculative slot-close (and the broker at large) to the
+// sequential auction.
+func (s *Schedule) Equal(other *Schedule) bool {
+	if s == nil || other == nil {
+		return s == other
+	}
+	if s.TaskID != other.TaskID || s.Vendor != other.Vendor ||
+		s.VendorPrice != other.VendorPrice || s.VendorDelay != other.VendorDelay ||
+		len(s.Placements) != len(other.Placements) {
+		return false
+	}
+	for i := range s.Placements {
+		if s.Placements[i] != other.Placements[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two decisions are bit-identical, including their
+// plans and every money field. NaN/±Inf surpluses compare by bit pattern
+// semantics (-Inf == -Inf), matching the float64 equality the rest of
+// the equivalence tooling relies on.
+func (d *Decision) Equal(other *Decision) bool {
+	return d.TaskID == other.TaskID &&
+		d.Admitted == other.Admitted &&
+		d.Payment == other.Payment &&
+		d.VendorCost == other.VendorCost &&
+		d.EnergyCost == other.EnergyCost &&
+		(d.F == other.F || (math.IsNaN(d.F) && math.IsNaN(other.F))) &&
+		d.Reason == other.Reason &&
+		d.DualsUpdated == other.DualsUpdated &&
+		d.Schedule.Equal(other.Schedule)
 }
 
 // Welfare returns the bid's contribution to social welfare: b_i − vendor −

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Async checkpointing. With Options.AsyncCheckpoint the core goroutine
+// still serializes every checkpoint at slot close — the bytes capture
+// exactly that slot's state, so restores see the same snapshots the
+// synchronous path writes — but the file I/O (tmp+rename for fulls,
+// sidecar appends for deltas) runs on a dedicated writer goroutine and
+// overlaps the next auction round.
+//
+// The pipeline is bounded at two in-flight writes: before staging a new
+// checkpoint the broker harvests completions until at most one write
+// remains outstanding, so a slot cannot close until the write staged two
+// checkpoints ago has landed. Two staging buffers rotate under that
+// bound — the buffer being refilled always belongs to a completed write.
+//
+// Delta shadows advance optimistically at stage time. If a write later
+// fails, the deltas staged against those shadows never made it into a
+// consistent chain, so the harvest marks the chain broken (wroteFull =
+// false): the next checkpoint is forced full and restates everything the
+// lost records carried. The sidecar file handle lives with the writer —
+// after a failed append the record may be half on disk, so the writer
+// stops extending the chain and fails subsequent delta jobs fast until a
+// full snapshot re-keys it. Degraded-mode accounting (Status's
+// checkpoint error/failure counters, /healthz) uses the same fields and
+// thresholds as the synchronous path, updated as completions harvest.
+
+// ckptJob is one staged checkpoint write.
+type ckptJob struct {
+	slot int
+	full bool
+	// data is the full JSON snapshot, or the framed delta record
+	// (header + payload).
+	data []byte
+	// Full snapshots only: the checkpoint destination and the sidecar
+	// disposition — a non-nil sidecarHdr re-keys the delta chain to this
+	// snapshot, nil removes the sidecar (full-every-write cadence).
+	path        string
+	sidecarPath string
+	sidecarHdr  []byte
+}
+
+// ckptDone reports one completed write back to the core goroutine.
+type ckptDone struct {
+	slot int
+	err  error
+}
+
+// ckptWriter is the async pipeline: jobs flow to the writer goroutine,
+// completions flow back, and the core goroutine tracks how many are in
+// flight. Both channels hold the full pipeline bound, so neither side
+// ever blocks except at the intended backpressure points.
+type ckptWriter struct {
+	jobs     chan ckptJob
+	done     chan ckptDone
+	inflight int
+	// bufs are the rotating delta staging buffers; full snapshots use
+	// json.Marshal's fresh allocation instead.
+	bufs [2][]byte
+	cur  int
+	// stall, when set, delays each write inside the writer goroutine —
+	// the backpressure tests' hook.
+	stall func(slot int, full bool)
+}
+
+func newCkptWriter(stall func(slot int, full bool)) *ckptWriter {
+	return &ckptWriter{
+		jobs:  make(chan ckptJob, 2),
+		done:  make(chan ckptDone, 2),
+		stall: stall,
+	}
+}
+
+// run is the writer goroutine: it owns the sidecar file handle for the
+// broker's lifetime and performs every checkpoint write in staging
+// order. It exits (closing done) when the jobs channel closes.
+func (w *ckptWriter) run() {
+	var sidecar *os.File
+	defer func() {
+		if sidecar != nil {
+			sidecar.Close()
+		}
+		close(w.done)
+	}()
+	for j := range w.jobs {
+		if w.stall != nil {
+			w.stall(j.slot, j.full)
+		}
+		var err error
+		if j.full {
+			err = writeCheckpointBytes(j.path, j.data)
+			// Whatever happens, the old chain ends here: it extends the
+			// previous snapshot, not this one.
+			if sidecar != nil {
+				sidecar.Close()
+				sidecar = nil
+			}
+			if err == nil {
+				if j.sidecarHdr != nil {
+					var f *os.File
+					if f, err = os.Create(j.sidecarPath); err != nil {
+						err = fmt.Errorf("service: delta sidecar: %w", err)
+					} else if _, err = f.Write(j.sidecarHdr); err != nil {
+						f.Close()
+						err = fmt.Errorf("service: delta header: %w", err)
+					} else {
+						sidecar = f
+					}
+				} else {
+					os.Remove(j.sidecarPath)
+				}
+			}
+		} else {
+			if sidecar == nil {
+				err = fmt.Errorf("service: delta chain broken by an earlier write failure")
+			} else if _, err = sidecar.Write(j.data); err != nil {
+				// The record may be half on disk; nothing appended after it
+				// would replay, so stop extending the chain.
+				sidecar.Close()
+				sidecar = nil
+				err = fmt.Errorf("service: delta write: %w", err)
+			}
+		}
+		w.done <- ckptDone{slot: j.slot, err: err}
+	}
+}
+
+// writeCheckpointAsync stages the current checkpoint and hands the I/O
+// to the writer goroutine; core-goroutine only. The fault hook, the
+// full-vs-delta cadence, and the serialized state are exactly the
+// synchronous path's — only the write itself is deferred.
+func (b *Broker) writeCheckpointAsync() {
+	w := b.ckptW
+	b.reapCkpt(false)
+	for w.inflight > 1 {
+		b.reapCkpt(true)
+	}
+	if f := b.opts.CheckpointFault; f != nil {
+		if err := f(b.slot); err != nil {
+			b.ckptErr = err
+			b.ckptFails++
+			return
+		}
+	}
+	full := b.opts.CheckpointFullEvery <= 1 || !b.wroteFull ||
+		b.sinceFull >= b.opts.CheckpointFullEvery-1 ||
+		b.draining || b.slot >= b.horizon.T
+	job := ckptJob{slot: b.slot, full: full}
+	if full {
+		data, err := json.Marshal(b.snapshot())
+		if err != nil {
+			b.ckptErr = fmt.Errorf("service: marshal checkpoint: %w", err)
+			b.ckptFails++
+			return
+		}
+		job.data = data
+		job.path = b.opts.CheckpointPath
+		job.sidecarPath = DeltaPath(b.opts.CheckpointPath)
+		if b.opts.CheckpointFullEvery > 1 {
+			job.sidecarHdr = sidecarHeader(b, crc32.ChecksumIEEE(data))
+			// Re-base the delta shadows on this snapshot; the sidecar file
+			// itself lives with the writer goroutine (b.deltas.f stays nil).
+			if b.deltas == nil {
+				b.deltas = &deltaWriter{path: job.sidecarPath}
+			}
+			b.deltas.captureShadows(b)
+		}
+		b.wroteFull = true
+		b.sinceFull = 0
+		b.dirty = b.dirty[:0]
+	} else {
+		h, p, st := b.buildDelta()
+		buf := append(w.bufs[w.cur][:0], h...)
+		buf = append(buf, p...)
+		w.bufs[w.cur] = buf
+		w.cur ^= 1
+		job.data = buf
+		b.deltas.advance(b, st)
+		b.sinceFull++
+	}
+	w.jobs <- job
+	w.inflight++
+}
+
+// reapCkpt folds completed async writes into the broker's durability
+// state — the same ckptErr/ckptFails/ckptSlot the synchronous path
+// records at write time, one pipeline stage later. With block set it
+// waits for at least one completion (the backpressure point); it then
+// drains whatever else already finished.
+func (b *Broker) reapCkpt(block bool) {
+	w := b.ckptW
+	for w.inflight > 0 {
+		var d ckptDone
+		if block {
+			d = <-w.done
+			block = false
+		} else {
+			select {
+			case d = <-w.done:
+			default:
+				return
+			}
+		}
+		w.inflight--
+		b.foldCkptDone(d)
+	}
+}
+
+// foldCkptDone applies one completion's verdict.
+func (b *Broker) foldCkptDone(d ckptDone) {
+	if d.err != nil {
+		b.ckptErr = d.err
+		b.ckptFails++
+		// The on-disk chain no longer extends cleanly; force the next
+		// checkpoint to restate everything as a full snapshot.
+		b.wroteFull = false
+		return
+	}
+	b.ckptErr = nil
+	b.ckptFails = 0
+	b.ckptSlot = d.slot
+}
+
+// closeCkptWriter flushes the pipeline and stops the writer goroutine;
+// loop teardown calls it so every staged write lands (or surfaces its
+// failure) before the broker reports done.
+func (b *Broker) closeCkptWriter() {
+	w := b.ckptW
+	if w == nil {
+		return
+	}
+	close(w.jobs)
+	for d := range w.done {
+		w.inflight--
+		b.foldCkptDone(d)
+	}
+	b.ckptW = nil
+}

@@ -142,6 +142,10 @@ func (b *Broker) writeCheckpoint() {
 	if b.opts.CheckpointPath == "" {
 		return
 	}
+	if b.ckptW != nil {
+		b.writeCheckpointAsync()
+		return
+	}
 	if f := b.opts.CheckpointFault; f != nil {
 		if err := f(b.slot); err != nil {
 			b.ckptErr = err

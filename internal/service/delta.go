@@ -85,6 +85,17 @@ func (b *Broker) closeDeltas() {
 	}
 }
 
+// sidecarHeader builds the delta-sidecar header pinning the chain to
+// the full snapshot whose serialized bytes hash to baseCRC.
+func sidecarHeader(b *Broker, baseCRC uint32) []byte {
+	hdr := append([]byte(nil), deltaMagic...)
+	hdr = appendU64(hdr, deltaVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, baseCRC)
+	hdr = appendInt(hdr, b.slot)
+	hdr = appendStr(hdr, b.opts.RunLabel)
+	return hdr
+}
+
 // resetDeltas starts a fresh delta chain extending the full snapshot
 // whose serialized bytes hash to baseCRC, capturing the shadow state
 // the first delta will diff against. Core-goroutine only.
@@ -95,12 +106,7 @@ func (b *Broker) resetDeltas(baseCRC uint32) error {
 	if err != nil {
 		return fmt.Errorf("service: delta sidecar: %w", err)
 	}
-	hdr := append([]byte(nil), deltaMagic...)
-	hdr = appendU64(hdr, deltaVersion)
-	hdr = binary.LittleEndian.AppendUint32(hdr, baseCRC)
-	hdr = appendInt(hdr, b.slot)
-	hdr = appendStr(hdr, b.opts.RunLabel)
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := f.Write(sidecarHeader(b, baseCRC)); err != nil {
 		f.Close()
 		return fmt.Errorf("service: delta header: %w", err)
 	}
@@ -131,6 +137,30 @@ func (w *deltaWriter) captureShadows(b *Broker) {
 	}
 }
 
+// deltaStage carries the shadow state a staged delta record diffed up
+// to; deltaWriter.advance folds it in once the record's bytes are
+// safely written (sync path) or handed to the writer goroutine (async
+// path, which stages optimistically and forces a full snapshot if the
+// write later fails).
+type deltaStage struct {
+	duals    *core.DualState
+	ledger   cluster.Snapshot
+	latLen   int
+	failJSON []byte
+	spotJSON []byte
+}
+
+// advance re-bases the diff shadows on st and clears the dirty-decision
+// list the staged record carried.
+func (w *deltaWriter) advance(b *Broker, st deltaStage) {
+	w.duals = st.duals
+	w.ledger = st.ledger
+	w.latLen = st.latLen
+	w.failJSON = st.failJSON
+	w.spotJSON = st.spotJSON
+	b.dirty = b.dirty[:0]
+}
+
 // appendDelta writes one CRC-framed delta record for the current broker
 // state. Shadows and the dirty-decision list advance only when the
 // write succeeds. Core-goroutine only.
@@ -139,7 +169,24 @@ func (b *Broker) appendDelta() error {
 	if w == nil {
 		return fmt.Errorf("service: no delta chain open")
 	}
-	p := w.buf[:0]
+	h, p, st := b.buildDelta()
+	if _, err := w.f.Write(h); err != nil {
+		return fmt.Errorf("service: delta write: %w", err)
+	}
+	if _, err := w.f.Write(p); err != nil {
+		return fmt.Errorf("service: delta write: %w", err)
+	}
+	w.advance(b, st)
+	return nil
+}
+
+// buildDelta serializes one CRC-framed delta record (frame header and
+// payload, both in the deltaWriter's reusable scratch) and returns the
+// post-record shadow state; the caller writes the bytes and calls
+// advance when they land. Core-goroutine only; b.deltas must be open.
+func (b *Broker) buildDelta() (h, p []byte, st deltaStage) {
+	w := b.deltas
+	p = w.buf[:0]
 	p = appendInt(p, b.slot)
 	p = appendInt(p, b.nextID)
 	p = appendInt(p, b.canceled)
@@ -235,25 +282,18 @@ func (b *Broker) appendDelta() error {
 		p = append(p, 0)
 	}
 
-	h := w.head[:0]
+	h = w.head[:0]
 	h = appendU64(h, uint64(len(p)))
 	h = binary.LittleEndian.AppendUint32(h, crc32.ChecksumIEEE(p))
-	if _, err := w.f.Write(h); err != nil {
-		w.head, w.buf = h, p
-		return fmt.Errorf("service: delta write: %w", err)
-	}
-	if _, err := w.f.Write(p); err != nil {
-		w.head, w.buf = h, p
-		return fmt.Errorf("service: delta write: %w", err)
-	}
 	w.head, w.buf = h, p
-	w.duals = curDuals
-	w.ledger = curLedger
-	w.latLen = len(b.res.OfferLatency)
-	w.failJSON = curFail
-	w.spotJSON = curSpot
-	b.dirty = b.dirty[:0]
-	return nil
+	st = deltaStage{
+		duals:    curDuals,
+		ledger:   curLedger,
+		latLen:   len(b.res.OfferLatency),
+		failJSON: curFail,
+		spotJSON: curSpot,
+	}
+	return h, p, st
 }
 
 // appendDecision encodes one decided bid. F rides as raw float bits, so

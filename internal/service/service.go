@@ -159,6 +159,28 @@ type Options struct {
 	// after which /healthz reports degraded (bids keep flowing either
 	// way). Default 3.
 	DegradeAfter int
+	// SpecWorkers > 1 closes each slot through the speculative parallel
+	// round (core.Speculator): the held batch fans across that many
+	// workers, each computing a tentative decision against the frozen
+	// duals/ledger, and a sequential validation pass commits tentative
+	// decisions whose read footprint no earlier bid wrote, re-running the
+	// rest through the normal Offer path. The decisions, duals, ledger,
+	// and event stream are bit-identical to the sequential round by
+	// construction. Requires Scheduler to be *core.Scheduler; 0 or 1
+	// keeps the plain sequential round (the default).
+	SpecWorkers int
+	// AsyncCheckpoint moves checkpoint file I/O (full JSON snapshots and
+	// binary delta appends) off the core goroutine onto a dedicated
+	// writer: the bytes are still serialized synchronously at slot close
+	// (so they capture exactly that slot's state), but the disk write
+	// overlaps the next round. Backpressure bounds the pipeline at two
+	// in-flight writes — a slot cannot close until the write staged two
+	// checkpoints ago has landed. Write failures surface through the same
+	// Status/ckpt-failure counters and degraded-mode rules as the
+	// synchronous path, one harvest later; any failure forces the next
+	// checkpoint to be a full snapshot so the on-disk chain restates
+	// everything a lost delta carried.
+	AsyncCheckpoint bool
 	// Spot, when non-nil, attaches an elastic spot-capacity tier
 	// (internal/spot.Provider): the provider's nodes become unavailable
 	// until leased, leases are rented and released against the published
@@ -335,6 +357,21 @@ type Broker struct {
 	// procIdx numbers processed bids in offer order — the tracker index
 	// stream that makes recovery re-planning deterministic.
 	procIdx int
+	// spec runs the speculative parallel slot-close round when
+	// Options.SpecWorkers > 1; nil keeps the sequential round. The env
+	// pool and the per-bid quote-error scratch below exist only for that
+	// path (the pool is safe precisely when no fault tracker retains env
+	// pointers; with faults configured each bid gets a fresh env, as in
+	// the sequential path).
+	spec        *core.Speculator
+	specEnvs    []schedule.TaskEnv
+	specEnvPtrs []*schedule.TaskEnv
+	specQErrs   []error
+	// ckptW is the async checkpoint writer (Options.AsyncCheckpoint);
+	// ckptStall, when set before Start, delays each write inside the
+	// writer goroutine — the backpressure tests' stall hook.
+	ckptW     *ckptWriter
+	ckptStall func(slot int, full bool)
 }
 
 // New builds a broker; call Restore to resume from a checkpoint, then
@@ -387,6 +424,13 @@ func New(opts Options) (*Broker, error) {
 		}
 		b.spot = opts.Spot
 	}
+	if opts.SpecWorkers > 1 {
+		cs, ok := opts.Scheduler.(*core.Scheduler)
+		if !ok {
+			return nil, fmt.Errorf("service: SpecWorkers requires the core auction scheduler, got %q", opts.Scheduler.Name())
+		}
+		b.spec = core.NewSpeculator(cs, opts.SpecWorkers)
+	}
 	return b, nil
 }
 
@@ -410,6 +454,10 @@ func (b *Broker) Start() error {
 			capWork[k] = b.cl.Node(k).CapWork
 		}
 		b.o.OnRunStart(&obs.RunStartEvent{Nodes: b.cl.NumNodes(), Slots: b.horizon.T, CapWork: capWork})
+	}
+	if b.opts.AsyncCheckpoint && b.opts.CheckpointPath != "" {
+		b.ckptW = newCkptWriter(b.ckptStall)
+		go b.ckptW.run()
 	}
 	go b.loop()
 	return nil
@@ -744,6 +792,12 @@ type Status struct {
 	// durability guarantee is broken (checkpoint writes keep failing).
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Speculative slot-close counters (zero unless Options.SpecWorkers
+	// > 1): workers in the pool, and how many bids committed their
+	// tentative decision (hits) vs. re-ran sequentially (misses).
+	SpecWorkers int    `json:"spec_workers,omitempty"`
+	SpecHits    uint64 `json:"spec_hits,omitempty"`
+	SpecMisses  uint64 `json:"spec_misses,omitempty"`
 	// Failure-injection accounting (zero unless Options.Failures is set).
 	FailuresInjected int     `json:"failures_injected,omitempty"`
 	RecoveredTasks   int     `json:"recovered_tasks,omitempty"`
@@ -826,6 +880,10 @@ func (b *Broker) status() Status {
 	if h := b.health(); h.Status != "ok" {
 		st.Degraded = true
 		st.DegradedReason = h.Reason
+	}
+	if b.spec != nil {
+		st.SpecWorkers = b.spec.Workers()
+		st.SpecHits, st.SpecMisses = b.spec.Stats()
 	}
 	st.FailuresInjected = b.res.FailuresInjected
 	st.RecoveredTasks = b.res.RecoveredTasks
@@ -934,12 +992,14 @@ func (b *Broker) loop() {
 		}
 		if b.killed {
 			b.refuseHeld(ErrClosed)
+			b.closeCkptWriter()
 			b.closeDeltas()
 			return
 		}
 		if b.draining {
 			b.refuseHeld(ErrDraining)
 			b.writeCheckpoint()
+			b.closeCkptWriter()
 			b.closeDeltas()
 			b.emitRunEnd()
 			return
@@ -1110,8 +1170,12 @@ func (b *Broker) closeSlot() {
 		}
 		b.faults.ApplyUpTo(b.slot, b.sched, b.res)
 	}
-	for i := range live {
-		b.process(&live[i])
+	if b.spec != nil && len(live) > 1 {
+		b.processSpeculative(live)
+	} else {
+		for i := range live {
+			b.process(&live[i])
+		}
 	}
 	if batch != nil {
 		// The slot's backing array is dead; recycle it for a future slot.
@@ -1178,15 +1242,84 @@ func (b *Broker) process(hb *heldBid) {
 	b.answer(hb, Outcome{Decision: d})
 }
 
+// processSpeculative runs one slot's round through the speculative
+// parallel path: envs and vendor quotes are prepared sequentially in ID
+// order (so the fallible quote client sees exactly the sequential call
+// sequence), the batch fans across the Speculator's worker pool, and the
+// commit loop then replays the sequential round's per-bid side effects —
+// observer events, latency samples, accounting, fault tracking, the
+// submitter's answer — in the same order the plain loop produces them.
+func (b *Broker) processSpeculative(live []heldBid) {
+	n := len(live)
+	mkt := b.opts.Market
+	if b.opts.Quotes != nil {
+		mkt = nil // quotes come from the fallible client below
+	}
+	if b.faults == nil && len(b.specEnvs) < n {
+		b.specEnvs = make([]schedule.TaskEnv, n)
+	}
+	envs := b.specEnvPtrs[:0]
+	qErrs := b.specQErrs[:0]
+	for i := range live {
+		var env *schedule.TaskEnv
+		if b.faults != nil {
+			// The tracker retains each admitted bid's env for replan time,
+			// exactly like the sequential path.
+			env = schedule.NewTaskEnv(&live[i].task, b.cl, b.opts.Model, mkt)
+		} else {
+			env = &b.specEnvs[i]
+			env.Refill(&live[i].task, b.cl, b.opts.Model, mkt)
+		}
+		var qErr error
+		if b.opts.Quotes != nil && live[i].task.NeedsPrep {
+			var q []vendor.Quote
+			if q, qErr = b.opts.Quotes.Call(live[i].task.ID, b.slot); qErr == nil {
+				env.Quotes = q
+			}
+		}
+		envs = append(envs, env)
+		qErrs = append(qErrs, qErr)
+	}
+	b.specEnvPtrs, b.specQErrs = envs, qErrs
+	b.spec.Plan(envs)
+	for i := range live {
+		hb := &live[i]
+		env := envs[i]
+		if b.o != nil {
+			sim.FillBidEvent(&b.bidEv, env)
+			b.o.OnBid(&b.bidEv)
+		}
+		start := time.Now()
+		d, _ := b.spec.Commit(i)
+		b.res.OfferLatency = append(b.res.OfferLatency, time.Since(start))
+		sim.TagVendorDown(&d, qErrs[i])
+		if b.o != nil {
+			b.placBuf = sim.FillOutcomeEvent(&b.outEv, env, &d, b.placBuf[:0])
+			b.o.OnOutcome(&b.outEv)
+		}
+		b.res.Account(env, &d)
+		b.faults.Track(b.procIdx, env, &d)
+		b.procIdx++
+		if b.opts.DropLosingPlans && !d.Admitted {
+			d.Schedule = nil
+		}
+		b.decisions[hb.task.ID] = d
+		b.dirty = append(b.dirty, hb.task.ID)
+		b.answer(hb, Outcome{Decision: d})
+	}
+}
+
 // emitRunEnd closes the observer stream with the final accounting; it
 // fires once (horizon end or drain, whichever comes first).
 func (b *Broker) emitRunEnd() {
+	// The final utilization belongs to the run accounting whether or not
+	// anyone is observing — sim.Run always records it.
+	b.res.Utilization = b.cl.Utilization()
 	if b.o == nil {
 		return
 	}
 	o := b.o
 	b.o = nil
-	b.res.Utilization = b.cl.Utilization()
 	o.OnRunEnd(&obs.RunEndEvent{
 		Welfare:     b.res.Welfare,
 		Revenue:     b.res.Revenue,
