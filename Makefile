@@ -4,7 +4,7 @@
 GO ?= go
 LABEL ?= dev
 
-.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke spec-smoke
+.PHONY: build test test-short race vet bench bench-snapshot bench-check check trace-smoke serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke spec-smoke wal-smoke
 
 build:
 	$(GO) build ./...
@@ -51,12 +51,14 @@ SERVING_BASELINE ?= BENCH_serving_pr6.json
 SHARD_BASELINE ?= BENCH_shard_pr7.json
 SPOT_BASELINE ?= BENCH_spot_pr8.json
 SLOTCLOSE_BASELINE ?= BENCH_slotclose_pr9.json
+WAL_BASELINE ?= BENCH_wal_pr10.json
 bench-check:
 	$(GO) run ./cmd/bench -compare $(BASELINE) -run OfferPdFTSP,CalibrateDuals,TraceGenerate
 	$(GO) run ./cmd/bench -compare $(SERVING_BASELINE) -run HTTPDecodeBid,DecisionEncode,DecisionLog
 	$(GO) run ./cmd/bench -compare $(SHARD_BASELINE) -run ShardRoute
 	$(GO) run ./cmd/bench -compare $(SPOT_BASELINE) -run SpotAdvance,SpotTraceGen
 	$(GO) run ./cmd/bench -compare $(SLOTCLOSE_BASELINE) -run ServeBid,SlotClose,CheckpointPerSlot -ns-tol 0.5 -bytes-tol 0.3
+	$(GO) run ./cmd/bench -compare $(WAL_BASELINE) -run WALAppend -ns-tol 0.5 -bytes-tol 0.3
 	$(GO) test -run 'AllocBudget|SteadyStateAllocs' -count=1 . ./internal/sim/
 
 # trace-smoke runs one audited, traced figure end to end and verifies the
@@ -118,4 +120,14 @@ spec-smoke:
 		-spec-workers 4 -async-checkpoint -async-log -verify \
 		-checkpoint /tmp/pdftsp-spec.ckpt -full-every 4 -decision-log /tmp/pdftsp-spec.declog
 
-check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke spec-smoke
+# wal-smoke is the durable-intake gate: a supervised run under the
+# wal-chaos schedule — ack-boundary kills (including a double kill at
+# one slot and a torn-tail corruption before one recovery) — where every
+# acked bid must appear in the final decision map and the run must stay
+# bit-identical to its sequential sim.Run twin, monolithic and sharded.
+# Replays with `go run ./cmd/pdftspd -wal-chaos <seed>`.
+wal-smoke:
+	$(GO) run ./cmd/pdftspd -wal-chaos 1
+	$(GO) run ./cmd/pdftspd -wal-chaos 7 -shards 2
+
+check: build vet test race serve-smoke chaos-smoke load-smoke shard-smoke spot-smoke spec-smoke wal-smoke

@@ -83,11 +83,13 @@ type flags struct {
 	batch   int
 	retries int
 
-	queue     int
-	ckpt      string
-	fullEvery int
-	decLog    string
-	keepPlans bool
+	queue        int
+	ckpt         string
+	fullEvery    int
+	wal          bool
+	walSyncEvery int
+	decLog       string
+	keepPlans    bool
 
 	specWorkers int
 	asyncCkpt   bool
@@ -124,6 +126,8 @@ func main() {
 	flag.IntVar(&f.queue, "queue", 0, "broker queue size (0 = auto-size to the largest slot)")
 	flag.StringVar(&f.ckpt, "checkpoint", "", "checkpoint the broker to this path while loading")
 	flag.IntVar(&f.fullEvery, "full-every", 1, "full snapshot every n checkpoint writes (binary deltas between)")
+	flag.BoolVar(&f.wal, "wal", false, "journal every acked bid to <checkpoint>.wal before its ack releases (requires -checkpoint); the report adds journal depth and fsync latency rows")
+	flag.IntVar(&f.walSyncEvery, "wal-sync-every", 1, "fsync the journal every n intake messages (1 = every ack batch)")
 	flag.StringVar(&f.decLog, "decision-log", "", "stream the binary decision log to this path")
 	flag.BoolVar(&f.keepPlans, "keep-losing-plans", false, "retain rejected bids' candidate plans (more memory)")
 	flag.IntVar(&f.specWorkers, "spec-workers", 0, "close slots through the speculative parallel round with this many workers (0/1 = sequential)")
@@ -149,6 +153,9 @@ func main() {
 	}
 	if f.shards < 1 {
 		fail("-shards must be >= 1")
+	}
+	if f.wal && f.ckpt == "" {
+		fail("-wal requires -checkpoint (the journal lives next to the checkpoint chain)")
 	}
 
 	if err := execute(f); err != nil {
@@ -444,6 +451,11 @@ type aggStatus struct {
 	welfare, revenue     float64
 	admitted, rejected   int
 	specHits, specMisses uint64
+
+	walRecords, walBytes  int64
+	walFsyncs, walFsyncNS int64
+	walFsyncMaxNS         int64
+	walReplayed, walFails int
 }
 
 // report is the run's measured outcome.
@@ -476,6 +488,13 @@ type report struct {
 	ShedChannelFull int64   `json:"shed_channel_full"`
 	ShedHeldFull    int64   `json:"shed_held_full"`
 	AllocsPerBid    float64 `json:"allocs_per_bid"`
+	WALRecords      int64   `json:"wal_records,omitempty"`
+	WALBytes        int64   `json:"wal_bytes,omitempty"`
+	WALFsyncs       int64   `json:"wal_fsyncs,omitempty"`
+	WALFsyncAvgMs   float64 `json:"wal_fsync_avg_ms,omitempty"`
+	WALFsyncMaxMs   float64 `json:"wal_fsync_max_ms,omitempty"`
+	WALReplayed     int     `json:"wal_replayed,omitempty"`
+	WALFailures     int     `json:"wal_failures,omitempty"`
 	SpecHits        uint64  `json:"spec_hits,omitempty"`
 	SpecMisses      uint64  `json:"spec_misses,omitempty"`
 	SpecHitRate     float64 `json:"spec_hit_rate,omitempty"`
@@ -509,6 +528,10 @@ func (r *report) print(w io.Writer, asJSON bool) {
 	fmt.Fprintf(w, "  intake high-water %d  held high-water %d  shed: channel %d held %d\n",
 		r.IntakeHighWater, r.HeldHighWater, r.ShedChannelFull, r.ShedHeldFull)
 	fmt.Fprintf(w, "  allocs/served bid (whole process, both sides of the wire) %.1f\n", r.AllocsPerBid)
+	if r.WALRecords > 0 || r.WALFsyncs > 0 {
+		fmt.Fprintf(w, "  journal  records %d  bytes %d  fsyncs %d  avg %.3fms  max %.3fms  replayed %d  failures %d\n",
+			r.WALRecords, r.WALBytes, r.WALFsyncs, r.WALFsyncAvgMs, r.WALFsyncMaxMs, r.WALReplayed, r.WALFailures)
+	}
 	if r.SpecHits+r.SpecMisses > 0 {
 		fmt.Fprintf(w, "  speculation  hits %d  misses %d  hit-rate %.1f%%\n",
 			r.SpecHits, r.SpecMisses, r.SpecHitRate*100)
@@ -597,6 +620,10 @@ func run(f flags) (*report, error) {
 				opts.CheckpointPath = fmt.Sprintf("%s.shard%d", f.ckpt, i)
 			}
 		}
+		if f.wal {
+			opts.WALPath = service.WALPath(opts.CheckpointPath)
+			opts.WALSyncEvery = f.walSyncEvery
+		}
 		return opts
 	}
 	var a service.Auctioneer
@@ -630,6 +657,10 @@ func run(f flags) (*report, error) {
 			welfare: st.Welfare, revenue: st.Revenue,
 			admitted: st.Admitted, rejected: st.Rejected,
 			specHits: st.SpecHits, specMisses: st.SpecMisses,
+			walRecords: st.WALRecords, walBytes: st.WALBytes,
+			walFsyncs: st.WALFsyncs, walFsyncNS: st.WALFsyncNanos,
+			walFsyncMaxNS: st.WALFsyncMaxNS,
+			walReplayed:   st.WALReplayed, walFails: st.WALFailures,
 		}, nil
 	}
 	verifyFn := func(shed int) (bool, string) { return verifyFleet(f, h, tasks, a, shed) }
@@ -768,6 +799,12 @@ func run(f flags) (*report, error) {
 	if n := st.specHits + st.specMisses; n > 0 {
 		rep.SpecHitRate = float64(st.specHits) / float64(n)
 	}
+	rep.WALRecords, rep.WALBytes, rep.WALFsyncs = st.walRecords, st.walBytes, st.walFsyncs
+	rep.WALReplayed, rep.WALFailures = st.walReplayed, st.walFails
+	if st.walFsyncs > 0 {
+		rep.WALFsyncAvgMs = float64(st.walFsyncNS) / float64(st.walFsyncs) / 1e6
+	}
+	rep.WALFsyncMaxMs = float64(st.walFsyncMaxNS) / 1e6
 	rep.IntakeP50Ms, rep.IntakeP90Ms, rep.IntakeP99Ms, rep.IntakeMaxMs = percentilesMs(intakeRTT)
 	rep.DecisionP50Ms, rep.DecisionP90Ms, rep.DecisionP99Ms, rep.DecisionMaxMs = percentilesMs(decLat)
 

@@ -8,12 +8,16 @@
 //	pdftspd -virtual-clock               # slots advance via POST /v1/clock/step
 //	pdftspd -checkpoint state.json       # persist duals+ledger each slot
 //	pdftspd -checkpoint state.json -restore   # resume a crashed broker
+//	pdftspd -checkpoint state.json -wal  # journal acked bids: no acked bid is ever lost
+//	pdftspd -checkpoint state.json -wal -supervise  # in-process watchdog restarts a crashed broker
 //	pdftspd -smoke                       # self-test: HTTP fan-in vs sim.Run
 //
 // Endpoints: POST /v1/bids, GET /v1/status, GET /v1/decisions/{id},
 // POST /v1/clock/step (virtual clock only), GET /healthz. SIGTERM drains
-// gracefully: held bids are refused (clients resubmit after restart), a
-// final checkpoint is written, and the run's RunEnd event is emitted.
+// gracefully: held bids are refused (without -wal clients resubmit after
+// restart; with it their journaled bids are re-offered on the next
+// -restore), a final checkpoint is written, and the run's RunEnd event
+// is emitted.
 //
 // The scheduler's dual prices are calibrated against a synthetic workload
 // drawn from the -rate/-arrivals/-deadlines flags, mirroring how the
@@ -69,12 +73,16 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint every n closed slots")
 	fullEvery := flag.Int("full-every", 1, "write a full JSON snapshot every n checkpoints and binary deltas in between (1 = always full)")
 	restore := flag.Bool("restore", false, "resume from -checkpoint (full snapshot + delta sidecar) before serving")
+	wal := flag.Bool("wal", false, "journal every acked bid to <checkpoint>.wal before releasing its ack; -restore replays the journal (requires -checkpoint)")
+	walSyncEvery := flag.Int("wal-sync-every", 1, "fsync the journal every n intake messages (1 = every ack batch; higher trades crash-window for throughput)")
+	supervise := flag.Bool("supervise", false, "run the fleet under an in-process watchdog: a crashed or wedged generation is restored from its checkpoint and journal automatically")
 	decLog := flag.String("decision-log", "", "stream every decision to this binary log (read with obs.ReadDecisionLog)")
 	obsTrace := flag.String("trace", "", "write a JSONL event trace to this file (analyze with cmd/trace)")
 	audit := flag.Bool("audit", false, "validate auction invariants online; non-zero exit on any violation")
 	serveDebug := flag.String("serve", "", "serve live expvar metrics and pprof on this address")
 	smoke := flag.Bool("smoke", false, "run the in-process serve-smoke self-test and exit")
 	chaos := flag.Int64("chaos", -1, "run the seeded chaos self-test (outages, vendor faults, kill/restore) with this seed and exit")
+	walChaos := flag.Int64("wal-chaos", -1, "run the durable-intake self-test (ack-boundary kills, torn journals, supervised recovery) with this seed and exit")
 	shards := flag.Int("shards", 1, "partition the cluster into this many shard brokers behind a dual-price router")
 	spotNodes := flag.Int("spot-nodes", 0, "rent this many revocable spot-market nodes per broker (the cluster's tail indices); 0 disables the elastic tier")
 	spotBudget := flag.Float64("spot-budget", 0, "cap each broker's cumulative spot rent (0 auto-sizes to base price x horizon x nodes)")
@@ -164,12 +172,20 @@ func main() {
 		finishObs(jsonlSink, auditor, decSink)
 		return
 	}
+	if *walChaos >= 0 {
+		if _, err := runWALChaos(cfg, *walChaos, *shards, pc); err != nil {
+			fail("wal-chaos: %v", err)
+		}
+		fmt.Printf("wal-smoke(seed %d, %d shard(s)): every acked bid survived ack-boundary kills, torn journals, and supervised recovery, bit-identical to sim.Run\n", *walChaos, *shards)
+		finishObs(jsonlSink, auditor, decSink)
+		return
+	}
 
 	so := serveOpts{
 		addr: *addr, virtual: *virtual, slotDur: *slotDur, queue: *queue,
 		ckpt: *ckpt, ckptEvery: *ckptEvery, fullEvery: *fullEvery,
 		restore: *restore, serveDebug: *serveDebug, observer: observer,
-		perf: pc,
+		perf: pc, wal: *wal, walSyncEvery: *walSyncEvery, supervise: *supervise,
 	}
 	a, totalNodes, err := buildAuctioneer(cfg, *shards, sc, so)
 	if err != nil {

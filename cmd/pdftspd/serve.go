@@ -16,17 +16,20 @@ import (
 
 // serveOpts carries the serving flags into the unified serve path.
 type serveOpts struct {
-	addr       string
-	virtual    bool
-	slotDur    time.Duration
-	queue      int
-	ckpt       string
-	ckptEvery  int
-	fullEvery  int
-	restore    bool
-	serveDebug string
-	observer   obs.Observer
-	perf       perfConfig
+	addr         string
+	virtual      bool
+	slotDur      time.Duration
+	queue        int
+	ckpt         string
+	ckptEvery    int
+	fullEvery    int
+	restore      bool
+	serveDebug   string
+	observer     obs.Observer
+	perf         perfConfig
+	wal          bool
+	walSyncEvery int
+	supervise    bool
 }
 
 // shardSpecs wires the per-shard broker options from the common serving
@@ -56,6 +59,10 @@ func shardSpecs(stacks []*stack, sc spotConfig, o serveOpts) ([]service.ShardSpe
 		}
 		if o.ckpt != "" {
 			opts.CheckpointPath = fmt.Sprintf("%s.shard%d", o.ckpt, i)
+			if o.wal {
+				opts.WALPath = service.WALPath(opts.CheckpointPath)
+				opts.WALSyncEvery = o.walSyncEvery
+			}
 		}
 		prov, err := sc.provider(st.cl, st.cl.Horizon().T, i)
 		if err != nil {
@@ -78,6 +85,12 @@ func shardSpecs(stacks []*stack, sc spotConfig, o serveOpts) ([]service.ShardSpe
 // the one service.Auctioneer surface the serve loop drives. The second
 // return is the total node count, for the banner.
 func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (service.Auctioneer, int, error) {
+	if o.wal && o.ckpt == "" {
+		return nil, 0, fmt.Errorf("-wal requires -checkpoint (the journal lives next to the checkpoint chain)")
+	}
+	if o.supervise {
+		return buildSupervised(cfg, n, sc, o)
+	}
 	if n == 1 {
 		st, err := cfg.build()
 		if err != nil {
@@ -97,6 +110,10 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 			Observer:            o.observer,
 			SpecWorkers:         o.perf.specWorkers,
 			AsyncCheckpoint:     o.perf.asyncCkpt,
+		}
+		if o.wal {
+			opts.WALPath = service.WALPath(o.ckpt)
+			opts.WALSyncEvery = o.walSyncEvery
 		}
 		prov, err := sc.provider(st.cl, cfg.slots, 0)
 		if err != nil {
@@ -121,6 +138,13 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 				return nil, 0, err
 			}
 			fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
+			if o.wal {
+				replayed, err := recoverJournals(broker)
+				if err != nil {
+					return nil, 0, err
+				}
+				fmt.Fprintf(os.Stderr, "replayed journal: %d acked bid(s) re-offered\n", replayed)
+			}
 		}
 		return broker, st.cl.NumNodes(), nil
 	}
@@ -153,6 +177,13 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 			slot = ck.Slot
 		}
 		fmt.Fprintf(os.Stderr, "restored %d-shard manifest at slot %d\n", m.Shards, slot)
+		if o.wal {
+			replayed, err := recoverJournals(fleet)
+			if err != nil {
+				return nil, 0, err
+			}
+			fmt.Fprintf(os.Stderr, "replayed journals: %d acked bid(s) re-offered across %d shard(s)\n", replayed, n)
+		}
 	}
 	nodes := 0
 	for _, st := range stacks {
@@ -161,11 +192,71 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 	return fleet, nodes, nil
 }
 
-// serveAuctioneer is the one serve loop: expvar exposure, Start, the
+// recoverJournals replays every broker's write-ahead journal after its
+// checkpoint restore: each acked-but-undecided bid is re-held (decided
+// bids dedup against the restored decision map) and a fresh journal is
+// seeded with the survivors. Returns the total re-offered count.
+func recoverJournals(a service.Auctioneer) (int, error) {
+	total := 0
+	for _, b := range a.Brokers() {
+		replayed, err := b.RecoverWAL()
+		if err != nil {
+			return total, fmt.Errorf("journal replay: %w", err)
+		}
+		total += replayed
+	}
+	return total, nil
+}
+
+// buildSupervised wraps the flag set's fleet in a service.Supervisor:
+// Build constructs a generation exactly as buildAuctioneer would —
+// restoring whenever persisted state exists on disk, so the first
+// generation honors -restore and every later one resumes the crashed
+// run — replays the journals, and starts it. The watchdog then turns
+// any in-process crash or wedge into a bounded restart instead of an
+// outage.
+func buildSupervised(cfg stackConfig, n int, sc spotConfig, o serveOpts) (service.Auctioneer, int, error) {
+	inner := o
+	inner.supervise = false
+	build := func() (service.Auctioneer, error) {
+		ro := inner
+		if ro.ckpt != "" {
+			if _, err := os.Stat(ro.ckpt); err == nil {
+				ro.restore = true
+			}
+		}
+		a, _, err := buildAuctioneer(cfg, n, sc, ro)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Start(); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+	sup, err := service.NewSupervisor(service.SupervisorOptions{
+		Build: build,
+		OnRestart: func(gen int, reason string) {
+			fmt.Fprintf(os.Stderr, "pdftspd: supervisor restored generation %d (%s)\n", gen, reason)
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return sup, cfg.nodes, nil
+}
+
+// serveAuctioneer is the one serve loop: Start, expvar exposure, the
 // HTTP listener, and the signal-driven graceful drain — identical for a
-// fleet of one and a fleet of many.
+// fleet of one and a fleet of many (supervised or not).
 func serveAuctioneer(a service.Auctioneer, cfg stackConfig, n int, sc spotConfig, o serveOpts, nodes int) {
+	if err := a.Start(); err != nil {
+		fail("start: %v", err)
+	}
 	if o.serveDebug != "" {
+		// After Start so a supervisor has a generation to expose; across
+		// restarts the expvar bindings keep reporting generation 0's
+		// final (race-free) state — live metrics flow through /v1/status.
 		brokers := a.Brokers()
 		for i, b := range brokers {
 			name := "pdftspd_broker"
@@ -174,9 +265,6 @@ func serveAuctioneer(a service.Auctioneer, cfg stackConfig, n int, sc spotConfig
 			}
 			b.ExposeExpvar(name)
 		}
-	}
-	if err := a.Start(); err != nil {
-		fail("start: %v", err)
 	}
 
 	srv := &http.Server{Addr: o.addr, Handler: a.Handler()}
@@ -196,6 +284,12 @@ func serveAuctioneer(a service.Auctioneer, cfg stackConfig, n int, sc spotConfig
 	if sc.enabled() {
 		tier = fmt.Sprintf(", spot tier %d node(s)/broker", sc.nodes)
 	}
+	if o.wal {
+		tier += ", journaled intake"
+	}
+	if o.supervise {
+		tier += ", supervised"
+	}
 	fmt.Fprintf(os.Stderr, "pdftspd serving on http://%s (%s, %s, %d slots%s)\n",
 		ln.Addr(), clock, shape, cfg.slots, tier)
 
@@ -209,7 +303,11 @@ func serveAuctioneer(a service.Auctioneer, cfg stackConfig, n int, sc spotConfig
 		fail("serve: %v", err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "pdftspd: draining (held bids refused; clients resubmit after restart)")
+	if o.wal {
+		fmt.Fprintln(os.Stderr, "pdftspd: draining (held bids refused but journaled; a -restore restart re-offers them)")
+	} else {
+		fmt.Fprintln(os.Stderr, "pdftspd: draining (held bids refused; clients resubmit after restart)")
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := a.Drain(shutCtx); err != nil {

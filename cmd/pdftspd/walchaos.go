@@ -1,0 +1,430 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/service"
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+	"github.com/pdftsp/pdftsp/internal/timeslot"
+)
+
+// errWALChaos tags durable-intake assertion failures.
+var errWALChaos = fmt.Errorf("wal-chaos invariant violated")
+
+// walChaosSummary is the completed harness's measured outcome.
+type walChaosSummary struct {
+	bids, acked, replayed int
+	restarts              int
+	welfare               float64
+}
+
+// runWALChaos is the durable-intake self-test behind `pdftspd
+// -wal-chaos <seed>` (add -shards 2 for a fleet). Where -chaos attacks
+// the decided state (checkpoints), this harness attacks the acked state:
+// it runs a supervised fleet with write-ahead journaling and kills
+// generations at the worst possible instant — after bids are acked but
+// before their slot closes — then asserts the headline guarantee: **no
+// acked bid is ever lost.**
+//
+// Kill points, all between ack release and slot close:
+//
+//   - a plain ack-boundary kill: bids acked, fleet crash-stopped before
+//     Step — the journal is the only place those bids exist;
+//   - a double kill at one slot: the second crash lands right after the
+//     first recovery's replay, so re-replaying the same journal must be
+//     idempotent (no double-offer, no duplicate decision);
+//   - a torn-journal kill: before the restore, garbage is appended to
+//     every shard's journal (a torn final write); replay must take the
+//     valid prefix and carry on, never error.
+//
+// Every kill is absorbed by the in-process Supervisor: the watchdog
+// notices the dead generation, restores the checkpoint (or manifest),
+// replays each shard's journal, and API calls in flight retry against
+// the next generation. Along the way the HTTP contract is checked too:
+// an acked, undecided bid answers 202 "pending" on /v1/decisions/{id}
+// and flips to 200 once its slot closes.
+//
+// The final state must be bit-identical — decisions, welfare, revenue,
+// duals, ledgers — to a sequential sim.Run of the acked stream on twin
+// stacks, broker by broker: durability may cost latency, never outcome.
+func runWALChaos(cfg stackConfig, seed int64, n int, pc perfConfig) (walChaosSummary, error) {
+	var sum walChaosSummary
+	if cfg.slots == timeslot.DefaultHorizonSlots {
+		cfg.slots = 24
+	}
+	if cfg.nodes == 8 {
+		if n > 1 {
+			cfg.nodes = 2 * n
+		} else {
+			cfg.nodes = 4
+		}
+	}
+	if cfg.rate == 5 {
+		cfg.rate = 3
+	}
+	cfg.seed = seed
+
+	// Ack-boundary kill schedule: fixed slots (the seed varies the
+	// workload around them), each with its flavor of crash.
+	const (
+		killPlain  = 5
+		killDouble = 11
+		killTorn   = 17
+	)
+	kills := map[int]int{killPlain: 1, killDouble: 2, killTorn: 1}
+	fmt.Fprintf(os.Stderr, "wal-chaos(seed %d, %d shard(s)): ack-boundary kills at slot %d, double kill at %d, torn-journal kill at %d\n",
+		seed, n, killPlain, killDouble, killTorn)
+
+	dir, err := os.MkdirTemp("", "pdftspd-walchaos-")
+	if err != nil {
+		return sum, err
+	}
+	defer os.RemoveAll(dir)
+	ckptPaths := make([]string, n)
+	for i := range ckptPaths {
+		ckptPaths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", i))
+	}
+	manifest := filepath.Join(dir, "fleet.manifest")
+	statePath := ckptPaths[0]
+	if n > 1 {
+		statePath = manifest
+	}
+
+	// The workload is generated once; every generation's stacks are
+	// rebuilt fresh (seed-deterministic, so they are twins).
+	firstStacks, err := cfg.buildShards(n)
+	if err != nil {
+		return sum, err
+	}
+	tasks := firstStacks[0].tasks
+	perSlot := make([][]task.Task, cfg.slots)
+	for _, tk := range tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+
+	// Build constructs one generation: fresh stacks, journaled brokers,
+	// restore-if-persisted, replay, start. The supervisor calls it once
+	// up front and once per crash.
+	var (
+		curStacks     atomic.Pointer[[]*stack]
+		replayedTotal atomic.Int64
+		corruptNext   atomic.Bool
+		restarted     = make(chan int, 16)
+	)
+	build := func() (service.Auctioneer, error) {
+		stacks, err := cfg.buildShards(n)
+		if err != nil {
+			return nil, err
+		}
+		mkOpts := func(i int, st *stack) service.Options {
+			return service.Options{
+				Cluster:      st.cl,
+				Scheduler:    st.sched,
+				Model:        st.model,
+				Market:       st.mkt,
+				QueueSize:    len(tasks) + 16,
+				VirtualClock: true,
+				// Full snapshot every 4th slot, deltas between, journal
+				// alongside: every restore exercises the chain + replay.
+				CheckpointPath:      ckptPaths[i],
+				CheckpointEvery:     1,
+				CheckpointFullEvery: 4,
+				WALPath:             service.WALPath(ckptPaths[i]),
+				RunLabel:            fmt.Sprintf("wal-chaos/%d", i),
+				SpecWorkers:         pc.specWorkers,
+				AsyncCheckpoint:     pc.asyncCkpt,
+			}
+		}
+		var a service.Auctioneer
+		if n == 1 {
+			a, err = service.New(mkOpts(0, stacks[0]))
+		} else {
+			specs := make([]service.ShardSpec, n)
+			for i, st := range stacks {
+				specs[i] = service.ShardSpec{Key: fmt.Sprintf("%s/%d", st.model.Name, i), Options: mkOpts(i, st)}
+			}
+			a, err = service.NewShards(service.ShardsOptions{ManifestPath: manifest}, specs...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(statePath); err == nil {
+			if n == 1 {
+				ck, err := service.LoadCheckpoint(ckptPaths[0])
+				if err != nil {
+					return nil, fmt.Errorf("restore: %w", err)
+				}
+				if err := a.Brokers()[0].Restore(ck); err != nil {
+					return nil, fmt.Errorf("restore: %w", err)
+				}
+			} else {
+				m, err := service.ReadShardManifest(manifest)
+				if err != nil {
+					return nil, fmt.Errorf("restore: %w", err)
+				}
+				if err := a.(*service.Shards).RestoreFromManifest(m); err != nil {
+					return nil, fmt.Errorf("restore: %w", err)
+				}
+			}
+		}
+		for _, b := range a.Brokers() {
+			replayed, err := b.RecoverWAL()
+			if err != nil {
+				return nil, fmt.Errorf("journal replay: %w", err)
+			}
+			replayedTotal.Add(int64(replayed))
+		}
+		if err := a.Start(); err != nil {
+			return nil, err
+		}
+		curStacks.Store(&stacks)
+		return a, nil
+	}
+	sup, err := service.NewSupervisor(service.SupervisorOptions{
+		Build: build,
+		PreRestore: func(gen int, reason string) {
+			if !corruptNext.CompareAndSwap(true, false) {
+				return
+			}
+			// A torn final write: garbage after the committed frames.
+			// Replay must keep the valid prefix and ignore the tail.
+			for _, p := range ckptPaths {
+				f, err := os.OpenFile(service.WALPath(p), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					continue
+				}
+				f.Write([]byte("\xff\xfe\xfdtorn-tail-garbage\x00\x01"))
+				f.Close()
+			}
+		},
+		OnRestart: func(gen int, reason string) {
+			fmt.Fprintf(os.Stderr, "wal-chaos: generation %d serving after restart (%s)\n", gen, reason)
+			restarted <- gen
+		},
+	})
+	if err != nil {
+		return sum, err
+	}
+	if err := sup.Start(); err != nil {
+		return sum, err
+	}
+	defer sup.Kill()
+
+	// The supervisor outlives every generation, so one HTTP server spans
+	// the whole run — requests racing a crash retry, they don't fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sum, err
+	}
+	srv := &http.Server{Handler: sup.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	crash := func(s int) error {
+		// Kill the raw generation out from under the supervisor — the
+		// in-process stand-in for a crash — and wait for the watchdog to
+		// bring up its successor.
+		for _, b := range sup.Brokers() {
+			b.Kill()
+		}
+		select {
+		case <-restarted:
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("%w: no restart within 15s of the kill at slot %d", errWALChaos, s)
+		}
+		slot, err := sup.Slot()
+		if err != nil {
+			return fmt.Errorf("slot after restart at %d: %w", s, err)
+		}
+		if slot != s {
+			return fmt.Errorf("%w: generation restored at slot %d, want %d", errWALChaos, slot, s)
+		}
+		return nil
+	}
+
+	acked := map[int]bool{}
+	assigned := map[int]int{}
+	checkedPending := false
+	for s := 0; s < cfg.slots; s++ {
+		arriving := perSlot[s]
+		if len(arriving) > 0 {
+			batch := append([]task.Task(nil), arriving...)
+			verdicts := make([]error, len(batch))
+			if _, err := sup.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+				return sum, fmt.Errorf("submit batch at slot %d: %w", s, err)
+			}
+			for i, v := range verdicts {
+				if v != nil {
+					return sum, fmt.Errorf("task %d at slot %d refused: %w", batch[i].ID, s, v)
+				}
+				// The ack has been released; from here on this bid must
+				// never be lost, whatever crashes.
+				acked[batch[i].ID] = true
+			}
+		}
+		if !checkedPending && len(arriving) > 0 {
+			// Satellite contract: an acked, undecided bid is "pending",
+			// not the same 404 as a bid never seen.
+			id := arriving[0].ID
+			var body struct {
+				Status string `json:"status"`
+			}
+			code, err := walChaosGet(base+fmt.Sprintf("/v1/decisions/%d", id), &body)
+			if err != nil {
+				return sum, err
+			}
+			if code != http.StatusAccepted || body.Status != "pending" {
+				return sum, fmt.Errorf("%w: held bid %d answered %d %q, want 202 \"pending\"", errWALChaos, id, code, body.Status)
+			}
+			checkedPending = true
+		}
+
+		if nKills := kills[s]; nKills > 0 {
+			if s == killTorn {
+				corruptNext.Store(true)
+			}
+			for k := 0; k < nKills; k++ {
+				if err := crash(s); err != nil {
+					return sum, err
+				}
+			}
+		}
+
+		if _, err := sup.Step(1); err != nil {
+			return sum, fmt.Errorf("step at slot %d: %w", s, err)
+		}
+		for _, tk := range arriving {
+			_, si, ok, err := locateDecision(sup, tk.ID)
+			if err != nil || !ok {
+				return sum, fmt.Errorf("%w: acked bid %d undecided after slot %d closed (ok=%v err=%v)", errWALChaos, tk.ID, s, ok, err)
+			}
+			assigned[tk.ID] = si
+		}
+		if checkedPending && s == 0 && len(arriving) > 0 {
+			id := arriving[0].ID
+			code, err := walChaosGet(base+fmt.Sprintf("/v1/decisions/%d", id), nil)
+			if err != nil {
+				return sum, err
+			}
+			if code != http.StatusOK {
+				return sum, fmt.Errorf("%w: decided bid %d answered %d, want 200", errWALChaos, id, code)
+			}
+		}
+	}
+
+	// Grab the final generation's fleet before Drain stops the
+	// supervisor (a drained broker's state reads race-free).
+	brokers := sup.Brokers()
+	stacks := *curStacks.Load()
+	restarts := sup.Restarts()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sup.Drain(drainCtx); err != nil {
+		return sum, fmt.Errorf("drain: %w", err)
+	}
+	srv.Close()
+
+	// The headline guarantee: every acked bid has a decision.
+	for id := range acked {
+		if _, ok := assigned[id]; !ok {
+			return sum, fmt.Errorf("%w: acked bid %d has no final decision", errWALChaos, id)
+		}
+	}
+	wantRestarts := 0
+	for _, k := range kills {
+		wantRestarts += k
+	}
+	if restarts != wantRestarts {
+		return sum, fmt.Errorf("%w: %d restarts, want %d", errWALChaos, restarts, wantRestarts)
+	}
+	ackedAtKills := 0
+	for s := range kills {
+		ackedAtKills += len(perSlot[s])
+	}
+	if ackedAtKills > 0 && replayedTotal.Load() == 0 {
+		return sum, fmt.Errorf("%w: kills landed on %d acked bids but the journal never replayed any", errWALChaos, ackedAtKills)
+	}
+
+	// Ground truth, broker by broker: a twin of each broker's stack
+	// replays the acked subsequence it ended up owning.
+	twins, err := cfg.buildShards(n)
+	if err != nil {
+		return sum, err
+	}
+	var liveW, twinW float64
+	for si := 0; si < n; si++ {
+		var sub []task.Task
+		for _, tk := range tasks {
+			if owner, ok := assigned[tk.ID]; ok && owner == si {
+				sub = append(sub, tk)
+			}
+		}
+		tw := twins[si]
+		want, err := sim.Run(tw.cl, tw.sched, sub, sim.Config{
+			Model:            tw.model,
+			Market:           tw.mkt,
+			CollectDecisions: true,
+		})
+		if err != nil {
+			return sum, fmt.Errorf("broker %d replay: %w", si, err)
+		}
+		for i, tk := range sub {
+			got, ok, err := brokers[si].DecisionFor(tk.ID)
+			if err != nil || !ok {
+				return sum, fmt.Errorf("%w: no final decision for task %d on broker %d (ok=%v err=%v)", errWALChaos, tk.ID, si, ok, err)
+			}
+			w := want.Decisions[i]
+			if msg := sim.DiffDecisions(&got, &w, false); msg != "" {
+				return sum, fmt.Errorf("%w: broker %d vs sim: %s", errWALChaos, si, msg)
+			}
+		}
+		res := brokers[si].Result()
+		if msg := sim.DiffResults(res, want); msg != "" {
+			return sum, fmt.Errorf("%w: broker %d accounting diverged (%s)\nbroker %+v\nsim    %+v", errWALChaos, si, msg, res, want)
+		}
+		if !stacks[si].sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
+			return sum, fmt.Errorf("%w: broker %d final dual prices diverge from sim.Run", errWALChaos, si)
+		}
+		liveW += res.Welfare
+		twinW += want.Welfare
+	}
+	if liveW != twinW {
+		return sum, fmt.Errorf("%w: fleet welfare %v, per-broker sim.Run sum %v", errWALChaos, liveW, twinW)
+	}
+
+	sum.bids = len(tasks)
+	sum.acked = len(acked)
+	sum.replayed = int(replayedTotal.Load())
+	sum.restarts = restarts
+	sum.welfare = liveW
+	fmt.Fprintf(os.Stderr,
+		"wal-chaos(seed %d): %d bids acked across %d broker(s), %d supervised restarts, %d journal replays, 0 acked bids lost, welfare %.2f\n",
+		seed, sum.acked, n, sum.restarts, sum.replayed, liveW)
+	return sum, nil
+}
+
+// walChaosGet is a tiny GET helper that tolerates non-2xx codes (the
+// harness asserts on them).
+func walChaosGet(url string, out any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -60,6 +60,8 @@ func Suite() []Bench {
 		{Name: "CheckpointPerSlot/json-full", Func: CheckpointPerSlotJSONFull, MultiCore: true},
 		{Name: "CheckpointPerSlot/binary-delta", Func: CheckpointPerSlotBinaryDelta, MultiCore: true},
 		{Name: "CheckpointPerSlot/binary-delta-async", Func: CheckpointPerSlotBinaryDeltaAsync, MultiCore: true},
+		{Name: "WALAppend/sync-1", Func: WALAppendSync1, MultiCore: true},
+		{Name: "WALAppend/sync-64", Func: WALAppendSync64, MultiCore: true},
 		{Name: "SpotAdvance", Func: SpotAdvance},
 		{Name: "SpotTraceGen", Func: SpotTraceGen},
 	}

@@ -87,8 +87,10 @@ func retimeTask(t task.Task, id, slot int) task.Task {
 
 // servingBroker builds a virtual-clock broker on the bench cluster;
 // specWorkers > 1 closes slots through the speculative parallel round,
-// asyncCkpt moves checkpoint file I/O off the core goroutine.
-func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.Observer, specWorkers int, asyncCkpt bool) (*service.Broker, []task.Task) {
+// asyncCkpt moves checkpoint file I/O off the core goroutine. Trailing
+// mutators adjust the options for variants (the WAL rows) without
+// widening every call site.
+func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.Observer, specWorkers int, asyncCkpt bool, mut ...func(*service.Options)) (*service.Broker, []task.Task) {
 	b.Helper()
 	model, h := benchServingModel()
 	cl := benchServingCluster(b, h, model)
@@ -97,7 +99,7 @@ func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.
 	if err != nil {
 		b.Fatal(err)
 	}
-	broker, err := service.New(service.Options{
+	bo := service.Options{
 		Cluster:             cl,
 		Scheduler:           sched,
 		Model:               model,
@@ -111,7 +113,11 @@ func servingBroker(b *testing.B, checkpoint string, fullEvery int, observer obs.
 		DropLosingPlans:     true,
 		SpecWorkers:         specWorkers,
 		AsyncCheckpoint:     asyncCkpt,
-	})
+	}
+	for _, m := range mut {
+		m(&bo)
+	}
+	broker, err := service.New(bo)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -266,10 +272,10 @@ func stepServing(b *testing.B, broker *service.Broker, slot int, rebuild func())
 	return slot
 }
 
-func rebuildServing(b *testing.B, old *service.Broker, checkpoint string, fullEvery int, observer obs.Observer, specWorkers int, asyncCkpt bool) (*service.Broker, []task.Task) {
+func rebuildServing(b *testing.B, old *service.Broker, checkpoint string, fullEvery int, observer obs.Observer, specWorkers int, asyncCkpt bool, mut ...func(*service.Options)) (*service.Broker, []task.Task) {
 	b.Helper()
 	old.Kill()
-	return servingBroker(b, checkpoint, fullEvery, observer, specWorkers, asyncCkpt)
+	return servingBroker(b, checkpoint, fullEvery, observer, specWorkers, asyncCkpt, mut...)
 }
 
 // bidPayloads renders wire JSON for batches of size k from the bench

@@ -225,6 +225,10 @@ func (b *Broker) foldCkptDone(d ckptDone) {
 	b.ckptErr = nil
 	b.ckptFails = 0
 	b.ckptSlot = d.slot
+	// The persisted chain covers decisions before d.slot (which may trail
+	// b.slot by the pipeline depth); rotation keeps every journal chunk
+	// with an arrival at or past it — held bids and bids decided since.
+	b.rotateWAL(d.slot)
 }
 
 // closeCkptWriter flushes the pipeline and stops the writer goroutine;

@@ -38,8 +38,11 @@ type Auctioneer interface {
 	Step(n int) (int, error)
 	Slot() (int, error)
 
-	// DecisionFor returns a decided bid's irrevocable outcome.
+	// DecisionFor returns a decided bid's irrevocable outcome;
+	// PendingFor reports a bid that is acked but awaiting its slot's
+	// round — the API's "pending, not lost" answer.
 	DecisionFor(id int) (schedule.Decision, bool, error)
+	PendingFor(id int) (bool, error)
 
 	// Status is the fleet-level operational summary (a sharded fleet
 	// aggregates its shards); Health is the /healthz verdict.
@@ -66,6 +69,7 @@ type Auctioneer interface {
 var (
 	_ Auctioneer = (*Broker)(nil)
 	_ Auctioneer = (*Shards)(nil)
+	_ Auctioneer = (*Supervisor)(nil)
 )
 
 // statusPayload serves the monolithic broker's Status on /v1/status.

@@ -24,10 +24,14 @@ const checkpointVersion = 1
 // restore resumes with byte-identical duals and ledger — the property
 // the kill/restore tests assert.
 //
-// Held (undecided) bids are deliberately not persisted: their slots have
+// Held (undecided) bids are not part of the checkpoint: their slots have
 // not closed, so no auction state depends on them, and their submitters'
-// response channels cannot survive a process death anyway. Clients that
-// see ErrDraining/ErrClosed resubmit after restart.
+// response channels cannot survive a process death anyway. Their
+// durability lives in the write-ahead journal instead (Options.WALPath,
+// wal.go): RecoverWAL re-holds every acked-but-undecided bid after
+// Restore, so no resubmission is needed. Without a journal configured,
+// the pre-WAL contract applies — clients that see ErrDraining/ErrClosed
+// resubmit after restart.
 type Checkpoint struct {
 	Version   int    `json:"version"`
 	RunLabel  string `json:"run"`
@@ -177,6 +181,9 @@ func (b *Broker) writeCheckpoint() {
 	b.ckptErr = nil
 	b.ckptFails = 0
 	b.ckptSlot = b.slot
+	// The persisted chain now covers every decision before this slot;
+	// shrink the journal to what it does not cover.
+	b.rotateWAL(b.slot)
 }
 
 // writeFullCheckpoint writes the JSON snapshot and re-keys (or, at the

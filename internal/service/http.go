@@ -140,7 +140,7 @@ func httpStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrHorizonOver):
 		return http.StatusGone
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed), errors.Is(err, ErrWAL):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest
@@ -543,6 +543,13 @@ func handleDecision(a Auctioneer, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
+		// "Acked, awaiting its slot's round" and "never seen" are
+		// different answers: a 202 tells the client its bid is safe and
+		// undecided, a 404 that the fleet has no record of it.
+		if pending, perr := a.PendingFor(id); perr == nil && pending {
+			writeJSON(w, http.StatusAccepted, map[string]any{"task_id": id, "status": "pending"})
+			return
+		}
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("task %d not decided", id)})
 		return
 	}

@@ -181,6 +181,19 @@ type Options struct {
 	// checkpoint to be a full snapshot so the on-disk chain restates
 	// everything a lost delta carried.
 	AsyncCheckpoint bool
+	// WALPath, when non-empty, journals every held bid to a CRC-framed
+	// write-ahead log before its intake ack releases, closing the
+	// ack-to-slot-close durability gap: an acked bid survives a crash and
+	// replays idempotently through RecoverWAL (wal.go). The journal
+	// rotates on every successful checkpoint persist, so it stays one
+	// checkpoint interval deep; without a checkpoint path it only appends
+	// and the full acked history replays on restore.
+	WALPath string
+	// WALSyncEvery batches journal fsyncs: the default 1 fsyncs before
+	// every ack (an acked bid survives machine power loss); n > 1 fsyncs
+	// every n-th intake message, accepting an OS-buffer-deep loss window
+	// in exchange for amortizing the sync.
+	WALSyncEvery int
 	// Spot, when non-nil, attaches an elastic spot-capacity tier
 	// (internal/spot.Provider): the provider's nodes become unavailable
 	// until leased, leases are rented and released against the published
@@ -372,6 +385,16 @@ type Broker struct {
 	// writer goroutine — the backpressure tests' stall hook.
 	ckptW     *ckptWriter
 	ckptStall func(slot int, full bool)
+	// wal is the open bid journal (Options.WALPath); the replay counters
+	// record what RecoverWAL did (bids re-held / skipped as already
+	// decided / dropped as stale), walFails counts append and rotation
+	// failures, walErr the most recent one.
+	wal         *walWriter
+	walReplayed int
+	walDeduped  int
+	walStale    int
+	walFails    int
+	walErr      error
 }
 
 // New builds a broker; call Restore to resume from a checkpoint, then
@@ -439,6 +462,13 @@ func New(opts Options) (*Broker, error) {
 func (b *Broker) Start() error {
 	if b.started {
 		return ErrStarted
+	}
+	if b.opts.WALPath != "" && b.wal == nil {
+		// RecoverWAL already opened (and seeded) the journal on a
+		// restored broker; a fresh run starts one here.
+		if err := b.openWAL(b.slot); err != nil {
+			return err
+		}
 	}
 	b.started = true
 	b.o = obs.Stamp(b.opts.Observer, b.opts.RunLabel, b.sched.Name())
@@ -725,6 +755,19 @@ func (b *Broker) DecisionFor(id int) (schedule.Decision, bool, error) {
 	return d, ok, nil
 }
 
+// PendingFor reports whether a task ID is held awaiting its slot's
+// auction round — acked but undecided. With it, GET /v1/decisions/{id}
+// can distinguish "acked, pending slot close" from "never seen".
+func (b *Broker) PendingFor(id int) (bool, error) {
+	var ok bool
+	if err := b.do(func() { _, ok = b.heldIDs[id] }); err != nil {
+		// A stopped broker holds nothing (shutdown refused every held
+		// bid), and its maps are race-free to read.
+		_, ok = b.heldIDs[id]
+	}
+	return ok, nil
+}
+
 // Duals snapshots the scheduler's current dual prices, running on the
 // core goroutine so it is safe on a started broker (SnapshotDuals alone
 // is not — the core goroutine owns the scheduler). The second return is
@@ -808,6 +851,24 @@ type Status struct {
 	SpotLeases      int     `json:"spot_leases,omitempty"`
 	SpotLeasedSlots int     `json:"spot_leased_slots,omitempty"`
 	SpotRevocations int     `json:"spot_revocations,omitempty"`
+	// Write-ahead journal gauges (zero unless Options.WALPath is set):
+	// records appended over the run, records live in the journal file
+	// (its depth — one checkpoint interval of acked bids), bytes
+	// written, fsync count with cumulative and worst-case latency, bids
+	// re-held by RecoverWAL (and skipped as already-decided duplicates /
+	// dropped as stale), and append/rotate failures with the most recent
+	// error.
+	WALRecords    int64  `json:"wal_records,omitempty"`
+	WALDepth      int64  `json:"wal_depth,omitempty"`
+	WALBytes      int64  `json:"wal_bytes,omitempty"`
+	WALFsyncs     int64  `json:"wal_fsyncs,omitempty"`
+	WALFsyncNanos int64  `json:"wal_fsync_ns,omitempty"`
+	WALFsyncMaxNS int64  `json:"wal_fsync_max_ns,omitempty"`
+	WALReplayed   int    `json:"wal_replayed,omitempty"`
+	WALDeduped    int    `json:"wal_deduped,omitempty"`
+	WALStale      int    `json:"wal_stale,omitempty"`
+	WALFailures   int    `json:"wal_failures,omitempty"`
+	WALError      string `json:"wal_error,omitempty"`
 }
 
 // Status reports the broker's current state.
@@ -893,6 +954,21 @@ func (b *Broker) status() Status {
 	st.SpotLeases = b.res.SpotLeases
 	st.SpotLeasedSlots = b.res.SpotLeasedSlots
 	st.SpotRevocations = b.res.SpotRevocations
+	if b.wal != nil {
+		st.WALRecords = b.wal.records
+		st.WALDepth = b.wal.depth
+		st.WALBytes = b.wal.bytes
+		st.WALFsyncs = b.wal.fsyncs
+		st.WALFsyncNanos = b.wal.fsyncNS
+		st.WALFsyncMaxNS = b.wal.fsyncMaxNS
+	}
+	st.WALReplayed = b.walReplayed
+	st.WALDeduped = b.walDeduped
+	st.WALStale = b.walStale
+	st.WALFailures = b.walFails
+	if b.walErr != nil {
+		st.WALError = b.walErr.Error()
+	}
 	if dc, ok := b.sched.(DualCheckpointer); ok {
 		ds := dc.SnapshotDuals()
 		for k := range ds.Lambda {
@@ -994,13 +1070,19 @@ func (b *Broker) loop() {
 			b.refuseHeld(ErrClosed)
 			b.closeCkptWriter()
 			b.closeDeltas()
+			b.closeWAL()
 			return
 		}
 		if b.draining {
+			// The held bids just refused stay journaled: the drain
+			// checkpoint covers only closed slots, so rotation retains
+			// their records and a restart re-offers them (fire-and-forget
+			// submitters never see the ErrDraining answer).
 			b.refuseHeld(ErrDraining)
 			b.writeCheckpoint()
 			b.closeCkptWriter()
 			b.closeDeltas()
+			b.closeWAL()
 			b.emitRunEnd()
 			return
 		}
@@ -1050,13 +1132,19 @@ func (b *Broker) refuseHeld(err error) {
 
 // intakeRecv dispatches one intake message: a single bid is checked and
 // held, a batch runs the same checks bid by bid, recording per-bid
-// verdicts. Either way, exactly one ack answers the submitter.
+// verdicts. Either way, exactly one ack answers the submitter — and
+// with a journal configured, only after the message's held bids are on
+// disk (walCommit): the ack is the durability promise.
 func (b *Broker) intakeRecv(m intakeMsg) {
 	if d := len(b.intake) + 1; d > b.intakeHW {
 		b.intakeHW = d
 	}
 	if m.p != nil {
-		m.p.ack <- b.hold(&m.p.task, m.p.ctx, m.p, nil, 0)
+		err := b.hold(&m.p.task, m.p.ctx, m.p, nil, 0)
+		if err == nil {
+			err = b.walCommit()
+		}
+		m.p.ack <- err
 		return
 	}
 	bs := m.bs
@@ -1080,6 +1168,24 @@ func (b *Broker) intakeRecv(m intakeMsg) {
 		case bs.verdicts != nil:
 			bs.verdicts[i] = err
 		}
+	}
+	// One journal write and fsync covers the whole batch; on failure the
+	// just-held bids were un-held, so their verdicts flip to the journal
+	// error before the ack releases.
+	if werr := b.walCommit(); werr != nil {
+		for i := range bs.tasks {
+			switch {
+			case bs.outcomes != nil:
+				if bs.outcomes[i].Err == nil {
+					bs.outcomes[i] = Outcome{Err: werr}
+				}
+			case bs.verdicts != nil:
+				if bs.verdicts[i] == nil {
+					bs.verdicts[i] = werr
+				}
+			}
+		}
+		held = 0
 	}
 	// remaining is read by SubmitBatchAck after the ack (held count) and
 	// counted down by answer for the collecting form; both orderings run
@@ -1120,6 +1226,11 @@ func (b *Broker) hold(t *task.Task, ctx context.Context, p *pending, bs *batchSu
 		b.heldFull429++
 		return ErrHeldFull
 	}
+	if b.wal != nil && b.wal.broken {
+		// The journal's tail is unaccounted for; refusing keeps "acked ⇒
+		// journaled" true until a rotation rewrites the file.
+		return ErrWAL
+	}
 	if t.ID >= b.nextID {
 		b.nextID = t.ID + 1
 	}
@@ -1133,6 +1244,9 @@ func (b *Broker) hold(t *task.Task, ctx context.Context, p *pending, bs *batchSu
 	b.heldCount++
 	if b.heldCount > b.heldHW {
 		b.heldHW = b.heldCount
+	}
+	if b.wal != nil {
+		b.wal.stage(t)
 	}
 	return nil
 }

@@ -383,6 +383,20 @@ func (s *Shards) DecisionFor(id int) (schedule.Decision, bool, error) {
 	return schedule.Decision{}, false, nil
 }
 
+// PendingFor reports whether any shard holds the bid awaiting its round.
+func (s *Shards) PendingFor(id int) (bool, error) {
+	for _, b := range s.brokers {
+		ok, err := b.PendingFor(id)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // Brokers returns the fleet members in shard order.
 func (s *Shards) Brokers() []*Broker { return append([]*Broker(nil), s.brokers...) }
 
@@ -486,6 +500,21 @@ func (s *Shards) Status() (Status, error) {
 		agg.SpotLeases += bs.SpotLeases
 		agg.SpotLeasedSlots += bs.SpotLeasedSlots
 		agg.SpotRevocations += bs.SpotRevocations
+		agg.WALRecords += bs.WALRecords
+		agg.WALDepth += bs.WALDepth
+		agg.WALBytes += bs.WALBytes
+		agg.WALFsyncs += bs.WALFsyncs
+		agg.WALFsyncNanos += bs.WALFsyncNanos
+		agg.WALReplayed += bs.WALReplayed
+		agg.WALDeduped += bs.WALDeduped
+		agg.WALStale += bs.WALStale
+		agg.WALFailures += bs.WALFailures
+		if bs.WALFsyncMaxNS > agg.WALFsyncMaxNS {
+			agg.WALFsyncMaxNS = bs.WALFsyncMaxNS
+		}
+		if agg.WALError == "" && bs.WALError != "" {
+			agg.WALError = fmt.Sprintf("shard %s: %s", s.keys[i], bs.WALError)
+		}
 		if bs.IntakeHighWater > agg.IntakeHighWater {
 			agg.IntakeHighWater = bs.IntakeHighWater
 		}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+)
+
+// walSupervisor wires a supervisor whose generations are journaled,
+// checkpointed brokers rebuilt from seed-deterministic twin stacks. The
+// returned channel signals each completed restart; lastStack tracks the
+// serving generation's stack for final dual diffs.
+func walSupervisor(t *testing.T, slots int, seed int64) (*Supervisor, chan int, *[]*testStack) {
+	t.Helper()
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sup.ckpt")
+	stacks := &[]*testStack{}
+	build := func() (Auctioneer, error) {
+		s := newStack(t, slots, 2, 3, seed)
+		opts := s.brokerOptions()
+		opts.CheckpointPath = ckpt
+		opts.CheckpointEvery = 1
+		opts.WALPath = WALPath(ckpt)
+		b, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(ckpt); err == nil {
+			ck, err := LoadCheckpoint(ckpt)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Restore(ck); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := b.RecoverWAL(); err != nil {
+			return nil, err
+		}
+		if err := b.Start(); err != nil {
+			return nil, err
+		}
+		*stacks = append(*stacks, s)
+		return b, nil
+	}
+	restarted := make(chan int, 8)
+	sup, err := NewSupervisor(SupervisorOptions{
+		Build:         build,
+		ProbeInterval: 5 * time.Millisecond,
+		WedgeTimeout:  200 * time.Millisecond,
+		RestartWait:   10 * time.Second,
+		OnRestart:     func(gen int, reason string) { restarted <- gen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sup, restarted, stacks
+}
+
+func awaitRestart(t *testing.T, restarted chan int) {
+	t.Helper()
+	select {
+	case <-restarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no supervised restart within 10s")
+	}
+}
+
+// TestSupervisorAckBoundaryKill is the in-package half of the wal-chaos
+// harness: a generation is crash-stopped after acking a batch but before
+// its slot closes — twice at one slot, so the second recovery re-replays
+// an already-replayed journal — and the supervised run must finish with
+// every acked bid decided, bit-identical to a sequential sim.Run.
+func TestSupervisorAckBoundaryKill(t *testing.T) {
+	const slots, killAt = 8, 3
+	const seed = 9
+	sup, restarted, stacks := walSupervisor(t, slots, seed)
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+
+	ref := newStack(t, slots, 2, 3, seed)
+	perSlot := make([][]task.Task, slots)
+	for _, tk := range ref.tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+	acked := map[int]bool{}
+	for slot := 0; slot < slots; slot++ {
+		batch := perSlot[slot]
+		if len(batch) > 0 {
+			verdicts := make([]error, len(batch))
+			if _, err := sup.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+				t.Fatalf("submit at slot %d: %v", slot, err)
+			}
+			for i, v := range verdicts {
+				if v != nil {
+					t.Fatalf("task %d refused at slot %d: %v", batch[i].ID, slot, v)
+				}
+				acked[batch[i].ID] = true
+			}
+		}
+		if slot == killAt {
+			for kill := 0; kill < 2; kill++ {
+				for _, b := range sup.Brokers() {
+					b.Kill()
+				}
+				awaitRestart(t, restarted)
+				if got, err := sup.Slot(); err != nil || got != slot {
+					t.Fatalf("restored generation at slot %d (err %v), want %d", got, err, slot)
+				}
+			}
+		}
+		if _, err := sup.Step(1); err != nil {
+			t.Fatalf("step at slot %d: %v", slot, err)
+		}
+	}
+	if got := sup.Restarts(); got != 2 {
+		t.Fatalf("Restarts() = %d, want 2", got)
+	}
+	brokers := sup.Brokers()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sup.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	for id := range acked {
+		if _, ok, err := brokers[0].DecisionFor(id); err != nil || !ok {
+			t.Fatalf("acked bid %d lost across supervised restarts (ok=%v err=%v)", id, ok, err)
+		}
+	}
+	want := replay(t, newStack(t, slots, 2, 3, seed))
+	res := brokers[0].Result()
+	if msg := sim.DiffResults(res, want); msg != "" {
+		t.Fatalf("supervised run diverged from sim.Run: %s\nbroker %+v\nsim    %+v", msg, res, want)
+	}
+	final := (*stacks)[len(*stacks)-1]
+	tw := newStack(t, slots, 2, 3, seed)
+	replay(t, tw)
+	if !final.sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
+		t.Fatal("supervised run's final duals diverge from sim.Run")
+	}
+}
+
+// TestSupervisorWedgeDetection: a core goroutine stuck mid-slot (here,
+// parked inside a control closure) stops answering the liveness probe;
+// the watchdog declares the generation wedged and replaces it.
+func TestSupervisorWedgeDetection(t *testing.T) {
+	sup, restarted, _ := walSupervisor(t, 8, 5)
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+
+	gate := make(chan struct{})
+	defer close(gate) // release the wedged goroutine at test end
+	b0 := sup.Brokers()[0]
+	go b0.do(func() { <-gate })
+
+	awaitRestart(t, restarted)
+	if got := sup.Restarts(); got != 1 {
+		t.Fatalf("Restarts() = %d, want 1", got)
+	}
+	if _, err := sup.Slot(); err != nil {
+		t.Fatalf("Slot after wedge recovery: %v", err)
+	}
+}
+
+// TestSupervisorBuildFailureSticky: when a rebuild fails, the supervisor
+// stops for good — the sticky error surfaces on every call and Done
+// closes — rather than crash-looping against broken on-disk state.
+func TestSupervisorBuildFailureSticky(t *testing.T) {
+	gen := 0
+	errBroken := fmt.Errorf("state needs an operator")
+	build := func() (Auctioneer, error) {
+		gen++
+		if gen > 1 {
+			return nil, errBroken
+		}
+		s := newStack(t, 8, 2, 3, 5)
+		b, err := New(s.brokerOptions())
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Start(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	sup, err := NewSupervisor(SupervisorOptions{Build: build, RestartWait: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sup.Brokers()[0].Kill()
+	select {
+	case <-sup.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervisor did not stop after the failed rebuild")
+	}
+	if _, err := sup.Slot(); !errors.Is(err, errBroken) {
+		t.Fatalf("Slot after sticky failure = %v, want %v", err, errBroken)
+	}
+	h := sup.Health()
+	if h.Status != "degraded" || h.Reason == "" {
+		t.Fatalf("Health after sticky failure = %+v, want degraded with a reason", h)
+	}
+}

@@ -1,0 +1,483 @@
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/task"
+)
+
+// Durable bid intake. With Options.WALPath set, the broker journals every
+// bid it holds to a CRC-framed write-ahead log *before* releasing the
+// intake ack, so an acked bid survives a process death between ack and
+// slot close — the gap the checkpoint chain deliberately leaves open
+// (decisions persist at slot close; held bids used to die with the
+// process). The contract the supervisor and the chaos harness verify:
+// every acked bid is either decided in the persisted checkpoint chain or
+// replayable from the journal's valid prefix.
+//
+// The framing is the delta sidecar's (delta.go): a header pinning magic,
+// version, and run label, then uvarint-length + CRC32 frames. One intake
+// message — a whole batch — stages all its records into one buffer,
+// lands with one write syscall, and fsyncs before any of its acks go out
+// (Options.WALSyncEvery batches the fsync across messages for
+// deployments that accept an OS-buffer-deep window). If the append or
+// sync fails, the staged bids are un-held and refused with ErrWAL: the
+// guarantee is never weakened to "acked but maybe journaled".
+//
+// The journal stays O(one checkpoint interval): every successful
+// checkpoint persist covering slot s rewrites it (tmp + fsync + rename)
+// to just the records whose arrivals s does not cover — currently-held
+// bids plus, under the async checkpoint pipeline, bids decided after the
+// persisted slot. Replay (RecoverWAL) reads the valid prefix — torn or
+// corrupt tails degrade to the last intact record, never error, matching
+// LoadCheckpoint — and re-holds each surviving bid idempotently: IDs
+// already in the restored decision map (the bid decided before death)
+// and arrivals behind the restored clock are skipped, so nothing is
+// double-offered.
+
+// ErrWAL: the write-ahead journal could not record an acked bid; the
+// bid was refused rather than acked undurably (HTTP 503, retryable).
+var ErrWAL = errors.New("service: write-ahead journal append failed")
+
+// walVersion guards the journal record layout.
+const walVersion = 1
+
+// walMagic opens every journal file (distinct from the delta sidecar's).
+var walMagic = []byte("PDFTSPW\x01")
+
+// WALPath returns the conventional journal path derived from a
+// checkpoint path; cmd/pdftspd uses it for per-shard journal naming.
+func WALPath(checkpoint string) string { return checkpoint + ".wal" }
+
+// walRef identifies one staged-but-uncommitted record, so a failed
+// commit can un-hold exactly the bids this intake message held.
+type walRef struct {
+	arrival int
+	id      int
+}
+
+// walChunk is one committed intake message's frames, retained in memory
+// until a persisted checkpoint covers every arrival in it; rotation
+// rewrites the journal from these.
+type walChunk struct {
+	maxArrival int
+	records    int
+	data       []byte
+}
+
+// walWriter owns the open journal and its staging buffers. Core-
+// goroutine only (and pre-Start, the recovering caller).
+type walWriter struct {
+	path  string
+	label string
+	f     *os.File
+	size  int64 // committed file size, the truncate point for a failed append
+
+	// msg accumulates the current intake message's frames; buf is the
+	// per-record payload scratch; refs the bids staged so far. All three
+	// reuse their backing arrays across messages.
+	msg        []byte
+	buf        []byte
+	refs       []walRef
+	maxArrival int
+
+	// retain keeps committed chunks for rotation; off when no checkpoint
+	// path is configured (nothing ever covers the journal, so it only
+	// appends and the full acked history replays on restore).
+	retain bool
+	chunks []walChunk
+
+	// syncEvery batches fsyncs: 1 (the default) syncs before every ack,
+	// n > 1 syncs every n-th intake message (and at rotation).
+	syncEvery int
+	sinceSync int
+
+	// broken marks a journal whose failed append could not be truncated
+	// away: the on-disk tail may hold refused bids, so intake refuses
+	// until the next rotation rewrites the file from committed chunks.
+	broken bool
+
+	// Counters surfaced through Status/expvar.
+	records    int64
+	depth      int64 // records live in the journal file
+	bytes      int64
+	fsyncs     int64
+	fsyncNS    int64
+	fsyncMaxNS int64
+}
+
+// walHeader serializes the journal header: magic, version, the slot the
+// file was (re)opened at, and the run label the replayer must match.
+func walHeader(label string, slot int) []byte {
+	h := append([]byte(nil), walMagic...)
+	h = appendU64(h, walVersion)
+	h = appendInt(h, slot)
+	h = appendStr(h, label)
+	return h
+}
+
+// appendWALTask encodes one held bid's full stamped task.
+func appendWALTask(p []byte, t *task.Task) []byte {
+	p = appendInt(p, t.ID)
+	p = appendInt(p, t.Arrival)
+	p = appendInt(p, t.Deadline)
+	p = appendInt(p, t.DatasetSamples)
+	p = appendInt(p, t.Epochs)
+	p = appendInt(p, t.Work)
+	p = appendF64(p, t.MemGB)
+	p = appendInt(p, t.Rank)
+	p = appendInt(p, t.Batch)
+	p = appendBool(p, t.NeedsPrep)
+	p = appendF64(p, t.Bid)
+	p = appendF64(p, t.TrueValue)
+	p = appendStr(p, t.ModelName)
+	return p
+}
+
+func readWALTask(r *binReader) task.Task {
+	var t task.Task
+	t.ID = r.int()
+	t.Arrival = r.int()
+	t.Deadline = r.int()
+	t.DatasetSamples = r.int()
+	t.Epochs = r.int()
+	t.Work = r.int()
+	t.MemGB = r.f64()
+	t.Rank = r.int()
+	t.Batch = r.int()
+	t.NeedsPrep = r.bool()
+	t.Bid = r.f64()
+	t.TrueValue = r.f64()
+	t.ModelName = r.str()
+	return t
+}
+
+// stage frames one just-held bid into the current message buffer; the
+// frames land (and the acks release) at commit.
+func (w *walWriter) stage(t *task.Task) {
+	w.buf = appendWALTask(w.buf[:0], t)
+	w.msg = appendU64(w.msg, uint64(len(w.buf)))
+	w.msg = binary.LittleEndian.AppendUint32(w.msg, crc32.ChecksumIEEE(w.buf))
+	w.msg = append(w.msg, w.buf...)
+	w.refs = append(w.refs, walRef{arrival: t.Arrival, id: t.ID})
+	if t.Arrival > w.maxArrival {
+		w.maxArrival = t.Arrival
+	}
+}
+
+func (w *walWriter) resetMsg() {
+	w.msg = w.msg[:0]
+	w.refs = w.refs[:0]
+	w.maxArrival = -1
+}
+
+// sync fsyncs the journal, tracking latency.
+func (w *walWriter) sync() error {
+	start := time.Now()
+	err := w.f.Sync()
+	ns := time.Since(start).Nanoseconds()
+	w.fsyncs++
+	w.fsyncNS += ns
+	if ns > w.fsyncMaxNS {
+		w.fsyncMaxNS = ns
+	}
+	w.sinceSync = 0
+	return err
+}
+
+// commit writes the staged message with one syscall and fsyncs per the
+// batching knob. On failure the staged frames are rolled back (the file
+// truncated to its last committed size) and the error is returned with
+// the refs still staged — the caller un-holds them.
+func (w *walWriter) commit() error {
+	if len(w.refs) == 0 {
+		return nil
+	}
+	if w.broken {
+		return fmt.Errorf("journal broken by an earlier failed append")
+	}
+	err := func() error {
+		if _, err := w.f.Write(w.msg); err != nil {
+			return err
+		}
+		w.sinceSync++
+		if w.sinceSync >= w.syncEvery {
+			if err := w.sync(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		// Roll the partial/unacked tail back off the disk; if even that
+		// fails, the file may replay bids whose submitters were refused —
+		// stop appending until rotation rewrites it from committed chunks.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.broken = true
+		}
+		return err
+	}
+	w.size += int64(len(w.msg))
+	w.records += int64(len(w.refs))
+	w.depth += int64(len(w.refs))
+	w.bytes += int64(len(w.msg))
+	if w.retain {
+		w.chunks = append(w.chunks, walChunk{
+			maxArrival: w.maxArrival,
+			records:    len(w.refs),
+			data:       append([]byte(nil), w.msg...),
+		})
+	}
+	w.resetMsg()
+	return nil
+}
+
+// rotate rewrites the journal to the chunks a persisted checkpoint at
+// slot covered does not cover (tmp + fsync + rename, so a crash
+// mid-rotation leaves the previous journal intact), then swaps the open
+// handle to the new file. Chunks whose every arrival is covered are
+// pruned first — safe even if the rewrite then fails, because the
+// persisted checkpoint already carries their decisions.
+func (w *walWriter) rotate(covered int) error {
+	keep := w.chunks[:0]
+	for _, c := range w.chunks {
+		if c.maxArrival >= covered {
+			keep = append(keep, c)
+		}
+	}
+	for i := len(keep); i < len(w.chunks); i++ {
+		w.chunks[i] = walChunk{}
+	}
+	w.chunks = keep
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return fmt.Errorf("service: wal rotate: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	hdr := walHeader(w.label, covered)
+	size, depth := int64(len(hdr)), 0
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: wal rotate: %w", err)
+	}
+	for _, c := range w.chunks {
+		if _, err := tmp.Write(c.data); err != nil {
+			tmp.Close()
+			return fmt.Errorf("service: wal rotate: %w", err)
+		}
+		size += int64(len(c.data))
+		depth += c.records
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: wal rotate: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: wal rotate: %w", err)
+	}
+	old := w.f
+	w.f = tmp
+	w.size = size
+	w.depth = int64(depth)
+	w.broken = false
+	w.sinceSync = 0
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// openWAL creates a fresh journal at Options.WALPath, headed at slot.
+// A pre-existing file (a stale journal from a run that was not
+// recovered) is truncated — a fresh run must not replay foreign bids.
+func (b *Broker) openWAL(slot int) error {
+	w := &walWriter{
+		path:       b.opts.WALPath,
+		label:      b.opts.RunLabel,
+		retain:     b.opts.CheckpointPath != "",
+		syncEvery:  b.opts.WALSyncEvery,
+		maxArrival: -1,
+	}
+	if w.syncEvery <= 0 {
+		w.syncEvery = 1
+	}
+	f, err := os.Create(w.path)
+	if err != nil {
+		return fmt.Errorf("service: wal open: %w", err)
+	}
+	hdr := walHeader(w.label, slot)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("service: wal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: wal sync: %w", err)
+	}
+	w.f = f
+	w.size = int64(len(hdr))
+	b.wal = w
+	return nil
+}
+
+// closeWAL shuts the journal file handle; loop teardown calls it. The
+// file itself stays on disk — it is the crash-recovery record.
+func (b *Broker) closeWAL() {
+	if b.wal != nil && b.wal.f != nil {
+		b.wal.f.Close()
+		b.wal.f = nil
+	}
+}
+
+// walCommit lands the bids this intake message staged, before any of
+// their acks release. On failure every staged bid is un-held (they are
+// the tails of their arrival batches, popped in reverse stage order)
+// and the caller rewrites their verdicts with the returned ErrWAL —
+// an ack is never released for a bid the journal did not record.
+func (b *Broker) walCommit() error {
+	w := b.wal
+	if w == nil || len(w.refs) == 0 {
+		return nil
+	}
+	err := w.commit()
+	if err == nil {
+		return nil
+	}
+	for i := len(w.refs) - 1; i >= 0; i-- {
+		ref := w.refs[i]
+		batch := b.held[ref.arrival]
+		if n := len(batch); n > 0 && batch[n-1].task.ID == ref.id {
+			batch[n-1] = heldBid{}
+			b.held[ref.arrival] = batch[:n-1]
+			delete(b.heldIDs, ref.id)
+			b.heldCount--
+		}
+	}
+	w.resetMsg()
+	b.walErr = err
+	b.walFails++
+	return fmt.Errorf("%w: %v", ErrWAL, err)
+}
+
+// rotateWAL rewrites the journal after a checkpoint persist succeeded;
+// covered is the slot that checkpoint recorded (every decision for
+// arrivals before it is durable there). A rotation failure keeps the
+// old journal — a superset, so recovery stays correct — and surfaces
+// through the WAL failure counters.
+func (b *Broker) rotateWAL(covered int) {
+	if b.wal == nil || !b.wal.retain {
+		return
+	}
+	if err := b.wal.rotate(covered); err != nil {
+		b.walErr = err
+		b.walFails++
+	}
+}
+
+// readWALPrefix decodes the journal's valid prefix: every intact record
+// up to the first torn or corrupt frame. A missing file, a foreign or
+// truncated header, or a run-label mismatch all degrade to "no records"
+// — the journal never makes a restore fail, matching LoadCheckpoint.
+func readWALPrefix(path, label string) []task.Task {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+		return nil
+	}
+	r := &binReader{b: data[len(walMagic):]}
+	version := r.u64()
+	_ = r.int() // header slot: informational; staleness is judged per record
+	hlabel := r.str()
+	if r.err != nil || version != walVersion || hlabel != label {
+		return nil
+	}
+	var tasks []task.Task
+	for len(r.b) > 0 && r.err == nil {
+		payload := frameNext(r)
+		if payload == nil {
+			break // torn/corrupt tail: keep the prefix
+		}
+		pr := &binReader{b: payload}
+		t := readWALTask(pr)
+		if pr.err != nil {
+			// The CRC passed but the payload does not decode — format
+			// drift from an incompatible writer; stop here, keep the prefix.
+			break
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks
+}
+
+// ReadWAL reads the valid prefix of the journal at path for the given
+// run label — the bids acked but not covered by any persisted
+// checkpoint. Exported for tooling and the chaos harness's acked-bid
+// audits; brokers recover through RecoverWAL.
+func ReadWAL(path, label string) []task.Task { return readWALPrefix(path, label) }
+
+// RecoverWAL replays the journal at Options.WALPath into the broker:
+// each surviving record is re-held for its original arrival slot as an
+// adopted bid (no submitter is waiting; its decision lands in the
+// decision map like any other). Replay is idempotent — records whose ID
+// the restored decision map already holds decided before the crash and
+// are skipped, as are duplicate records and arrivals behind the restored
+// clock (covered by the checkpoint that rotation keyed the journal to).
+// It then opens a fresh journal seeded with the surviving held set, so
+// the re-held bids stay as durable as they were before the crash.
+//
+// Call after Restore and before Start. Runs with no journal configured
+// are a no-op. The returned count is how many bids were re-held.
+func (b *Broker) RecoverWAL() (int, error) {
+	if b.started {
+		return 0, ErrStarted
+	}
+	if b.opts.WALPath == "" {
+		return 0, nil
+	}
+	tasks := readWALPrefix(b.opts.WALPath, b.opts.RunLabel)
+	replayed := 0
+	for i := range tasks {
+		t := tasks[i]
+		if t.Arrival < b.slot {
+			b.walStale++
+			continue
+		}
+		if _, dup := b.decisions[t.ID]; dup {
+			b.walDeduped++
+			continue
+		}
+		if err := b.hold(&t, context.Background(), nil, nil, 0); err != nil {
+			if errors.Is(err, ErrDuplicateID) {
+				b.walDeduped++
+			} else {
+				b.walStale++
+			}
+			continue
+		}
+		replayed++
+	}
+	b.walReplayed = replayed
+	if err := b.openWAL(b.slot); err != nil {
+		return replayed, err
+	}
+	for _, batch := range b.held {
+		for i := range batch {
+			b.wal.stage(&batch[i].task)
+		}
+	}
+	if err := b.wal.commit(); err != nil {
+		return replayed, fmt.Errorf("service: wal reseed: %w", err)
+	}
+	return replayed, nil
+}

@@ -1,0 +1,385 @@
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pdftsp/pdftsp/internal/sim"
+	"github.com/pdftsp/pdftsp/internal/task"
+)
+
+// walOptions wires a journaled, checkpointed broker for these tests.
+func walOptions(t *testing.T, s *testStack) Options {
+	t.Helper()
+	opts := s.brokerOptions()
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "wal-test.ckpt")
+	opts.CheckpointEvery = 1
+	opts.WALPath = WALPath(opts.CheckpointPath)
+	opts.RunLabel = "wal-test" // New defaults it; pin so ReadWAL's label matches
+	return opts
+}
+
+// ackBatch fire-and-forget submits the batch and fails the test on any
+// refused verdict.
+func ackBatch(t *testing.T, b *Broker, batch []task.Task) {
+	t.Helper()
+	verdicts := make([]error, len(batch))
+	if _, err := b.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+		t.Fatalf("SubmitBatchAck: %v", err)
+	}
+	for i, v := range verdicts {
+		if v != nil {
+			t.Fatalf("task %d refused: %v", batch[i].ID, v)
+		}
+	}
+}
+
+// TestWALJournalsAckedBids: every acked, undecided bid is on disk before
+// its ack releases, and a crash (Kill) leaves the journal readable.
+func TestWALJournalsAckedBids(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+	ackBatch(t, b, s.tasks)
+	b.Kill()
+
+	got := ReadWAL(opts.WALPath, opts.RunLabel)
+	if len(got) != len(s.tasks) {
+		t.Fatalf("journal holds %d bids, want %d", len(got), len(s.tasks))
+	}
+	for i, tk := range s.tasks {
+		if got[i] != tk {
+			t.Fatalf("journal record %d = %+v, want %+v", i, got[i], tk)
+		}
+	}
+}
+
+// TestWALValidPrefixProperty is the satellite property test: however the
+// journal is truncated (at every byte boundary) or corrupted (every byte
+// flipped, one at a time), replay yields a valid prefix of the original
+// records and never panics or errors.
+func TestWALValidPrefixProperty(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+	ackBatch(t, b, s.tasks)
+	b.Kill()
+
+	data, err := os.ReadFile(opts.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReadWAL(opts.WALPath, opts.RunLabel)
+	if len(want) != len(s.tasks) {
+		t.Fatalf("intact journal holds %d bids, want %d", len(want), len(s.tasks))
+	}
+	isPrefix := func(got []task.Task) bool {
+		if len(got) > len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	mut := filepath.Join(t.TempDir(), "mutated.wal")
+	check := func(kind string, i int, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(mut, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := ReadWAL(mut, opts.RunLabel)
+		if !isPrefix(got) {
+			t.Fatalf("%s at byte %d: replay returned %d records that are not a prefix of the %d originals",
+				kind, i, len(got), len(want))
+		}
+	}
+	for i := 0; i <= len(data); i++ {
+		check("truncation", i, data[:i])
+	}
+	for i := 0; i < len(data); i++ {
+		flipped := append([]byte(nil), data...)
+		flipped[i] ^= 0xFF
+		check("corruption", i, flipped)
+	}
+}
+
+// TestWALReplayIdempotent: replay skips bids the restored decision map
+// already decided, duplicated journal records, and never double-offers —
+// and the recovered run finishes bit-identical to a sequential sim.Run.
+func TestWALReplayIdempotent(t *testing.T) {
+	const slots, killAt = 8, 3
+	s := newStack(t, slots, 2, 3, 9)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+
+	perSlot := make([][]task.Task, slots)
+	for _, tk := range s.tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+	for slot := 0; slot < killAt; slot++ {
+		ackBatch(t, b, perSlot[slot])
+		if _, err := b.Step(1); err != nil {
+			t.Fatalf("step %d: %v", slot, err)
+		}
+	}
+	// The ack boundary: the killAt batch is acked, journaled, undecided.
+	ackBatch(t, b, perSlot[killAt])
+	b.Kill()
+
+	// Sabotage the journal with duplicates: append a copy of every
+	// record region after the header, plus a hand-framed record for a
+	// bid the checkpoint already decided.
+	data, err := os.ReadFile(opts.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last rotation re-headed the journal at the kill slot.
+	hdr := len(walHeader(opts.RunLabel, killAt))
+	if hdr >= len(data) {
+		t.Fatalf("journal shorter (%d) than its header (%d)", len(data), hdr)
+	}
+	var decided task.Task
+	found := false
+	for slot := 0; slot < killAt && !found; slot++ {
+		if len(perSlot[slot]) > 0 {
+			decided, found = perSlot[slot][0], true
+		}
+	}
+	if !found {
+		t.Fatalf("no decided bids before slot %d for this seed", killAt)
+	}
+	payload := appendWALTask(nil, &decided)
+	frame := appendU64(nil, uint64(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	data = append(data, data[hdr:]...) // every live record twice
+	data = append(data, frame...)      // plus an already-decided bid
+	if err := os.WriteFile(opts.WALPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A twin stack restores the checkpoint and replays the journal.
+	s2 := newStack(t, slots, 2, 3, 9)
+	opts2 := walOptions(t, s2)
+	opts2.CheckpointPath = opts.CheckpointPath
+	opts2.WALPath = opts.WALPath
+	ck, err := LoadCheckpoint(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Slot != killAt {
+		t.Fatalf("checkpoint at slot %d, want %d", ck.Slot, killAt)
+	}
+	b2, err := New(opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := b2.RecoverWAL()
+	if err != nil {
+		t.Fatalf("RecoverWAL: %v", err)
+	}
+	if replayed != len(perSlot[killAt]) {
+		t.Fatalf("replayed %d bids, want %d (the acked, undecided batch)", replayed, len(perSlot[killAt]))
+	}
+	// Duplicates dedup by held ID; the hand-framed already-decided bid
+	// has an arrival behind the restored clock, so the stale guard (which
+	// runs first) drops it — either way it is never re-offered.
+	if b2.walDeduped != len(perSlot[killAt]) {
+		t.Fatalf("deduped %d records, want %d", b2.walDeduped, len(perSlot[killAt]))
+	}
+	if b2.walStale != 1 {
+		t.Fatalf("dropped %d stale records, want 1 (the already-decided bid)", b2.walStale)
+	}
+	if err := b2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for slot := killAt; slot < slots; slot++ {
+		if slot > killAt {
+			ackBatch(t, b2, perSlot[slot])
+		}
+		if _, err := b2.Step(1); err != nil {
+			t.Fatalf("step %d after recovery: %v", slot, err)
+		}
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b2.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	want := replay(t, newStack(t, slots, 2, 3, 9))
+	res := b2.Result()
+	if msg := sim.DiffResults(res, want); msg != "" {
+		t.Fatalf("recovered run diverged from sim.Run: %s\nbroker %+v\nsim    %+v", msg, res, want)
+	}
+	tw := newStack(t, slots, 2, 3, 9)
+	replay(t, tw)
+	if !s2.sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
+		t.Fatal("recovered run's final duals diverge from sim.Run")
+	}
+}
+
+// TestWALAppendFailureRefusesUnjournaled: when the journal cannot record
+// a batch, every bid in it is un-held and refused with ErrWAL (never
+// acked undurably), the broker degrades (WAL failure counters), and the
+// next successful rotation heals it.
+func TestWALAppendFailureRefusesUnjournaled(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+
+	perSlot := make([][]task.Task, 8)
+	for _, tk := range s.tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+	ackBatch(t, b, perSlot[0])
+	heldBefore := len(perSlot[0])
+
+	// Yank the journal's file descriptor out from under the broker: the
+	// next append fails, and so does the truncate-rollback (broken).
+	if err := b.do(func() { b.wal.f.Close() }); err != nil {
+		t.Fatal(err)
+	}
+	batch := append([]task.Task(nil), perSlot[1]...)
+	for i := range batch {
+		batch[i].Arrival = 0 // arrive now, on the wedged journal
+	}
+	verdicts := make([]error, len(batch))
+	if _, err := b.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+		t.Fatalf("SubmitBatchAck: %v", err)
+	}
+	for i, v := range verdicts {
+		if !errors.Is(v, ErrWAL) {
+			t.Fatalf("verdict %d = %v, want ErrWAL", i, v)
+		}
+	}
+	st, err := b.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Held != heldBefore {
+		t.Fatalf("held %d bids after the failed append, want %d (refused bids must be un-held)", st.Held, heldBefore)
+	}
+	if st.WALFailures == 0 || st.WALError == "" {
+		t.Fatalf("WAL failure not surfaced: %+v", st)
+	}
+	// Broken journal: intake refuses outright until rotation.
+	one := perSlot[1][0]
+	one.Arrival = 0
+	one.ID = 90001
+	if _, err := b.Submit(contextWithTimeout(t), one); !errors.Is(err, ErrWAL) {
+		t.Fatalf("Submit on a broken journal = %v, want ErrWAL", err)
+	}
+	// Closing the slot persists a checkpoint; its rotation rewrites the
+	// journal onto a fresh descriptor and clears the broken state.
+	if _, err := b.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	healed := append([]task.Task(nil), perSlot[1]...)
+	for i := range healed {
+		healed[i].Arrival = 1
+		healed[i].ID = 91000 + i
+	}
+	ackBatch(t, b, healed)
+	st, err = b.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Held != len(healed) {
+		t.Fatalf("held %d bids after rotation healed the journal, want %d", st.Held, len(healed))
+	}
+	b.Kill()
+}
+
+// httpGetCode GETs the URL and returns just the status code.
+func httpGetCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// contextWithTimeout is a test-scoped context that cleans itself up.
+func contextWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestWALDrainRetainsHeld: drain refuses held bids, but their journal
+// records survive the final rotation — a restore re-offers them instead
+// of losing fire-and-forget submitters' acks.
+func TestWALDrainRetainsHeld(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+	ackBatch(t, b, s.tasks)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	left := ReadWAL(opts.WALPath, opts.RunLabel)
+	if len(left) != len(s.tasks) {
+		t.Fatalf("journal holds %d bids after drain, want all %d refused-held bids", len(left), len(s.tasks))
+	}
+}
+
+// TestPendingFor: an acked, undecided bid answers pending (202 over
+// HTTP), flips to decided once its slot closes, and an unknown ID stays
+// a plain 404.
+func TestPendingFor(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	b := startBroker(t, s.brokerOptions())
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+
+	batch := s.tasks[:4]
+	ackBatch(t, b, batch)
+	id := batch[0].ID
+	if ok, err := b.PendingFor(id); err != nil || !ok {
+		t.Fatalf("PendingFor(%d) = %v, %v; want true", id, ok, err)
+	}
+	if ok, err := b.PendingFor(999999); err != nil || ok {
+		t.Fatalf("PendingFor(unknown) = %v, %v; want false", ok, err)
+	}
+	if code := httpGetCode(t, fmt.Sprintf("%s/v1/decisions/%d", srv.URL, id)); code != 202 {
+		t.Fatalf("GET held decision = %d, want 202", code)
+	}
+	if code := httpGetCode(t, srv.URL+"/v1/decisions/999999"); code != 404 {
+		t.Fatalf("GET unknown decision = %d, want 404", code)
+	}
+	if _, err := b.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := b.PendingFor(id); err != nil || ok {
+		t.Fatalf("PendingFor(%d) after its slot closed = %v, %v; want false", id, ok, err)
+	}
+	if _, ok, err := b.DecisionFor(id); err != nil || !ok {
+		t.Fatalf("DecisionFor(%d) = %v, %v; want decided", id, ok, err)
+	}
+	if code := httpGetCode(t, fmt.Sprintf("%s/v1/decisions/%d", srv.URL, id)); code != 200 {
+		t.Fatalf("GET decided bid = %d, want 200", code)
+	}
+	b.Kill()
+}
