@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -130,14 +132,20 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 			if o.ckpt == "" {
 				return nil, 0, fmt.Errorf("-restore requires -checkpoint")
 			}
-			ck, err := service.LoadCheckpoint(o.ckpt)
-			if err != nil {
+			switch ck, err := service.LoadCheckpoint(o.ckpt); {
+			case err == nil:
+				if err := broker.Restore(ck); err != nil {
+					return nil, 0, err
+				}
+				fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
+			case o.wal && errors.Is(err, fs.ErrNotExist):
+				// A crash before the first checkpoint persist leaves only the
+				// journal; replaying onto a fresh broker (slot 0, empty
+				// decision map) re-offers every acked bid.
+				fmt.Fprintln(os.Stderr, "no checkpoint on disk; recovering from journal alone")
+			default:
 				return nil, 0, err
 			}
-			if err := broker.Restore(ck); err != nil {
-				return nil, 0, err
-			}
-			fmt.Fprintf(os.Stderr, "restored checkpoint: slot %d, %d decided bids\n", ck.Slot, len(ck.Decisions))
 			if o.wal {
 				replayed, err := recoverJournals(broker)
 				if err != nil {
@@ -165,18 +173,28 @@ func buildAuctioneer(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 		if o.ckpt == "" {
 			return nil, 0, fmt.Errorf("-restore requires -checkpoint")
 		}
-		m, err := service.ReadShardManifest(o.ckpt)
-		if err != nil {
+		switch m, err := service.ReadShardManifest(o.ckpt); {
+		case err == nil:
+			switch rerr := fleet.RestoreFromManifest(m); {
+			case rerr == nil:
+				slot := 0
+				if ck, err := service.LoadCheckpoint(m.Paths[0]); err == nil {
+					slot = ck.Slot
+				}
+				fmt.Fprintf(os.Stderr, "restored %d-shard manifest at slot %d\n", m.Shards, slot)
+			case o.wal && errors.Is(rerr, service.ErrNoCheckpoints):
+				// Start writes the manifest before the first checkpoint wave,
+				// so a crash in that window leaves a manifest with no shard
+				// checkpoints — the journals carry every acked bid.
+				fmt.Fprintln(os.Stderr, "manifest on disk but no shard checkpoints; recovering from journals alone")
+			default:
+				return nil, 0, rerr
+			}
+		case o.wal && errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintln(os.Stderr, "no shard manifest on disk; recovering from journals alone")
+		default:
 			return nil, 0, err
 		}
-		if err := fleet.RestoreFromManifest(m); err != nil {
-			return nil, 0, err
-		}
-		slot := 0
-		if ck, err := service.LoadCheckpoint(m.Paths[0]); err == nil {
-			slot = ck.Slot
-		}
-		fmt.Fprintf(os.Stderr, "restored %d-shard manifest at slot %d\n", m.Shards, slot)
 		if o.wal {
 			replayed, err := recoverJournals(fleet)
 			if err != nil {
@@ -208,13 +226,29 @@ func recoverJournals(a service.Auctioneer) (int, error) {
 	return total, nil
 }
 
+// walOnDisk reports whether any of the run's journal files exist — the
+// monolithic one next to ckpt, or any shard's when n > 1.
+func walOnDisk(ckpt string, n int) bool {
+	if n == 1 {
+		_, err := os.Stat(service.WALPath(ckpt))
+		return err == nil
+	}
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(service.WALPath(fmt.Sprintf("%s.shard%d", ckpt, i))); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // buildSupervised wraps the flag set's fleet in a service.Supervisor:
 // Build constructs a generation exactly as buildAuctioneer would —
-// restoring whenever persisted state exists on disk, so the first
-// generation honors -restore and every later one resumes the crashed
-// run — replays the journals, and starts it. The watchdog then turns
-// any in-process crash or wedge into a bounded restart instead of an
-// outage.
+// restoring whenever persisted state exists on disk (the checkpoint
+// chain, or just the journal when the run died before its first
+// checkpoint persist), so the first generation honors -restore and
+// every later one resumes the crashed run — replays the journals, and
+// starts it. The watchdog then turns any in-process crash or wedge
+// into a bounded restart instead of an outage.
 func buildSupervised(cfg stackConfig, n int, sc spotConfig, o serveOpts) (service.Auctioneer, int, error) {
 	inner := o
 	inner.supervise = false
@@ -222,6 +256,8 @@ func buildSupervised(cfg stackConfig, n int, sc spotConfig, o serveOpts) (servic
 		ro := inner
 		if ro.ckpt != "" {
 			if _, err := os.Stat(ro.ckpt); err == nil {
+				ro.restore = true
+			} else if ro.wal && walOnDisk(ro.ckpt, n) {
 				ro.restore = true
 			}
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -37,6 +38,10 @@ type walChaosSummary struct {
 //
 // Kill points, all between ack release and slot close:
 //
+//   - an early kill at slot 0, before the first checkpoint ever
+//     persists: the journal is the only state on disk, and recovery
+//     must replay it onto a fresh broker (slot 0, empty decision map)
+//     rather than skip the restore because no checkpoint exists;
 //   - a plain ack-boundary kill: bids acked, fleet crash-stopped before
 //     Step — the journal is the only place those bids exist;
 //   - a double kill at one slot: the second crash lands right after the
@@ -76,13 +81,14 @@ func runWALChaos(cfg stackConfig, seed int64, n int, pc perfConfig) (walChaosSum
 	// Ack-boundary kill schedule: fixed slots (the seed varies the
 	// workload around them), each with its flavor of crash.
 	const (
+		killEarly  = 0
 		killPlain  = 5
 		killDouble = 11
 		killTorn   = 17
 	)
-	kills := map[int]int{killPlain: 1, killDouble: 2, killTorn: 1}
-	fmt.Fprintf(os.Stderr, "wal-chaos(seed %d, %d shard(s)): ack-boundary kills at slot %d, double kill at %d, torn-journal kill at %d\n",
-		seed, n, killPlain, killDouble, killTorn)
+	kills := map[int]int{killEarly: 1, killPlain: 1, killDouble: 2, killTorn: 1}
+	fmt.Fprintf(os.Stderr, "wal-chaos(seed %d, %d shard(s)): pre-checkpoint kill at slot %d, ack-boundary kills at slot %d, double kill at %d, torn-journal kill at %d\n",
+		seed, n, killEarly, killPlain, killDouble, killTorn)
 
 	dir, err := os.MkdirTemp("", "pdftspd-walchaos-")
 	if err != nil {
@@ -171,7 +177,11 @@ func runWALChaos(cfg stackConfig, seed int64, n int, pc perfConfig) (walChaosSum
 				if err != nil {
 					return nil, fmt.Errorf("restore: %w", err)
 				}
-				if err := a.(*service.Shards).RestoreFromManifest(m); err != nil {
+				if err := a.(*service.Shards).RestoreFromManifest(m); err != nil &&
+					!errors.Is(err, service.ErrNoCheckpoints) {
+					// ErrNoCheckpoints: the fleet died before its first
+					// checkpoint wave (Start writes the manifest up front);
+					// the journal replay below re-offers every acked bid.
 					return nil, fmt.Errorf("restore: %w", err)
 				}
 			}
@@ -240,7 +250,8 @@ func runWALChaos(cfg stackConfig, seed int64, n int, pc perfConfig) (walChaosSum
 		select {
 		case <-restarted:
 		case <-time.After(15 * time.Second):
-			return fmt.Errorf("%w: no restart within 15s of the kill at slot %d", errWALChaos, s)
+			return fmt.Errorf("%w: no restart within 15s of the kill at slot %d (health: %s)",
+				errWALChaos, s, sup.Health().Reason)
 		}
 		slot, err := sup.Slot()
 		if err != nil {

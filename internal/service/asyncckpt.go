@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync/atomic"
 )
 
 // Async checkpointing. With Options.AsyncCheckpoint the core goroutine
@@ -67,13 +68,19 @@ type ckptWriter struct {
 	// stall, when set, delays each write inside the writer goroutine —
 	// the backpressure tests' hook.
 	stall func(slot int, full bool)
+	// superseded is the owning broker's supersession flag: a job whose
+	// write stalled across a supervisor swap (the wedge scenario) must
+	// fail instead of renaming a stale snapshot over the successor's
+	// checkpoint or scribbling on its sidecar.
+	superseded *atomic.Bool
 }
 
-func newCkptWriter(stall func(slot int, full bool)) *ckptWriter {
+func newCkptWriter(stall func(slot int, full bool), superseded *atomic.Bool) *ckptWriter {
 	return &ckptWriter{
-		jobs:  make(chan ckptJob, 2),
-		done:  make(chan ckptDone, 2),
-		stall: stall,
+		jobs:       make(chan ckptJob, 2),
+		done:       make(chan ckptDone, 2),
+		stall:      stall,
+		superseded: superseded,
 	}
 }
 
@@ -88,13 +95,30 @@ func (w *ckptWriter) run() {
 		}
 		close(w.done)
 	}()
+	guard := func() error {
+		if w.superseded != nil && w.superseded.Load() {
+			return errSuperseded
+		}
+		return nil
+	}
 	for j := range w.jobs {
 		if w.stall != nil {
 			w.stall(j.slot, j.full)
 		}
-		var err error
+		err := guard()
+		if err != nil {
+			// Superseded mid-flight: drop the write (and the sidecar — this
+			// generation will never extend the chain again) without touching
+			// the successor's files.
+			if sidecar != nil {
+				sidecar.Close()
+				sidecar = nil
+			}
+			w.done <- ckptDone{slot: j.slot, err: err}
+			continue
+		}
 		if j.full {
-			err = writeCheckpointBytes(j.path, j.data)
+			err = writeCheckpointBytesGuarded(j.path, j.data, guard)
 			// Whatever happens, the old chain ends here: it extends the
 			// previous snapshot, not this one.
 			if sidecar != nil {

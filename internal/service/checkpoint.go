@@ -146,6 +146,11 @@ func (b *Broker) writeCheckpoint() {
 	if b.opts.CheckpointPath == "" {
 		return
 	}
+	if b.superseded.Load() {
+		// A newer generation owns the checkpoint chain; a zombie must not
+		// rename its stale snapshot over the successor's progress.
+		return
+	}
 	if b.ckptW != nil {
 		b.writeCheckpointAsync()
 		return
@@ -193,7 +198,7 @@ func (b *Broker) writeFullCheckpoint() error {
 	if err != nil {
 		return fmt.Errorf("service: marshal checkpoint: %w", err)
 	}
-	if err := writeCheckpointBytes(b.opts.CheckpointPath, data); err != nil {
+	if err := writeCheckpointBytesGuarded(b.opts.CheckpointPath, data, b.persistGuard); err != nil {
 		return err
 	}
 	if b.opts.CheckpointFullEvery > 1 {
@@ -214,6 +219,14 @@ func WriteCheckpoint(path string, ck *Checkpoint) error {
 }
 
 func writeCheckpointBytes(path string, data []byte) error {
+	return writeCheckpointBytesGuarded(path, data, nil)
+}
+
+// writeCheckpointBytesGuarded writes the snapshot tmp + rename; a
+// non-nil guard runs at the last gate before the rename, so a broker
+// superseded while this write was stalled refuses to publish its stale
+// snapshot over the successor's.
+func writeCheckpointBytesGuarded(path string, data []byte, guard func() error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
@@ -226,6 +239,11 @@ func writeCheckpointBytes(path string, data []byte) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("service: checkpoint close: %w", err)
+	}
+	if guard != nil {
+		if err := guard(); err != nil {
+			return err
+		}
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("service: checkpoint rename: %w", err)

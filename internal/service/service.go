@@ -319,6 +319,14 @@ type Broker struct {
 	// itself was full; bumped by submitters (any goroutine), hence atomic.
 	chanFull429 atomic.Int64
 
+	// superseded is set by the supervisor when a newer generation takes
+	// over this broker's on-disk state (checkpoint chain + journal). The
+	// core goroutine checks it before any persistent write, so a wedged
+	// goroutine that un-wedges after the swap cannot clobber its
+	// successor's files. Written by the supervisor, read by the core
+	// goroutine, hence atomic.
+	superseded atomic.Bool
+
 	// Everything below is owned by the core goroutine (and, before
 	// Start, by the caller — Restore runs pre-Start).
 	slot      int
@@ -486,7 +494,7 @@ func (b *Broker) Start() error {
 		b.o.OnRunStart(&obs.RunStartEvent{Nodes: b.cl.NumNodes(), Slots: b.horizon.T, CapWork: capWork})
 	}
 	if b.opts.AsyncCheckpoint && b.opts.CheckpointPath != "" {
-		b.ckptW = newCkptWriter(b.ckptStall)
+		b.ckptW = newCkptWriter(b.ckptStall, &b.superseded)
 		go b.ckptW.run()
 	}
 	go b.loop()
@@ -1039,6 +1047,26 @@ func (b *Broker) Drain(ctx context.Context) error {
 func (b *Broker) Kill() {
 	_ = b.do(func() { b.killed = true })
 	<-b.done
+}
+
+// Supersede marks this broker as replaced by a newer generation that
+// now owns its on-disk state. From this point the broker writes neither
+// checkpoint nor journal: a wedged core goroutine that un-wedges after
+// the supervisor swapped in a successor finishes any in-flight write on
+// its own (orphaned, rename-detached) descriptors but refuses every new
+// persist — in particular it can no longer rename a stale journal or
+// checkpoint over the successor's live files. The supervisor calls it
+// before rebuilding; it is irreversible and safe from any goroutine.
+func (b *Broker) Supersede() { b.superseded.Store(true) }
+
+// persistGuard is the last-gate check persistent writes run before
+// publishing (renaming) a file: a superseded broker's write — possibly
+// stalled since before the swap — must not land.
+func (b *Broker) persistGuard() error {
+	if b.superseded.Load() {
+		return errSuperseded
+	}
+	return nil
 }
 
 // loop is the core goroutine: the only owner of the auction state.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -654,10 +655,23 @@ func ReadShardManifest(path string) (*ShardManifest, error) {
 	return &m, nil
 }
 
+// ErrNoCheckpoints: the manifest is on disk (Start writes it up front)
+// but no shard has persisted a checkpoint yet — the fleet died before
+// its first checkpoint wave. Callers running with a write-ahead journal
+// treat this as "recover from the journals alone" (the fresh brokers
+// replay every acked bid); without a journal it is a real restore
+// failure.
+var ErrNoCheckpoints = errors.New("service: manifest present but no shard checkpoint exists yet")
+
 // RestoreFromManifest restores every shard from its checkpoint (full
 // snapshot + delta sidecar) before Start. It refuses a manifest whose
 // shape diverges from this fleet or whose shards checkpointed at
-// different slots — a torn fleet must not resume.
+// different slots — a torn fleet must not resume. A fleet with no
+// checkpoint files at all (dead before the first persist) reports
+// ErrNoCheckpoints so journaled callers can fall back to WAL replay;
+// only some checkpoints missing is a torn fleet, refused like a slot
+// mismatch — silently restoring the survivors would re-offer journal
+// records their checkpoints already rotated away.
 func (s *Shards) RestoreFromManifest(m *ShardManifest) error {
 	if s.started {
 		return ErrStarted
@@ -672,16 +686,29 @@ func (s *Shards) RestoreFromManifest(m *ShardManifest) error {
 		}
 	}
 	cks := make([]*Checkpoint, len(s.brokers))
+	missing := 0
 	for i := range s.brokers {
 		ck, err := LoadCheckpoint(m.Paths[i])
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				missing++
+				continue
+			}
 			return fmt.Errorf("service: shard %s: %w", s.keys[i], err)
 		}
-		if ck.Slot != cks[0].refSlot(ck) {
+		cks[i] = ck
+	}
+	if missing == len(s.brokers) {
+		return ErrNoCheckpoints
+	}
+	if missing > 0 {
+		return fmt.Errorf("service: torn fleet: %d of %d shard checkpoints missing", missing, len(s.brokers))
+	}
+	for i, ck := range cks {
+		if ck.Slot != cks[0].Slot {
 			return fmt.Errorf("service: torn fleet: shard %s checkpointed at slot %d, shard %s at %d",
 				s.keys[i], ck.Slot, s.keys[0], cks[0].Slot)
 		}
-		cks[i] = ck
 	}
 	for i, b := range s.brokers {
 		if err := b.Restore(cks[i]); err != nil {
@@ -689,13 +716,4 @@ func (s *Shards) RestoreFromManifest(m *ShardManifest) error {
 		}
 	}
 	return nil
-}
-
-// refSlot is the reference slot for torn-fleet detection: shard 0's
-// checkpoint slot once loaded, or ck's own while loading shard 0 itself.
-func (c *Checkpoint) refSlot(ck *Checkpoint) int {
-	if c == nil {
-		return ck.Slot
-	}
-	return c.Slot
 }

@@ -24,9 +24,12 @@ import (
 // slot progress not answering within WedgeTimeout — a core goroutine
 // stuck in a stalled write). Either way the old generation is put down
 // (best effort: a truly wedged goroutine completes its pending Kill
-// whenever the stall clears, and the rename-based journal and
-// checkpoint writes keep a zombie from corrupting its successor's
-// files), and Build constructs the next one — restoring the checkpoint
+// whenever the stall clears; it is also marked superseded, so once it
+// un-wedges it refuses every journal and checkpoint write — and since
+// each generation's journal is created on a fresh inode via tmp +
+// rename, even an in-flight write from the zombie lands on its own
+// orphaned file, never on the successor's), and Build constructs the
+// next one — restoring the checkpoint
 // manifest and replaying each shard's write-ahead journal, which is
 // what turns "restart" into "no acked bid is lost".
 //
@@ -236,9 +239,14 @@ func (s *Supervisor) restart(gen int, old Auctioneer, reason string) {
 	s.cur = nil // calls now wait for the next generation
 	s.mu.Unlock()
 	// Put the remains down. A wedged core goroutine cannot be forced;
-	// the pending Kill completes whenever its stall clears, and by then
-	// the new generation's journal/checkpoint files have been swapped
-	// from under it by rename.
+	// the pending Kill completes whenever its stall clears. Supersede
+	// first: from here the old generation refuses every journal and
+	// checkpoint write, so even if it un-wedges mid-rebuild it cannot
+	// scribble on (or rename over) the files its successor is about to
+	// own.
+	for _, br := range old.Brokers() {
+		br.Supersede()
+	}
 	killed := make(chan struct{})
 	go func() {
 		old.Kill()
@@ -345,38 +353,130 @@ func (s *Supervisor) withGen(f func(a Auctioneer) error) error {
 }
 
 // Submit serves one bid through the current generation, retrying across
-// a restart; the journal makes the retry idempotent on the broker side
-// (a duplicate ID is refused, a replayed bid decides once).
+// a restart; the journal makes the retry idempotent on the broker side.
+// A retry refused with ErrDuplicateID for a bid the new generation
+// replayed from the journal (re-held, or already decided before the
+// crash) is not a conflict — the original submission succeeded — so it
+// maps to the bid's real outcome instead of surfacing a 409.
 func (s *Supervisor) Submit(ctx context.Context, t task.Task) (schedule.Decision, error) {
 	var d schedule.Decision
+	attempts := 0
 	err := s.withGen(func(a Auctioneer) error {
+		attempts++
 		var err error
 		d, err = a.Submit(ctx, t)
 		return err
 	})
+	if attempts > 1 && errors.Is(err, ErrDuplicateID) && t.ID >= 0 {
+		if dd, ok, derr := s.DecisionFor(t.ID); derr == nil && ok {
+			return dd, nil
+		}
+		if pending, perr := s.PendingFor(t.ID); perr == nil && pending {
+			return s.awaitDecision(ctx, t.ID)
+		}
+	}
 	return d, err
 }
 
-// SubmitBatch mirrors Broker.SubmitBatch across restarts.
+// SubmitBatch mirrors Broker.SubmitBatch across restarts. Per-bid
+// duplicate-ID refusals on a retried batch are resolved against the
+// replayed state like Submit's.
 func (s *Supervisor) SubmitBatch(ctx context.Context, tasks []task.Task) ([]Outcome, error) {
 	var outs []Outcome
+	attempts := 0
 	err := s.withGen(func(a Auctioneer) error {
+		attempts++
 		var err error
 		outs, err = a.SubmitBatch(ctx, tasks)
 		return err
 	})
+	if err == nil && attempts > 1 {
+		for i := range outs {
+			if outs[i].Err == nil || !errors.Is(outs[i].Err, ErrDuplicateID) || tasks[i].ID < 0 {
+				continue
+			}
+			outs[i] = s.resolveReplayed(ctx, tasks[i].ID, outs[i])
+		}
+	}
 	return outs, err
 }
 
-// SubmitBatchAck mirrors Broker.SubmitBatchAck across restarts.
+// SubmitBatchAck mirrors Broker.SubmitBatchAck across restarts. On a
+// retried batch, a duplicate-ID verdict for a bid the journal replayed
+// flips to accepted — the bid is safe (held or decided), exactly what
+// the ack promises.
 func (s *Supervisor) SubmitBatchAck(ctx context.Context, tasks []task.Task, verdicts []error) (int, error) {
 	var held int
+	attempts := 0
 	err := s.withGen(func(a Auctioneer) error {
+		attempts++
 		var err error
 		held, err = a.SubmitBatchAck(ctx, tasks, verdicts)
 		return err
 	})
+	if err == nil && attempts > 1 {
+		for i, v := range verdicts {
+			if v == nil || !errors.Is(v, ErrDuplicateID) || tasks[i].ID < 0 {
+				continue
+			}
+			id := tasks[i].ID
+			if _, ok, derr := s.DecisionFor(id); derr == nil && ok {
+				verdicts[i] = nil
+				held++
+				continue
+			}
+			if pending, perr := s.PendingFor(id); perr == nil && pending {
+				verdicts[i] = nil
+				held++
+			}
+		}
+	}
 	return held, err
+}
+
+// resolveReplayed maps one retried bid's duplicate-ID refusal onto its
+// real outcome when the journal replayed it (decided, or held awaiting
+// its round); a genuine duplicate keeps the original conflict.
+func (s *Supervisor) resolveReplayed(ctx context.Context, id int, orig Outcome) Outcome {
+	if d, ok, err := s.DecisionFor(id); err == nil && ok {
+		return Outcome{Decision: d}
+	}
+	if pending, err := s.PendingFor(id); err == nil && pending {
+		d, derr := s.awaitDecision(ctx, id)
+		return Outcome{Decision: d, Err: derr}
+	}
+	return orig
+}
+
+// awaitDecision blocks until a replayed bid's decision lands (its slot
+// closing in whichever generation is serving by then), honoring ctx.
+// Queries go through the supervisor, so further restarts mid-wait are
+// chased transparently.
+func (s *Supervisor) awaitDecision(ctx context.Context, id int) (schedule.Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		d, ok, err := s.DecisionFor(id)
+		if err != nil || ok {
+			return d, err
+		}
+		if pending, err := s.PendingFor(id); err != nil {
+			return schedule.Decision{}, err
+		} else if !pending {
+			// Decided between the two queries, or genuinely gone (a journal
+			// loss the chaos harness would flag); one more look decides which.
+			if d, ok, err := s.DecisionFor(id); err != nil || ok {
+				return d, err
+			}
+			return schedule.Decision{}, fmt.Errorf("%w: bid %d neither held nor decided after replay", ErrClosed, id)
+		}
+		select {
+		case <-ctx.Done():
+			return schedule.Decision{}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // Step closes n slots on the current generation.

@@ -1,9 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"testing"
@@ -147,6 +149,187 @@ func TestSupervisorAckBoundaryKill(t *testing.T) {
 	replay(t, tw)
 	if !final.sched.SnapshotDuals().Equal(tw.sched.SnapshotDuals()) {
 		t.Fatal("supervised run's final duals diverge from sim.Run")
+	}
+}
+
+// TestSupersededBrokerRefusesPersist: once the supervisor marks a
+// generation superseded, it neither acks new bids (they refuse with
+// ErrClosed, un-held and never journaled — the supervised submitter
+// retries against the successor) nor publishes any checkpoint or
+// journal write: the successor's on-disk state stays byte-identical.
+func TestSupersededBrokerRefusesPersist(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := s.brokerOptions()
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "zombie.ckpt")
+	opts.CheckpointEvery = 1
+	opts.WALPath = WALPath(opts.CheckpointPath)
+	opts.RunLabel = "zombie-test"
+	b := startBroker(t, opts)
+
+	perSlot := make([][]task.Task, 8)
+	for _, tk := range s.tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+	verdicts := make([]error, len(perSlot[0]))
+	if _, err := b.SubmitBatchAck(context.Background(), perSlot[0], verdicts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Step(1); err != nil { // persist a checkpoint, rotate the journal
+		t.Fatal(err)
+	}
+	ckptBefore, err := os.ReadFile(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walBefore, err := os.ReadFile(opts.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b.Supersede()
+	batch := append([]task.Task(nil), perSlot[1]...)
+	verdicts = make([]error, len(batch))
+	if _, err := b.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range verdicts {
+		if !errors.Is(v, ErrClosed) {
+			t.Fatalf("verdict %d on a superseded broker = %v, want ErrClosed", i, v)
+		}
+	}
+	st, err := b.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Held != 0 {
+		t.Fatalf("superseded broker holds %d bids, want 0 (refused bids must be un-held)", st.Held)
+	}
+	if _, err := b.Step(1); err != nil { // would persist slot 2's checkpoint
+		t.Fatal(err)
+	}
+	b.Kill()
+	ckptAfter, err := os.ReadFile(opts.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walAfter, err := os.ReadFile(opts.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckptBefore, ckptAfter) {
+		t.Fatal("superseded broker rewrote the checkpoint")
+	}
+	if !bytes.Equal(walBefore, walAfter) {
+		t.Fatal("superseded broker rewrote the journal")
+	}
+}
+
+// TestSupersededAsyncCheckpointDropped: an async checkpoint write that
+// stalls across a supervisor swap (the wedge scenario) must not rename
+// its stale snapshot over the successor's checkpoint once the stall
+// clears — and without a persisted checkpoint, the journal keeps every
+// acked bid for recovery.
+func TestSupersededAsyncCheckpointDropped(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := s.brokerOptions()
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "async-zombie.ckpt")
+	opts.CheckpointEvery = 1
+	opts.AsyncCheckpoint = true
+	opts.WALPath = WALPath(opts.CheckpointPath)
+	opts.RunLabel = "async-zombie-test"
+	b, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	stalled := make(chan int, 8)
+	b.ckptStall = func(slot int, full bool) { stalled <- slot; <-gate }
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	perSlot := make([][]task.Task, 8)
+	for _, tk := range s.tasks {
+		perSlot[tk.Arrival] = append(perSlot[tk.Arrival], tk)
+	}
+	verdicts := make([]error, len(perSlot[0]))
+	if _, err := b.SubmitBatchAck(context.Background(), perSlot[0], verdicts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Step(1); err != nil { // stages the first checkpoint; its write stalls
+		t.Fatal(err)
+	}
+	select {
+	case <-stalled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("async checkpoint write never started")
+	}
+	b.Supersede()  // the watchdog swapped in a successor while the write stalled
+	close(gate)    // the stall clears: the zombie's write must be dropped
+	b.Kill()       // teardown drains the async pipeline
+
+	if _, err := os.Stat(opts.CheckpointPath); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("superseded broker published its stalled checkpoint (stat: %v)", err)
+	}
+	if got := ReadWAL(opts.WALPath, opts.RunLabel); len(got) != len(perSlot[0]) {
+		t.Fatalf("journal holds %d bids, want %d (no checkpoint covered them)", len(got), len(perSlot[0]))
+	}
+}
+
+// TestSupervisorResolvesReplayedDuplicate: a bid journaled just before
+// a crash is re-held by the next generation's replay; the supervisor
+// maps its retried submission's duplicate-ID refusal onto the bid's
+// real outcome (pending, then the decision) instead of surfacing a
+// conflict for a submission that actually succeeded. A genuinely
+// unknown duplicate keeps the original refusal.
+func TestSupervisorResolvesReplayedDuplicate(t *testing.T) {
+	sup, restarted, _ := walSupervisor(t, 8, 5)
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+
+	ref := newStack(t, 8, 2, 3, 5)
+	var batch []task.Task
+	for _, tk := range ref.tasks {
+		if tk.Arrival == 0 {
+			batch = append(batch, tk)
+		}
+	}
+	if len(batch) == 0 {
+		t.Fatal("no slot-0 bids for this seed")
+	}
+	verdicts := make([]error, len(batch))
+	if _, err := sup.SubmitBatchAck(context.Background(), batch, verdicts); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sup.Brokers() {
+		b.Kill()
+	}
+	awaitRestart(t, restarted)
+	id := batch[0].ID
+	if pending, err := sup.PendingFor(id); err != nil || !pending {
+		t.Fatalf("PendingFor(%d) after replay = %v, %v; want pending", id, pending, err)
+	}
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		sup.Step(1)
+	}()
+	out := sup.resolveReplayed(context.Background(), id, Outcome{Err: ErrDuplicateID})
+	if out.Err != nil {
+		t.Fatalf("replayed bid's retry resolved to %v, want its decision", out.Err)
+	}
+	d, ok, err := sup.DecisionFor(id)
+	if err != nil || !ok {
+		t.Fatalf("DecisionFor(%d) = %v, %v; want decided", id, ok, err)
+	}
+	if out.Decision != d {
+		t.Fatalf("resolved decision %+v != recorded decision %+v", out.Decision, d)
+	}
+	unknown := sup.resolveReplayed(context.Background(), 987654, Outcome{Err: ErrDuplicateID})
+	if !errors.Is(unknown.Err, ErrDuplicateID) {
+		t.Fatalf("unknown duplicate resolved to %v, want the original ErrDuplicateID", unknown.Err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"github.com/pdftsp/pdftsp/internal/task"
@@ -29,7 +30,13 @@ import (
 // (Options.WALSyncEvery batches the fsync across messages for
 // deployments that accept an OS-buffer-deep window). If the append or
 // sync fails, the staged bids are un-held and refused with ErrWAL: the
-// guarantee is never weakened to "acked but maybe journaled".
+// guarantee is never weakened to "acked but maybe journaled". A failed
+// fsync additionally marks the journal broken — the kernel may have
+// discarded dirty pages of earlier acked messages in the batching
+// window, and later fsyncs can falsely report success — so intake
+// refuses until a rotation rewrites the file from the committed
+// in-memory chunks (attempted immediately, and again at every
+// checkpoint persist).
 //
 // The journal stays O(one checkpoint interval): every successful
 // checkpoint persist covering slot s rewrites it (tmp + fsync + rename)
@@ -45,6 +52,13 @@ import (
 // ErrWAL: the write-ahead journal could not record an acked bid; the
 // bid was refused rather than acked undurably (HTTP 503, retryable).
 var ErrWAL = errors.New("service: write-ahead journal append failed")
+
+// errSuperseded refuses journal I/O on a broker the supervisor has
+// replaced: the successor owns the on-disk journal now, and a wedged
+// old generation that un-wedges must not write past this point. It
+// wraps ErrClosed so a supervised submitter retries against the
+// successor instead of seeing an error.
+var errSuperseded = fmt.Errorf("%w: superseded by a newer generation", ErrClosed)
 
 // walVersion guards the journal record layout.
 const walVersion = 1
@@ -79,6 +93,21 @@ type walWriter struct {
 	label string
 	f     *os.File
 	size  int64 // committed file size, the truncate point for a failed append
+	// tmp is the staging file's name between newWALWriter and install:
+	// the journal is always created as a temp file and renamed into
+	// place once its contents (header, and on recovery the reseeded
+	// survivors) are durable, so the previous journal outlives every
+	// step of its replacement and each (re)open lands on a fresh inode.
+	tmp string
+	// superseded, when non-nil, is the owning broker's supersession
+	// flag: once the supervisor replaces the broker, commit and rotate
+	// refuse — a wedged old generation that un-wedges must not write to
+	// (or rename over) the journal its successor now owns.
+	superseded *atomic.Bool
+	// lastCovered is the slot the most recent rotation was keyed to
+	// (initially the slot the journal was opened at) — the rewrite point
+	// for healing a failed fsync.
+	lastCovered int
 
 	// msg accumulates the current intake message's frames; buf is the
 	// per-record payload scratch; refs the bids staged so far. All three
@@ -203,19 +232,10 @@ func (w *walWriter) commit() error {
 	if w.broken {
 		return fmt.Errorf("journal broken by an earlier failed append")
 	}
-	err := func() error {
-		if _, err := w.f.Write(w.msg); err != nil {
-			return err
-		}
-		w.sinceSync++
-		if w.sinceSync >= w.syncEvery {
-			if err := w.sync(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}()
-	if err != nil {
+	if w.superseded != nil && w.superseded.Load() {
+		return errSuperseded
+	}
+	if _, err := w.f.Write(w.msg); err != nil {
 		// Roll the partial/unacked tail back off the disk; if even that
 		// fails, the file may replay bids whose submitters were refused —
 		// stop appending until rotation rewrites it from committed chunks.
@@ -223,6 +243,27 @@ func (w *walWriter) commit() error {
 			w.broken = true
 		}
 		return err
+	}
+	w.sinceSync++
+	if w.sinceSync >= w.syncEvery {
+		if err := w.sync(); err != nil {
+			// A failed fsync may have discarded the dirty pages of *earlier*
+			// committed-and-acked messages in the batching window, and later
+			// fsyncs on this descriptor can report success without those
+			// pages ever reaching disk — the whole file is suspect, not just
+			// this message. Mark the journal broken (intake refuses) and try
+			// to restore durability right away by rewriting it from the
+			// committed in-memory chunks; if the rewrite fails too, the next
+			// rotation heals it. Only an installed journal may heal this way:
+			// a staged one (mid-reseed) must not rename over the old journal
+			// it has not replaced yet.
+			w.broken = true
+			_ = w.f.Truncate(w.size)
+			if w.retain && w.tmp == "" {
+				_ = w.rotate(w.lastCovered) // success clears broken
+			}
+			return err
+		}
 	}
 	w.size += int64(len(w.msg))
 	w.records += int64(len(w.refs))
@@ -246,6 +287,10 @@ func (w *walWriter) commit() error {
 // pruned first — safe even if the rewrite then fails, because the
 // persisted checkpoint already carries their decisions.
 func (w *walWriter) rotate(covered int) error {
+	if w.superseded != nil && w.superseded.Load() {
+		return errSuperseded
+	}
+	w.lastCovered = covered
 	keep := w.chunks[:0]
 	for _, c := range w.chunks {
 		if c.maxArrival >= covered {
@@ -280,6 +325,13 @@ func (w *walWriter) rotate(covered int) error {
 		tmp.Close()
 		return fmt.Errorf("service: wal rotate: %w", err)
 	}
+	if w.superseded != nil && w.superseded.Load() {
+		// Re-checked at the last gate before the rename: a generation
+		// swapped out mid-rotation must not rename its stale rewrite over
+		// the journal its successor just reseeded.
+		tmp.Close()
+		return errSuperseded
+	}
 	if err := os.Rename(tmp.Name(), w.path); err != nil {
 		tmp.Close()
 		return fmt.Errorf("service: wal rotate: %w", err)
@@ -296,35 +348,84 @@ func (w *walWriter) rotate(covered int) error {
 	return nil
 }
 
-// openWAL creates a fresh journal at Options.WALPath, headed at slot.
-// A pre-existing file (a stale journal from a run that was not
-// recovered) is truncated — a fresh run must not replay foreign bids.
-func (b *Broker) openWAL(slot int) error {
+// newWALWriter stages a fresh journal as a temp file in the journal's
+// directory: header written, nothing published at Options.WALPath yet.
+// install() fsyncs the staged contents and renames them into place, so
+// the previous journal — a crashed run's only recovery record —
+// survives intact until its replacement (reseeded survivors included)
+// is durable, and every (re)open lands on a fresh inode: a wedged old
+// generation that un-wedges still holds a descriptor to its own
+// orphaned file, where nothing it writes can corrupt the live journal.
+func (b *Broker) newWALWriter(slot int) (*walWriter, error) {
 	w := &walWriter{
-		path:       b.opts.WALPath,
-		label:      b.opts.RunLabel,
-		retain:     b.opts.CheckpointPath != "",
-		syncEvery:  b.opts.WALSyncEvery,
-		maxArrival: -1,
+		path:        b.opts.WALPath,
+		label:       b.opts.RunLabel,
+		retain:      b.opts.CheckpointPath != "",
+		syncEvery:   b.opts.WALSyncEvery,
+		maxArrival:  -1,
+		superseded:  &b.superseded,
+		lastCovered: slot,
 	}
 	if w.syncEvery <= 0 {
 		w.syncEvery = 1
 	}
-	f, err := os.Create(w.path)
+	f, err := os.CreateTemp(filepath.Dir(w.path), ".wal-open-*")
 	if err != nil {
-		return fmt.Errorf("service: wal open: %w", err)
+		return nil, fmt.Errorf("service: wal open: %w", err)
 	}
 	hdr := walHeader(w.label, slot)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
-		return fmt.Errorf("service: wal header: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("service: wal sync: %w", err)
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("service: wal header: %w", err)
 	}
 	w.f = f
+	w.tmp = f.Name()
 	w.size = int64(len(hdr))
+	return w, nil
+}
+
+// install publishes a staged journal: fsync, then rename over
+// Options.WALPath. Only after this returns is the previous journal
+// gone; a crash before the rename leaves it untouched for the next
+// recovery attempt.
+func (w *walWriter) install() error {
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return fmt.Errorf("service: wal sync: %w", err)
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		w.abort()
+		return fmt.Errorf("service: wal install: %w", err)
+	}
+	w.tmp = ""
+	return nil
+}
+
+// abort discards a staged journal that never installed.
+func (w *walWriter) abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if w.tmp != "" {
+		os.Remove(w.tmp)
+		w.tmp = ""
+	}
+}
+
+// openWAL creates and publishes a fresh journal at Options.WALPath,
+// headed at slot. A pre-existing file (a stale journal from a run that
+// was not recovered) is replaced at the rename — a fresh run must not
+// replay foreign bids.
+func (b *Broker) openWAL(slot int) error {
+	w, err := b.newWALWriter(slot)
+	if err != nil {
+		return err
+	}
+	if err := w.install(); err != nil {
+		return err
+	}
 	b.wal = w
 	return nil
 }
@@ -363,6 +464,11 @@ func (b *Broker) walCommit() error {
 		}
 	}
 	w.resetMsg()
+	if errors.Is(err, ErrClosed) {
+		// Superseded, not a journal fault: the successor owns intake now,
+		// and the ErrClosed verdict sends supervised submitters there.
+		return err
+	}
 	b.walErr = err
 	b.walFails++
 	return fmt.Errorf("%w: %v", ErrWAL, err)
@@ -378,6 +484,9 @@ func (b *Broker) rotateWAL(covered int) {
 		return
 	}
 	if err := b.wal.rotate(covered); err != nil {
+		if errors.Is(err, ErrClosed) {
+			return // superseded: the successor owns the journal now
+		}
 		b.walErr = err
 		b.walFails++
 	}
@@ -433,8 +542,11 @@ func ReadWAL(path, label string) []task.Task { return readWALPrefix(path, label)
 // the restored decision map already holds decided before the crash and
 // are skipped, as are duplicate records and arrivals behind the restored
 // clock (covered by the checkpoint that rotation keyed the journal to).
-// It then opens a fresh journal seeded with the surviving held set, so
-// the re-held bids stay as durable as they were before the crash.
+// It then opens a fresh journal seeded with the surviving held set —
+// staged as a temp file and renamed over the old journal only after
+// the survivors are durably rewritten, so a second crash mid-recovery
+// still finds a journal to replay — and the re-held bids stay as
+// durable as they were before the crash.
 //
 // Call after Restore and before Start. Runs with no journal configured
 // are a no-op. The returned count is how many bids were re-held.
@@ -468,16 +580,27 @@ func (b *Broker) RecoverWAL() (int, error) {
 		replayed++
 	}
 	b.walReplayed = replayed
-	if err := b.openWAL(b.slot); err != nil {
+	// Reseed a fresh journal with the surviving held set, staged as a
+	// temp file and renamed over the old journal only once the survivors
+	// are durably rewritten — a second crash anywhere during recovery
+	// (the scenario -supervise exists for) still finds the old journal
+	// intact and replays it again.
+	w, err := b.newWALWriter(b.slot)
+	if err != nil {
 		return replayed, err
 	}
 	for _, batch := range b.held {
 		for i := range batch {
-			b.wal.stage(&batch[i].task)
+			w.stage(&batch[i].task)
 		}
 	}
-	if err := b.wal.commit(); err != nil {
+	if err := w.commit(); err != nil {
+		w.abort()
 		return replayed, fmt.Errorf("service: wal reseed: %w", err)
 	}
+	if err := w.install(); err != nil {
+		return replayed, fmt.Errorf("service: wal reseed: %w", err)
+	}
+	b.wal = w
 	return replayed, nil
 }

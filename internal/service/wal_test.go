@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -305,6 +307,117 @@ func TestWALAppendFailureRefusesUnjournaled(t *testing.T) {
 		t.Fatalf("held %d bids after rotation healed the journal, want %d", st.Held, len(healed))
 	}
 	b.Kill()
+}
+
+// TestWALRecoverReseedFailureKeepsJournal: recovery stages its reseeded
+// journal as a temp file and renames it into place only once the
+// survivors are durable — so a recovery attempt whose reseed fails
+// (here: the broker superseded at the reseed's commit gate) leaves the
+// old journal byte-identical on disk, and the next attempt still
+// replays every acked bid. A truncate-in-place reseed would destroy
+// them all at the first failed attempt.
+func TestWALRecoverReseedFailureKeepsJournal(t *testing.T) {
+	s := newStack(t, 8, 2, 3, 5)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+	ackBatch(t, b, s.tasks)
+	b.Kill()
+	before, err := os.ReadFile(opts.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newStack(t, 8, 2, 3, 5)
+	opts2 := walOptions(t, s2)
+	opts2.CheckpointPath = opts.CheckpointPath
+	opts2.WALPath = opts.WALPath
+	b2, err := New(opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Supersede() // the reseed's commit refuses, as if recovery died mid-way
+	if _, err := b2.RecoverWAL(); err == nil {
+		t.Fatal("RecoverWAL with a refused reseed returned nil error")
+	}
+	after, err := os.ReadFile(opts.WALPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("a failed recovery attempt mutated the on-disk journal")
+	}
+
+	s3 := newStack(t, 8, 2, 3, 5)
+	opts3 := walOptions(t, s3)
+	opts3.CheckpointPath = opts.CheckpointPath
+	opts3.WALPath = opts.WALPath
+	b3, err := New(opts3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := b3.RecoverWAL()
+	if err != nil {
+		t.Fatalf("RecoverWAL after a failed attempt: %v", err)
+	}
+	if replayed != len(s.tasks) {
+		t.Fatalf("replayed %d bids after a failed recovery attempt, want all %d", replayed, len(s.tasks))
+	}
+}
+
+// TestWALRecoverWithoutCheckpoint: a crash before the first checkpoint
+// persist leaves only the journal on disk; recovery onto a fresh broker
+// (slot 0, empty decision map) replays every acked bid and the resumed
+// run decides them all, bit-identical to a sequential sim.Run — the
+// contract buildSupervised's journal-only restore path relies on.
+func TestWALRecoverWithoutCheckpoint(t *testing.T) {
+	const slots = 8
+	s := newStack(t, slots, 2, 3, 5)
+	opts := walOptions(t, s)
+	b := startBroker(t, opts)
+	ackBatch(t, b, s.tasks)
+	b.Kill() // no slot ever closed: journal on disk, checkpoint never written
+	if _, err := os.Stat(opts.CheckpointPath); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("checkpoint unexpectedly on disk before the first persist: %v", err)
+	}
+
+	s2 := newStack(t, slots, 2, 3, 5)
+	opts2 := walOptions(t, s2)
+	opts2.CheckpointPath = opts.CheckpointPath
+	opts2.WALPath = opts.WALPath
+	b2, err := New(opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := b2.RecoverWAL()
+	if err != nil {
+		t.Fatalf("RecoverWAL without a checkpoint: %v", err)
+	}
+	if replayed != len(s.tasks) {
+		t.Fatalf("replayed %d bids from the journal alone, want all %d", replayed, len(s.tasks))
+	}
+	if err := b2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < slots; slot++ {
+		if _, err := b2.Step(1); err != nil {
+			t.Fatalf("step %d after journal-only recovery: %v", slot, err)
+		}
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b2.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range s.tasks {
+		if _, ok, err := b2.DecisionFor(tk.ID); err != nil || !ok {
+			t.Fatalf("acked bid %d lost across the journal-only recovery (ok=%v err=%v)", tk.ID, ok, err)
+		}
+	}
+	want := replay(t, newStack(t, slots, 2, 3, 5))
+	res := b2.Result()
+	if msg := sim.DiffResults(res, want); msg != "" {
+		t.Fatalf("journal-only recovery diverged from sim.Run: %s\nbroker %+v\nsim    %+v", msg, res, want)
+	}
 }
 
 // httpGetCode GETs the URL and returns just the status code.
